@@ -1,0 +1,12 @@
+"""Shared helper for the benchmark harness."""
+
+from __future__ import annotations
+
+
+def run_and_print(benchmark, driver, ctx, **kwargs):
+    """Run one experiment driver under pytest-benchmark and print its table."""
+    table = benchmark.pedantic(lambda: driver(ctx, **kwargs),
+                               rounds=1, iterations=1)
+    print()
+    print(table.render())
+    return table

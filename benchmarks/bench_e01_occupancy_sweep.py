@@ -1,0 +1,19 @@
+"""E1 — motivation figure: normalized IPC vs CTAs per core.
+
+Paper claim reproduced: memory-sensitive kernels peak *below* maximum
+occupancy; compute-bound kernels are flat or increasing.
+"""
+
+from bench_common import run_and_print
+from repro.harness.experiments import e1_occupancy_sweep
+
+
+def test_e1_occupancy_sweep(benchmark, ctx):
+    table = run_and_print(benchmark, e1_occupancy_sweep, ctx)
+    best = dict(zip(table.column("benchmark"), table.column("best_n")))
+    max_n = dict(zip(table.column("benchmark"), table.column("max_n")))
+    # The cache-sensitive kernels peak strictly below maximum occupancy...
+    assert best["kmeans"] < max_n["kmeans"]
+    assert best["iindex"] < max_n["iindex"]
+    # ...while the compute kernel wants (close to) the maximum.
+    assert best["compute"] >= max_n["compute"] - 1

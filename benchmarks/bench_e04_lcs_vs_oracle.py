@@ -1,0 +1,23 @@
+"""E4 — LCS decision quality: online N* vs the exhaustive static oracle.
+
+Paper claim reproduced: the one-shot monitoring decision lands within one
+CTA of the oracle's static best for most kernels, and its end-to-end
+performance stays close to the oracle's.
+"""
+
+from bench_common import run_and_print
+from repro.harness.experiments import e4_lcs_vs_oracle
+
+
+def test_e4_lcs_vs_oracle(benchmark, ctx):
+    table = run_and_print(benchmark, e4_lcs_vs_oracle, ctx)
+    within = table.column("within_one")
+    assert sum(within) >= len(within) * 0.5
+    # LCS stays close to the oracle overall.  Individual kernels can sit on
+    # a sharp cliff (kmeans: N*=4 vs oracle 3 costs ~half the oracle's win),
+    # so the per-kernel bound is loose and the aggregate bound tight.
+    from repro.harness.reporting import geomean
+    ratios = table.column("lcs_vs_oracle_cycles")
+    assert geomean(ratios) > 0.8
+    for row in table.rows:
+        assert row[4] > 0.45, f"{row[0]} far from oracle"

@@ -1,0 +1,15 @@
+"""E5 — warp-scheduler baseline: GTO vs loose round robin.
+
+Paper context reproduced: GTO matches or beats LRR on most kernels (GTO is
+the baseline warp scheduler the paper builds LCS on).
+"""
+
+from bench_common import run_and_print
+from repro.harness.experiments import e5_warp_schedulers
+
+
+def test_e5_warp_schedulers(benchmark, ctx):
+    table = run_and_print(benchmark, e5_warp_schedulers, ctx)
+    gmean = table.row_for("GMEAN")
+    gto_over_lrr = gmean[4]
+    assert gto_over_lrr >= 0.98      # GTO matches or beats LRR overall

@@ -1,0 +1,18 @@
+"""E6 — BCS speedup on the inter-CTA-locality kernels.
+
+Paper claim reproduced: dispatching consecutive CTA pairs to the same core
+speeds up halo-sharing kernels; the block-aware warp scheduler keeps the
+siblings aligned.
+"""
+
+from bench_common import run_and_print
+from repro.harness.experiments import e6_bcs
+
+
+def test_e6_bcs(benchmark, ctx):
+    table = run_and_print(benchmark, e6_bcs, ctx)
+    gmean = table.row_for("GMEAN")
+    assert gmean[2] > 1.02   # BCS + GTO wins on the locality set
+    assert gmean[3] > 1.02   # BCS + BAWS wins too
+    for row in table.rows[:-1]:
+        assert row[3] > 0.95, f"{row[0]} regressed under BCS+BAWS"

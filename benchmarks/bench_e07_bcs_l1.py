@@ -1,0 +1,17 @@
+"""E7 — L1 behaviour under BCS: miss rates and MSHR merges.
+
+Paper claim reproduced: pairing consecutive CTAs on one core converts the
+halo lines' second fetch into L1 hits/merges, cutting the miss rate on
+every locality kernel.
+"""
+
+from bench_common import run_and_print
+from repro.harness.experiments import e7_bcs_l1
+
+
+def test_e7_bcs_l1(benchmark, ctx):
+    table = run_and_print(benchmark, e7_bcs_l1, ctx)
+    for row in table.rows:
+        name, miss_base, miss_bcs, miss_baws = row[0], row[1], row[2], row[3]
+        assert miss_bcs < miss_base, f"{name}: BCS did not cut L1 misses"
+        assert miss_baws < miss_base, f"{name}: BAWS did not cut L1 misses"

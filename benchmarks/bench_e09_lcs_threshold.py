@@ -1,0 +1,18 @@
+"""E9 — sensitivity of LCS to its decision rule and parameter.
+
+Paper-style sensitivity study: the default tail rule at 0.5 is at a broad
+optimum; neighbouring parameters stay close, so the mechanism is not
+fragile.
+"""
+
+from bench_common import run_and_print
+from repro.harness.experiments import e9_lcs_threshold
+
+
+def test_e9_lcs_threshold(benchmark, ctx):
+    table = run_and_print(benchmark, e9_lcs_threshold, ctx)
+    gmeans = table.row_for("GMEAN")[1:]
+    default_idx = list(table.columns[1:]).index("tai=0.5")
+    default = gmeans[default_idx]
+    assert default >= max(gmeans) - 0.03   # default near the sweep optimum
+    assert default >= 1.0

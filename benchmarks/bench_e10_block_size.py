@@ -1,0 +1,16 @@
+"""E10 — sensitivity of BCS to the block size.
+
+Paper claim reproduced: blocks of two consecutive CTAs are the sweet spot;
+blocks of four over-serialise dispatch and fragment occupancy.
+"""
+
+from bench_common import run_and_print
+from repro.harness.experiments import e10_block_size
+
+
+def test_e10_block_size(benchmark, ctx):
+    table = run_and_print(benchmark, e10_block_size, ctx)
+    gmean = table.row_for("GMEAN")
+    block1, block2, block4 = gmean[1], gmean[2], gmean[3]
+    assert block2 > block1          # pairing beats no blocking
+    assert block2 >= block4 - 0.02  # and 4-blocks do not beat pairs

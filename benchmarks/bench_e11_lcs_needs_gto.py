@@ -1,0 +1,21 @@
+"""E11 — ablation: LCS monitoring needs a greedy warp scheduler.
+
+Paper claim reproduced: LCS "leverages a greedy warp scheduler" — under a
+fair (LRR) scheduler the per-CTA issue counts flatten and the decision
+drifts away from the oracle.
+"""
+
+from bench_common import run_and_print
+from repro.harness.experiments import e11_lcs_needs_gto
+
+
+def test_e11_lcs_needs_gto(benchmark, ctx):
+    table = run_and_print(benchmark, e11_lcs_needs_gto, ctx)
+    gto_err = 0
+    lrr_err = 0
+    for row in table.rows:
+        n_oracle, n_gto, n_lrr = row[1], row[2], row[3]
+        gto_err += abs(n_gto - n_oracle)
+        lrr_err += abs(n_lrr - n_oracle)
+    # GTO monitoring tracks the oracle at least as well as LRR monitoring.
+    assert gto_err <= lrr_err

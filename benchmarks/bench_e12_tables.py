@@ -1,0 +1,23 @@
+"""E12 — configuration and benchmark-characteristics tables.
+
+Regenerates the two descriptive tables every simulation paper carries: the
+simulated machine configuration and the workload characteristics
+(grid/CTA geometry, occupancy, memory intensity).
+"""
+
+from bench_common import run_and_print
+from repro.harness.experiments import e12_benchmark_table, e12_config_table
+from repro.workloads.suite import SUITE
+
+
+def test_e12_config_table(benchmark, ctx):
+    table = run_and_print(benchmark, e12_config_table, ctx)
+    assert table.row_for("SIMT cores")[1] == 15
+
+
+def test_e12_benchmark_table(ctx, benchmark):
+    table = run_and_print(benchmark, e12_benchmark_table, ctx)
+    assert len(table.rows) == len(SUITE)
+    for row in table.rows:
+        assert row[4] >= 1          # occupancy
+        assert 0.0 <= row[5] <= 1.0  # memory intensity

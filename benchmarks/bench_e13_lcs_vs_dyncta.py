@@ -1,0 +1,18 @@
+"""E13 (extension) — LCS vs DynCTA-style continuous throttling.
+
+Context: the paper positions LCS against prior CTA-throttling work
+(Kayiran et al., PACT 2013) as simpler (one-shot decision, one counter per
+CTA slot) while competitive.  This experiment reproduces that comparison.
+"""
+
+from bench_common import run_and_print
+from repro.harness.experiments import e13_lcs_vs_dyncta
+
+
+def test_e13_lcs_vs_dyncta(benchmark, ctx):
+    table = run_and_print(benchmark, e13_lcs_vs_dyncta, ctx)
+    gmean = table.row_for("GMEAN")
+    lcs, dyncta = gmean[1], gmean[2]
+    # One-shot LCS is competitive with continuous throttling overall.
+    assert lcs >= dyncta - 0.05
+    assert lcs >= 1.0

@@ -1,0 +1,19 @@
+"""E14 (extension) — multiprogram metrics for concurrent kernel execution.
+
+Beyond raw completion time, mixed CKE should deliver system throughput
+(STP) at reasonable fairness — the standard CKE-literature metrics.
+"""
+
+from bench_common import run_and_print
+from repro.harness.experiments import e14_cke_metrics
+
+
+def test_e14_cke_metrics(benchmark, ctx):
+    table = run_and_print(benchmark, e14_cke_metrics, ctx)
+    mixed_rows = [row for row in table.rows if row[1] == "mixed"]
+    assert mixed_rows
+    for row in mixed_rows:
+        pair, policy, antt, stp, fairness = row
+        assert antt >= 0.99            # co-running can't beat solo for both
+        assert stp > 1.0               # but it beats running one at a time
+        assert 0.0 < fairness <= 1.0

@@ -1,0 +1,17 @@
+"""E15 (extension) — composing the paper's two mechanisms (LCS + BCS).
+
+Block dispatch preserves inter-CTA locality; the lazy limit avoids L1
+over-subscription.  Composed, they should not lose to the better of the
+two on the locality kernels.
+"""
+
+from bench_common import run_and_print
+from repro.harness.experiments import e15_lcs_plus_bcs
+
+
+def test_e15_lcs_plus_bcs(benchmark, ctx):
+    table = run_and_print(benchmark, e15_lcs_plus_bcs, ctx)
+    gmean = table.row_for("GMEAN")
+    lcs, bcs, both = gmean[1], gmean[2], gmean[3]
+    assert both > 1.0                       # composition wins vs baseline
+    assert both >= min(lcs, bcs) - 0.05     # and doesn't wreck either part

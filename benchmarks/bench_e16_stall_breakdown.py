@@ -1,0 +1,20 @@
+"""E16 (analysis) — warp-state time breakdown, baseline vs LCS.
+
+Shows *why* LCS helps: on cache-sensitive kernels the fraction of warp
+time spent memory-stalled (and the memory wait per instruction) drops
+after throttling, while compute kernels are untouched.
+"""
+
+from bench_common import run_and_print
+from repro.harness.experiments import e16_stall_breakdown
+
+
+def test_e16_stall_breakdown(benchmark, ctx):
+    table = run_and_print(benchmark, e16_stall_breakdown, ctx)
+    rows = {(row[0], row[1]): row for row in table.rows}
+    base = rows[("kmeans", "base")]
+    lcs = rows[("kmeans", "lcs")]
+    # Memory wait per instruction shrinks under LCS on the cache kernel.
+    assert lcs[6] < base[6]
+    # The memory-bound kernel is dominated by memory time at baseline.
+    assert base[2] > 0.5

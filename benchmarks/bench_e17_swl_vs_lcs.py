@@ -1,0 +1,22 @@
+"""E17 (extension) — throttling granularity: static warp limiting vs LCS.
+
+A well-chosen *static* warp limit matches the static CTA-limit oracle (the
+two granularities reach the same sweet spot); the paper's contribution is
+finding the limit *online* with one monitoring pass — which SWL cannot do.
+"""
+
+from bench_common import run_and_print
+from repro.harness.experiments import e17_swl_vs_lcs
+
+
+def test_e17_swl_vs_lcs(benchmark, ctx):
+    table = run_and_print(benchmark, e17_swl_vs_lcs, ctx)
+    rows = {row[0]: row for row in table.rows}
+    # The headline cache kernel: a good static warp limit wins big...
+    assert rows["kmeans"][-2] > 1.2
+    # ...and LCS captures a meaningful part of it online.
+    assert rows["kmeans"][-1] > 1.05
+    for row in table.rows:
+        name, best_swl, lcs = row[0], row[-2], row[-1]
+        assert best_swl >= 0.95, f"{name}: every SWL point hurts"
+        assert lcs >= 0.95, f"{name}: LCS regressed"

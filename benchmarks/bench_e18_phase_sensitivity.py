@@ -1,0 +1,18 @@
+"""E18 (extension/limitation) — phase-changing kernels.
+
+One-shot LCS decides during the cache-thrashing first phase; when the
+kernel turns compute-bound the limit is stale.  The experiment quantifies
+how much of the static oracle's benefit the one-shot decision retains and
+how a continuous scheme (DynCTA) behaves on the same kernel.
+"""
+
+from bench_common import run_and_print
+from repro.harness.experiments import e18_phase_sensitivity
+
+
+def test_e18_phase_sensitivity(benchmark, ctx):
+    table = run_and_print(benchmark, e18_phase_sensitivity, ctx)
+    rows = {row[0]: row for row in table.rows}
+    assert rows["static_oracle"][2] >= rows["lcs"][2] - 1e-9
+    # The one-shot decision still retains a meaningful share of the oracle.
+    assert rows["lcs"][2] > rows["static_oracle"][2] * 0.6

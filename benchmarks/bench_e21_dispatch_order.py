@@ -1,0 +1,17 @@
+"""E21 (ablation) — dispatch order: depth-first co-location vs BCS.
+
+Depth-first filling co-locates consecutive CTAs only at fill time and lets
+the pairing decay; BCS maintains it deliberately.  The gap between the two
+is the part of BCS's win that comes from *sustained* pairing.
+"""
+
+from bench_common import run_and_print
+from repro.harness.experiments import e21_dispatch_order
+
+
+def test_e21_dispatch_order(benchmark, ctx):
+    table = run_and_print(benchmark, e21_dispatch_order, ctx)
+    gmean = table.row_for("GMEAN")
+    depth_first, bcs = gmean[1], gmean[2]
+    assert bcs > depth_first     # deliberate pairing beats accidental
+    assert bcs > 1.05

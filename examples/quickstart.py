@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one kernel under the baseline and under LCS.
+
+Runs the cache-sensitive ``kmeans`` benchmark twice on the Fermi-class GPU
+model — once with the conventional maximum-occupancy round-robin CTA
+scheduler, once with the paper's lazy CTA scheduler (LCS) — and prints what
+LCS decided and what it bought.
+
+Usage::
+
+    python examples/quickstart.py [scale]
+
+``scale`` (default 0.5) scales the grid size; 1.0 is the full evaluation
+size used in EXPERIMENTS.md.
+"""
+
+import sys
+
+from repro import GPUConfig, LCSScheduler, make_kernel, simulate
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    config = GPUConfig()
+
+    print(f"GPU: {config.num_sms} SMs, {config.max_ctas_per_sm} CTA slots "
+          f"and {config.max_warps_per_sm} warps per SM, "
+          f"{config.l1_size // 1024} KB L1 per SM\n")
+
+    # --- baseline: maximum occupancy, greedy-then-oldest warp scheduler ---
+    kernel = make_kernel("kmeans", scale=scale)
+    occupancy = kernel.max_ctas_per_sm(config)
+    print(f"kernel {kernel.name}: {kernel.num_ctas} CTAs x "
+          f"{kernel.warps_per_cta} warps, occupancy {occupancy} CTAs/SM")
+
+    baseline = simulate(kernel, config=config, warp_scheduler="gto")
+    print("\n[baseline: round-robin CTA scheduler at maximum occupancy]")
+    print(baseline.summary())
+
+    # --- LCS: monitor, decide N*, throttle --------------------------------
+    kernel = make_kernel("kmeans", scale=scale)
+    scheduler = LCSScheduler(kernel)
+    lcs = simulate(kernel, config=config, warp_scheduler="gto",
+                   cta_scheduler=scheduler)
+    decision = scheduler.decision
+    print("\n[LCS: lazy CTA scheduling]")
+    print(f"monitoring ended at cycle {decision.decided_cycle} "
+          f"on SM {decision.monitor_sm}")
+    print(f"per-CTA issued instructions: {decision.issue_counts}")
+    print(f"issue-slot utilization {decision.utilization:.2f} "
+          f"(guard {decision.util_guard:.2f} "
+          f"{'tripped - compute-bound' if decision.guard_tripped else 'clear'})")
+    print(f"decision: N* = {decision.n_star} of {decision.occupancy} CTAs/SM")
+    print(lcs.summary())
+
+    speedup = baseline.cycles / lcs.cycles
+    print(f"\nLCS speedup over baseline: {speedup:.3f}x  "
+          f"(L1 miss rate {baseline.l1.miss_rate:.3f} -> "
+          f"{lcs.l1.miss_rate:.3f})")
+
+
+if __name__ == "__main__":
+    main()

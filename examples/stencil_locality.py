@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Block CTA scheduling on a halo-sharing stencil.
+
+Consecutive CTAs of a 1-D stencil read overlapping halo lines.  The
+conventional CTA scheduler spreads consecutive CTAs over different cores, so
+the shared lines are fetched twice and never reuse each other's L1 fills.
+This example compares three configurations on the ``stencil`` benchmark:
+
+1. baseline   — round-robin CTA scheduler + GTO warp scheduler;
+2. BCS        — consecutive pairs of CTAs dispatched to the same core;
+3. BCS + BAWS — pairs plus the block-aware warp scheduler that keeps the
+                siblings temporally aligned.
+
+Usage::
+
+    python examples/stencil_locality.py [benchmark] [scale]
+
+``benchmark`` is any of the locality suite (stencil, hotspot, pathfinder,
+srad); default stencil.
+"""
+
+import sys
+
+from repro import BCSScheduler, GPUConfig, make_kernel, simulate
+from repro.workloads.suite import LOCALITY_SET
+
+
+def run(name: str, scale: float) -> None:
+    config = GPUConfig()
+
+    kernel = make_kernel(name, scale=scale)
+    base = simulate(kernel, config=config, warp_scheduler="gto")
+
+    kernel = make_kernel(name, scale=scale)
+    bcs = simulate(kernel, config=config, warp_scheduler="gto",
+                   cta_scheduler=BCSScheduler(kernel, block_size=2))
+
+    kernel = make_kernel(name, scale=scale)
+    baws = simulate(kernel, config=config, warp_scheduler="baws",
+                    cta_scheduler=BCSScheduler(kernel, block_size=2))
+
+    print(f"== {name} ==")
+    rows = [("baseline (RR + GTO)", base),
+            ("BCS pairs + GTO", bcs),
+            ("BCS pairs + BAWS", baws)]
+    for label, result in rows:
+        print(f"  {label:22s} cycles={result.cycles:8d} "
+              f"IPC={result.ipc:6.2f} "
+              f"L1 miss={result.l1.miss_rate:.3f} "
+              f"MSHR merges={result.l1.merges:5d} "
+              f"speedup={base.cycles / result.cycles:.3f}x")
+    print()
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "stencil"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+    if name == "all":
+        for bench in LOCALITY_SET:
+            run(bench, scale)
+    else:
+        run(name, scale)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""The paper's contribution: CTA schedulers, warp schedulers, LCS, BCS, CKE."""
+
+from .bcs import BCSScheduler, DEFAULT_BLOCK_SIZE
+from .cke import MixedCKE, SequentialCKE, SMKEvenCKE, SpatialCKE
+from .combined import LCSBCSScheduler
+from .cta_schedulers import (CTAScheduler, RoundRobinCTAScheduler,
+                             StaticLimitCTAScheduler)
+from .dyncta import DynCTAScheduler
+from .lcs import (DEFAULT_COVERAGE, DEFAULT_TAIL_RATIO, DEFAULT_THRESHOLD,
+                  DEFAULT_UTIL_GUARD,
+                  LCSDecision, LCSMonitor, LCSScheduler, decide_n_star,
+                  decide_n_star_coverage, decide_n_star_tail,
+                  decide_n_star_threshold)
+from .oracle import OracleResult, sweep_static_limits
+from .warp_schedulers import (BAWSScheduler, GTOScheduler, LRRScheduler,
+                              WarpScheduler, available_warp_schedulers,
+                              warp_scheduler_factory)
+
+__all__ = [
+    "BCSScheduler", "DEFAULT_BLOCK_SIZE", "MixedCKE", "SequentialCKE",
+    "SMKEvenCKE", "SpatialCKE", "CTAScheduler", "RoundRobinCTAScheduler",
+    "StaticLimitCTAScheduler", "DynCTAScheduler", "LCSBCSScheduler",
+    "DEFAULT_COVERAGE",
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_UTIL_GUARD", "DEFAULT_TAIL_RATIO", "LCSDecision",
+    "decide_n_star_coverage", "decide_n_star_tail",
+    "decide_n_star_threshold",
+    "LCSMonitor", "LCSScheduler", "decide_n_star", "OracleResult",
+    "sweep_static_limits", "BAWSScheduler", "GTOScheduler", "LRRScheduler",
+    "WarpScheduler", "available_warp_schedulers", "warp_scheduler_factory",
+]

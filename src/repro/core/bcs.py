@@ -1,0 +1,114 @@
+"""BCS — Block CTA Scheduling (the paper's second mechanism).
+
+The baseline CTA scheduler spreads consecutive CTAs across different cores,
+destroying inter-CTA data locality: in stencil-style kernels, CTA *i* and
+CTA *i+1* read overlapping (halo) data, but that overlap only becomes L1
+reuse if both CTAs run on the *same* core, close together *in time*.
+
+BCS dispatches CTAs in **blocks** of ``block_size`` consecutive CTAs
+(the paper uses pairs) to one core.  All CTAs of a block share a
+``block_seq``, which the block-aware warp scheduler (BAWS, see
+``repro.core.warp_schedulers``) uses to keep the block's warps temporally
+aligned — without BAWS, greedy scheduling lets the sibling CTA fall behind
+far enough that the shared lines are already evicted (the paper's
+observation that plain BCS under GTO is a wash).
+
+Dispatch rules:
+
+* a block only goes to a core with room for the *whole* block (so siblings
+  are always co-resident); the effective block size is capped by occupancy;
+* the grid tail smaller than a block dispatches as a smaller block;
+* an optional static CTA limit composes with blocking (for ablations).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..sim.kernel import Kernel
+from .cta_schedulers import CTAScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.gpu import KernelRun
+    from ..sim.sm import SM
+
+DEFAULT_BLOCK_SIZE = 2
+
+
+class BCSScheduler(CTAScheduler):
+    """Dispatch consecutive CTAs in blocks to the same SM."""
+
+    name = "bcs"
+
+    def __init__(self, kernel: Kernel | Sequence[Kernel], *,
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 limit_per_sm: int | None = None) -> None:
+        super().__init__(kernel)
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        if limit_per_sm is not None and limit_per_sm < 1:
+            raise ValueError("limit_per_sm must be >= 1")
+        self.block_size = block_size
+        self.limit_per_sm = limit_per_sm
+        self.blocks_dispatched = 0
+
+    def limit(self, sm: "SM", run: "KernelRun") -> int:
+        if self.limit_per_sm is None:
+            return run.occupancy
+        return min(run.occupancy, self.limit_per_sm)
+
+    def _fill_run(self, run: "KernelRun", now: int) -> None:
+        sms = self.gpu.sms
+        num_sms = len(sms)
+        while run.pending:
+            block = self._next_block_size(run)
+            target = None
+            for offset in range(num_sms):
+                sm = sms[(self._rr_ptr + offset) % num_sms]
+                if self._fits_block(sm, run, block):
+                    target = sm
+                    self._rr_ptr += offset + 1
+                    break
+            if target is None:
+                # No core can host a whole block.  When the per-core limit is
+                # not a multiple of the block size there is a permanently odd
+                # slot; top it off with a single CTA (its own block of one)
+                # rather than leave it idle forever.
+                block = self._odd_slot_size(run)
+                if block:
+                    for offset in range(num_sms):
+                        sm = sms[(self._rr_ptr + offset) % num_sms]
+                        if (sm.active_count(run.kernel_id) + block
+                                <= self.limit(sm, run)
+                                and sm.free_cta_capacity(run) >= block):
+                            target = sm
+                            self._rr_ptr += offset + 1
+                            break
+                if target is None:
+                    # Wait for a whole block's worth of capacity rather than
+                    # split blocks (that is the point of BCS).
+                    return
+            block_seq = self.gpu.next_block_seq()
+            for _ in range(block):
+                self.gpu.dispatch(target, run, block_seq, now)
+            self.blocks_dispatched += 1
+
+    def _odd_slot_size(self, run: "KernelRun") -> int:
+        """Size of the permanent leftover slot group (0 when none exists)."""
+        if self.gpu.sms:
+            limit = self.limit(self.gpu.sms[0], run)
+        else:  # pragma: no cover - GPUs always have SMs
+            limit = run.occupancy
+        return limit % self._effective_block(run)
+
+    def _effective_block(self, run: "KernelRun") -> int:
+        return max(1, min(self.block_size, run.occupancy))
+
+    def _next_block_size(self, run: "KernelRun") -> int:
+        remaining = run.kernel.num_ctas - run.next_cta
+        return max(1, min(self.block_size, remaining, run.occupancy))
+
+    def _fits_block(self, sm: "SM", run: "KernelRun", block: int) -> bool:
+        if sm.active_count(run.kernel_id) + block > self.limit(sm, run):
+            return False
+        return sm.free_cta_capacity(run) >= block

@@ -1,0 +1,189 @@
+"""Concurrent kernel execution (CKE) policies, including the paper's
+LCS-guided *mixed* execution.
+
+The paper's third proposal follows from LCS's observation that a kernel's
+optimal CTA count is often below maximum occupancy: the leftover per-core
+resources can host CTAs of a *different* kernel.  Mixing a memory-intensive
+kernel (throttled to its N*) with a compute-intensive one on the same core
+utilises both the memory path and the issue slots.
+
+Policies implemented (the comparison set for experiment E8):
+
+* :class:`SequentialCKE`   — kernels run one after another (no CKE; how a
+  pre-Fermi GPU or a default single-stream launch behaves).
+* :class:`SpatialCKE`      — cores are partitioned between kernels
+  (Fermi/Kepler-style concurrent kernel execution: different kernels never
+  share a core).
+* :class:`SMKEvenCKE`      — both kernels share every core, each capped at an
+  even share of its occupancy (intra-core partitioning without LCS's
+  knowledge — the "simultaneous multikernel" strawman).
+* :class:`MixedCKE`        — the paper's proposal: monitor the primary kernel
+  with LCS at full occupancy, throttle it to N*, then fill the freed
+  resources with the secondary kernel.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..sim.kernel import Kernel
+from .cta_schedulers import CTAScheduler
+from .lcs import DEFAULT_UTIL_GUARD, LCSDecision, LCSMonitor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.cta import CTA
+    from ..sim.gpu import KernelRun
+    from ..sim.sm import SM
+
+
+class SequentialCKE(CTAScheduler):
+    """Run kernels back to back: kernel *i+1* starts after *i* completes."""
+
+    name = "sequential"
+
+    def eligible_runs(self) -> Iterable["KernelRun"]:
+        for run in self.runs:
+            if not run.done:
+                if run.pending:
+                    yield run
+                # Earlier kernel still draining: nothing later may start.
+                return
+
+
+class SpatialCKE(CTAScheduler):
+    """Partition SMs between kernels (no core ever runs two kernels)."""
+
+    name = "spatial"
+
+    def __init__(self, kernels: Sequence[Kernel],
+                 shares: Sequence[int] | None = None) -> None:
+        super().__init__(kernels)
+        if len(self.kernels) < 2:
+            raise ValueError("SpatialCKE needs at least two kernels")
+        if shares is not None and len(shares) != len(self.kernels):
+            raise ValueError("one share per kernel required")
+        self._shares = list(shares) if shares is not None else None
+        self._sm_owner: dict[int, int] = {}
+
+    def on_bound(self) -> None:
+        num_sms = len(self.gpu.sms)
+        num_kernels = len(self.kernels)
+        if self._shares is None:
+            base = num_sms // num_kernels
+            shares = [base] * num_kernels
+            for i in range(num_sms - base * num_kernels):
+                shares[i] += 1
+        else:
+            shares = self._shares
+            if sum(shares) != num_sms or min(shares) < 1:
+                raise ValueError(
+                    f"shares {shares} must be positive and sum to {num_sms}")
+        sm_id = 0
+        for kernel_id, share in enumerate(shares):
+            for _ in range(share):
+                self._sm_owner[sm_id] = kernel_id
+                sm_id += 1
+
+    def limit(self, sm: "SM", run: "KernelRun") -> int:
+        if self._sm_owner.get(sm.sm_id) != run.kernel_id:
+            return 0
+        return run.occupancy
+
+    def sms_of(self, kernel_id: int) -> list[int]:
+        return [sm_id for sm_id, owner in self._sm_owner.items()
+                if owner == kernel_id]
+
+
+class SMKEvenCKE(CTAScheduler):
+    """Every SM hosts every kernel, each capped at an even occupancy share."""
+
+    name = "smk-even"
+
+    def __init__(self, kernels: Sequence[Kernel]) -> None:
+        super().__init__(kernels)
+        if len(self.kernels) < 2:
+            raise ValueError("SMKEvenCKE needs at least two kernels")
+
+    def limit(self, sm: "SM", run: "KernelRun") -> int:
+        share = max(1, run.occupancy // len(self.runs))
+        # Once the other kernels are finished, the survivor may expand.
+        others_live = any(r is not run and not r.done for r in self.runs)
+        return share if others_live else run.occupancy
+
+
+class MixedCKE(CTAScheduler):
+    """The paper's mixed execution: LCS on the primary, backfill the rest.
+
+    Phases:
+
+    1. *Monitoring* — one designated core runs the primary kernel alone at
+       maximum occupancy (LCS needs the issue-count signature of a fully
+       loaded core); every other core starts with an even intra-core split,
+       so no time is lost waiting for the decision.
+    2. *Mixed* — after the LCS decision, the primary is capped at N* per SM
+       everywhere and the secondary kernel(s) backfill the remaining CTA
+       slots, registers and shared memory.
+    3. *Drain* — when the primary grid is exhausted, the secondary expands
+       to its full occupancy.
+    """
+
+    name = "mixed"
+
+    def __init__(self, kernels: Sequence[Kernel], *, primary: int = 0,
+                 rule: str = "tail", param: float | None = None,
+                 util_guard: float = DEFAULT_UTIL_GUARD,
+                 monitor_sm: int = 0) -> None:
+        super().__init__(kernels)
+        if len(self.kernels) < 2:
+            raise ValueError("MixedCKE needs at least two kernels")
+        if not 0 <= primary < len(self.kernels):
+            raise ValueError("primary kernel index out of range")
+        self.primary_index = primary
+        self.monitor_sm = monitor_sm
+        self.monitor = LCSMonitor(rule=rule, param=param,
+                                  util_guard=util_guard,
+                                  monitor_sm=monitor_sm)
+
+    @property
+    def decision(self) -> LCSDecision | None:
+        return self.monitor.decision
+
+    @property
+    def primary_run(self) -> "KernelRun":
+        return self.runs[self.primary_index]
+
+    def eligible_runs(self) -> Iterable["KernelRun"]:
+        primary = self.primary_run
+        # Primary first: its allocation (max on the monitor core, N* after
+        # the decision) has priority; the secondaries backfill.
+        if primary.pending:
+            yield primary
+        for run in self.runs:
+            if run is not primary and run.pending:
+                yield run
+
+    def limit(self, sm: "SM", run: "KernelRun") -> int:
+        primary = self.primary_run
+        decision = self.monitor.decision
+        if decision is not None:
+            if run is primary:
+                return min(run.occupancy, decision.n_star)
+            return run.occupancy
+        # Monitoring phase.
+        if sm.sm_id == self.monitor_sm:
+            # The monitor core hosts the primary alone, at full occupancy.
+            return run.occupancy if run is primary else 0
+        if run is primary:
+            return max(1, run.occupancy // len(self.runs))
+        return run.occupancy
+
+    def on_cta_complete(self, sm: "SM", cta: "CTA", now: int) -> None:
+        super().on_cta_complete(sm, cta, now)
+        self.monitor.observe_completion(sm, cta, self.primary_run, now)
+
+    def limits_snapshot(self) -> dict[int, int | None]:
+        if self.gpu is None:
+            return {}
+        decision = self.monitor.decision
+        value = None if decision is None else decision.n_star
+        return {sm.sm_id: value for sm in self.gpu.sms}

@@ -1,0 +1,70 @@
+"""Combined LCS + BCS scheduling (the paper's two mechanisms together).
+
+The paper evaluates LCS and BCS separately; this extension composes them,
+which is the obvious next step it leaves open: dispatch consecutive CTAs in
+blocks (keeping inter-CTA locality on one core) *and* throttle each core's
+CTA count to the LCS decision (avoiding L1 thrash from over-subscription).
+
+Mechanism: behave exactly like :class:`~repro.core.bcs.BCSScheduler` while
+the LCS monitor is undecided; once the first CTA completes, cap every core
+at N* rounded *up* to a whole number of blocks (cutting a block in half
+would defeat the pairing), never below one block.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..sim.kernel import Kernel
+from .bcs import DEFAULT_BLOCK_SIZE, BCSScheduler
+from .lcs import DEFAULT_UTIL_GUARD, LCSDecision, LCSMonitor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.cta import CTA
+    from ..sim.gpu import KernelRun
+    from ..sim.sm import SM
+
+
+class LCSBCSScheduler(BCSScheduler):
+    """Block dispatch with an LCS-derived per-core CTA cap."""
+
+    name = "lcs+bcs"
+
+    def __init__(self, kernel: Kernel | Sequence[Kernel], *,
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 rule: str = "tail", param: float | None = None,
+                 util_guard: float = DEFAULT_UTIL_GUARD,
+                 monitor_sm: int | None = None) -> None:
+        super().__init__(kernel, block_size=block_size)
+        if len(self.kernels) != 1:
+            raise ValueError("LCSBCSScheduler schedules a single kernel")
+        self.monitor = LCSMonitor(rule=rule, param=param,
+                                  util_guard=util_guard,
+                                  monitor_sm=monitor_sm)
+
+    @property
+    def decision(self) -> LCSDecision | None:
+        return self.monitor.decision
+
+    def limit(self, sm: "SM", run: "KernelRun") -> int:
+        decision = self.monitor.decision
+        if decision is None:
+            return run.occupancy
+        block = self._effective_block(run)
+        # Round N* up to whole blocks; at least one block stays resident.
+        n_star = max(decision.n_star, block)
+        rounded = ((n_star + block - 1) // block) * block
+        return min(run.occupancy, rounded)
+
+    def on_cta_complete(self, sm: "SM", cta: "CTA", now: int) -> None:
+        super().on_cta_complete(sm, cta, now)
+        self.monitor.observe_completion(sm, cta, self.runs[0], now)
+
+    def limits_snapshot(self) -> dict[int, int | None]:
+        if self.gpu is None:
+            return {}
+        decision = self.monitor.decision
+        if decision is None:
+            return {sm.sm_id: None for sm in self.gpu.sms}
+        return {sm.sm_id: self.limit(sm, self.runs[0])
+                for sm in self.gpu.sms}

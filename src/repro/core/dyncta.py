@@ -1,0 +1,128 @@
+"""DynCTA-style adaptive CTA throttling — the paper's closest related work.
+
+Kayiran et al., "Neither More Nor Less: Optimizing Thread-level Parallelism
+for GPGPUs" (PACT 2013) — cited by the paper as the prior CTA-throttling
+approach — adjusts the per-core CTA quota *continuously*: each core samples
+how its warps spend their time over a window, and
+
+* if the core is mostly **memory-stalled** (warps waiting on loads, LD/ST
+  backpressure), it decrements its quota;
+* if the core is mostly **idle for lack of warps** (ready set empty, little
+  memory pressure), it increments its quota;
+* otherwise it holds.
+
+Compared with LCS this needs continuous per-core monitoring hardware and
+reacts slower, but it adapts to phase changes and needs no greedy-scheduler
+signature.  We implement it as a comparison baseline (experiment E13).
+
+Implementation notes
+--------------------
+
+The sampling window is wall-clock (``window`` cycles, checked on CTA
+completions and on a periodic event).  Per-core memory pressure is measured
+directly from the architectural state the hardware would observe:
+
+* ``mem_stall``  — fraction of resident warps in WAIT_MEM;
+* ``starved``    — the core had empty ready sets while few warps were
+  memory-blocked (not enough parallelism).
+
+Quotas move by one CTA at a time within [1, occupancy], per core —
+unlike LCS's single global decision, DynCTA quotas are per-SM.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..sim.kernel import Kernel
+from ..sim.warp import WarpState
+from .cta_schedulers import CTAScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.cta import CTA
+    from ..sim.gpu import KernelRun
+    from ..sim.sm import SM
+
+#: Default sampling window in cycles.
+DEFAULT_WINDOW = 2048
+
+#: Memory-stall fraction above which the quota decrements.
+HIGH_MEM_STALL = 0.60
+
+#: Memory-stall fraction below which (with spare slots) the quota increments.
+LOW_MEM_STALL = 0.30
+
+
+class DynCTAScheduler(CTAScheduler):
+    """Per-core adaptive CTA quota driven by memory-stall sampling."""
+
+    name = "dyncta"
+
+    def __init__(self, kernel: Kernel | Sequence[Kernel], *,
+                 window: int = DEFAULT_WINDOW,
+                 high_water: float = HIGH_MEM_STALL,
+                 low_water: float = LOW_MEM_STALL) -> None:
+        super().__init__(kernel)
+        if len(self.kernels) != 1:
+            raise ValueError("DynCTAScheduler schedules a single kernel")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 <= low_water < high_water <= 1.0:
+            raise ValueError("need 0 <= low_water < high_water <= 1")
+        self.window = window
+        self.high_water = high_water
+        self.low_water = low_water
+        self._quota: dict[int, int] = {}
+        #: (cycle, sm_id, old_quota, new_quota) decision log, for analysis.
+        self.adjustments: list[tuple[int, int, int, int]] = []
+
+    # ------------------------------------------------------------------ #
+    def on_bound(self) -> None:
+        occupancy = self.runs[0].occupancy
+        self._quota = {sm.sm_id: occupancy for sm in self.gpu.sms}
+        self._schedule_sample(0)
+
+    def _schedule_sample(self, now: int) -> None:
+        self.gpu.events.schedule(now + self.window, self._sample, None)
+
+    def limit(self, sm: "SM", run: "KernelRun") -> int:
+        return min(run.occupancy, self._quota[sm.sm_id])
+
+    # ------------------------------------------------------------------ #
+    def _sample(self, now: int, _arg) -> None:
+        if self.done:
+            return
+        run = self.runs[0]
+        for sm in self.gpu.sms:
+            self._adjust(sm, run, now)
+        self.request_fill()
+        self._schedule_sample(now)
+
+    def _adjust(self, sm: "SM", run: "KernelRun", now: int) -> None:
+        resident = [warp for cta in sm.active_ctas for warp in cta.warps
+                    if not warp.done]
+        if not resident:
+            return
+        mem_stalled = sum(1 for warp in resident
+                          if warp.state == WarpState.WAIT_MEM)
+        stall_fraction = mem_stalled / len(resident)
+        old = self._quota[sm.sm_id]
+        new = old
+        if stall_fraction >= self.high_water and old > 1:
+            new = old - 1
+        elif (stall_fraction <= self.low_water
+              and old < run.occupancy):
+            new = old + 1
+        if new != old:
+            self._quota[sm.sm_id] = new
+            self.adjustments.append((now, sm.sm_id, old, new))
+
+    # ------------------------------------------------------------------ #
+    def quotas(self) -> dict[int, int]:
+        """Current per-SM CTA quotas."""
+        return dict(self._quota)
+
+    def limits_snapshot(self) -> dict[int, int | None]:
+        if self.gpu is None:
+            return {}
+        return {sm_id: quota for sm_id, quota in self._quota.items()}

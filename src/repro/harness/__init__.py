@@ -1,0 +1,12 @@
+"""Experiment harness: runner, per-figure experiment drivers, reporting."""
+
+from .compare import compare_runs, stall_shift
+from .metrics import CKEMetrics, cke_metrics
+from .runner import simulate
+from .sweeps import config_sweep, occupancy_position
+from .validate import RunValidationError, validate_run
+
+__all__ = ["CKEMetrics", "cke_metrics", "compare_runs", "stall_shift",
+           "config_sweep",
+           "occupancy_position", "RunValidationError", "simulate",
+           "validate_run"]

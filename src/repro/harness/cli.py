@@ -1,0 +1,100 @@
+"""Command-line front end for the experiment harness.
+
+Usage::
+
+    repro-exp --list              # what is available
+    repro-exp e3                  # one experiment at the default scale
+    repro-exp e1 e6 --scale 0.25  # several, scaled down
+    repro-exp all                 # the full reconstructed evaluation
+    repro-exp e3 --csv            # machine-readable output
+    repro-exp e3 --output out/    # also write CSV files
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Sequence
+
+from ..workloads.patterns import DEFAULT_SEED
+from .experiments import (EXPERIMENTS, ExperimentContext, e12_benchmark_table,
+                          e12_config_table)
+
+ALL_IDS = tuple(EXPERIMENTS) + ("e12",)
+
+
+def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro-exp",
+        description="Reproduce the paper's evaluation figures/tables.")
+    parser.add_argument("experiments", nargs="*",
+                        help=f"experiment ids ({', '.join(ALL_IDS)}) or 'all'")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiments with one-line descriptions")
+    parser.add_argument("--output", metavar="DIR",
+                        help="also write each table as CSV into DIR")
+    parser.add_argument("--scale", type=float, default=0.4,
+                        help="grid-size scale factor (default 0.4; 1.0 = "
+                             "full size, slower)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="workload random seed")
+    parser.add_argument("--csv", action="store_true",
+                        help="emit CSV instead of aligned tables")
+    parser.add_argument("--chart", metavar="COLUMN",
+                        help="also render COLUMN as an ASCII bar chart")
+    return parser.parse_args(argv)
+
+
+def _describe(exp_id: str) -> str:
+    if exp_id == "e12":
+        return "configuration and benchmark-characteristics tables"
+    doc = EXPERIMENTS[exp_id].__doc__ or ""
+    return " ".join(doc.split("\n\n")[0].split()) or exp_id
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _parse_args(argv)
+    if args.list:
+        for exp_id in ALL_IDS:
+            print(f"{exp_id:>4}  {_describe(exp_id)}")
+        return 0
+    if not args.experiments:
+        print("no experiments requested (try --list)", file=sys.stderr)
+        return 2
+    requested = list(args.experiments)
+    if "all" in requested:
+        requested = list(ALL_IDS)
+    unknown = [e for e in requested if e not in ALL_IDS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; "
+              f"available: {', '.join(ALL_IDS)}", file=sys.stderr)
+        return 2
+
+    ctx = ExperimentContext(scale=args.scale, seed=args.seed)
+    for exp_id in requested:
+        started = time.perf_counter()
+        if exp_id == "e12":
+            tables = [e12_config_table(ctx), e12_benchmark_table(ctx)]
+        else:
+            tables = [EXPERIMENTS[exp_id](ctx)]
+        elapsed = time.perf_counter() - started
+        for index, table in enumerate(tables):
+            print(table.to_csv() if args.csv else table.render())
+            print()
+            if args.chart and args.chart in table.columns:
+                print(table.render_chart(args.chart))
+                print()
+            if args.output:
+                out_dir = Path(args.output)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                suffix = chr(ord("a") + index) if len(tables) > 1 else ""
+                (out_dir / f"{exp_id}{suffix}.csv").write_text(
+                    table.to_csv() + "\n")
+        print(f"[{exp_id} finished in {elapsed:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

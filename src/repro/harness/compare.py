@@ -1,0 +1,69 @@
+"""Side-by-side comparison of simulation runs.
+
+:func:`compare_runs` turns two or more :class:`RunResult`s into one table —
+cycles, IPC, memory behaviour, per-kernel stall mix — with speedups against
+the first (baseline) run.  It is the programmatic version of what every
+example script prints by hand, and what you want when bisecting a policy
+change::
+
+    table = compare_runs({"baseline": base, "lcs": lcs, "bcs": bcs})
+    print(table.render())
+    print(table.render_chart("speedup"))
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..sim.stats import RunResult
+from .reporting import Table
+
+#: Metrics reported per run: (column, extractor, float?)
+_METRICS = (
+    ("cycles", lambda r: r.cycles),
+    ("ipc", lambda r: r.ipc),
+    ("l1_miss", lambda r: r.l1.miss_rate),
+    ("mshr_stalls", lambda r: r.l1.mshr_stalls),
+    ("l2_miss", lambda r: r.l2.miss_rate),
+    ("dram_reads", lambda r: r.dram.reads),
+    ("row_hit", lambda r: r.dram.row_hit_rate),
+)
+
+
+def compare_runs(runs: Mapping[str, RunResult],
+                 title: str = "run comparison") -> Table:
+    """One row per run; speedup is relative to the first entry.
+
+    All runs should execute the same work (same kernels at the same scale)
+    for the comparison to be meaningful; a mismatch in total instructions
+    raises, catching the classic mistake of comparing different scales.
+    """
+    if not runs:
+        raise ValueError("no runs to compare")
+    items = list(runs.items())
+    base_name, base = items[0]
+    for name, run in items[1:]:
+        if run.instructions != base.instructions:
+            raise ValueError(
+                f"run {name!r} executed {run.instructions} instructions but "
+                f"baseline {base_name!r} executed {base.instructions}; "
+                "compare runs of identical work")
+    table = Table(title, ["run", "speedup"] + [m[0] for m in _METRICS])
+    for name, run in items:
+        row = [name, base.cycles / run.cycles]
+        row.extend(extract(run) for _, extract in _METRICS)
+        table.add_row(*row)
+    return table
+
+
+def stall_shift(before: RunResult, after: RunResult,
+                kernel: str) -> dict[str, float]:
+    """Change in the kernel's warp-time breakdown between two runs.
+
+    Positive values mean the state grew (fraction points).  The interesting
+    single number for throttling studies is ``result["mem"]`` — how much
+    memory-wait the policy removed.
+    """
+    b = before.kernel(kernel).stall_breakdown()
+    a = after.kernel(kernel).stall_breakdown()
+    return {state: a[state] - b[state] for state in b}

@@ -1,0 +1,829 @@
+"""Experiment drivers — one per reconstructed figure/table (E1..E12).
+
+Each ``eNN_*`` function takes an :class:`ExperimentContext` and returns a
+:class:`~repro.harness.reporting.Table` whose rows are the series the paper
+would plot.  The context memoises simulation runs, so experiments that share
+configurations (e.g. E3's baseline and E4's oracle sweep) pay for each
+simulation once.
+
+Scale convention: ``ExperimentContext(scale=...)`` scales every kernel's
+grid; 1.0 is the full evaluation size (~4 waves of CTAs per kernel),
+0.25–0.5 gives the same qualitative shapes in a fraction of the time (used
+by the test suite and the quick benchmark mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from ..core.bcs import BCSScheduler
+from ..core.cke import MixedCKE, SequentialCKE, SMKEvenCKE, SpatialCKE
+from ..core.combined import LCSBCSScheduler
+from ..core.cta_schedulers import (CTAScheduler, DepthFirstCTAScheduler,
+                                   RoundRobinCTAScheduler,
+                                   StaticLimitCTAScheduler)
+from ..core.dyncta import DynCTAScheduler
+from ..core.lcs import LCSScheduler
+from ..core.warp_schedulers import swl_factory
+from ..sim.config import GPUConfig
+from ..sim.kernel import Kernel
+from ..sim.stats import RunResult
+from ..workloads.patterns import DEFAULT_SEED
+from ..workloads.programs import memory_intensity
+from ..workloads.suite import (CKE_PAIRS, LCS_SET, LOCALITY_SET,
+                               MOTIVATION_SET, SUITE, make_kernel)
+from .metrics import cke_metrics
+from .reporting import Table, geomean, speedup
+from .runner import simulate
+
+#: Default LCS decision rule and parameter used across experiments
+#: (calibrated by the E9 sensitivity sweep; see EXPERIMENTS.md).
+LCS_RULE = "tail"
+LCS_PARAM = 0.50
+
+#: Default BCS block size (the paper's consecutive pair).
+BCS_BLOCK = 2
+
+
+@dataclass
+class ExperimentContext:
+    """Shared settings plus a memo of completed simulation runs."""
+
+    scale: float = 0.4
+    seed: int = DEFAULT_SEED
+    config: GPUConfig = field(default_factory=GPUConfig)
+    _cache: dict[tuple, RunResult] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------ #
+    def kernel(self, name: str, scale_mult: float = 1.0) -> Kernel:
+        """A fresh kernel instance (policies hold per-run state)."""
+        return make_kernel(name, scale=self.scale * scale_mult, seed=self.seed)
+
+    def occupancy(self, name: str) -> int:
+        return self.kernel(name).max_ctas_per_sm(self.config)
+
+    # ------------------------------------------------------------------ #
+    def run(self, names: str | Sequence[str], *,
+            warp: str | tuple = "gto",
+            policy: tuple = ("rr",),
+            scale_mults: Sequence[float] | None = None) -> RunResult:
+        """Simulate (memoised on the full parameter tuple)."""
+        if isinstance(names, str):
+            names = (names,)
+        names = tuple(names)
+        if scale_mults is None:
+            scale_mults = (1.0,) * len(names)
+        scale_mults = tuple(float(m) for m in scale_mults)
+        key = (names, scale_mults, warp, policy)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        kernels = [self.kernel(name, mult)
+                   for name, mult in zip(names, scale_mults)]
+        scheduler = self._build_policy(policy, kernels)
+        if isinstance(warp, tuple):
+            kind, value = warp
+            if kind != "swl":
+                raise ValueError(f"unknown warp descriptor {warp!r}")
+            warp_scheduler = swl_factory(value)
+        else:
+            warp_scheduler = warp
+        result = simulate(kernels, config=self.config,
+                          warp_scheduler=warp_scheduler,
+                          cta_scheduler=scheduler)
+        self._cache[key] = result
+        return result
+
+    @staticmethod
+    def _build_policy(policy: tuple, kernels: list[Kernel]) -> CTAScheduler:
+        kind, *args = policy
+        if kind == "rr":
+            return RoundRobinCTAScheduler(kernels)
+        if kind == "static":
+            (limit,) = args
+            return StaticLimitCTAScheduler(kernels, limit_per_sm=limit)
+        if kind == "lcs":
+            rule, param = args
+            return LCSScheduler(kernels, rule=rule, param=param)
+        if kind == "bcs":
+            block, limit = args
+            return BCSScheduler(kernels, block_size=block, limit_per_sm=limit)
+        if kind == "sequential":
+            return SequentialCKE(kernels)
+        if kind == "spatial":
+            return SpatialCKE(kernels)
+        if kind == "smk":
+            return SMKEvenCKE(kernels)
+        if kind == "mixed":
+            rule, param = args
+            return MixedCKE(kernels, rule=rule, param=param)
+        if kind == "dyncta":
+            return DynCTAScheduler(kernels)
+        if kind == "depth-first":
+            return DepthFirstCTAScheduler(kernels)
+        if kind == "lcs+bcs":
+            block, rule, param = args
+            return LCSBCSScheduler(kernels, block_size=block, rule=rule,
+                                   param=param)
+        raise ValueError(f"unknown policy descriptor {policy!r}")
+
+    # ------------------------------------------------------------------ #
+    def static_sweep(self, name: str, *, warp: str = "gto") -> dict[int, RunResult]:
+        """One run per static CTA limit 1..occupancy."""
+        occupancy = self.occupancy(name)
+        return {limit: self.run(name, warp=warp, policy=("static", limit))
+                for limit in range(1, occupancy + 1)}
+
+    def oracle_best(self, name: str, *, warp: str = "gto") -> tuple[int, RunResult]:
+        """(best static limit, its run) by cycles."""
+        sweep = self.static_sweep(name, warp=warp)
+        best = min(sweep, key=lambda limit: (sweep[limit].cycles, limit))
+        return best, sweep[best]
+
+
+# =========================================================================== #
+# E1 — motivation: IPC vs CTAs per core
+# =========================================================================== #
+
+def e1_occupancy_sweep(ctx: ExperimentContext,
+                       benchmarks: Sequence[str] = MOTIVATION_SET) -> Table:
+    """Normalized IPC against the per-core CTA limit (paper's motivation
+    figure): memory-sensitive kernels peak *below* maximum occupancy."""
+    max_occ = max(ctx.occupancy(name) for name in benchmarks)
+    columns = ["benchmark"] + [f"n={n}" for n in range(1, max_occ + 1)] \
+        + ["best_n", "max_n"]
+    table = Table("E1: normalized IPC vs CTAs per core (1.0 = max occupancy)",
+                  columns)
+    for name in benchmarks:
+        sweep = ctx.static_sweep(name)
+        occupancy = max(sweep)
+        base_ipc = sweep[occupancy].ipc
+        cells: list[Any] = [name]
+        for n in range(1, max_occ + 1):
+            cells.append(sweep[n].ipc / base_ipc if n in sweep else "-")
+        best = min(sweep, key=lambda limit: (sweep[limit].cycles, limit))
+        cells.extend([best, occupancy])
+        table.add_row(*cells)
+    table.add_note("values are IPC normalized to the maximum-occupancy run")
+    return table
+
+
+# =========================================================================== #
+# E2 — motivation: per-CTA issue counts under GTO
+# =========================================================================== #
+
+def e2_issue_signature(ctx: ExperimentContext,
+                       benchmarks: Sequence[str] = MOTIVATION_SET,
+                       rule: str = LCS_RULE,
+                       param: float = LCS_PARAM) -> Table:
+    """The monitored core's per-CTA issued-instruction distribution at the
+    end of the LCS monitoring period, normalized to the busiest CTA."""
+    max_occ = max(ctx.occupancy(name) for name in benchmarks)
+    columns = ["benchmark"] + [f"cta{r}" for r in range(1, max_occ + 1)] \
+        + ["n_star"]
+    table = Table("E2: per-CTA issue share under GTO (monitoring period)",
+                  columns)
+    for name in benchmarks:
+        result = ctx.run(name, policy=("lcs", rule, param))
+        decision = result.meta["lcs_decision"]
+        counts = decision.issue_counts
+        busiest = max(counts) if counts else 1
+        cells: list[Any] = [name]
+        for rank in range(max_occ):
+            cells.append(counts[rank] / busiest if rank < len(counts) else "-")
+        cells.append(decision.n_star)
+        table.add_row(*cells)
+    table.add_note(f"n_star computed by the {rule} rule at {param}")
+    return table
+
+
+# =========================================================================== #
+# E3 — headline: LCS speedup over the maximum-occupancy baseline
+# =========================================================================== #
+
+def e3_lcs_speedup(ctx: ExperimentContext,
+                   benchmarks: Sequence[str] = LCS_SET,
+                   rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
+    """The headline figure: LCS speedup over the max-occupancy baseline,
+    with the exhaustive static oracle alongside."""
+    table = Table(
+        "E3: LCS and oracle speedup over baseline (GTO, max occupancy)",
+        ["benchmark", "base_ipc", "lcs_ipc", "oracle_ipc",
+         "lcs_speedup", "oracle_speedup", "n_lcs", "n_oracle"])
+    lcs_speedups = []
+    oracle_speedups = []
+    for name in benchmarks:
+        base = ctx.run(name)
+        lcs = ctx.run(name, policy=("lcs", rule, param))
+        best_limit, oracle = ctx.oracle_best(name)
+        decision = lcs.meta["lcs_decision"]
+        s_lcs = speedup(base.cycles, lcs.cycles)
+        s_oracle = speedup(base.cycles, oracle.cycles)
+        lcs_speedups.append(s_lcs)
+        oracle_speedups.append(s_oracle)
+        table.add_row(name, base.ipc, lcs.ipc, oracle.ipc, s_lcs, s_oracle,
+                      decision.n_star if decision else "-", best_limit)
+    table.add_row("GMEAN", "-", "-", "-", geomean(lcs_speedups),
+                  geomean(oracle_speedups), "-", "-")
+    return table
+
+
+# =========================================================================== #
+# E4 — LCS decision quality vs the exhaustive oracle
+# =========================================================================== #
+
+def e4_lcs_vs_oracle(ctx: ExperimentContext,
+                     benchmarks: Sequence[str] = LCS_SET,
+                     rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
+    """Decision quality: the online N* against the oracle's static best."""
+    table = Table(
+        "E4: LCS-chosen CTA count vs oracle static best",
+        ["benchmark", "occupancy", "n_lcs", "n_oracle",
+         "lcs_vs_oracle_cycles", "within_one"])
+    for name in benchmarks:
+        lcs = ctx.run(name, policy=("lcs", rule, param))
+        decision = lcs.meta["lcs_decision"]
+        best_limit, oracle = ctx.oracle_best(name)
+        n_lcs = decision.n_star if decision else ctx.occupancy(name)
+        ratio = oracle.cycles / lcs.cycles   # 1.0 = LCS matches the oracle
+        table.add_row(name, ctx.occupancy(name), n_lcs, best_limit, ratio,
+                      abs(n_lcs - best_limit) <= 1)
+    return table
+
+
+# =========================================================================== #
+# E5 — warp-scheduler baseline: LRR vs GTO
+# =========================================================================== #
+
+def e5_warp_schedulers(ctx: ExperimentContext,
+                       benchmarks: Sequence[str] = LCS_SET) -> Table:
+    """Warp-scheduler baselines: LRR vs GTO vs two-level round robin."""
+    table = Table(
+        "E5: warp schedulers at max occupancy (speedup over LRR)",
+        ["benchmark", "lrr_ipc", "gto_ipc", "twolevel_ipc",
+         "gto_over_lrr", "twolevel_over_lrr"])
+    gto_ratios, two_ratios = [], []
+    for name in benchmarks:
+        lrr = ctx.run(name, warp="lrr")
+        gto = ctx.run(name, warp="gto")
+        two = ctx.run(name, warp="two-level")
+        r_gto = speedup(lrr.cycles, gto.cycles)
+        r_two = speedup(lrr.cycles, two.cycles)
+        gto_ratios.append(r_gto)
+        two_ratios.append(r_two)
+        table.add_row(name, lrr.ipc, gto.ipc, two.ipc, r_gto, r_two)
+    table.add_row("GMEAN", "-", "-", "-", geomean(gto_ratios),
+                  geomean(two_ratios))
+    return table
+
+
+# =========================================================================== #
+# E6 — BCS and BCS+BAWS speedups
+# =========================================================================== #
+
+def e6_bcs(ctx: ExperimentContext,
+           benchmarks: Sequence[str] = LOCALITY_SET,
+           block_size: int = BCS_BLOCK) -> Table:
+    """BCS and BCS+BAWS speedups on the inter-CTA-locality kernels."""
+    table = Table(
+        "E6: BCS speedup over baseline (block = consecutive pair)",
+        ["benchmark", "base_ipc", "bcs_gto", "bcs_baws"])
+    gto_speedups = []
+    baws_speedups = []
+    for name in benchmarks:
+        base = ctx.run(name)
+        bcs = ctx.run(name, policy=("bcs", block_size, None))
+        baws = ctx.run(name, warp="baws", policy=("bcs", block_size, None))
+        s_gto = speedup(base.cycles, bcs.cycles)
+        s_baws = speedup(base.cycles, baws.cycles)
+        gto_speedups.append(s_gto)
+        baws_speedups.append(s_baws)
+        table.add_row(name, base.ipc, s_gto, s_baws)
+    table.add_row("GMEAN", "-", geomean(gto_speedups), geomean(baws_speedups))
+    return table
+
+
+# =========================================================================== #
+# E7 — L1 behaviour under BCS
+# =========================================================================== #
+
+def e7_bcs_l1(ctx: ExperimentContext,
+              benchmarks: Sequence[str] = LOCALITY_SET,
+              block_size: int = BCS_BLOCK) -> Table:
+    """L1 miss rates and MSHR merges under BCS (where the speedup is from)."""
+    table = Table(
+        "E7: L1 miss rate and MSHR merges under BCS",
+        ["benchmark", "miss_base", "miss_bcs", "miss_baws",
+         "merges_base", "merges_bcs", "merges_baws"])
+    for name in benchmarks:
+        base = ctx.run(name)
+        bcs = ctx.run(name, policy=("bcs", block_size, None))
+        baws = ctx.run(name, warp="baws", policy=("bcs", block_size, None))
+        table.add_row(name, base.l1.miss_rate, bcs.l1.miss_rate,
+                      baws.l1.miss_rate, base.l1.merges, bcs.l1.merges,
+                      baws.l1.merges)
+    return table
+
+
+# =========================================================================== #
+# E8 — concurrent kernel execution
+# =========================================================================== #
+
+def e8_cke(ctx: ExperimentContext,
+           pairs: Sequence[tuple[str, str, float]] = CKE_PAIRS,
+           rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
+    """Concurrent kernel execution: sequential vs spatial vs SMK-even vs
+    the paper's LCS-guided mixed allocation."""
+    table = Table(
+        "E8: concurrent kernel execution (speedup over sequential)",
+        ["pair", "seq_cycles", "spatial", "smk_even", "mixed", "n_star"])
+    spatial_s, smk_s, mixed_s = [], [], []
+    for mem_name, compute_name, mult in pairs:
+        names = (mem_name, compute_name)
+        mults = (1.0, mult)
+        seq = ctx.run(names, policy=("sequential",), scale_mults=mults)
+        spa = ctx.run(names, policy=("spatial",), scale_mults=mults)
+        smk = ctx.run(names, policy=("smk",), scale_mults=mults)
+        mix = ctx.run(names, policy=("mixed", rule, param), scale_mults=mults)
+        decision = mix.meta["lcs_decision"]
+        s_spa = speedup(seq.cycles, spa.cycles)
+        s_smk = speedup(seq.cycles, smk.cycles)
+        s_mix = speedup(seq.cycles, mix.cycles)
+        spatial_s.append(s_spa)
+        smk_s.append(s_smk)
+        mixed_s.append(s_mix)
+        table.add_row(f"{mem_name}+{compute_name}", seq.cycles, s_spa, s_smk,
+                      s_mix, decision.n_star if decision else "-")
+    table.add_row("GMEAN", "-", geomean(spatial_s), geomean(smk_s),
+                  geomean(mixed_s), "-")
+    return table
+
+
+# =========================================================================== #
+# E9 — sensitivity: LCS issue-share threshold
+# =========================================================================== #
+
+def e9_lcs_threshold(ctx: ExperimentContext,
+                     benchmarks: Sequence[str] = LCS_SET,
+                     variants: Sequence[tuple[str, float]] = (
+                         ("tail", 0.3), ("tail", 0.5), ("tail", 0.7),
+                         ("coverage", 0.9), ("threshold", 0.18)),
+                     ) -> Table:
+    """Sensitivity of LCS to its decision rule and parameter."""
+    columns = ["benchmark"] + [f"{rule[:3]}={param}" for rule, param in variants]
+    table = Table("E9: LCS speedup vs decision rule/parameter", columns)
+    per_variant: dict[tuple[str, float], list[float]] = {v: [] for v in variants}
+    for name in benchmarks:
+        base = ctx.run(name)
+        cells: list[Any] = [name]
+        for rule, param in variants:
+            lcs = ctx.run(name, policy=("lcs", rule, param))
+            value = speedup(base.cycles, lcs.cycles)
+            per_variant[(rule, param)].append(value)
+            cells.append(value)
+        table.add_row(*cells)
+    table.add_row("GMEAN", *[geomean(per_variant[v]) for v in variants])
+    return table
+
+
+# =========================================================================== #
+# E10 — sensitivity: BCS block size
+# =========================================================================== #
+
+def e10_block_size(ctx: ExperimentContext,
+                   benchmarks: Sequence[str] = LOCALITY_SET,
+                   sizes: Sequence[int] = (1, 2, 4)) -> Table:
+    """Sensitivity of BCS+BAWS to the block size (pairs are the sweet spot)."""
+    columns = ["benchmark"] + [f"block={b}" for b in sizes]
+    table = Table("E10: BCS+BAWS speedup vs block size", columns)
+    per_size: dict[int, list[float]] = {b: [] for b in sizes}
+    for name in benchmarks:
+        base = ctx.run(name)
+        cells: list[Any] = [name]
+        for b in sizes:
+            run = ctx.run(name, warp="baws", policy=("bcs", b, None))
+            value = speedup(base.cycles, run.cycles)
+            per_size[b].append(value)
+            cells.append(value)
+        table.add_row(*cells)
+    table.add_row("GMEAN", *[geomean(per_size[b]) for b in sizes])
+    return table
+
+
+# =========================================================================== #
+# E11 — ablation: LCS needs a greedy warp scheduler
+# =========================================================================== #
+
+def e11_lcs_needs_gto(ctx: ExperimentContext,
+                      benchmarks: Sequence[str] = ("kmeans", "iindex",
+                                                   "spmv", "streaming"),
+                      rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
+    """Run the LCS monitor under LRR: without greedy age priority the
+    per-CTA issue counts flatten out and the decision degrades."""
+    table = Table(
+        "E11: LCS decision under GTO vs LRR monitoring",
+        ["benchmark", "n_oracle", "n_gto", "n_lrr",
+         "speedup_gto", "speedup_lrr"])
+    for name in benchmarks:
+        best_limit, _ = ctx.oracle_best(name)
+        base_gto = ctx.run(name)
+        base_lrr = ctx.run(name, warp="lrr")
+        lcs_gto = ctx.run(name, policy=("lcs", rule, param))
+        lcs_lrr = ctx.run(name, warp="lrr", policy=("lcs", rule, param))
+        d_gto = lcs_gto.meta["lcs_decision"]
+        d_lrr = lcs_lrr.meta["lcs_decision"]
+        table.add_row(name, best_limit,
+                      d_gto.n_star if d_gto else "-",
+                      d_lrr.n_star if d_lrr else "-",
+                      speedup(base_gto.cycles, lcs_gto.cycles),
+                      speedup(base_lrr.cycles, lcs_lrr.cycles))
+    return table
+
+
+# =========================================================================== #
+# E12 — configuration and benchmark-characteristics tables
+# =========================================================================== #
+
+def e12_config_table(ctx: ExperimentContext) -> Table:
+    config = ctx.config
+    table = Table("E12a: simulated GPU configuration", ["parameter", "value"])
+    rows = [
+        ("SIMT cores", config.num_sms),
+        ("warp size", config.warp_size),
+        ("max CTAs / core", config.max_ctas_per_sm),
+        ("max warps / core", config.max_warps_per_sm),
+        ("registers / core", config.registers_per_sm),
+        ("shared memory / core", f"{config.shared_mem_per_sm // 1024} KB"),
+        ("warp schedulers / core", config.issue_width),
+        ("L1D / core", f"{config.l1_size // 1024} KB, "
+                       f"{config.l1_assoc}-way, {config.line_size} B lines"),
+        ("L1D MSHRs", f"{config.l1_mshr_entries} entries, "
+                      f"{config.l1_mshr_max_merge} merges"),
+        ("L2 (shared)", f"{config.l2_size // 1024} KB, "
+                        f"{config.l2_num_banks} banks, {config.l2_assoc}-way"),
+        ("interconnect latency", f"{config.icnt_latency} cycles each way"),
+        ("DRAM", f"{config.dram_channels} channels x "
+                 f"{config.dram_banks_per_channel} banks, "
+                 f"{config.dram_row_lines * config.line_size // 1024} KB rows"),
+        ("DRAM timing", f"CAS {config.dram_t_cas} / row-miss "
+                        f"{config.dram_t_row_miss} / burst "
+                        f"{config.dram_t_burst} cycles"),
+    ]
+    for name, value in rows:
+        table.add_row(name, value)
+    return table
+
+
+def e12_benchmark_table(ctx: ExperimentContext) -> Table:
+    table = Table(
+        "E12b: benchmark characteristics",
+        ["benchmark", "category", "ctas", "warps_per_cta", "occupancy",
+         "mem_intensity", "instr_per_warp"])
+    for name, info in SUITE.items():
+        kernel = ctx.kernel(name)
+        program = kernel.build_warp_program(0, 0)
+        table.add_row(name, info.category, kernel.num_ctas,
+                      kernel.warps_per_cta, kernel.max_ctas_per_sm(ctx.config),
+                      memory_intensity(program), len(program))
+    return table
+
+
+# =========================================================================== #
+# registry
+# =========================================================================== #
+
+# =========================================================================== #
+# E13 — extension: LCS vs DynCTA-style continuous throttling
+# =========================================================================== #
+
+def e13_lcs_vs_dyncta(ctx: ExperimentContext,
+                      benchmarks: Sequence[str] = ("kmeans", "iindex",
+                                                   "streaming", "spmv",
+                                                   "compute", "stencil"),
+                      rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
+    """Compare the paper's one-shot LCS against the prior continuous
+    CTA-throttling approach (DynCTA-style, Kayiran et al. PACT'13)."""
+    table = Table(
+        "E13: LCS vs DynCTA-style throttling (speedup over baseline)",
+        ["benchmark", "lcs", "dyncta", "lcs_n_star", "dyncta_final_quota"])
+    lcs_speedups, dyn_speedups = [], []
+    for name in benchmarks:
+        base = ctx.run(name)
+        lcs = ctx.run(name, policy=("lcs", rule, param))
+        dyn = ctx.run(name, policy=("dyncta",))
+        decision = lcs.meta["lcs_decision"]
+        quotas = [q for q in dyn.cta_limits.values() if q is not None]
+        mean_quota = sum(quotas) / len(quotas) if quotas else "-"
+        s_lcs = speedup(base.cycles, lcs.cycles)
+        s_dyn = speedup(base.cycles, dyn.cycles)
+        lcs_speedups.append(s_lcs)
+        dyn_speedups.append(s_dyn)
+        table.add_row(name, s_lcs, s_dyn,
+                      decision.n_star if decision else "-", mean_quota)
+    table.add_row("GMEAN", geomean(lcs_speedups), geomean(dyn_speedups),
+                  "-", "-")
+    return table
+
+
+# =========================================================================== #
+# E14 — extension: CKE fairness metrics (ANTT / STP)
+# =========================================================================== #
+
+def e14_cke_metrics(ctx: ExperimentContext,
+                    pairs: Sequence[tuple[str, str, float]] = CKE_PAIRS[:3],
+                    rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
+    """Multiprogram metrics for the CKE policies: beyond total runtime,
+    how fairly and how productively do the kernels share the machine?"""
+    table = Table(
+        "E14: CKE multiprogram metrics (ANTT lower / STP higher is better)",
+        ["pair", "policy", "antt", "stp", "fairness"])
+    policies = [("smk", ("smk",)), ("mixed", ("mixed", rule, param))]
+    for mem_name, compute_name, mult in pairs:
+        names = (mem_name, compute_name)
+        mults = (1.0, mult)
+        alone = {
+            mem_name: ctx.run(mem_name),
+            compute_name: ctx.run(compute_name, scale_mults=(mult,)),
+        }
+        for label, policy in policies:
+            shared = ctx.run(names, policy=policy, scale_mults=mults)
+            metrics = cke_metrics(shared, alone)
+            table.add_row(f"{mem_name}+{compute_name}", label,
+                          metrics.antt, metrics.stp, metrics.fairness)
+    return table
+
+
+# =========================================================================== #
+# E15 — extension: composing LCS with BCS
+# =========================================================================== #
+
+def e15_lcs_plus_bcs(ctx: ExperimentContext,
+                     benchmarks: Sequence[str] = LOCALITY_SET,
+                     block_size: int = BCS_BLOCK,
+                     rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
+    """The paper's two mechanisms composed: block dispatch + lazy limit."""
+    table = Table(
+        "E15: LCS, BCS and LCS+BCS on the locality kernels "
+        "(speedup over baseline)",
+        ["benchmark", "lcs", "bcs_baws", "lcs_bcs_baws"])
+    col = {"lcs": [], "bcs": [], "both": []}
+    for name in benchmarks:
+        base = ctx.run(name)
+        lcs = ctx.run(name, policy=("lcs", rule, param))
+        bcs = ctx.run(name, warp="baws", policy=("bcs", block_size, None))
+        both = ctx.run(name, warp="baws",
+                       policy=("lcs+bcs", block_size, rule, param))
+        s = [speedup(base.cycles, r.cycles) for r in (lcs, bcs, both)]
+        col["lcs"].append(s[0])
+        col["bcs"].append(s[1])
+        col["both"].append(s[2])
+        table.add_row(name, *s)
+    table.add_row("GMEAN", geomean(col["lcs"]), geomean(col["bcs"]),
+                  geomean(col["both"]))
+    return table
+
+
+# =========================================================================== #
+# E16 — analysis: warp-state breakdown under the baseline vs LCS
+# =========================================================================== #
+
+def e16_stall_breakdown(ctx: ExperimentContext,
+                        benchmarks: Sequence[str] = ("kmeans", "iindex",
+                                                     "streaming", "compute"),
+                        rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
+    """Why LCS helps: warp-time spent memory-stalled shrinks after
+    throttling (the paper's resource-utilization argument made visible)."""
+    table = Table(
+        "E16: warp-state time breakdown, baseline vs LCS "
+        "(fractions of total warp wait time)",
+        ["benchmark", "policy", "mem", "ready", "alu", "barrier",
+         "mem_wait_per_instr"])
+    for name in benchmarks:
+        for label, policy in (("base", ("rr",)),
+                              ("lcs", ("lcs", rule, param))):
+            result = ctx.run(name, policy=policy)
+            stats = result.kernel(name)
+            breakdown = stats.stall_breakdown()
+            per_instr = (stats.mem_wait / stats.instructions
+                         if stats.instructions else 0.0)
+            table.add_row(name, label, breakdown["mem"], breakdown["ready"],
+                          breakdown["alu"], breakdown["barrier"], per_instr)
+    return table
+
+
+# =========================================================================== #
+# E17 — extension: warp-granularity (SWL) vs CTA-granularity (LCS) throttling
+# =========================================================================== #
+
+def e17_swl_vs_lcs(ctx: ExperimentContext,
+                   benchmarks: Sequence[str] = ("kmeans", "iindex", "bfs"),
+                   warp_limits: Sequence[int] = (4, 8, 12, 16, 24),
+                   rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
+    """Static warp limiting sweeps the throttle at warp granularity; LCS
+    reaches comparable performance at CTA granularity with one online
+    decision (the paper's granularity argument)."""
+    columns = (["benchmark"] + [f"swl={k}" for k in warp_limits]
+               + ["best_swl", "lcs"])
+    table = Table("E17: SWL (per-scheduler warp limit) vs LCS "
+                  "(speedup over baseline)", columns)
+    for name in benchmarks:
+        base = ctx.run(name)
+        cells: list[Any] = [name]
+        best = 0.0
+        for k in warp_limits:
+            run = ctx.run(name, warp=("swl", k))
+            value = speedup(base.cycles, run.cycles)
+            best = max(best, value)
+            cells.append(value)
+        lcs = ctx.run(name, policy=("lcs", rule, param))
+        cells.append(best)
+        cells.append(speedup(base.cycles, lcs.cycles))
+        table.add_row(*cells)
+    table.add_note("swl=k limits each of the 2 per-SM schedulers to k warps")
+    return table
+
+
+# =========================================================================== #
+# E18 — extension/limitation: phase-changing kernels
+# =========================================================================== #
+
+def e18_phase_sensitivity(ctx: ExperimentContext,
+                          benchmark: str = "twophase",
+                          rule: str = LCS_RULE, param: float = LCS_PARAM,
+                          ) -> Table:
+    """One-shot LCS decides during the first (cache-thrashing) phase and
+    cannot revise when the kernel turns compute-bound; continuous schemes
+    re-adapt.  An honest limitation study of the paper's mechanism."""
+    table = Table(
+        "E18: phase-changing kernel — one-shot vs adaptive throttling",
+        ["policy", "cycles", "speedup_vs_baseline", "final_limit"])
+    base = ctx.run(benchmark)
+    table.add_row("baseline", base.cycles, 1.0, "-")
+    lcs = ctx.run(benchmark, policy=("lcs", rule, param))
+    decision = lcs.meta["lcs_decision"]
+    table.add_row("lcs", lcs.cycles, speedup(base.cycles, lcs.cycles),
+                  decision.n_star if decision else "-")
+    dyn = ctx.run(benchmark, policy=("dyncta",))
+    quotas = [q for q in dyn.cta_limits.values() if q is not None]
+    table.add_row("dyncta", dyn.cycles, speedup(base.cycles, dyn.cycles),
+                  sum(quotas) / len(quotas) if quotas else "-")
+    best_limit, oracle = ctx.oracle_best(benchmark)
+    table.add_row("static_oracle", oracle.cycles,
+                  speedup(base.cycles, oracle.cycles), best_limit)
+    return table
+
+
+# =========================================================================== #
+# E19 — robustness: a Kepler-class machine
+# =========================================================================== #
+
+def e19_config_robustness(ctx: ExperimentContext,
+                          benchmarks: Sequence[str] = ("kmeans", "iindex",
+                                                       "stencil", "compute"),
+                          rule: str = LCS_RULE, param: float = LCS_PARAM,
+                          ) -> Table:
+    """Repeat the LCS and BCS headline comparisons on a Kepler-class
+    configuration (13 fat cores, 16 CTA slots, 64 warps): the conclusions
+    must not be artefacts of the Fermi-class default."""
+    kepler = GPUConfig.kepler_class()
+    kctx = ExperimentContext(scale=ctx.scale, seed=ctx.seed, config=kepler)
+    table = Table(
+        "E19: LCS on a Kepler-class GPU (speedup over baseline)",
+        ["benchmark", "occupancy", "n_lcs", "lcs_speedup"])
+    for name in benchmarks:
+        base = kctx.run(name)
+        lcs = kctx.run(name, policy=("lcs", rule, param))
+        decision = lcs.meta["lcs_decision"]
+        table.add_row(name, kctx.occupancy(name),
+                      decision.n_star if decision else "-",
+                      speedup(base.cycles, lcs.cycles))
+    return table
+
+
+# =========================================================================== #
+# E20 — modelling ablation: L1 MSHR count
+# =========================================================================== #
+
+def e20_mshr_sensitivity(ctx: ExperimentContext,
+                         benchmarks: Sequence[str] = ("kmeans", "iindex"),
+                         mshr_counts: Sequence[int] = (8, 16, 32, 64),
+                         rule: str = LCS_RULE, param: float = LCS_PARAM,
+                         ) -> Table:
+    """How the L1 MSHR budget shapes the LCS opportunity: few MSHRs throttle
+    over-subscription by themselves (small LCS win); many MSHRs let maximum
+    occupancy flood the memory system (big LCS win).  Documents the key
+    modelling choice of this reproduction (default 16)."""
+    table = Table(
+        "E20: LCS speedup vs L1 MSHR entries",
+        ["benchmark"] + [f"mshr={m}" for m in mshr_counts])
+    for name in benchmarks:
+        cells: list[Any] = [name]
+        for m in mshr_counts:
+            config = ctx.config.with_overrides(l1_mshr_entries=m)
+            kctx = ExperimentContext(scale=ctx.scale, seed=ctx.seed,
+                                     config=config)
+            base = kctx.run(name)
+            lcs = kctx.run(name, policy=("lcs", rule, param))
+            cells.append(speedup(base.cycles, lcs.cycles))
+        table.add_row(*cells)
+    return table
+
+
+# =========================================================================== #
+# E21 — ablation: dispatch order (breadth-first vs depth-first vs BCS)
+# =========================================================================== #
+
+def e21_dispatch_order(ctx: ExperimentContext,
+                       benchmarks: Sequence[str] = LOCALITY_SET) -> Table:
+    """How much of BCS's win is initial placement?  Depth-first dispatch
+    co-locates consecutive CTAs at fill time but lets the pairing decay as
+    slots refill; BCS maintains it.  (Baseline round-robin never pairs.)"""
+    table = Table(
+        "E21: CTA dispatch order on the locality kernels "
+        "(speedup over round-robin)",
+        ["benchmark", "depth_first", "bcs_baws"])
+    df_speedups, bcs_speedups = [], []
+    for name in benchmarks:
+        base = ctx.run(name)
+        depth = ctx.run(name, policy=("depth-first",))
+        bcs = ctx.run(name, warp="baws", policy=("bcs", BCS_BLOCK, None))
+        s_df = speedup(base.cycles, depth.cycles)
+        s_bcs = speedup(base.cycles, bcs.cycles)
+        df_speedups.append(s_df)
+        bcs_speedups.append(s_bcs)
+        table.add_row(name, s_df, s_bcs)
+    table.add_row("GMEAN", geomean(df_speedups), geomean(bcs_speedups))
+    return table
+
+
+# =========================================================================== #
+# E22 — ablation: optional micro-architecture features
+# =========================================================================== #
+
+def e22_feature_ablation(ctx: ExperimentContext,
+                         benchmarks: Sequence[str] = ("streaming", "kmeans",
+                                                      "stencil", "histogram"),
+                         ) -> Table:
+    """Next-line prefetching and store write-combining, on vs off: neither
+    feature is load-bearing for the paper's conclusions (they are off by
+    default), but the ablation shows the model responds sensibly."""
+    table = Table(
+        "E22: optional feature ablation (speedup over features-off)",
+        ["benchmark", "prefetch", "store_coalescing", "prefetches",
+         "stores_absorbed"])
+    for name in benchmarks:
+        base = ctx.run(name)
+        pf_config = ctx.config.with_overrides(l1_prefetch_next_line=True)
+        pf_ctx = ExperimentContext(scale=ctx.scale, seed=ctx.seed,
+                                   config=pf_config)
+        prefetch = pf_ctx.run(name)
+        sc_config = ctx.config.with_overrides(store_coalescing=True)
+        sc_ctx = ExperimentContext(scale=ctx.scale, seed=ctx.seed,
+                                   config=sc_config)
+        coalesce = sc_ctx.run(name)
+        table.add_row(name,
+                      speedup(base.cycles, prefetch.cycles),
+                      speedup(base.cycles, coalesce.cycles),
+                      prefetch.l1.prefetches,
+                      coalesce.l1.stores_coalesced)
+    return table
+
+
+EXPERIMENTS = {
+    "e1": e1_occupancy_sweep,
+    "e2": e2_issue_signature,
+    "e3": e3_lcs_speedup,
+    "e4": e4_lcs_vs_oracle,
+    "e5": e5_warp_schedulers,
+    "e6": e6_bcs,
+    "e7": e7_bcs_l1,
+    "e8": e8_cke,
+    "e9": e9_lcs_threshold,
+    "e10": e10_block_size,
+    "e11": e11_lcs_needs_gto,
+    "e13": e13_lcs_vs_dyncta,
+    "e14": e14_cke_metrics,
+    "e15": e15_lcs_plus_bcs,
+    "e16": e16_stall_breakdown,
+    "e17": e17_swl_vs_lcs,
+    "e18": e18_phase_sensitivity,
+    "e19": e19_config_robustness,
+    "e20": e20_mshr_sensitivity,
+    "e21": e21_dispatch_order,
+    "e22": e22_feature_ablation,
+}
+
+
+def run_experiment(name: str, ctx: ExperimentContext | None = None) -> Table:
+    """Run one experiment by id ('e1'..'e11'); E12 has two table functions."""
+    ctx = ctx if ctx is not None else ExperimentContext()
+    if name == "e12":
+        raise ValueError("e12 has two tables: use e12_config_table and "
+                         "e12_benchmark_table")
+    try:
+        driver = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(f"unknown experiment {name!r}; "
+                         f"available: {sorted(EXPERIMENTS)} + e12") from None
+    return driver(ctx)

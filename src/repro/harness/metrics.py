@@ -1,0 +1,73 @@
+"""Multiprogram (CKE) performance metrics.
+
+The concurrent-kernel-execution literature the paper builds on reports more
+than raw completion time; this module implements the standard metrics so E8
+can report them alongside total-cycles speedup:
+
+* **ANTT** (average normalized turnaround time, lower is better): mean over
+  kernels of ``T_shared / T_alone`` — how much each kernel was slowed down
+  by co-execution.
+* **STP** (system throughput, higher is better): sum over kernels of
+  ``T_alone / T_shared`` — aggregate progress rate in "kernels' worth of
+  machine".
+* **Fairness** (0..1, higher is better): min over kernel pairs of relative
+  slowdown ratios.
+
+``T_alone`` is the kernel's solo execution time on the whole machine;
+``T_shared`` is its turnaround (launch to finish) in the co-scheduled run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..sim.stats import RunResult
+
+
+@dataclass(frozen=True)
+class CKEMetrics:
+    antt: float
+    stp: float
+    fairness: float
+    slowdowns: tuple[float, ...]    # per kernel, T_shared / T_alone
+
+    def __str__(self) -> str:
+        return (f"ANTT={self.antt:.3f} STP={self.stp:.3f} "
+                f"fairness={self.fairness:.3f}")
+
+
+def kernel_turnaround(shared: RunResult, name: str) -> int:
+    """Launch-to-finish time of one kernel inside a co-scheduled run."""
+    stats = shared.kernel(name)
+    if stats.finish_cycle is None:
+        raise ValueError(f"kernel {name!r} did not finish")
+    return stats.finish_cycle - stats.launch_cycle
+
+
+def cke_metrics(shared: RunResult,
+                alone: Mapping[str, RunResult]) -> CKEMetrics:
+    """Compute ANTT / STP / fairness for one co-scheduled run.
+
+    ``alone`` maps each kernel name to its solo RunResult (same scale and
+    configuration).
+    """
+    names = list(shared.kernels)
+    if set(names) - set(alone):
+        missing = sorted(set(names) - set(alone))
+        raise ValueError(f"missing solo runs for {missing}")
+    slowdowns = []
+    for name in names:
+        t_alone = alone[name].cycles
+        if t_alone <= 0:
+            raise ValueError(f"solo run for {name!r} has no cycles")
+        slowdowns.append(kernel_turnaround(shared, name) / t_alone)
+    antt = sum(slowdowns) / len(slowdowns)
+    stp = sum(1.0 / s for s in slowdowns)
+    fairness = min(
+        min(a / b, b / a)
+        for i, a in enumerate(slowdowns)
+        for b in slowdowns[i + 1:]
+    ) if len(slowdowns) > 1 else 1.0
+    return CKEMetrics(antt=antt, stp=stp, fairness=fairness,
+                      slowdowns=tuple(slowdowns))

@@ -1,0 +1,126 @@
+"""Table formatting and summary-statistics helpers for the experiments.
+
+Every experiment driver returns a :class:`Table`; the CLI and the benchmark
+harness print it with :meth:`Table.render` (fixed-width, like the rows the
+paper reports) and tests consume the raw ``rows``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's summary statistic for speedups)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup(baseline_cycles: int, new_cycles: int) -> float:
+    """Speedup of ``new`` over ``baseline`` (>1 means faster)."""
+    if baseline_cycles <= 0 or new_cycles <= 0:
+        raise ValueError("cycle counts must be positive")
+    return baseline_cycles / new_cycles
+
+
+@dataclass
+class Table:
+    """A small, render-friendly result table."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}")
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, by header name."""
+        try:
+            index = list(self.columns).index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r} in {self.title!r}") from None
+        return [row[index] for row in self.rows]
+
+    def row_for(self, key: Any) -> Sequence[Any]:
+        """The first row whose first cell equals ``key``."""
+        for row in self.rows:
+            if row[0] == key:
+                return row
+        raise KeyError(f"no row {key!r} in {self.title!r}")
+
+    @staticmethod
+    def _format(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    def render(self) -> str:
+        cells = [[self._format(v) for v in row] for row in self.rows]
+        headers = [str(c) for c in self.columns]
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in cells)) if cells
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def render_chart(self, column: str, *, width: int = 40,
+                     reference: float | None = 1.0) -> str:
+        """Render one numeric column as a horizontal ASCII bar chart.
+
+        Bars scale to the column maximum; ``reference`` (default 1.0, the
+        baseline in a speedup column) is marked with ``|`` so wins and
+        losses are visible at a glance.  Non-numeric cells are skipped.
+        """
+        pairs = [(str(row[0]), value)
+                 for row, value in zip(self.rows, self.column(column))
+                 if isinstance(value, (int, float))]
+        if not pairs:
+            raise ValueError(f"column {column!r} has no numeric values")
+        peak = max(value for _, value in pairs)
+        if peak <= 0:
+            raise ValueError(f"column {column!r} has no positive values")
+        label_width = max(len(label) for label, _ in pairs)
+        lines = [f"== {self.title} — {column} =="]
+        for label, value in pairs:
+            bar_len = max(1, round(value / peak * width))
+            bar = "#" * bar_len
+            if reference is not None and 0 < reference <= peak:
+                ref_pos = max(0, round(reference / peak * width) - 1)
+                bar = (bar + " " * width)[:width + 1]
+                bar = bar[:ref_pos] + "|" + bar[ref_pos + 1:]
+                bar = bar.rstrip()
+            lines.append(f"{label.ljust(label_width)}  {bar} {value:.3f}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        def esc(value: Any) -> str:
+            text = self._format(value)
+            if "," in text or '"' in text:
+                text = '"' + text.replace('"', '""') + '"'
+            return text
+
+        lines = [",".join(esc(c) for c in self.columns)]
+        lines.extend(",".join(esc(v) for v in row) for row in self.rows)
+        return "\n".join(lines)

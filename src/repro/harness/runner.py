@@ -1,0 +1,80 @@
+"""One-call simulation front end.
+
+:func:`simulate` builds a GPU, runs a CTA-scheduling policy to completion
+and assembles a :class:`~repro.sim.stats.RunResult`.  Every experiment,
+example and test goes through this function.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.cta_schedulers import CTAScheduler, RoundRobinCTAScheduler
+from ..sim.config import GPUConfig
+from ..sim.gpu import GPU
+from ..sim.kernel import Kernel
+from ..sim.stats import CacheStats, RunResult
+
+
+def simulate(kernels: Kernel | Sequence[Kernel], *,
+             config: GPUConfig | None = None,
+             warp_scheduler="gto",
+             cta_scheduler: CTAScheduler | None = None) -> RunResult:
+    """Run kernels to completion and return the collected statistics.
+
+    Parameters
+    ----------
+    kernels:
+        One kernel or a sequence (multi-kernel runs need a CKE-capable
+        ``cta_scheduler``; the default round-robin runs them first-come
+        first-served over shared cores).
+    config:
+        Hardware description; defaults to the Fermi-class `GPUConfig()`.
+    warp_scheduler:
+        ``'lrr'``, ``'gto'``, ``'baws'``, ``'two-level'``, ``'swl'`` — or a
+        zero-arg factory returning a WarpScheduler (e.g.
+        :func:`repro.core.warp_schedulers.swl_factory`).
+    cta_scheduler:
+        A policy object from ``repro.core``; defaults to the conventional
+        round-robin maximum-occupancy baseline.  Must not have been used in
+        a previous run (policies hold per-run state).
+    """
+    if isinstance(kernels, Kernel):
+        kernels = [kernels]
+    kernels = list(kernels)
+    if cta_scheduler is None:
+        cta_scheduler = RoundRobinCTAScheduler(kernels)
+    elif cta_scheduler.gpu is not None:
+        raise ValueError("cta_scheduler was already used in a previous run; "
+                         "create a fresh policy object per simulate() call")
+    else:
+        scheduled = {id(k) for k in cta_scheduler.kernels}
+        if scheduled != {id(k) for k in kernels}:
+            raise ValueError("cta_scheduler was built for different kernels")
+    config = config if config is not None else GPUConfig()
+
+    gpu = GPU(config=config, warp_scheduler=warp_scheduler)
+    gpu.run(cta_scheduler)
+
+    l1_total = CacheStats()
+    for sm in gpu.sms:
+        l1_total.add(sm.l1.stats)
+    kernel_stats = {run.kernel.name: run.stats for run in gpu.runs}
+    return RunResult(
+        cycles=gpu.cycle,
+        instructions=gpu.total_issued,
+        kernels=kernel_stats,
+        l1=l1_total,
+        l2=gpu.mem.l2_stats(),
+        dram=gpu.mem.dram.stats,
+        issued_by_sm=[sm.issued for sm in gpu.sms],
+        cta_limits=cta_scheduler.limits_snapshot(),
+        meta={
+            "warp_scheduler": gpu.warp_scheduler_name,
+            "cta_scheduler": cta_scheduler.name,
+            "num_sms": config.num_sms,
+            "kernels": [k.name for k in kernels],
+            # LCS-style policies expose their monitoring outcome.
+            "lcs_decision": getattr(cta_scheduler, "decision", None),
+        },
+    )

@@ -1,0 +1,173 @@
+"""``repro-sim`` — run one simulation from the command line.
+
+The single-run counterpart to ``repro-exp``: pick a benchmark (or a trace
+file), a hardware configuration, a warp scheduler and a CTA policy, run it,
+and print the summary (optionally with the LCS decision, the stall
+breakdown and a sampled occupancy/IPC timeline CSV).
+
+Examples::
+
+    repro-sim kmeans
+    repro-sim kmeans --scale 0.25 --policy lcs
+    repro-sim stencil --warp baws --policy bcs:2
+    repro-sim kmeans --policy static:3 --config kepler
+    repro-sim my_kernel.json --policy dyncta --timeline out.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from ..core.bcs import BCSScheduler
+from ..core.combined import LCSBCSScheduler
+from ..core.cta_schedulers import (CTAScheduler, RoundRobinCTAScheduler,
+                                   StaticLimitCTAScheduler)
+from ..core.dyncta import DynCTAScheduler
+from ..core.lcs import LCSScheduler
+from ..core.warp_schedulers import available_warp_schedulers, swl_factory
+from ..sim.config import GPUConfig
+from ..sim.gpu import GPU
+from ..sim.kernel import Kernel
+from ..sim.timeline import TimelineSampler
+from ..workloads.patterns import DEFAULT_SEED
+from ..workloads.suite import SUITE, make_kernel
+from ..workloads.tracefile import load_kernel_trace
+
+CONFIGS = ("fermi", "kepler", "small")
+POLICIES = ("rr", "static:N", "lcs", "bcs[:B]", "lcs+bcs[:B]", "dyncta")
+
+
+def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Simulate one kernel under a chosen scheduling policy.")
+    parser.add_argument("kernel",
+                        help=f"benchmark name ({', '.join(sorted(SUITE))}) "
+                             "or a .json trace file")
+    parser.add_argument("--scale", type=float, default=0.4,
+                        help="grid-size scale for suite benchmarks "
+                             "(default 0.4)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--config", default="fermi",
+                        help=f"hardware preset: {', '.join(CONFIGS)} "
+                             "(default fermi)")
+    parser.add_argument("--warp", default="gto",
+                        help="warp scheduler: "
+                             f"{', '.join(available_warp_schedulers())} or "
+                             "swl:K (default gto)")
+    parser.add_argument("--policy", default="rr",
+                        help=f"CTA policy: {', '.join(POLICIES)} "
+                             "(default rr)")
+    parser.add_argument("--timeline", metavar="CSV",
+                        help="write an occupancy/IPC timeline CSV")
+    parser.add_argument("--timeline-period", type=int, default=1000)
+    return parser.parse_args(argv)
+
+
+def _load_kernel(spec: str, scale: float, seed: int) -> Kernel:
+    if spec.endswith(".json"):
+        return load_kernel_trace(spec)
+    return make_kernel(spec, scale=scale, seed=seed)
+
+
+def _make_config(name: str) -> GPUConfig:
+    if name == "fermi":
+        return GPUConfig()
+    if name == "kepler":
+        return GPUConfig.kepler_class()
+    if name == "small":
+        return GPUConfig.small()
+    raise ValueError(f"unknown config preset {name!r}; choose from {CONFIGS}")
+
+
+def _make_policy(spec: str, kernel: Kernel) -> CTAScheduler:
+    name, _, arg = spec.partition(":")
+    if name == "rr":
+        return RoundRobinCTAScheduler(kernel)
+    if name == "static":
+        if not arg:
+            raise ValueError("static policy needs a limit: static:N")
+        return StaticLimitCTAScheduler(kernel, limit_per_sm=int(arg))
+    if name == "lcs":
+        return LCSScheduler(kernel)
+    if name == "bcs":
+        return BCSScheduler(kernel, block_size=int(arg) if arg else 2)
+    if name == "lcs+bcs":
+        return LCSBCSScheduler(kernel, block_size=int(arg) if arg else 2)
+    if name == "dyncta":
+        return DynCTAScheduler(kernel)
+    raise ValueError(f"unknown policy {spec!r}; choose from {POLICIES}")
+
+
+def _make_warp(spec: str):
+    name, _, arg = spec.partition(":")
+    if name == "swl":
+        return swl_factory(int(arg) if arg else 8)
+    return spec
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _parse_args(argv)
+    try:
+        config = _make_config(args.config)
+        kernel = _load_kernel(args.kernel, args.scale, args.seed)
+        policy = _make_policy(args.policy, kernel)
+        warp = _make_warp(args.warp)
+    except (ValueError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    occupancy = kernel.max_ctas_per_sm(config)
+    print(f"kernel {kernel.name}: {kernel.num_ctas} CTAs x "
+          f"{kernel.warps_per_cta} warps, occupancy {occupancy} CTAs/SM, "
+          f"config {args.config}, warp {args.warp}, policy {args.policy}\n")
+
+    gpu = GPU(config=config, warp_scheduler=warp)
+    sampler = (TimelineSampler(gpu, period=args.timeline_period)
+               if args.timeline else None)
+    gpu.run(policy)
+
+    # Assemble the same summary simulate() would give.
+    from ..sim.stats import CacheStats, RunResult
+    l1_total = CacheStats()
+    for sm in gpu.sms:
+        l1_total.add(sm.l1.stats)
+    result = RunResult(
+        cycles=gpu.cycle, instructions=gpu.total_issued,
+        kernels={run.kernel.name: run.stats for run in gpu.runs},
+        l1=l1_total, l2=gpu.mem.l2_stats(), dram=gpu.mem.dram.stats,
+        issued_by_sm=[sm.issued for sm in gpu.sms])
+    print(result.summary())
+
+    stats = result.kernel(kernel.name)
+    breakdown = stats.stall_breakdown()
+    print("warp-time breakdown: "
+          + "  ".join(f"{k}={v:.2f}" for k, v in breakdown.items()))
+
+    decision = getattr(policy, "decision", None)
+    if decision is not None:
+        print(f"LCS decision: N*={decision.n_star}/{decision.occupancy} "
+              f"at cycle {decision.decided_cycle} "
+              f"(rule {decision.rule}@{decision.param}, "
+              f"guard {decision.guard_reason or 'clear'})")
+    if isinstance(policy, DynCTAScheduler):
+        quotas = policy.quotas()
+        print(f"DynCTA final quotas: min={min(quotas.values())} "
+              f"max={max(quotas.values())}")
+
+    if sampler is not None:
+        lines = ["cycle,mean_ctas_per_sm,mean_warps_per_sm,ipc"]
+        for sample in sampler.samples:
+            ipc = sample.issued_since_last / args.timeline_period
+            lines.append(f"{sample.cycle},{sample.mean_ctas_per_sm:.3f},"
+                         f"{sample.mean_warps_per_sm:.3f},{ipc:.3f}")
+        Path(args.timeline).write_text("\n".join(lines) + "\n")
+        print(f"timeline: {len(sampler.samples)} samples -> {args.timeline}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    raise SystemExit(main())

@@ -1,0 +1,96 @@
+"""Generic configuration/parameter sweeps.
+
+A small utility for the sensitivity studies: run the same (kernel, policy)
+under a sequence of hardware-configuration variants and tabulate a metric.
+Used by the E20 ablation (L1-MSHR sensitivity) and available to users
+exploring their own design spaces::
+
+    from repro.harness.sweeps import config_sweep
+    table = config_sweep("kmeans", "l1_mshr_entries", [8, 16, 32],
+                         policies={"base": ("rr",), "lcs": ("lcs",)})
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.cta_schedulers import RoundRobinCTAScheduler, StaticLimitCTAScheduler
+from ..core.lcs import LCSScheduler
+from ..sim.config import GPUConfig
+from ..workloads.patterns import DEFAULT_SEED
+from ..workloads.suite import make_kernel
+from .reporting import Table
+from .runner import simulate
+
+
+def _build_policy(descriptor: tuple, kernel):
+    kind, *args = descriptor
+    if kind == "rr":
+        return RoundRobinCTAScheduler(kernel)
+    if kind == "static":
+        (limit,) = args
+        return StaticLimitCTAScheduler(kernel, limit_per_sm=limit)
+    if kind == "lcs":
+        return LCSScheduler(kernel)
+    raise ValueError(f"unknown policy descriptor {descriptor!r} "
+                     "(sweeps support rr, static:N, lcs)")
+
+
+def config_sweep(benchmark: str, field: str, values: Sequence,
+                 *, policies: Mapping[str, tuple] | None = None,
+                 base_config: GPUConfig | None = None,
+                 scale: float = 0.4, seed: int = DEFAULT_SEED,
+                 warp_scheduler: str = "gto") -> Table:
+    """Sweep one ``GPUConfig`` field; report IPC per (value, policy).
+
+    ``policies`` maps a column label to a policy descriptor (``("rr",)``,
+    ``("static", n)``, ``("lcs",)``); default is the baseline only.
+    Returns a table with one row per swept value.
+    """
+    if not values:
+        raise ValueError("values must be non-empty")
+    if policies is None:
+        policies = {"ipc": ("rr",)}
+    base_config = base_config if base_config is not None else GPUConfig()
+    if not hasattr(base_config, field):
+        raise ValueError(f"GPUConfig has no field {field!r}")
+
+    columns = [field] + [f"{label}_ipc" for label in policies]
+    if len(policies) > 1:
+        columns.append("best_policy")
+    table = Table(f"{benchmark}: sweep of {field}", columns)
+    for value in values:
+        config = base_config.with_overrides(**{field: value})
+        cells: list = [value]
+        best_label, best_ipc = None, -1.0
+        for label, descriptor in policies.items():
+            kernel = make_kernel(benchmark, scale=scale, seed=seed)
+            scheduler = _build_policy(descriptor, kernel)
+            result = simulate(kernel, config=config,
+                              warp_scheduler=warp_scheduler,
+                              cta_scheduler=scheduler)
+            cells.append(result.ipc)
+            if result.ipc > best_ipc:
+                best_label, best_ipc = label, result.ipc
+        if len(policies) > 1:
+            cells.append(best_label)
+        table.add_row(*cells)
+    return table
+
+
+def occupancy_position(benchmark: str, *, config: GPUConfig | None = None,
+                       scale: float = 0.4, seed: int = DEFAULT_SEED) -> dict:
+    """Convenience: where does this kernel's best static limit sit?
+
+    Returns ``{"occupancy": o, "best": n, "best_over_max": s}`` — the raw
+    material of the motivation figure for one kernel.
+    """
+    from ..core.oracle import sweep_static_limits
+    config = config if config is not None else GPUConfig()
+    kernel = make_kernel(benchmark, scale=scale, seed=seed)
+    oracle = sweep_static_limits(kernel, config=config)
+    return {
+        "occupancy": oracle.occupancy,
+        "best": oracle.best_limit,
+        "best_over_max": oracle.best_speedup,
+    }

@@ -1,0 +1,13 @@
+"""Memory-hierarchy substrate: caches, MSHRs, coalescing, DRAM, L2 fabric."""
+
+from .address import DRAMCoordinates, dram_coordinates, l2_bank_of, line_of
+from .cache import Access, Cache
+from .coalescer import coalesce, transactions_per_access, warp_access
+from .dram import DRAMModel
+from .subsystem import MemorySubsystem
+
+__all__ = [
+    "DRAMCoordinates", "dram_coordinates", "l2_bank_of", "line_of",
+    "Access", "Cache", "coalesce", "transactions_per_access", "warp_access",
+    "DRAMModel", "MemorySubsystem",
+]

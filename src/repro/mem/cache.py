@@ -1,0 +1,145 @@
+"""Set-associative cache with LRU replacement and MSHRs.
+
+Used for both the per-SM L1 data caches and the banked shared L2.  The cache
+is a *tag store only* — data values are never modelled, only presence and
+timing-relevant state.
+
+Load path outcomes (:class:`Access`):
+
+* ``HIT``          — line present; satisfied immediately.
+* ``MISS``         — new MSHR entry allocated; the caller must forward the
+                     request down the hierarchy and later call :meth:`fill`.
+* ``MERGED``       — a request for the same line is already outstanding; the
+                     waiter was appended to the existing MSHR entry.
+* ``STALL``        — no MSHR entry free, or the matching entry is at its
+                     merge capacity; the caller must retry later
+                     (backpressure).
+
+Stores are write-through / no-allocate (the policy GPGPU-Sim uses for global
+stores in the Fermi model): :meth:`write_probe` updates LRU state on a hit
+and never allocates; the caller forwards the write down the hierarchy
+unconditionally.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Any
+
+from ..sim.stats import CacheStats
+
+
+class Access(IntEnum):
+    HIT = 0
+    MISS = 1
+    MERGED = 2
+    STALL = 3
+
+
+class Cache:
+    """A single cache (one L1, or one L2 bank)."""
+
+    __slots__ = ("name", "num_sets", "assoc", "mshr_entries", "mshr_max_merge",
+                 "_sets", "_mshr", "stats")
+
+    def __init__(self, name: str, num_sets: int, assoc: int,
+                 mshr_entries: int, mshr_max_merge: int) -> None:
+        if num_sets < 1 or assoc < 1:
+            raise ValueError("cache geometry must be positive")
+        if mshr_entries < 1 or mshr_max_merge < 1:
+            raise ValueError("MSHR geometry must be positive")
+        self.name = name
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.mshr_entries = mshr_entries
+        self.mshr_max_merge = mshr_max_merge
+        # One insertion-ordered dict per set: oldest key is the LRU victim.
+        self._sets: list[dict[int, None]] = [{} for _ in range(num_sets)]
+        # line -> list of waiters registered by the caller.
+        self._mshr: dict[int, list[Any]] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    def _set_for(self, line: int) -> dict[int, None]:
+        return self._sets[line % self.num_sets]
+
+    def lookup_load(self, line: int, waiter: Any) -> Access:
+        """Probe for a load; register ``waiter`` on a miss/merge."""
+        stats = self.stats
+        tags = self._set_for(line)
+        if line in tags:
+            # LRU touch: move to the most-recently-used end.
+            del tags[line]
+            tags[line] = None
+            stats.accesses += 1
+            stats.hits += 1
+            return Access.HIT
+        pending = self._mshr.get(line)
+        if pending is not None:
+            if len(pending) >= self.mshr_max_merge:
+                stats.mshr_stalls += 1
+                return Access.STALL
+            pending.append(waiter)
+            stats.accesses += 1
+            stats.merges += 1
+            return Access.MERGED
+        if len(self._mshr) >= self.mshr_entries:
+            stats.mshr_stalls += 1
+            return Access.STALL
+        self._mshr[line] = [waiter]
+        stats.accesses += 1
+        stats.misses += 1
+        return Access.MISS
+
+    def write_probe(self, line: int) -> bool:
+        """Probe for a store (write-through, no allocate). Returns hit?"""
+        stats = self.stats
+        stats.write_accesses += 1
+        tags = self._set_for(line)
+        if line in tags:
+            del tags[line]
+            tags[line] = None
+            stats.write_hits += 1
+            return True
+        return False
+
+    def fill(self, line: int) -> list[Any]:
+        """Install a returning line; pop and return its registered waiters.
+
+        Evicts the LRU way if the set is full.  Filling a line with no MSHR
+        entry (e.g. a prefetch) is allowed and returns an empty list.
+        """
+        waiters = self._mshr.pop(line, [])
+        tags = self._set_for(line)
+        if line not in tags:
+            if len(tags) >= self.assoc:
+                victim = next(iter(tags))
+                del tags[victim]
+                self.stats.evictions += 1
+            tags[line] = None
+            self.stats.fills += 1
+        return waiters
+
+    # ------------------------------------------------------------------ #
+    def contains(self, line: int) -> bool:
+        """Non-intrusive presence check (does not touch LRU state)."""
+        return line in self._set_for(line)
+
+    def pending(self, line: int) -> bool:
+        """True if a miss for this line is outstanding."""
+        return line in self._mshr
+
+    @property
+    def mshr_free(self) -> int:
+        return self.mshr_entries - len(self._mshr)
+
+    @property
+    def outstanding_misses(self) -> int:
+        return len(self._mshr)
+
+    def flush(self) -> None:
+        """Drop all cached lines (MSHRs must be drained first)."""
+        if self._mshr:
+            raise RuntimeError(f"cannot flush {self.name}: {len(self._mshr)} misses pending")
+        for tags in self._sets:
+            tags.clear()

@@ -1,0 +1,55 @@
+"""Memory-access coalescing.
+
+Real hardware coalesces the 32 per-lane byte addresses of a warp's global
+access into the minimal set of 128-byte transactions.  Our traces carry
+post-coalescer line addresses, so coalescing runs once at trace-build time.
+This module is the single place where byte-level access patterns become line
+tuples, and it preserves the properties the timing model depends on:
+
+* distinct lines only (hardware merges duplicate lanes);
+* first-touch order (transactions issue in lane order);
+* one transaction per 128-byte segment touched.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def coalesce(byte_addresses: Iterable[int], line_size: int = 128) -> tuple[int, ...]:
+    """Collapse per-lane byte addresses into distinct line addresses.
+
+    Order of first touch is preserved, matching the issue order of the
+    generated transactions.
+    """
+    seen: dict[int, None] = {}
+    for addr in byte_addresses:
+        if addr < 0:
+            raise ValueError("byte addresses must be non-negative")
+        seen[addr // line_size] = None
+    if not seen:
+        raise ValueError("an access must touch at least one address")
+    return tuple(seen)
+
+
+def warp_access(base: int, stride: int, *, lanes: int = 32, elem_size: int = 4,
+                line_size: int = 128) -> tuple[int, ...]:
+    """Lines touched by a warp access ``base + lane * stride * elem_size``.
+
+    ``stride`` is in elements: stride 1 with 4-byte elements is the classic
+    fully-coalesced pattern (one 128-byte line per warp); stride 32 makes
+    every lane hit its own line (32 transactions).
+    """
+    if lanes < 1 or lanes > 32:
+        raise ValueError("lanes must be in 1..32")
+    if stride < 0:
+        raise ValueError("stride must be non-negative")
+    return coalesce((base + lane * stride * elem_size for lane in range(lanes)),
+                    line_size=line_size)
+
+
+def transactions_per_access(stride: int, *, lanes: int = 32, elem_size: int = 4,
+                            line_size: int = 128) -> int:
+    """How many transactions a strided warp access generates (base aligned)."""
+    return len(warp_access(0, stride, lanes=lanes, elem_size=elem_size,
+                           line_size=line_size))

@@ -1,0 +1,17 @@
+"""GPU timing-simulator substrate (cores, warps, CTAs, events, config)."""
+
+from .config import DEFAULT_CONFIG, GPUConfig
+from .gpu import (GPU, KernelRun, SimulationDeadlock, SimulationError,
+                  SimulationTimeout)
+from .isa import Instruction, Op, alu, barrier, exit_, load, shared, store
+from .kernel import Kernel, KernelResourceError
+from .stats import CacheStats, DRAMStats, KernelStats, RunResult
+from .timeline import Sample, TimelineSampler
+
+__all__ = [
+    "DEFAULT_CONFIG", "GPUConfig", "GPU", "KernelRun", "SimulationDeadlock",
+    "SimulationError", "SimulationTimeout", "Instruction", "Op", "alu",
+    "barrier", "exit_", "load", "shared", "store", "Kernel",
+    "KernelResourceError", "CacheStats", "DRAMStats", "KernelStats",
+    "RunResult", "Sample", "TimelineSampler",
+]

@@ -1,0 +1,179 @@
+"""GPU hardware configuration.
+
+The defaults model a Fermi-class GPU (GTX 480 / the configuration GPGPU-Sim
+shipped for that generation), which is the class of machine the paper's
+evaluation simulates: 15 SIMT cores, 32-wide warps, up to 8 CTAs and 48 warps
+resident per core, a small per-core L1 data cache with a limited number of
+MSHRs, a banked shared L2, and a handful of DRAM channels.
+
+All latencies are expressed in core clock cycles; the simulator runs a single
+clock domain (see DESIGN.md, "Out of scope").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Immutable hardware description consumed by every simulator component.
+
+    Use :func:`GPUConfig.small` for unit tests (tiny GPU, fast) and the
+    default constructor for experiments.
+    """
+
+    # --- SIMT cores -------------------------------------------------------
+    num_sms: int = 15
+    warp_size: int = 32
+    max_ctas_per_sm: int = 8
+    max_warps_per_sm: int = 48
+    registers_per_sm: int = 32768
+    shared_mem_per_sm: int = 49152
+    issue_width: int = 2          # independent warp schedulers per SM
+    alu_latency: int = 4          # dependent-issue latency of a default ALU op
+    shared_latency: int = 24      # shared-memory access latency (no conflicts)
+    ldst_queue_depth: int = 8     # memory instructions the LD/ST unit buffers
+
+    # --- L1 data cache (per SM) -------------------------------------------
+    line_size: int = 128
+    l1_size: int = 16 * 1024
+    l1_assoc: int = 4
+    l1_mshr_entries: int = 16
+    l1_mshr_max_merge: int = 8
+    l1_hit_latency: int = 1       # hits are satisfied by the LD/ST pipeline
+
+    # --- Interconnect -----------------------------------------------------
+    icnt_latency: int = 40        # one-way SM <-> L2 partition latency
+    # Optional bandwidth model: transactions per cycle each direction can
+    # carry (0 = unlimited, the default; contention is then modelled at
+    # MSHRs, L2 banks and DRAM only — see docs/MODEL.md).
+    icnt_bw_per_direction: int = 0
+
+    # --- L2 cache (shared, banked by line address) -------------------------
+    l2_num_banks: int = 6
+    l2_size: int = 768 * 1024     # total across banks
+    l2_assoc: int = 8
+    l2_latency: int = 40
+    l2_mshr_entries: int = 64     # per bank
+    l2_mshr_max_merge: int = 16
+
+    # --- DRAM ---------------------------------------------------------------
+    dram_channels: int = 6
+    dram_banks_per_channel: int = 8
+    dram_row_lines: int = 16      # 128B lines per row buffer (2 KB rows)
+    dram_t_cas: int = 40          # row-hit access latency
+    dram_t_row_miss: int = 120    # precharge + activate + CAS
+    dram_t_burst: int = 8         # channel bus occupancy per 128B transfer
+
+    # --- Optional micro-architecture features (ablations) -------------------
+    # Next-line prefetch into L1 on a demand miss (dropped, not stalled,
+    # when no MSHR is free).  Helps streaming, wastes MSHRs on random access.
+    l1_prefetch_next_line: bool = False
+    # Write-combining: a store whose line matches one of the last few
+    # accepted stores is absorbed instead of written through.
+    store_coalescing: bool = False
+    store_coalesce_window: int = 4
+
+    # --- Simulation guard-rails ---------------------------------------------
+    max_cycles: int = 200_000_000
+
+    #: Fields where 0 means "feature off" rather than an invalid size.
+    _ZERO_OK = ("icnt_bw_per_direction",)
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, bool):
+                continue   # feature flags
+            if not isinstance(value, int):
+                raise ValueError(f"GPUConfig.{f.name} must be an int, got {value!r}")
+            minimum = 0 if f.name in self._ZERO_OK else 1
+            if value < minimum:
+                raise ValueError(
+                    f"GPUConfig.{f.name} must be >= {minimum}, got {value!r}")
+        if self.l1_size % (self.line_size * self.l1_assoc):
+            raise ValueError("l1_size must be a multiple of line_size * l1_assoc")
+        if self.l2_size % self.l2_num_banks:
+            raise ValueError("l2_size must divide evenly across l2_num_banks")
+        bank_size = self.l2_size // self.l2_num_banks
+        if bank_size % (self.line_size * self.l2_assoc):
+            raise ValueError("per-bank l2 size must be a multiple of line_size * l2_assoc")
+        if self.max_warps_per_sm < self.max_ctas_per_sm:
+            raise ValueError("max_warps_per_sm must be >= max_ctas_per_sm")
+        if self.issue_width > self.max_warps_per_sm:
+            raise ValueError("issue_width cannot exceed max_warps_per_sm")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def max_threads_per_sm(self) -> int:
+        return self.max_warps_per_sm * self.warp_size
+
+    @property
+    def l1_num_sets(self) -> int:
+        return self.l1_size // (self.line_size * self.l1_assoc)
+
+    @property
+    def l2_bank_num_sets(self) -> int:
+        return self.l2_size // self.l2_num_banks // (self.line_size * self.l2_assoc)
+
+    def with_overrides(self, **kwargs) -> "GPUConfig":
+        """Return a copy with the given fields replaced (validated)."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def kepler_class(cls, **kwargs) -> "GPUConfig":
+        """A Kepler-class (GTX-Titan-like) machine: fewer, fatter cores.
+
+        13 SMX-style cores with 16 CTA slots, 64 warp contexts and twice the
+        register file.  Used by the E19 robustness experiment to check that
+        the scheduling conclusions are not artefacts of the Fermi-class
+        default.
+        """
+        defaults = dict(
+            num_sms=13,
+            max_ctas_per_sm=16,
+            max_warps_per_sm=64,
+            registers_per_sm=65536,
+            l1_size=16 * 1024,
+            l2_size=1536 * 1024,
+            l2_num_banks=6,
+            dram_channels=6,
+        )
+        defaults.update(kwargs)
+        return cls(**defaults)
+
+    @classmethod
+    def small(cls, **kwargs) -> "GPUConfig":
+        """A scaled-down GPU for unit tests: 2 SMs, small caches, short latencies.
+
+        Keeps every structural feature (MSHRs, banking, row buffers) so tests
+        exercise the same code paths as the full configuration.
+        """
+        defaults = dict(
+            num_sms=2,
+            max_ctas_per_sm=4,
+            max_warps_per_sm=16,
+            registers_per_sm=8192,
+            shared_mem_per_sm=16384,
+            l1_size=4 * 1024,
+            l1_assoc=2,
+            l1_mshr_entries=8,
+            l1_mshr_max_merge=4,
+            icnt_latency=10,
+            l2_num_banks=2,
+            l2_size=32 * 1024,
+            l2_assoc=4,
+            l2_latency=10,
+            l2_mshr_entries=16,
+            dram_channels=2,
+            dram_banks_per_channel=4,
+            dram_t_cas=20,
+            dram_t_row_miss=50,
+            dram_t_burst=4,
+        )
+        defaults.update(kwargs)
+        return cls(**defaults)
+
+
+DEFAULT_CONFIG = GPUConfig()

@@ -1,0 +1,70 @@
+"""CTA (thread block) runtime state.
+
+A CTA is created when the CTA scheduler dispatches it to an SM.  It tracks
+barrier arrivals, warp completions and — centrally for LCS — the number of
+instructions its warps have issued (``issued_instrs``), which is the signal
+the paper's lazy CTA scheduler reads during its monitoring phase.
+
+``seq`` is the global dispatch sequence number (GTO ages by it); ``block_seq``
+is the dispatch sequence of the *block* of consecutive CTAs the scheduler
+grouped this CTA into (BCS/BAWS age by it; for non-block schedulers every CTA
+is its own block).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .warp import Warp
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .gpu import KernelRun
+    from .sm import SM
+
+
+class CTA:
+    __slots__ = ("run", "cta_id", "seq", "block_seq", "sm", "warps",
+                 "barrier_arrived", "done_warps", "issued_instrs",
+                 "issued_barriers", "dispatch_cycle", "complete_cycle")
+
+    def __init__(self, run: "KernelRun", cta_id: int, seq: int,
+                 block_seq: int, sm: "SM", dispatch_cycle: int) -> None:
+        self.run = run
+        self.cta_id = cta_id
+        self.seq = seq
+        self.block_seq = block_seq
+        self.sm = sm
+        self.warps: list[Warp] = []
+        self.barrier_arrived = 0
+        self.done_warps = 0
+        self.issued_instrs = 0
+        self.issued_barriers = 0
+        self.dispatch_cycle = dispatch_cycle
+        self.complete_cycle: int | None = None
+
+    def __repr__(self) -> str:
+        return (f"CTA(kernel={self.run.kernel.name}, id={self.cta_id}, "
+                f"seq={self.seq}, sm={self.sm.sm_id})")
+
+    @property
+    def kernel(self):
+        return self.run.kernel
+
+    @property
+    def num_warps(self) -> int:
+        return len(self.warps)
+
+    @property
+    def live_warps(self) -> int:
+        """Warps that have not executed EXIT yet (barrier arrival target)."""
+        return len(self.warps) - self.done_warps
+
+    @property
+    def complete(self) -> bool:
+        return self.done_warps == len(self.warps)
+
+    @property
+    def lifetime(self) -> int | None:
+        if self.complete_cycle is None:
+            return None
+        return self.complete_cycle - self.dispatch_cycle

@@ -1,0 +1,188 @@
+"""Top-level GPU: ties SMs, the memory system and a CTA scheduler together.
+
+The run loop is cycle-driven with event-queue fast-forward: when no SM can
+make progress without a memory response, the clock jumps straight to the
+next pending event (results are identical to ticking every cycle — the skip
+condition is exactly "no state transition can happen before that event").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from ..core.warp_schedulers import WarpScheduler, warp_scheduler_factory
+from ..mem.subsystem import MemorySubsystem
+from .config import DEFAULT_CONFIG, GPUConfig
+from .cta import CTA
+from .events import EventQueue
+from .kernel import Kernel
+from .sm import SM
+from .stats import KernelStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.cta_schedulers import CTAScheduler
+
+
+class SimulationError(RuntimeError):
+    """Base class for simulator failures."""
+
+
+class SimulationDeadlock(SimulationError):
+    """No SM can progress, no event is pending, yet work remains."""
+
+
+class SimulationTimeout(SimulationError):
+    """The run exceeded ``GPUConfig.max_cycles``."""
+
+
+class KernelRun:
+    """Runtime state of one launched kernel."""
+
+    __slots__ = ("kernel", "kernel_id", "stats", "next_cta", "completed",
+                 "regs_per_cta", "occupancy", "eligible")
+
+    def __init__(self, kernel: Kernel, kernel_id: int, config: GPUConfig) -> None:
+        self.kernel = kernel
+        self.kernel_id = kernel_id
+        self.stats = KernelStats(name=kernel.name, kernel_id=kernel_id,
+                                 num_ctas=kernel.num_ctas)
+        self.next_cta = 0
+        self.completed = 0
+        self.regs_per_cta = kernel.regs_per_cta(config)
+        self.occupancy = kernel.max_ctas_per_sm(config)
+        self.eligible = True
+
+    def __repr__(self) -> str:
+        return (f"KernelRun({self.kernel.name!r}, dispatched={self.next_cta}/"
+                f"{self.kernel.num_ctas}, completed={self.completed})")
+
+    @property
+    def pending(self) -> bool:
+        return self.next_cta < self.kernel.num_ctas
+
+    @property
+    def done(self) -> bool:
+        return self.completed == self.kernel.num_ctas
+
+
+class GPU:
+    """One simulated device.  Create, then :meth:`run` a CTA scheduler."""
+
+    def __init__(self, config: GPUConfig | None = None,
+                 warp_scheduler: str | Callable[[], WarpScheduler] = "gto") -> None:
+        self.config = config if config is not None else DEFAULT_CONFIG
+        self.events = EventQueue()
+        self.mem = MemorySubsystem(self.config, self.events)
+        if isinstance(warp_scheduler, str):
+            self.warp_scheduler_name = warp_scheduler
+            factory = warp_scheduler_factory(warp_scheduler)
+        else:
+            factory = warp_scheduler
+            self.warp_scheduler_name = getattr(factory, "name", "custom")
+        self.sms = [SM(self, sm_id, self.config, factory)
+                    for sm_id in range(self.config.num_sms)]
+        self.runs: list[KernelRun] = []
+        self.cycle = 0
+        self.cta_scheduler: "CTAScheduler | None" = None
+        self._cta_seq = 0
+        self._block_seq = 0
+
+    # ------------------------------------------------------------------ #
+    def launch(self, kernels: Iterable[Kernel]) -> list[KernelRun]:
+        """Register kernels for execution (called by the CTA scheduler)."""
+        if self.runs:
+            raise SimulationError("kernels already launched on this GPU")
+        self.runs = [KernelRun(kernel, kernel_id, self.config)
+                     for kernel_id, kernel in enumerate(kernels)]
+        if not self.runs:
+            raise ValueError("at least one kernel is required")
+        return self.runs
+
+    def next_block_seq(self) -> int:
+        seq = self._block_seq
+        self._block_seq += 1
+        return seq
+
+    def dispatch(self, sm: SM, run: KernelRun, block_seq: int | None,
+                 now: int) -> CTA:
+        """Dispatch the kernel's next CTA onto ``sm``."""
+        cta_id = run.next_cta
+        run.next_cta += 1
+        seq = self._cta_seq
+        self._cta_seq += 1
+        if block_seq is None:
+            block_seq = self.next_block_seq()
+        if run.stats.first_dispatch_cycle is None:
+            run.stats.first_dispatch_cycle = now
+        return sm.dispatch(run, cta_id, seq, block_seq, now)
+
+    def on_cta_complete(self, sm: SM, cta: CTA, now: int) -> None:
+        run = cta.run
+        run.completed += 1
+        run.stats.instructions += cta.issued_instrs
+        stats = run.stats
+        for warp in cta.warps:
+            stats.ready_wait += warp.t_ready
+            stats.alu_wait += warp.t_alu
+            stats.mem_wait += warp.t_mem
+            stats.barrier_wait += warp.t_barrier
+        if run.done:
+            run.stats.finish_cycle = now
+        if self.cta_scheduler is not None:
+            self.cta_scheduler.on_cta_complete(sm, cta, now)
+
+    # ------------------------------------------------------------------ #
+    def run(self, cta_scheduler: "CTAScheduler", *,
+            cycle_accurate: bool = False) -> None:
+        """Execute until every launched kernel completes.
+
+        ``cycle_accurate=True`` disables the event fast-forward and ticks
+        every single cycle.  Results are identical by construction (the
+        skip condition enumerates every possible state change); the flag
+        exists so the test suite can *prove* that equivalence, and as a
+        debugging aid.
+        """
+        self.cta_scheduler = cta_scheduler
+        cta_scheduler.bind(self)
+        events = self.events
+        sms = self.sms
+        max_cycles = self.config.max_cycles
+        cycle = self.cycle
+        while not cta_scheduler.done:
+            events.run_due(cycle)
+            cta_scheduler.fill(cycle)
+            active = False
+            for sm in sms:
+                if sm.tick(cycle):
+                    active = True
+            if active:
+                cycle += 1
+            else:
+                next_event = events.next_time()
+                if next_event is None:
+                    self.cycle = cycle
+                    raise SimulationDeadlock(
+                        f"cycle {cycle}: no progress possible; "
+                        f"runs={self.runs!r}")
+                if cycle_accurate:
+                    cycle += 1
+                else:
+                    cycle = max(cycle + 1, next_event)
+            if cycle > max_cycles:
+                self.cycle = cycle
+                raise SimulationTimeout(
+                    f"exceeded max_cycles={max_cycles}; runs={self.runs!r}")
+        # All CTAs have completed; drain in-flight memory traffic (pending
+        # write-throughs and late fills) so the memory-system statistics are
+        # complete.  The clock advances with the drain: a kernel is not done
+        # until its stores are visible.
+        while events:
+            drain_to = events.next_time()
+            events.run_due(drain_to)
+            cycle = max(cycle, drain_to)
+        self.cycle = cycle
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_issued(self) -> int:
+        return sum(sm.issued for sm in self.sms)

@@ -1,0 +1,152 @@
+"""Statistics containers shared across the simulator.
+
+Component-local counters (`CacheStats`, `DRAMStats`) are owned by the
+hardware models and mutated in the hot path; `KernelStats` and `RunResult`
+are assembled once at the end of a run by ``repro.harness.runner``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache (or an aggregate of several)."""
+
+    accesses: int = 0          # load lookups
+    hits: int = 0
+    misses: int = 0            # misses that allocated a new MSHR entry
+    merges: int = 0            # misses merged into a pending MSHR entry
+    mshr_stalls: int = 0       # cycles an access was rejected (MSHR/merge full)
+    write_accesses: int = 0
+    write_hits: int = 0
+    fills: int = 0
+    evictions: int = 0
+    prefetches: int = 0        # prefetch requests issued (L1 only)
+    stores_coalesced: int = 0  # stores absorbed by the write-combining buffer
+
+    @property
+    def miss_rate(self) -> float:
+        """Load miss rate counting merged misses as misses (demand view)."""
+        if not self.accesses:
+            return 0.0
+        return (self.misses + self.merges) / self.accesses
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.miss_rate if self.accesses else 0.0
+
+    def add(self, other: "CacheStats") -> None:
+        """Accumulate another cache's counters into this one."""
+        self.accesses += other.accesses
+        self.hits += other.hits
+        self.misses += other.misses
+        self.merges += other.merges
+        self.mshr_stalls += other.mshr_stalls
+        self.write_accesses += other.write_accesses
+        self.write_hits += other.write_hits
+        self.fills += other.fills
+        self.evictions += other.evictions
+        self.prefetches += other.prefetches
+        self.stores_coalesced += other.stores_coalesced
+
+
+@dataclass
+class DRAMStats:
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    bus_busy_cycles: int = 0   # total channel-bus occupancy (all channels)
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+
+@dataclass
+class KernelStats:
+    """Per-kernel outcome of a simulation run."""
+
+    name: str
+    kernel_id: int
+    num_ctas: int
+    instructions: int = 0
+    launch_cycle: int = 0      # when the kernel became eligible for dispatch
+    first_dispatch_cycle: int | None = None
+    finish_cycle: int | None = None
+    # Warp-state time integrals, summed over all the kernel's warps:
+    # cycles spent ready-but-not-issued, waiting on ALU latency, waiting on
+    # memory, and waiting at barriers.
+    ready_wait: int = 0
+    alu_wait: int = 0
+    mem_wait: int = 0
+    barrier_wait: int = 0
+
+    @property
+    def cycles(self) -> int:
+        """Cycles from launch to completion (0 if unfinished)."""
+        if self.finish_cycle is None:
+            return 0
+        return self.finish_cycle - self.launch_cycle
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def stall_breakdown(self) -> dict[str, float]:
+        """Fraction of warp-time per wait state (sums to ~1)."""
+        total = self.ready_wait + self.alu_wait + self.mem_wait \
+            + self.barrier_wait
+        if not total:
+            return {"ready": 0.0, "alu": 0.0, "mem": 0.0, "barrier": 0.0}
+        return {
+            "ready": self.ready_wait / total,
+            "alu": self.alu_wait / total,
+            "mem": self.mem_wait / total,
+            "barrier": self.barrier_wait / total,
+        }
+
+
+@dataclass
+class RunResult:
+    """Everything a simulation run reports back to the harness."""
+
+    cycles: int
+    instructions: int
+    kernels: dict[str, KernelStats]
+    l1: CacheStats
+    l2: CacheStats
+    dram: DRAMStats
+    issued_by_sm: list[int]
+    # Per-SM CTA limits in force at the end of the run (LCS decisions show
+    # up here; None means "no policy limit beyond occupancy").
+    cta_limits: dict[int, int | None] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def kernel(self, name: str) -> KernelStats:
+        return self.kernels[name]
+
+    def summary(self) -> str:
+        """A short human-readable digest (used by examples)."""
+        lines = [
+            f"cycles={self.cycles}  instructions={self.instructions}  IPC={self.ipc:.3f}",
+            f"L1: accesses={self.l1.accesses} miss_rate={self.l1.miss_rate:.3f} "
+            f"mshr_stalls={self.l1.mshr_stalls}",
+            f"L2: accesses={self.l2.accesses} miss_rate={self.l2.miss_rate:.3f}",
+            f"DRAM: reads={self.dram.reads} writes={self.dram.writes} "
+            f"row_hit_rate={self.dram.row_hit_rate:.3f}",
+        ]
+        for ks in self.kernels.values():
+            lines.append(
+                f"  kernel {ks.name}: instrs={ks.instructions} cycles={ks.cycles} "
+                f"IPC={ks.ipc:.3f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Timeline sampling: occupancy and issue rate over time.
+
+A :class:`TimelineSampler` rides the GPU's event queue and records, every
+``period`` cycles, a :class:`Sample` of per-SM resident CTAs/warps and the
+machine-wide issue count.  This is how the LCS drain phase, BCS pairing and
+mixed-CKE backfill become *visible* (the occupancy staircase after the LCS
+decision, for instance), and it costs one event per period — negligible.
+
+Usage::
+
+    gpu = GPU(config)
+    sampler = TimelineSampler(gpu, period=500)
+    gpu.run(scheduler)
+    for sample in sampler.samples:
+        print(sample.cycle, sample.mean_ctas_per_sm, sample.ipc_since_last)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .gpu import GPU
+
+
+@dataclass(frozen=True)
+class Sample:
+    cycle: int
+    ctas_per_sm: tuple[int, ...]
+    warps_per_sm: tuple[int, ...]
+    issued_total: int
+    issued_since_last: int
+
+    @property
+    def mean_ctas_per_sm(self) -> float:
+        return sum(self.ctas_per_sm) / len(self.ctas_per_sm)
+
+    @property
+    def mean_warps_per_sm(self) -> float:
+        return sum(self.warps_per_sm) / len(self.warps_per_sm)
+
+
+class TimelineSampler:
+    """Attach to a GPU *before* ``run()``; samples accumulate in order."""
+
+    def __init__(self, gpu: "GPU", period: int = 1000) -> None:
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.gpu = gpu
+        self.period = period
+        self.samples: list[Sample] = []
+        self._last_issued = 0
+        gpu.events.schedule(period, self._tick, None)
+
+    def _tick(self, now: int, _arg) -> None:
+        gpu = self.gpu
+        issued = gpu.total_issued
+        self.samples.append(Sample(
+            cycle=now,
+            ctas_per_sm=tuple(sm.used_slots for sm in gpu.sms),
+            warps_per_sm=tuple(sm.used_warps for sm in gpu.sms),
+            issued_total=issued,
+            issued_since_last=issued - self._last_issued,
+        ))
+        self._last_issued = issued
+        # Keep sampling while the machine is busy; the GPU drains pending
+        # events after completion, so stop once everything went idle.
+        if any(sm.used_slots for sm in gpu.sms) or not self._done():
+            gpu.events.schedule(now + self.period, self._tick, None)
+
+    def _done(self) -> bool:
+        scheduler = self.gpu.cta_scheduler
+        return scheduler is not None and scheduler.done
+
+    @property
+    def ipc_series(self) -> list[float]:
+        """Machine IPC per sampling period."""
+        return [s.issued_since_last / self.period for s in self.samples]
+
+    def occupancy_series(self) -> list[float]:
+        return [s.mean_ctas_per_sm for s in self.samples]

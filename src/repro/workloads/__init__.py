@@ -1,0 +1,20 @@
+"""Synthetic workload suite and trace-building utilities."""
+
+from .patterns import (DEFAULT_SEED, Region, gather_lines, hot_cold_lines,
+                       private_footprint, region_base, rng_for, stream_lines,
+                       tile_with_halo, warp_slice)
+from .programs import TraceBuilder, instruction_mix, memory_intensity
+from .suite import (CKE_PAIRS, CORE_SET, LCS_SET, LOCALITY_SET,
+                    MOTIVATION_SET, SUITE,
+                    BenchmarkInfo, make_kernel, suite_names)
+from .fuzz import random_kernel
+from .tracefile import load_kernel_trace, save_kernel_trace
+
+__all__ = [
+    "DEFAULT_SEED", "Region", "gather_lines", "hot_cold_lines",
+    "private_footprint", "region_base", "rng_for", "stream_lines",
+    "tile_with_halo", "warp_slice", "TraceBuilder", "instruction_mix",
+    "memory_intensity", "CKE_PAIRS", "CORE_SET", "LCS_SET", "LOCALITY_SET",
+    "MOTIVATION_SET", "SUITE", "BenchmarkInfo", "make_kernel", "suite_names",
+    "load_kernel_trace", "random_kernel", "save_kernel_trace",
+]

@@ -1,0 +1,134 @@
+"""Address-pattern building blocks for synthetic kernels.
+
+All patterns work in units of 128-byte cache lines and are fully
+deterministic: randomness comes from :func:`rng_for`, which seeds a
+generator from (suite seed, kernel name, CTA id, warp index) via numpy's
+``SeedSequence`` (stable across processes and platforms).
+
+These are the signatures that drive the paper's phenomena:
+
+* :func:`stream_lines`          — unique coalesced lines, no reuse
+  (bandwidth-bound);
+* :func:`private_footprint`     — a small per-warp region accessed randomly
+  (cache-sensitive: hit if few CTAs resident, thrash if many);
+* :func:`gather_lines`          — multi-line uncoalesced accesses (MSHR
+  pressure);
+* :func:`hot_cold_lines`        — a small shared hot set mixed with a large
+  cold region (irregular/graph);
+* :func:`tile_with_halo`        — per-CTA tile plus a halo overlapping the
+  *next* CTA's tile (inter-CTA locality: the BCS target).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Default global seed for the whole suite (overridable per kernel factory).
+DEFAULT_SEED = 20140219  # HPCA 2014 conference dates
+
+
+def rng_for(seed: int, kernel_name: str, cta_id: int, warp_idx: int) -> np.random.Generator:
+    """A deterministic per-warp random generator."""
+    salt = zlib.crc32(kernel_name.encode("utf-8"))
+    return np.random.default_rng(
+        np.random.SeedSequence([seed, salt, cta_id, warp_idx]))
+
+
+def region_base(kernel_name: str, which: int = 0) -> int:
+    """A deterministic, well-separated line-address base for a kernel array.
+
+    Different kernels (and different arrays of one kernel) get regions at
+    least 2**22 lines apart, so concurrent kernels never alias.
+    """
+    salt = zlib.crc32(kernel_name.encode("utf-8")) % 997
+    return (salt * 16 + which) * (1 << 22)
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous array of cache lines."""
+
+    base: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.length < 1:
+            raise ValueError("region must have non-negative base, positive length")
+
+    def line(self, offset: int) -> int:
+        return self.base + (offset % self.length)
+
+
+# --------------------------------------------------------------------------- #
+def stream_lines(region: Region, stream_index: int, count: int) -> list[int]:
+    """``count`` unique consecutive lines for the ``stream_index``-th stream.
+
+    Each stream (typically one per warp) walks its own disjoint slice, the
+    classic fully-coalesced streaming pattern: no reuse anywhere.
+    """
+    start = stream_index * count
+    return [region.line(start + i) for i in range(count)]
+
+
+def private_footprint(region: Region, owner_index: int, footprint: int,
+                      rng: np.random.Generator, accesses: int) -> list[int]:
+    """Random accesses within a small private footprint.
+
+    Owner ``owner_index`` owns lines ``[owner*footprint, (owner+1)*footprint)``
+    of the region.  Reuse is high *if* the footprint stays cache-resident —
+    which is exactly what the number of co-resident CTAs decides.
+    """
+    base = owner_index * footprint
+    offsets = rng.integers(0, footprint, size=accesses)
+    return [region.line(base + int(off)) for off in offsets]
+
+
+def gather_lines(region: Region, rng: np.random.Generator, accesses: int,
+                 lines_per_access: int) -> list[tuple[int, ...]]:
+    """Uncoalesced gathers: each access touches several distinct lines."""
+    out: list[tuple[int, ...]] = []
+    for _ in range(accesses):
+        offsets = rng.choice(region.length, size=lines_per_access, replace=False)
+        out.append(tuple(region.base + int(off) for off in offsets))
+    return out
+
+
+def hot_cold_lines(hot: Region, cold: Region, rng: np.random.Generator,
+                   accesses: int, hot_fraction: float) -> list[int]:
+    """A mix of a small shared hot set and a large cold region."""
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must be in [0, 1]")
+    picks = rng.random(accesses) < hot_fraction
+    hot_offsets = rng.integers(0, hot.length, size=accesses)
+    cold_offsets = rng.integers(0, cold.length, size=accesses)
+    return [hot.line(int(h)) if is_hot else cold.line(int(c))
+            for is_hot, h, c in zip(picks, hot_offsets, cold_offsets)]
+
+
+def tile_with_halo(region: Region, cta_id: int, tile_lines: int,
+                   halo_lines: int, offset: int = 0) -> list[int]:
+    """The read set of CTA ``cta_id`` in a 1-D stencil decomposition.
+
+    CTA *i* owns tile ``[i*T, (i+1)*T)`` and additionally reads the first
+    ``halo_lines`` of CTA *i+1*'s tile — so consecutive CTAs share exactly
+    ``halo_lines`` lines.  Placed on the same core close in time (BCS+BAWS),
+    the shared lines are fetched once; spread across cores (baseline), they
+    are fetched twice.  ``offset`` shifts the whole plane (time-marching
+    stencils read a different plane per step).
+    """
+    if halo_lines < 0 or tile_lines < 1:
+        raise ValueError("tile_lines must be >= 1, halo_lines >= 0")
+    if offset < 0:
+        raise ValueError("offset must be non-negative")
+    start = offset + cta_id * tile_lines
+    return [region.line(start + i) for i in range(tile_lines + halo_lines)]
+
+
+def warp_slice(lines: list[int], warp_idx: int, num_warps: int) -> list[int]:
+    """Round-robin split of a CTA-wide line list among its warps."""
+    if not 0 <= warp_idx < num_warps:
+        raise ValueError("warp_idx out of range")
+    return lines[warp_idx::num_warps]

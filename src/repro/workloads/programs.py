@@ -1,0 +1,107 @@
+"""Trace builder: composes per-warp instruction lists.
+
+``TraceBuilder`` is a tiny fluent helper the benchmark factories use to
+assemble warp programs; it enforces the ISA's well-formedness rules (single
+trailing EXIT) via :func:`repro.sim.isa.validate_program` at build time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..sim.isa import Instruction, Op, validate_program
+
+
+class TraceBuilder:
+    """Accumulates instructions for one warp."""
+
+    def __init__(self, *, alu_latency: int = 4, shared_latency: int = 24) -> None:
+        if alu_latency < 1 or shared_latency < 1:
+            raise ValueError("latencies must be >= 1")
+        self._alu_latency = alu_latency
+        self._shared_latency = shared_latency
+        self._program: list[Instruction] = []
+        self._built = False
+
+    # ------------------------------------------------------------------ #
+    def alu(self, count: int = 1, latency: int | None = None) -> "TraceBuilder":
+        latency = latency if latency is not None else self._alu_latency
+        inst = Instruction(Op.ALU, latency=latency)
+        self._program.extend([inst] * count)
+        return self
+
+    def shared(self, count: int = 1, latency: int | None = None) -> "TraceBuilder":
+        latency = latency if latency is not None else self._shared_latency
+        inst = Instruction(Op.SHARED, latency=latency)
+        self._program.extend([inst] * count)
+        return self
+
+    def load(self, lines: int | Iterable[int]) -> "TraceBuilder":
+        if isinstance(lines, int):
+            lines = (lines,)
+        self._program.append(Instruction(Op.LD_GLOBAL, lines=tuple(lines)))
+        return self
+
+    def load_strided(self, base_byte: int, stride_elems: int, *,
+                     lanes: int = 32, elem_size: int = 4) -> "TraceBuilder":
+        """A byte-level warp access, coalesced by the hardware rules.
+
+        Lane *i* reads ``base_byte + i * stride_elems * elem_size``; the
+        coalescer collapses the 32 lanes into the minimal set of 128-byte
+        transactions (1 for unit stride, up to 32 for scattered strides).
+        This is the entry point for users thinking in addresses rather
+        than cache lines.
+        """
+        from ..mem.coalescer import warp_access
+        lines = warp_access(base_byte, stride_elems, lanes=lanes,
+                            elem_size=elem_size)
+        self._program.append(Instruction(Op.LD_GLOBAL, lines=lines))
+        return self
+
+    def load_each(self, lines: Iterable[int],
+                  alu_between: int = 0) -> "TraceBuilder":
+        """One single-line load per element, optionally interleaved with ALU."""
+        for line in lines:
+            self.load(line)
+            if alu_between:
+                self.alu(alu_between)
+        return self
+
+    def store(self, lines: int | Iterable[int]) -> "TraceBuilder":
+        if isinstance(lines, int):
+            lines = (lines,)
+        self._program.append(Instruction(Op.ST_GLOBAL, lines=tuple(lines)))
+        return self
+
+    def barrier(self) -> "TraceBuilder":
+        self._program.append(Instruction(Op.BARRIER))
+        return self
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._program)
+
+    def build(self) -> list[Instruction]:
+        """Append EXIT, validate, and return the finished program."""
+        if self._built:
+            raise RuntimeError("TraceBuilder.build() may only be called once")
+        self._built = True
+        self._program.append(Instruction(Op.EXIT))
+        validate_program(self._program)
+        return self._program
+
+
+def instruction_mix(program: Sequence[Instruction]) -> dict[str, int]:
+    """Histogram of opcodes (used by the benchmark-characteristics table)."""
+    mix: dict[str, int] = {}
+    for inst in program:
+        mix[inst.op.name] = mix.get(inst.op.name, 0) + 1
+    return mix
+
+
+def memory_intensity(program: Sequence[Instruction]) -> float:
+    """Fraction of instructions that access global memory."""
+    if not program:
+        return 0.0
+    mem = sum(1 for inst in program if inst.is_memory)
+    return mem / len(program)

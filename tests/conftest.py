@@ -1,0 +1,13 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import GPUConfig
+
+
+@pytest.fixture
+def small_config() -> GPUConfig:
+    """A 2-SM GPU with small caches — fast, but structurally complete."""
+    return GPUConfig.small()

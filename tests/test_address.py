@@ -1,0 +1,58 @@
+"""Unit tests for address mapping."""
+
+import pytest
+
+from repro.mem.address import dram_coordinates, l2_bank_of, line_of
+
+
+class TestLineOf:
+    def test_basic(self):
+        assert line_of(0, 128) == 0
+        assert line_of(127, 128) == 0
+        assert line_of(128, 128) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            line_of(-1, 128)
+
+
+class TestL2Bank:
+    def test_interleaves_at_line_granularity(self):
+        banks = [l2_bank_of(line, 6) for line in range(12)]
+        assert banks == [0, 1, 2, 3, 4, 5, 0, 1, 2, 3, 4, 5]
+
+
+class TestDRAMCoordinates:
+    def test_row_chunked_channel_interleave(self):
+        # 16 consecutive lines share one (channel, bank, row) chunk.
+        first = dram_coordinates(0, channels=6, banks=8, row_lines=16)
+        last = dram_coordinates(15, channels=6, banks=8, row_lines=16)
+        assert first == last
+
+    def test_next_chunk_moves_channel(self):
+        a = dram_coordinates(0, channels=6, banks=8, row_lines=16)
+        b = dram_coordinates(16, channels=6, banks=8, row_lines=16)
+        assert b.channel == (a.channel + 1) % 6
+
+    def test_banks_cycle_after_channels(self):
+        row_lines, channels, banks = 16, 6, 8
+        a = dram_coordinates(0, channels, banks, row_lines)
+        b = dram_coordinates(row_lines * channels, channels, banks, row_lines)
+        assert b.channel == a.channel
+        assert b.bank == a.bank + 1
+
+    def test_rows_advance_after_all_banks(self):
+        row_lines, channels, banks = 16, 6, 8
+        stride = row_lines * channels * banks
+        a = dram_coordinates(5, channels, banks, row_lines)
+        b = dram_coordinates(5 + stride, channels, banks, row_lines)
+        assert (b.channel, b.bank) == (a.channel, a.bank)
+        assert b.row == a.row + 1
+
+    def test_coordinates_partition_address_space(self):
+        seen = set()
+        for line in range(6 * 8 * 16 * 2):
+            coords = dram_coordinates(line, 6, 8, 16)
+            seen.add((coords.channel, coords.bank, coords.row, line % 16))
+        # Every (channel, bank, row, offset) combination is hit exactly once.
+        assert len(seen) == 6 * 8 * 16 * 2

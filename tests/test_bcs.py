@@ -1,0 +1,113 @@
+"""Tests for BCS block dispatch."""
+
+import pytest
+
+from repro.core.bcs import BCSScheduler
+from repro.harness.runner import simulate
+from repro.sim.config import GPUConfig
+from repro.sim.gpu import GPU
+
+from helpers import alu_program, make_test_kernel
+
+
+class TestConstruction:
+    def test_rejects_zero_block(self):
+        with pytest.raises(ValueError):
+            BCSScheduler(make_test_kernel(), block_size=0)
+
+    def test_rejects_zero_limit(self):
+        with pytest.raises(ValueError):
+            BCSScheduler(make_test_kernel(), limit_per_sm=0)
+
+
+def _placements(gpu):
+    out = {}
+    for sm in gpu.sms:
+        for cta in sm.active_ctas:
+            out[cta.cta_id] = (sm.sm_id, cta.block_seq)
+    return out
+
+
+class TestBlockDispatch:
+    def test_consecutive_ctas_share_sm_and_block(self, small_config):
+        kernel = make_test_kernel(num_ctas=8, warps_per_cta=1,
+                                  regs_per_thread=0)
+        gpu = GPU(config=small_config)
+        scheduler = BCSScheduler(kernel, block_size=2)
+        scheduler.bind(gpu)
+        scheduler.fill(0)
+        placements = _placements(gpu)
+        for even in (0, 2, 4, 6):
+            assert placements[even][0] == placements[even + 1][0]
+            assert placements[even][1] == placements[even + 1][1]
+
+    def test_blocks_have_distinct_block_seq(self, small_config):
+        kernel = make_test_kernel(num_ctas=8, warps_per_cta=1,
+                                  regs_per_thread=0)
+        gpu = GPU(config=small_config)
+        scheduler = BCSScheduler(kernel, block_size=2)
+        scheduler.bind(gpu)
+        scheduler.fill(0)
+        placements = _placements(gpu)
+        block_seqs = {placements[c][1] for c in placements}
+        assert len(block_seqs) == 4
+
+    def test_odd_tail_dispatches_smaller_block(self, small_config):
+        kernel = make_test_kernel(num_ctas=5, warps_per_cta=1,
+                                  regs_per_thread=0)
+        gpu = GPU(config=small_config)
+        scheduler = BCSScheduler(kernel, block_size=2)
+        scheduler.bind(gpu)
+        scheduler.fill(0)
+        assert len(_placements(gpu)) == 5
+
+    def test_block_size_capped_by_occupancy(self, small_config):
+        # Occupancy is 2 (8 warps/CTA on a 16-warp SM); block 4 must clamp.
+        kernel = make_test_kernel(num_ctas=8, warps_per_cta=8,
+                                  regs_per_thread=0)
+        result = simulate(kernel, config=small_config,
+                          cta_scheduler=BCSScheduler(kernel, block_size=4))
+        assert result.kernel("test").finish_cycle is not None
+
+    def test_odd_occupancy_slot_topped_off(self):
+        config = GPUConfig.small(num_sms=1, max_ctas_per_sm=3)
+        kernel = make_test_kernel(num_ctas=3, warps_per_cta=1,
+                                  regs_per_thread=0)
+        gpu = GPU(config=config)
+        scheduler = BCSScheduler(kernel, block_size=2)
+        scheduler.bind(gpu)
+        scheduler.fill(0)
+        # 2-CTA block + 1 single: all three slots used.
+        assert gpu.sms[0].used_slots == 3
+
+    def test_completes_whole_grid(self, small_config):
+        kernel = make_test_kernel(num_ctas=21, warps_per_cta=2)
+        result = simulate(kernel, config=small_config,
+                          cta_scheduler=BCSScheduler(kernel))
+        assert result.kernel("test").finish_cycle is not None
+        assert result.instructions == 21 * 2 * len(alu_program())
+
+    def test_block_one_equals_baseline_cycles(self, small_config):
+        a = make_test_kernel(num_ctas=12, warps_per_cta=2)
+        baseline = simulate(a, config=small_config)
+        b = make_test_kernel(num_ctas=12, warps_per_cta=2)
+        bcs1 = simulate(b, config=small_config,
+                        cta_scheduler=BCSScheduler(b, block_size=1))
+        assert bcs1.cycles == baseline.cycles
+
+    def test_static_limit_composes(self, small_config):
+        kernel = make_test_kernel(num_ctas=16, warps_per_cta=1,
+                                  regs_per_thread=0)
+        gpu = GPU(config=small_config)
+        scheduler = BCSScheduler(kernel, block_size=2, limit_per_sm=2)
+        scheduler.bind(gpu)
+        scheduler.fill(0)
+        for sm in gpu.sms:
+            assert sm.used_slots == 2
+
+    def test_blocks_dispatched_counter(self, small_config):
+        kernel = make_test_kernel(num_ctas=8, warps_per_cta=1,
+                                  regs_per_thread=0)
+        result = simulate(kernel, config=small_config,
+                          cta_scheduler=(scheduler := BCSScheduler(kernel)))
+        assert scheduler.blocks_dispatched == 4

@@ -1,0 +1,168 @@
+"""Unit tests for the set-associative cache and its MSHRs."""
+
+import pytest
+
+from repro.mem.cache import Access, Cache
+
+
+def make_cache(sets=4, assoc=2, mshr=4, merge=2) -> Cache:
+    return Cache("test", num_sets=sets, assoc=assoc, mshr_entries=mshr,
+                 mshr_max_merge=merge)
+
+
+class TestGeometry:
+    def test_rejects_zero_sets(self):
+        with pytest.raises(ValueError):
+            Cache("bad", num_sets=0, assoc=2, mshr_entries=1, mshr_max_merge=1)
+
+    def test_rejects_zero_assoc(self):
+        with pytest.raises(ValueError):
+            Cache("bad", num_sets=4, assoc=0, mshr_entries=1, mshr_max_merge=1)
+
+    def test_rejects_zero_mshr(self):
+        with pytest.raises(ValueError):
+            Cache("bad", num_sets=4, assoc=2, mshr_entries=0, mshr_max_merge=1)
+
+
+class TestLoadPath:
+    def test_cold_miss_allocates_mshr(self):
+        cache = make_cache()
+        assert cache.lookup_load(10, "w0") is Access.MISS
+        assert cache.pending(10)
+        assert cache.stats.misses == 1
+
+    def test_second_load_same_line_merges(self):
+        cache = make_cache()
+        cache.lookup_load(10, "w0")
+        assert cache.lookup_load(10, "w1") is Access.MERGED
+        assert cache.stats.merges == 1
+
+    def test_fill_returns_all_waiters_in_order(self):
+        cache = make_cache()
+        cache.lookup_load(10, "w0")
+        cache.lookup_load(10, "w1")
+        assert cache.fill(10) == ["w0", "w1"]
+        assert not cache.pending(10)
+
+    def test_hit_after_fill(self):
+        cache = make_cache()
+        cache.lookup_load(10, "w0")
+        cache.fill(10)
+        assert cache.lookup_load(10, "w1") is Access.HIT
+        assert cache.stats.hits == 1
+
+    def test_merge_capacity_stalls(self):
+        cache = make_cache(merge=2)
+        cache.lookup_load(10, "w0")
+        cache.lookup_load(10, "w1")
+        assert cache.lookup_load(10, "w2") is Access.STALL
+        assert cache.stats.mshr_stalls == 1
+
+    def test_mshr_exhaustion_stalls(self):
+        cache = make_cache(mshr=2)
+        cache.lookup_load(1, "a")
+        cache.lookup_load(2, "b")
+        assert cache.lookup_load(3, "c") is Access.STALL
+        assert cache.mshr_free == 0
+
+    def test_stall_does_not_count_as_access(self):
+        cache = make_cache(mshr=1)
+        cache.lookup_load(1, "a")
+        cache.lookup_load(2, "b")   # stall
+        assert cache.stats.accesses == 1
+
+    def test_mshr_frees_after_fill(self):
+        cache = make_cache(mshr=1)
+        cache.lookup_load(1, "a")
+        cache.fill(1)
+        assert cache.lookup_load(2, "b") is Access.MISS
+
+
+class TestReplacement:
+    def test_lru_eviction(self):
+        cache = make_cache(sets=1, assoc=2)
+        for line in (1, 2):
+            cache.lookup_load(line, "w")
+            cache.fill(line)
+        # Touch line 1 so line 2 becomes LRU.
+        assert cache.lookup_load(1, "w") is Access.HIT
+        cache.lookup_load(3, "w")
+        cache.fill(3)
+        assert cache.contains(1)
+        assert not cache.contains(2)
+        assert cache.stats.evictions == 1
+
+    def test_lines_map_to_distinct_sets(self):
+        cache = make_cache(sets=4, assoc=1)
+        for line in range(4):
+            cache.lookup_load(line, "w")
+            cache.fill(line)
+        assert all(cache.contains(line) for line in range(4))
+
+    def test_conflicting_lines_evict_within_set(self):
+        cache = make_cache(sets=4, assoc=1)
+        cache.lookup_load(0, "w")
+        cache.fill(0)
+        cache.lookup_load(4, "w")   # same set (4 % 4 == 0)
+        cache.fill(4)
+        assert not cache.contains(0)
+        assert cache.contains(4)
+
+    def test_fill_without_mshr_is_allowed(self):
+        cache = make_cache()
+        assert cache.fill(42) == []
+        assert cache.contains(42)
+
+    def test_duplicate_fill_does_not_double_insert(self):
+        cache = make_cache(sets=1, assoc=2)
+        cache.fill(1)
+        cache.fill(1)
+        assert cache.stats.fills == 1
+
+
+class TestWritePath:
+    def test_write_miss_does_not_allocate(self):
+        cache = make_cache()
+        assert cache.write_probe(10) is False
+        assert not cache.contains(10)
+        assert cache.stats.write_accesses == 1
+
+    def test_write_hit_updates_lru(self):
+        cache = make_cache(sets=1, assoc=2)
+        for line in (1, 2):
+            cache.fill(line)
+        assert cache.write_probe(1) is True
+        cache.fill(3)
+        # 2 was LRU after the write touched 1.
+        assert cache.contains(1)
+        assert not cache.contains(2)
+
+
+class TestFlushAndStats:
+    def test_flush_clears_lines(self):
+        cache = make_cache()
+        cache.fill(1)
+        cache.flush()
+        assert not cache.contains(1)
+
+    def test_flush_with_pending_miss_raises(self):
+        cache = make_cache()
+        cache.lookup_load(1, "w")
+        with pytest.raises(RuntimeError):
+            cache.flush()
+
+    def test_miss_rate_counts_merges_as_misses(self):
+        cache = make_cache()
+        cache.lookup_load(1, "a")     # miss
+        cache.lookup_load(1, "b")     # merge
+        cache.fill(1)
+        cache.lookup_load(1, "c")     # hit
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_contains_does_not_touch_lru(self):
+        cache = make_cache(sets=1, assoc=2)
+        cache.fill(1)
+        cache.fill(2)
+        cache.contains(1)             # must NOT refresh line 1
+        cache.fill(3)
+        assert not cache.contains(1)  # 1 was still LRU

@@ -1,0 +1,141 @@
+"""Tests for the concurrent-kernel-execution policies."""
+
+import pytest
+
+from repro.core.cke import MixedCKE, SequentialCKE, SMKEvenCKE, SpatialCKE
+from repro.harness.runner import simulate
+from repro.sim.gpu import GPU
+
+from helpers import alu_program, make_test_kernel
+
+
+def pair(n=6):
+    return [make_test_kernel(name="a", num_ctas=n, warps_per_cta=2),
+            make_test_kernel(name="b", num_ctas=n, warps_per_cta=2)]
+
+
+class TestSequential:
+    def test_kernels_run_in_order(self, small_config):
+        kernels = pair()
+        result = simulate(kernels, config=small_config,
+                          cta_scheduler=SequentialCKE(kernels))
+        a, b = result.kernel("a"), result.kernel("b")
+        assert a.finish_cycle is not None and b.finish_cycle is not None
+        # b's first dispatch comes only after a fully completes.
+        assert b.first_dispatch_cycle > a.finish_cycle
+
+    def test_single_kernel_degenerates_gracefully(self, small_config):
+        kernel = make_test_kernel(num_ctas=4)
+        result = simulate(kernel, config=small_config,
+                          cta_scheduler=SequentialCKE(kernel))
+        assert result.kernel("test").finish_cycle is not None
+
+
+class TestSpatial:
+    def test_requires_two_kernels(self):
+        with pytest.raises(ValueError):
+            SpatialCKE([make_test_kernel()])
+
+    def test_kernels_never_share_an_sm(self, small_config):
+        kernels = pair(n=8)
+        gpu = GPU(config=small_config)
+        scheduler = SpatialCKE(kernels)
+        scheduler.bind(gpu)
+        scheduler.fill(0)
+        for sm in gpu.sms:
+            owners = {cta.run.kernel_id for cta in sm.active_ctas}
+            assert len(owners) <= 1
+
+    def test_share_partition(self, small_config):
+        kernels = pair()
+        scheduler = SpatialCKE(kernels, shares=[1, 1])
+        simulate(kernels, config=small_config, cta_scheduler=scheduler)
+        assert scheduler.sms_of(0) == [0]
+        assert scheduler.sms_of(1) == [1]
+
+    def test_bad_shares_rejected(self, small_config):
+        kernels = pair()
+        scheduler = SpatialCKE(kernels, shares=[3, 5])
+        gpu = GPU(config=small_config)   # only 2 SMs
+        with pytest.raises(ValueError):
+            scheduler.bind(gpu)
+
+    def test_share_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialCKE(pair(), shares=[1])
+
+
+class TestSMKEven:
+    def test_requires_two_kernels(self):
+        with pytest.raises(ValueError):
+            SMKEvenCKE([make_test_kernel()])
+
+    def test_each_kernel_capped_at_half(self, small_config):
+        kernels = [make_test_kernel(name="a", num_ctas=16, warps_per_cta=1,
+                                    regs_per_thread=0),
+                   make_test_kernel(name="b", num_ctas=16, warps_per_cta=1,
+                                    regs_per_thread=0)]
+        gpu = GPU(config=small_config)   # occupancy 4 -> share 2
+        scheduler = SMKEvenCKE(kernels)
+        scheduler.bind(gpu)
+        scheduler.fill(0)
+        for sm in gpu.sms:
+            assert sm.active_count(0) == 2
+            assert sm.active_count(1) == 2
+
+    def test_survivor_expands(self, small_config):
+        kernels = [make_test_kernel(name="a", num_ctas=2, warps_per_cta=1),
+                   make_test_kernel(name="b", num_ctas=12, warps_per_cta=1)]
+        result = simulate(kernels, config=small_config,
+                          cta_scheduler=SMKEvenCKE(kernels))
+        assert result.kernel("b").finish_cycle is not None
+
+
+class TestMixed:
+    def test_requires_two_kernels(self):
+        with pytest.raises(ValueError):
+            MixedCKE([make_test_kernel()])
+
+    def test_primary_index_validated(self):
+        with pytest.raises(ValueError):
+            MixedCKE(pair(), primary=5)
+
+    def test_monitor_sm_hosts_primary_alone_during_monitoring(self, small_config):
+        kernels = pair(n=12)
+        gpu = GPU(config=small_config)
+        scheduler = MixedCKE(kernels, monitor_sm=0)
+        scheduler.bind(gpu)
+        scheduler.fill(0)
+        monitor = gpu.sms[0]
+        owners = {cta.run.kernel_id for cta in monitor.active_ctas}
+        assert owners == {0}
+
+    def test_other_sms_mix_during_monitoring(self, small_config):
+        kernels = [make_test_kernel(name="a", num_ctas=16, warps_per_cta=1,
+                                    regs_per_thread=0),
+                   make_test_kernel(name="b", num_ctas=16, warps_per_cta=1,
+                                    regs_per_thread=0)]
+        gpu = GPU(config=small_config)
+        scheduler = MixedCKE(kernels, monitor_sm=0)
+        scheduler.bind(gpu)
+        scheduler.fill(0)
+        other = gpu.sms[1]
+        owners = {cta.run.kernel_id for cta in other.active_ctas}
+        assert owners == {0, 1}
+
+    def test_decision_made_and_run_completes(self, small_config):
+        kernels = pair(n=10)
+        scheduler = MixedCKE(kernels)
+        result = simulate(kernels, config=small_config,
+                          cta_scheduler=scheduler)
+        assert scheduler.decision is not None
+        assert result.kernel("a").finish_cycle is not None
+        assert result.kernel("b").finish_cycle is not None
+
+    def test_all_work_executes_exactly_once(self, small_config):
+        kernels = pair(n=10)
+        result = simulate(kernels, config=small_config,
+                          cta_scheduler=MixedCKE(kernels))
+        per_warp = len(alu_program())
+        assert result.kernel("a").instructions == 10 * 2 * per_warp
+        assert result.kernel("b").instructions == 10 * 2 * per_warp

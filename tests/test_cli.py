@@ -1,0 +1,67 @@
+"""Tests for the repro-exp command-line interface."""
+
+from repro.harness.cli import main
+
+
+def test_unknown_experiment_returns_error(capsys):
+    assert main(["e99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_single_experiment_prints_table(capsys):
+    assert main(["e5", "--scale", "0.02"]) == 0
+    out = capsys.readouterr().out
+    assert "E5" in out
+    assert "GMEAN" in out
+
+
+def test_csv_mode(capsys):
+    assert main(["e5", "--scale", "0.02", "--csv"]) == 0
+    out = capsys.readouterr().out
+    assert "benchmark,lrr_ipc,gto_ipc,twolevel_ipc" in out
+
+
+def test_e12_prints_two_tables(capsys):
+    assert main(["e12", "--scale", "0.02"]) == 0
+    out = capsys.readouterr().out
+    assert "E12a" in out
+    assert "E12b" in out
+
+
+def test_multiple_experiments_share_context(capsys):
+    assert main(["e5", "e12", "--scale", "0.02"]) == 0
+    out = capsys.readouterr().out
+    assert "E5" in out and "E12a" in out
+
+
+def test_seed_flag_accepted(capsys):
+    assert main(["e12", "--scale", "0.02", "--seed", "7"]) == 0
+
+
+def test_list_flag(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "e1" in out and "e19" in out and "e12" in out
+
+
+def test_no_experiments_errors(capsys):
+    assert main([]) == 2
+    assert "no experiments" in capsys.readouterr().err
+
+
+def test_output_writes_csv_files(tmp_path, capsys):
+    assert main(["e12", "--scale", "0.02", "--output", str(tmp_path)]) == 0
+    assert (tmp_path / "e12a.csv").exists()
+    assert (tmp_path / "e12b.csv").exists()
+    assert "parameter" in (tmp_path / "e12a.csv").read_text()
+
+
+def test_chart_flag(capsys):
+    assert main(["e5", "--scale", "0.02", "--chart", "gto_over_lrr"]) == 0
+    out = capsys.readouterr().out
+    assert "#" in out          # bars rendered
+    assert "gto_over_lrr" in out
+
+
+def test_chart_flag_ignores_missing_column(capsys):
+    assert main(["e12", "--scale", "0.02", "--chart", "nonexistent"]) == 0

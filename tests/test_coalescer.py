@@ -1,0 +1,56 @@
+"""Unit tests for the coalescer."""
+
+import pytest
+
+from repro.mem.coalescer import coalesce, transactions_per_access, warp_access
+
+
+class TestCoalesce:
+    def test_same_line_collapses(self):
+        assert coalesce([0, 4, 8, 127]) == (0,)
+
+    def test_distinct_lines_preserved_in_first_touch_order(self):
+        assert coalesce([300, 10, 200, 15]) == (2, 0, 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce([-4])
+
+
+class TestWarpAccess:
+    def test_unit_stride_four_byte_is_one_line(self):
+        # 32 lanes x 4B = 128B: the classic fully coalesced access.
+        assert warp_access(0, 1) == (0,)
+
+    def test_unit_stride_unaligned_spans_two_lines(self):
+        assert warp_access(64, 1) == (0, 1)
+
+    def test_stride_32_hits_one_line_per_lane(self):
+        assert len(warp_access(0, 32)) == 32
+
+    def test_stride_two_spans_two_lines(self):
+        assert warp_access(0, 2) == (0, 1)
+
+    def test_partial_warp(self):
+        assert warp_access(0, 1, lanes=8) == (0,)
+
+    def test_lane_bounds(self):
+        with pytest.raises(ValueError):
+            warp_access(0, 1, lanes=0)
+        with pytest.raises(ValueError):
+            warp_access(0, 1, lanes=33)
+
+    def test_negative_stride_rejected(self):
+        with pytest.raises(ValueError):
+            warp_access(0, -1)
+
+
+class TestTransactionCount:
+    @pytest.mark.parametrize("stride,expected", [(1, 1), (2, 2), (4, 4),
+                                                 (8, 8), (32, 32)])
+    def test_transactions_scale_with_stride(self, stride, expected):
+        assert transactions_per_access(stride) == expected

@@ -1,0 +1,50 @@
+"""Tests for the combined LCS+BCS scheduler."""
+
+import pytest
+
+from repro.core.combined import LCSBCSScheduler
+from repro.harness.runner import simulate
+from repro.sim.config import GPUConfig
+from repro.workloads.suite import make_kernel
+
+from helpers import make_test_kernel
+
+
+class TestConstruction:
+    def test_single_kernel_only(self):
+        with pytest.raises(ValueError):
+            LCSBCSScheduler([make_test_kernel(name="a"),
+                             make_test_kernel(name="b")])
+
+    def test_inherits_block_validation(self):
+        with pytest.raises(ValueError):
+            LCSBCSScheduler(make_test_kernel(), block_size=0)
+
+
+class TestBehaviour:
+    def test_run_completes_and_decides(self):
+        config = GPUConfig(num_sms=4)
+        kernel = make_kernel("stencil", scale=0.1)
+        scheduler = LCSBCSScheduler(kernel)
+        result = simulate(kernel, config=config, warp_scheduler="baws",
+                          cta_scheduler=scheduler)
+        assert result.kernel("stencil").finish_cycle is not None
+        assert scheduler.decision is not None
+
+    def test_limit_rounds_up_to_whole_blocks(self):
+        config = GPUConfig(num_sms=4)
+        kernel = make_kernel("kmeans", scale=0.1)
+        scheduler = LCSBCSScheduler(kernel, block_size=2)
+        result = simulate(kernel, config=config, warp_scheduler="baws",
+                          cta_scheduler=scheduler)
+        decision = scheduler.decision
+        limits = {v for v in result.cta_limits.values() if v is not None}
+        assert len(limits) == 1
+        (limit,) = limits
+        assert limit % 2 == 0 or limit == decision.occupancy
+        assert limit >= decision.n_star
+
+    def test_snapshot_before_decision_is_none(self):
+        kernel = make_test_kernel()
+        scheduler = LCSBCSScheduler(kernel)
+        assert scheduler.limits_snapshot() == {}

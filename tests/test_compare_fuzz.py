@@ -1,0 +1,92 @@
+"""Tests for the run-comparison helper and the fuzz workload generator."""
+
+import pytest
+
+from repro.core.lcs import LCSScheduler
+from repro.harness.compare import compare_runs, stall_shift
+from repro.harness.runner import simulate
+from repro.harness.validate import validate_run
+from repro.sim.config import GPUConfig
+from repro.workloads.fuzz import random_kernel
+from repro.workloads.suite import make_kernel
+
+from helpers import make_test_kernel
+
+
+class TestCompareRuns:
+    def make_pair(self, small_config):
+        a = simulate(make_test_kernel(num_ctas=8), config=small_config)
+        kernel = make_test_kernel(num_ctas=8)
+        b = simulate(kernel, config=small_config,
+                     cta_scheduler=LCSScheduler(kernel))
+        return a, b
+
+    def test_table_shape(self, small_config):
+        a, b = self.make_pair(small_config)
+        table = compare_runs({"base": a, "lcs": b})
+        assert table.column("run") == ["base", "lcs"]
+        assert table.row_for("base")[1] == pytest.approx(1.0)
+
+    def test_speedup_relative_to_first(self, small_config):
+        a, b = self.make_pair(small_config)
+        table = compare_runs({"base": a, "lcs": b})
+        assert table.row_for("lcs")[1] == pytest.approx(a.cycles / b.cycles)
+
+    def test_mismatched_work_rejected(self, small_config):
+        a = simulate(make_test_kernel(num_ctas=4), config=small_config)
+        b = simulate(make_test_kernel(num_ctas=8), config=small_config)
+        with pytest.raises(ValueError):
+            compare_runs({"a": a, "b": b})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compare_runs({})
+
+    def test_chart_renders(self, small_config):
+        a, b = self.make_pair(small_config)
+        table = compare_runs({"base": a, "lcs": b})
+        assert "#" in table.render_chart("speedup")
+
+    def test_stall_shift_sums_to_zero(self):
+        config = GPUConfig(num_sms=2)
+        base = simulate(make_kernel("kmeans", scale=0.05), config=config)
+        kernel = make_kernel("kmeans", scale=0.05)
+        lcs = simulate(kernel, config=config,
+                       cta_scheduler=LCSScheduler(kernel))
+        shift = stall_shift(base, lcs, "kmeans")
+        assert sum(shift.values()) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestRandomKernel:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_runs_and_validates(self, seed, small_config):
+        kernel = random_kernel(seed)
+        result = simulate(kernel, config=small_config)
+        validate_run(result)
+
+    def test_deterministic_in_seed(self, small_config):
+        a = simulate(random_kernel(42), config=small_config)
+        b = simulate(random_kernel(42), config=small_config)
+        assert a.cycles == b.cycles
+        assert a.instructions == b.instructions
+
+    def test_different_seeds_differ(self):
+        a = random_kernel(1)
+        b = random_kernel(2)
+        assert (a.num_ctas, a.warps_per_cta,
+                a.build_warp_program(0, 0)) != \
+               (b.num_ctas, b.warps_per_cta, b.build_warp_program(0, 0))
+
+    def test_barrier_counts_uniform(self):
+        for seed in range(10):
+            kernel = random_kernel(seed)
+            from repro.sim.isa import Op
+            counts = {
+                sum(1 for inst in kernel.build_warp_program(0, w)
+                    if inst.op is Op.BARRIER)
+                for w in range(kernel.warps_per_cta)
+            }
+            assert len(counts) == 1
+
+    def test_name_override(self):
+        assert random_kernel(7, name="custom").name == "custom"

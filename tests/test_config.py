@@ -1,0 +1,81 @@
+"""Unit tests for GPUConfig validation and derived quantities."""
+
+import pytest
+
+from repro.sim.config import DEFAULT_CONFIG, GPUConfig
+
+
+class TestDefaults:
+    def test_default_is_fermi_class(self):
+        config = GPUConfig()
+        assert config.num_sms == 15
+        assert config.max_warps_per_sm == 48
+        assert config.max_ctas_per_sm == 8
+
+    def test_default_singleton_matches_constructor(self):
+        assert DEFAULT_CONFIG == GPUConfig()
+
+    def test_derived_l1_sets(self):
+        config = GPUConfig()
+        assert config.l1_num_sets == config.l1_size // (128 * config.l1_assoc)
+
+    def test_derived_threads(self):
+        config = GPUConfig()
+        assert config.max_threads_per_sm == 48 * 32
+
+
+class TestValidation:
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            GPUConfig(num_sms=0)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ValueError):
+            GPUConfig(num_sms=1.5)
+
+    def test_l1_geometry_must_divide(self):
+        with pytest.raises(ValueError):
+            GPUConfig(l1_size=1000)
+
+    def test_l2_banking_must_divide(self):
+        with pytest.raises(ValueError):
+            GPUConfig(l2_size=1001 * 1024)
+
+    def test_issue_width_bounded_by_warps(self):
+        with pytest.raises(ValueError):
+            GPUConfig(issue_width=100, max_warps_per_sm=48)
+
+
+class TestOverridesAndSmall:
+    def test_with_overrides_returns_new_config(self):
+        config = GPUConfig()
+        other = config.with_overrides(num_sms=4)
+        assert other.num_sms == 4
+        assert config.num_sms == 15
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ValueError):
+            GPUConfig().with_overrides(num_sms=-1)
+
+    def test_small_config_is_valid_and_small(self):
+        config = GPUConfig.small()
+        assert config.num_sms == 2
+        assert config.l1_size < GPUConfig().l1_size
+
+    def test_small_accepts_overrides(self):
+        config = GPUConfig.small(num_sms=3)
+        assert config.num_sms == 3
+
+    def test_kepler_preset(self):
+        kepler = GPUConfig.kepler_class()
+        assert kepler.num_sms == 13
+        assert kepler.max_ctas_per_sm == 16
+        assert kepler.max_warps_per_sm == 64
+        assert kepler.registers_per_sm == 65536
+
+    def test_kepler_preset_accepts_overrides(self):
+        assert GPUConfig.kepler_class(num_sms=2).num_sms == 2
+
+    def test_config_is_frozen(self):
+        with pytest.raises(Exception):
+            GPUConfig().num_sms = 3

@@ -1,0 +1,64 @@
+"""Cross-configuration integration matrix: the policies must be correct on
+every hardware preset, not just the Fermi-class default."""
+
+import pytest
+
+from repro.core.bcs import BCSScheduler
+from repro.core.cke import MixedCKE, SMKEvenCKE
+from repro.core.lcs import LCSScheduler
+from repro.harness.runner import simulate
+from repro.harness.validate import validate_run
+from repro.sim.config import GPUConfig
+from repro.workloads.suite import make_kernel
+
+CONFIGS = {
+    "fermi": lambda: GPUConfig(num_sms=3),
+    "kepler": lambda: GPUConfig.kepler_class(num_sms=3),
+    "small": GPUConfig.small,
+}
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("bench", ("kmeans", "stencil", "compute"))
+def test_baseline_valid_on_every_config(config_name, bench):
+    config = CONFIGS[config_name]()
+    result = simulate(make_kernel(bench, scale=0.03), config=config)
+    validate_run(result)
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+def test_lcs_valid_on_every_config(config_name):
+    config = CONFIGS[config_name]()
+    kernel = make_kernel("kmeans", scale=0.03)
+    scheduler = LCSScheduler(kernel)
+    result = simulate(kernel, config=config, cta_scheduler=scheduler)
+    validate_run(result)
+    if scheduler.decision is not None:
+        assert 1 <= scheduler.decision.n_star <= scheduler.decision.occupancy
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+def test_bcs_valid_on_every_config(config_name):
+    config = CONFIGS[config_name]()
+    kernel = make_kernel("stencil", scale=0.03)
+    result = simulate(kernel, config=config, warp_scheduler="baws",
+                      cta_scheduler=BCSScheduler(kernel))
+    validate_run(result)
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("policy_cls", (SMKEvenCKE, MixedCKE))
+def test_cke_valid_on_every_config(config_name, policy_cls):
+    config = CONFIGS[config_name]()
+    kernels = [make_kernel("kmeans", scale=0.02),
+               make_kernel("compute", scale=0.02)]
+    result = simulate(kernels, config=config,
+                      cta_scheduler=policy_cls(kernels))
+    validate_run(result)
+
+
+def test_occupancy_scales_with_configuration():
+    kernel = make_kernel("kmeans", scale=0.02)
+    fermi = kernel.max_ctas_per_sm(GPUConfig())
+    kepler = kernel.max_ctas_per_sm(GPUConfig.kepler_class())
+    assert kepler > fermi

@@ -1,0 +1,136 @@
+"""Tests for the baseline CTA schedulers (round-robin, static limit)."""
+
+import pytest
+
+from repro.core.cta_schedulers import (DepthFirstCTAScheduler,
+                                       RoundRobinCTAScheduler,
+                                       StaticLimitCTAScheduler)
+from repro.harness.runner import simulate
+from repro.sim.gpu import GPU
+
+from helpers import alu_program, make_test_kernel
+
+
+class TestRoundRobin:
+    def test_spreads_consecutive_ctas_across_sms(self, small_config):
+        placements = {}
+
+        def builder(cta_id, warp_idx):
+            return alu_program()
+
+        kernel = make_test_kernel(num_ctas=4, warps_per_cta=1, builder=builder)
+        gpu = GPU(config=small_config)
+        scheduler = RoundRobinCTAScheduler(kernel)
+        scheduler.bind(gpu)
+        scheduler.fill(0)
+        for sm in gpu.sms:
+            for cta in sm.active_ctas:
+                placements[cta.cta_id] = sm.sm_id
+        # 2 SMs: CTAs alternate 0,1,0,1.
+        assert placements[0] != placements[1]
+        assert placements[0] == placements[2]
+        assert placements[1] == placements[3]
+
+    def test_fills_to_occupancy(self, small_config):
+        kernel = make_test_kernel(num_ctas=64, warps_per_cta=1,
+                                  regs_per_thread=0)
+        gpu = GPU(config=small_config)
+        scheduler = RoundRobinCTAScheduler(kernel)
+        scheduler.bind(gpu)
+        scheduler.fill(0)
+        for sm in gpu.sms:
+            assert sm.used_slots == small_config.max_ctas_per_sm
+
+    def test_rejects_empty_kernel_list(self):
+        with pytest.raises(ValueError):
+            RoundRobinCTAScheduler([])
+
+    def test_refills_after_completion(self, small_config):
+        kernel = make_test_kernel(num_ctas=20, warps_per_cta=1,
+                                  regs_per_thread=0)
+        result = simulate(kernel, config=small_config)
+        assert result.kernel("test").finish_cycle is not None
+
+    def test_multi_kernel_fcfs(self, small_config):
+        a = make_test_kernel(name="a", num_ctas=4)
+        b = make_test_kernel(name="b", num_ctas=4)
+        result = simulate([a, b], config=small_config)
+        assert result.kernel("a").finish_cycle is not None
+        assert result.kernel("b").finish_cycle is not None
+
+
+class TestStaticLimit:
+    def test_limit_respected(self, small_config):
+        kernel = make_test_kernel(num_ctas=32, warps_per_cta=1,
+                                  regs_per_thread=0)
+        gpu = GPU(config=small_config)
+        scheduler = StaticLimitCTAScheduler(kernel, limit_per_sm=2)
+        scheduler.bind(gpu)
+        scheduler.fill(0)
+        for sm in gpu.sms:
+            assert sm.used_slots == 2
+
+    def test_limit_one_serialises(self, small_config):
+        kernel = make_test_kernel(num_ctas=8, warps_per_cta=4)
+        scheduler = StaticLimitCTAScheduler(kernel, limit_per_sm=1)
+        limited = simulate(kernel, config=small_config,
+                           cta_scheduler=scheduler)
+        kernel2 = make_test_kernel(num_ctas=8, warps_per_cta=4)
+        full = simulate(kernel2, config=small_config)
+        assert limited.cycles >= full.cycles
+
+    def test_per_kernel_limits(self, small_config):
+        a = make_test_kernel(name="a", num_ctas=4)
+        b = make_test_kernel(name="b", num_ctas=4)
+        scheduler = StaticLimitCTAScheduler([a, b],
+                                            limit_per_sm={"a": 1, "b": 2})
+        result = simulate([a, b], config=small_config,
+                          cta_scheduler=scheduler)
+        assert result.kernel("a").finish_cycle is not None
+
+    def test_missing_kernel_limit_rejected(self):
+        a = make_test_kernel(name="a")
+        with pytest.raises(ValueError):
+            StaticLimitCTAScheduler([a], limit_per_sm={"other": 1})
+
+    def test_zero_limit_rejected(self):
+        with pytest.raises(ValueError):
+            StaticLimitCTAScheduler(make_test_kernel(), limit_per_sm=0)
+
+    def test_limits_snapshot_reports_effective_limit(self, small_config):
+        kernel = make_test_kernel(num_ctas=4, warps_per_cta=1,
+                                  regs_per_thread=0)
+        scheduler = StaticLimitCTAScheduler(kernel, limit_per_sm=99)
+        result = simulate(kernel, config=small_config,
+                          cta_scheduler=scheduler)
+        # Clamped to occupancy.
+        assert all(v == small_config.max_ctas_per_sm
+                   for v in result.cta_limits.values())
+
+
+class TestDepthFirst:
+    def test_fills_first_sm_before_second(self, small_config):
+        kernel = make_test_kernel(num_ctas=5, warps_per_cta=1,
+                                  regs_per_thread=0)
+        gpu = GPU(config=small_config)
+        scheduler = DepthFirstCTAScheduler(kernel)
+        scheduler.bind(gpu)
+        scheduler.fill(0)
+        assert gpu.sms[0].used_slots == small_config.max_ctas_per_sm
+        assert gpu.sms[1].used_slots == 1
+
+    def test_consecutive_ctas_co_located(self, small_config):
+        kernel = make_test_kernel(num_ctas=8, warps_per_cta=1,
+                                  regs_per_thread=0)
+        gpu = GPU(config=small_config)
+        scheduler = DepthFirstCTAScheduler(kernel)
+        scheduler.bind(gpu)
+        scheduler.fill(0)
+        sm0_ids = sorted(cta.cta_id for cta in gpu.sms[0].active_ctas)
+        assert sm0_ids == [0, 1, 2, 3]
+
+    def test_completes_grid(self, small_config):
+        kernel = make_test_kernel(num_ctas=20)
+        result = simulate(kernel, config=small_config,
+                          cta_scheduler=DepthFirstCTAScheduler(kernel))
+        assert result.kernel("test").finish_cycle is not None

@@ -1,0 +1,86 @@
+"""Keep the documentation honest: every experiment documented, benched and
+registered consistently across DESIGN.md, the registry and benchmarks/."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.harness.experiments import EXPERIMENTS
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_every_experiment_has_a_bench_file():
+    bench_names = {p.name for p in (ROOT / "benchmarks").glob("bench_e*.py")}
+    for exp_id in list(EXPERIMENTS) + ["e12"]:
+        number = int(exp_id[1:])
+        matches = [name for name in bench_names
+                   if name.startswith(f"bench_e{number:02d}_")]
+        assert matches, f"no bench file for {exp_id}"
+
+
+def test_design_experiment_index_covers_registry():
+    design = (ROOT / "DESIGN.md").read_text()
+    for exp_id in list(EXPERIMENTS) + ["e12"]:
+        token = f"| {exp_id.upper()} |"
+        assert token in design, f"{exp_id} missing from DESIGN.md index"
+
+
+def test_design_mentions_every_bench_target():
+    design = (ROOT / "DESIGN.md").read_text()
+    for path in (ROOT / "benchmarks").glob("bench_e*.py"):
+        assert path.name in design, f"{path.name} not referenced in DESIGN.md"
+
+
+def test_experiments_md_mentions_every_core_claim():
+    text = (ROOT / "EXPERIMENTS.md").read_text()
+    for needle in ("LCS", "BCS", "mixed", "GMEAN", "oracle",
+                   "E9", "E11", "E20"):
+        assert needle in text
+
+
+def test_readme_examples_exist():
+    readme = (ROOT / "README.md").read_text()
+    for match in re.finditer(r"examples/(\w+\.py)", readme):
+        assert (ROOT / "examples" / match.group(1)).exists(), match.group(0)
+
+
+def test_readme_docs_links_exist():
+    readme = (ROOT / "README.md").read_text()
+    for match in re.finditer(r"docs/(\w+\.md)", readme):
+        assert (ROOT / "docs" / match.group(1)).exists(), match.group(0)
+
+
+def test_experiments_md_references_existing_results_files():
+    text = (ROOT / "EXPERIMENTS.md").read_text()
+    for match in re.finditer(r"full_scale_results\d*\.txt", text):
+        assert (ROOT / match.group(0)).exists(), match.group(0)
+
+
+def test_all_public_exports_resolve():
+    import repro
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+@pytest.mark.parametrize("module_name", [
+    "repro.sim", "repro.mem", "repro.core", "repro.workloads",
+    "repro.harness",
+])
+def test_subpackage_exports_resolve(module_name):
+    import importlib
+    module = importlib.import_module(module_name)
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_public_items_have_docstrings():
+    import repro
+    missing = []
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if callable(obj) and not isinstance(obj, str):
+            if not (obj.__doc__ or "").strip():
+                missing.append(name)
+    assert not missing, f"public items without docstrings: {missing}"

@@ -1,0 +1,71 @@
+"""Tests for the DynCTA-style adaptive comparison scheduler."""
+
+import pytest
+
+from repro.core.dyncta import DynCTAScheduler
+from repro.harness.runner import simulate
+from repro.sim.config import GPUConfig
+from repro.sim.isa import alu, exit_
+from repro.workloads.suite import make_kernel
+
+from helpers import make_test_kernel
+
+
+class TestConstruction:
+    def test_single_kernel_only(self):
+        with pytest.raises(ValueError):
+            DynCTAScheduler([make_test_kernel(name="a"),
+                             make_test_kernel(name="b")])
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            DynCTAScheduler(make_test_kernel(), window=0)
+
+    def test_watermarks_validated(self):
+        with pytest.raises(ValueError):
+            DynCTAScheduler(make_test_kernel(), low_water=0.8, high_water=0.5)
+
+
+class TestBehaviour:
+    def test_compute_kernel_keeps_quota_high(self, small_config):
+        kernel = make_test_kernel(
+            name="hot", num_ctas=24, warps_per_cta=2,
+            builder=lambda c, w: [alu(2)] * 60 + [exit_()],
+            regs_per_thread=0)
+        scheduler = DynCTAScheduler(kernel, window=64)
+        result = simulate(kernel, config=small_config,
+                          cta_scheduler=scheduler)
+        occupancy = small_config.max_ctas_per_sm
+        assert all(q == occupancy for q in scheduler.quotas().values())
+        assert result.kernel("hot").finish_cycle is not None
+
+    def test_memory_kernel_throttles_down(self):
+        config = GPUConfig(num_sms=2)
+        kernel = make_kernel("kmeans", scale=0.05)
+        scheduler = DynCTAScheduler(kernel, window=512)
+        simulate(kernel, config=config, cta_scheduler=scheduler)
+        assert scheduler.adjustments, "no quota adjustments happened"
+        assert any(new < old for _, _, old, new in scheduler.adjustments)
+
+    def test_quota_stays_in_bounds(self):
+        config = GPUConfig(num_sms=2)
+        kernel = make_kernel("kmeans", scale=0.05)
+        occupancy = kernel.max_ctas_per_sm(config)
+        scheduler = DynCTAScheduler(kernel, window=256)
+        simulate(kernel, config=config, cta_scheduler=scheduler)
+        for _, _, old, new in scheduler.adjustments:
+            assert 1 <= new <= occupancy
+
+    def test_all_work_completes(self, small_config):
+        kernel = make_test_kernel(num_ctas=16)
+        result = simulate(kernel, config=small_config,
+                          cta_scheduler=DynCTAScheduler(kernel, window=128))
+        assert result.kernel("test").finish_cycle is not None
+
+    def test_limits_snapshot_reports_quotas(self, small_config):
+        kernel = make_test_kernel(num_ctas=8)
+        scheduler = DynCTAScheduler(kernel, window=128)
+        result = simulate(kernel, config=small_config,
+                          cta_scheduler=scheduler)
+        assert set(result.cta_limits) == {0, 1}
+        assert all(isinstance(v, int) for v in result.cta_limits.values())

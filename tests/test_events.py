@@ -1,0 +1,69 @@
+"""Unit tests for the event queue."""
+
+from repro.sim.events import EventQueue
+
+
+def test_empty_queue_is_falsy():
+    queue = EventQueue()
+    assert not queue
+    assert len(queue) == 0
+    assert queue.next_time() is None
+
+
+def test_events_fire_in_time_order():
+    queue = EventQueue()
+    fired = []
+    queue.schedule(5, lambda now, arg: fired.append(arg), "late")
+    queue.schedule(1, lambda now, arg: fired.append(arg), "early")
+    queue.run_due(10)
+    assert fired == ["early", "late"]
+
+
+def test_same_cycle_events_fire_fifo():
+    queue = EventQueue()
+    fired = []
+    for i in range(5):
+        queue.schedule(3, lambda now, arg: fired.append(arg), i)
+    queue.run_due(3)
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_run_due_only_fires_due_events():
+    queue = EventQueue()
+    fired = []
+    queue.schedule(1, lambda now, arg: fired.append(arg), "a")
+    queue.schedule(2, lambda now, arg: fired.append(arg), "b")
+    count = queue.run_due(1)
+    assert count == 1
+    assert fired == ["a"]
+    assert len(queue) == 1
+
+
+def test_next_time_reports_earliest():
+    queue = EventQueue()
+    queue.schedule(7, lambda now, arg: None)
+    queue.schedule(3, lambda now, arg: None)
+    assert queue.next_time() == 3
+
+
+def test_callback_receives_now_and_arg():
+    queue = EventQueue()
+    seen = []
+    queue.schedule(4, lambda now, arg: seen.append((now, arg)), "x")
+    queue.run_due(9)
+    # Callbacks receive the *processing* cycle, not the scheduled one.
+    assert seen == [(9, "x")]
+
+
+def test_callback_may_schedule_new_events():
+    queue = EventQueue()
+    fired = []
+
+    def chain(now, arg):
+        fired.append(arg)
+        if arg < 3:
+            queue.schedule(now, chain, arg + 1)
+
+    queue.schedule(0, chain, 0)
+    queue.run_due(0)
+    assert fired == [0, 1, 2, 3]

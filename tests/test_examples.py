@@ -1,0 +1,51 @@
+"""Smoke tests: every example script runs end to end at tiny scale."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart(tmp_path):
+    out = run_example("quickstart.py", "0.08")
+    assert "LCS speedup over baseline" in out
+    assert "N*" in out
+
+
+def test_occupancy_sweep():
+    out = run_example("occupancy_sweep.py", "kmeans", "0.08")
+    assert "best static limit" in out
+    assert "<- best" in out
+
+
+def test_stencil_locality():
+    out = run_example("stencil_locality.py", "stencil", "0.08")
+    assert "BCS pairs + BAWS" in out
+    assert "speedup" in out
+
+
+def test_concurrent_kernels():
+    out = run_example("concurrent_kernels.py", "0.08")
+    assert "sequential" in out
+    assert "mixed" in out
+
+
+def test_custom_kernel():
+    out = run_example("custom_kernel.py")
+    assert "occupancy timeline" in out
+    assert "programs identical: True" in out
+
+
+def test_related_work():
+    out = run_example("related_work.py", "kmeans", "0.08")
+    assert "static oracle" in out
+    assert "LCS" in out and "DynCTA" in out and "SWL" in out

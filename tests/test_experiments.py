@@ -1,0 +1,109 @@
+"""Tests for the experiment drivers (tiny scale: mechanics, not shapes)."""
+
+import pytest
+
+from repro.harness.experiments import (EXPERIMENTS, ExperimentContext,
+                                       e1_occupancy_sweep, e2_issue_signature,
+                                       e3_lcs_speedup, e4_lcs_vs_oracle,
+                                       e5_warp_schedulers, e6_bcs, e7_bcs_l1,
+                                       e8_cke, e12_benchmark_table,
+                                       e12_config_table, run_experiment)
+from repro.workloads.suite import SUITE
+
+TINY = 0.02   # a handful of CTAs per kernel: fast, exercises all code paths
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(scale=TINY)
+
+
+class TestContext:
+    def test_run_is_memoised(self, ctx):
+        a = ctx.run("compute")
+        b = ctx.run("compute")
+        assert a is b
+
+    def test_distinct_policies_not_conflated(self, ctx):
+        a = ctx.run("compute", policy=("static", 1))
+        b = ctx.run("compute", policy=("static", 2))
+        assert a is not b
+
+    def test_unknown_policy_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.run("compute", policy=("bogus",))
+
+    def test_oracle_best_within_sweep(self, ctx):
+        best, run = ctx.oracle_best("kmeans")
+        assert 1 <= best <= ctx.occupancy("kmeans")
+        assert run.cycles > 0
+
+
+class TestDrivers:
+    def test_e1_rows_and_normalisation(self, ctx):
+        table = e1_occupancy_sweep(ctx, benchmarks=("kmeans", "compute"))
+        assert len(table.rows) == 2
+        for row in table.rows:
+            max_n = row[-1]
+            # The max-occupancy column is 1.0 by construction.
+            assert row[max_n] == pytest.approx(1.0)
+
+    def test_e2_shares_normalised(self, ctx):
+        table = e2_issue_signature(ctx, benchmarks=("kmeans",))
+        shares = [v for v in table.rows[0][1:-1] if v != "-"]
+        assert max(shares) == pytest.approx(1.0)
+        assert all(0 <= s <= 1 for s in shares)
+
+    def test_e3_has_gmean_row(self, ctx):
+        table = e3_lcs_speedup(ctx, benchmarks=("kmeans", "compute"))
+        assert table.rows[-1][0] == "GMEAN"
+        assert len(table.rows) == 3
+
+    def test_e4_reports_both_choices(self, ctx):
+        table = e4_lcs_vs_oracle(ctx, benchmarks=("kmeans",))
+        row = table.row_for("kmeans")
+        occupancy = row[1]
+        assert 1 <= row[2] <= occupancy
+        assert 1 <= row[3] <= occupancy
+
+    def test_e5_ratio_consistency(self, ctx):
+        table = e5_warp_schedulers(ctx, benchmarks=("compute",))
+        row = table.row_for("compute")
+        assert row[3] > 0
+
+    def test_e6_and_e7_cover_locality_set(self, ctx):
+        speedups = e6_bcs(ctx, benchmarks=("stencil",))
+        misses = e7_bcs_l1(ctx, benchmarks=("stencil",))
+        assert speedups.row_for("stencil")
+        assert 0 <= misses.row_for("stencil")[1] <= 1
+
+    def test_e8_runs_one_pair(self, ctx):
+        table = e8_cke(ctx, pairs=(("kmeans", "compute", 1.0),))
+        row = table.row_for("kmeans+compute")
+        assert row[1] > 0          # sequential cycles
+        for value in row[2:5]:
+            assert value > 0       # speedups
+
+    def test_e12_tables(self, ctx):
+        config_table = e12_config_table(ctx)
+        assert config_table.row_for("SIMT cores")[1] == 15
+        bench_table = e12_benchmark_table(ctx)
+        assert len(bench_table.rows) == len(SUITE)
+
+    def test_run_experiment_by_id(self):
+        ctx = ExperimentContext(scale=TINY)
+        table = run_experiment("e5", ctx)
+        assert table.rows
+
+    def test_run_experiment_unknown_id(self):
+        with pytest.raises(ValueError):
+            run_experiment("e99")
+
+    def test_run_experiment_e12_redirects(self):
+        with pytest.raises(ValueError):
+            run_experiment("e12")
+
+    def test_registry_complete(self):
+        expected = ({f"e{i}" for i in range(1, 12)}
+                    | {f"e{i}" for i in range(13, 23)})
+        assert set(EXPERIMENTS) == expected

@@ -1,0 +1,78 @@
+"""Fuzz the scheduling policies with random kernels.
+
+Extends the structured property tests: every policy must terminate,
+conserve work and satisfy the run invariants on arbitrary valid kernels.
+"""
+
+import pytest
+
+from repro.core.bcs import BCSScheduler
+from repro.core.combined import LCSBCSScheduler
+from repro.core.cta_schedulers import (DepthFirstCTAScheduler,
+                                       StaticLimitCTAScheduler)
+from repro.core.dyncta import DynCTAScheduler
+from repro.core.lcs import LCSScheduler
+from repro.harness.runner import simulate
+from repro.harness.validate import validate_run
+from repro.sim.config import GPUConfig
+from repro.workloads.fuzz import random_kernel
+
+CONFIG = GPUConfig.small()
+
+POLICY_BUILDERS = {
+    "static2": lambda k: StaticLimitCTAScheduler(k, limit_per_sm=2),
+    "depth-first": DepthFirstCTAScheduler,
+    "lcs": LCSScheduler,
+    "bcs2": lambda k: BCSScheduler(k, block_size=2),
+    "lcs+bcs": LCSBCSScheduler,
+    "dyncta": lambda k: DynCTAScheduler(k, window=128),
+}
+
+
+def expected_instructions(kernel):
+    return sum(len(kernel.build_warp_program(c, w))
+               for c in range(kernel.num_ctas)
+               for w in range(kernel.warps_per_cta))
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICY_BUILDERS))
+@pytest.mark.parametrize("seed", (11, 23, 37))
+def test_policy_on_random_kernel(policy_name, seed):
+    kernel = random_kernel(seed)
+    build = POLICY_BUILDERS[policy_name]
+    result = simulate(kernel, config=CONFIG, cta_scheduler=build(kernel))
+    validate_run(result)
+    reference = random_kernel(seed)
+    assert result.instructions == expected_instructions(reference)
+
+
+@pytest.mark.parametrize("warp_scheduler", ("lrr", "gto", "baws",
+                                            "two-level"))
+@pytest.mark.parametrize("seed", (5, 17))
+def test_warp_scheduler_on_random_kernel(warp_scheduler, seed):
+    kernel = random_kernel(seed)
+    result = simulate(kernel, config=CONFIG, warp_scheduler=warp_scheduler)
+    validate_run(result)
+
+
+@pytest.mark.parametrize("seed", (3, 9))
+def test_random_kernels_with_features_enabled(seed):
+    config = GPUConfig.small(l1_prefetch_next_line=True,
+                             store_coalescing=True,
+                             icnt_bw_per_direction=2)
+    kernel = random_kernel(seed)
+    result = simulate(kernel, config=config)
+    validate_run(result)
+
+
+@pytest.mark.parametrize("seed", (7, 13))
+def test_random_kernel_cycle_accurate_equivalence(seed):
+    from repro.core.cta_schedulers import RoundRobinCTAScheduler
+    from repro.sim.gpu import GPU
+    cycles = []
+    for cycle_accurate in (False, True):
+        gpu = GPU(config=CONFIG)
+        gpu.run(RoundRobinCTAScheduler(random_kernel(seed)),
+                cycle_accurate=cycle_accurate)
+        cycles.append((gpu.cycle, gpu.total_issued))
+    assert cycles[0] == cycles[1]

@@ -1,0 +1,34 @@
+"""Golden regression tests: pinned end-to-end numbers for tiny runs.
+
+These exist to catch *accidental* timing-model changes.  The simulator is
+fully deterministic, so any diff here means the model's behaviour changed.
+If the change is intentional (a model fix or recalibration), update the
+goldens AND regenerate the full-scale tables in EXPERIMENTS.md — the two
+must move together.
+"""
+
+import pytest
+
+from repro.harness.runner import simulate
+from repro.sim.config import GPUConfig
+from repro.workloads.suite import make_kernel
+
+# (kernel, scale) -> (cycles, instructions, l1_misses, dram_reads)
+GOLDEN = {
+    ("kmeans", 0.05): (3904, 31248, 1152, 1152),
+    ("stencil", 0.05): (2451, 12888, 504, 300),
+    ("compute", 0.05): (2628, 35280, 576, 576),
+}
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_golden_run(key):
+    name, scale = key
+    result = simulate(make_kernel(name, scale=scale), config=GPUConfig())
+    expected = GOLDEN[key]
+    measured = (result.cycles, result.instructions, result.l1.misses,
+                result.dram.reads)
+    assert measured == expected, (
+        f"{name}@{scale}: measured {measured}, golden {expected} — if this "
+        "model change is intentional, update GOLDEN and re-baseline "
+        "EXPERIMENTS.md")

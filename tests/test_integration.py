@@ -1,0 +1,131 @@
+"""End-to-end invariants on real suite kernels at small scale.
+
+These run the *actual* benchmark kernels through the full stack and check
+conservation laws and qualitative behaviours the paper relies on.
+"""
+
+import pytest
+
+from repro.core.bcs import BCSScheduler
+from repro.core.cta_schedulers import StaticLimitCTAScheduler
+from repro.core.lcs import LCSScheduler
+from repro.harness.runner import simulate
+from repro.sim.config import GPUConfig
+from repro.sim.isa import Op
+from repro.workloads.suite import SUITE, make_kernel
+
+SCALE = 0.05
+
+
+def expected_instructions(kernel):
+    total = 0
+    for cta_id in range(kernel.num_ctas):
+        for warp_idx in range(kernel.warps_per_cta):
+            total += len(kernel.build_warp_program(cta_id, warp_idx))
+    return total
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_every_benchmark_runs_and_conserves_instructions(name):
+    kernel = make_kernel(name, scale=SCALE)
+    result = simulate(kernel, config=GPUConfig())
+    reference = make_kernel(name, scale=SCALE)
+    assert result.instructions == expected_instructions(reference)
+    assert result.kernel(name).finish_cycle is not None
+    assert result.cycles > 0
+
+
+@pytest.mark.parametrize("name", ("kmeans", "stencil", "streaming"))
+@pytest.mark.parametrize("warp_sched", ("lrr", "gto", "baws"))
+def test_instruction_count_invariant_across_schedulers(name, warp_sched):
+    """Scheduling policy must never change *what* executes, only *when*."""
+    kernel = make_kernel(name, scale=SCALE)
+    result = simulate(kernel, config=GPUConfig(), warp_scheduler=warp_sched)
+    reference = make_kernel(name, scale=SCALE)
+    assert result.instructions == expected_instructions(reference)
+
+
+@pytest.mark.parametrize("policy_builder", [
+    lambda k: StaticLimitCTAScheduler(k, limit_per_sm=1),
+    lambda k: StaticLimitCTAScheduler(k, limit_per_sm=3),
+    lambda k: LCSScheduler(k),
+    lambda k: BCSScheduler(k, block_size=2),
+    lambda k: BCSScheduler(k, block_size=4),
+])
+def test_instruction_count_invariant_across_cta_policies(policy_builder):
+    kernel = make_kernel("kmeans", scale=SCALE)
+    result = simulate(kernel, config=GPUConfig(),
+                      cta_scheduler=policy_builder(kernel))
+    reference = make_kernel("kmeans", scale=SCALE)
+    assert result.instructions == expected_instructions(reference)
+
+
+def test_memory_traffic_conservation():
+    """Demand fetches: every L1 miss becomes exactly one L2 access; every
+    L2 (load) miss becomes exactly one DRAM read."""
+    kernel = make_kernel("kmeans", scale=SCALE)
+    result = simulate(kernel, config=GPUConfig())
+    assert result.l2.accesses == result.l1.misses
+    assert result.dram.reads == result.l2.misses
+
+
+def test_store_traffic_conservation():
+    kernel = make_kernel("streaming", scale=SCALE)
+    result = simulate(kernel, config=GPUConfig())
+    stores = 0
+    reference = make_kernel("streaming", scale=SCALE)
+    for cta_id in range(reference.num_ctas):
+        for warp_idx in range(reference.warps_per_cta):
+            for inst in reference.build_warp_program(cta_id, warp_idx):
+                if inst.op is Op.ST_GLOBAL:
+                    stores += len(inst.lines)
+    assert result.l1.write_accesses == stores
+    assert result.l2.write_accesses == stores
+
+
+def test_occupancy_throttling_reduces_l1_misses_for_cache_kernel():
+    kernel = make_kernel("kmeans", scale=0.1)
+    throttled = simulate(kernel, config=GPUConfig(),
+                         cta_scheduler=StaticLimitCTAScheduler(
+                             kernel, limit_per_sm=2))
+    kernel2 = make_kernel("kmeans", scale=0.1)
+    full = simulate(kernel2, config=GPUConfig())
+    assert throttled.l1.miss_rate < full.l1.miss_rate
+
+
+def test_bcs_reduces_l1_misses_on_halo_kernel():
+    kernel = make_kernel("stencil", scale=0.1)
+    base = simulate(kernel, config=GPUConfig())
+    kernel2 = make_kernel("stencil", scale=0.1)
+    bcs = simulate(kernel2, config=GPUConfig(), warp_scheduler="baws",
+                   cta_scheduler=BCSScheduler(kernel2))
+    assert bcs.l1.miss_rate < base.l1.miss_rate
+
+
+def test_lcs_decision_is_deterministic():
+    def run():
+        kernel = make_kernel("kmeans", scale=0.1)
+        scheduler = LCSScheduler(kernel)
+        simulate(kernel, config=GPUConfig(), cta_scheduler=scheduler)
+        return scheduler.decision
+
+    a, b = run(), run()
+    assert a.n_star == b.n_star
+    assert a.issue_counts == b.issue_counts
+    assert a.decided_cycle == b.decided_cycle
+
+
+def test_num_sms_scaling_speeds_up_execution():
+    small = simulate(make_kernel("compute", scale=0.1),
+                     config=GPUConfig(num_sms=4))
+    large = simulate(make_kernel("compute", scale=0.1),
+                     config=GPUConfig(num_sms=15))
+    assert large.cycles < small.cycles
+
+
+def test_larger_l1_reduces_misses():
+    base = simulate(make_kernel("kmeans", scale=0.1),
+                    config=GPUConfig(l1_size=16 * 1024))
+    big = simulate(make_kernel("kmeans", scale=0.1),
+                   config=GPUConfig(l1_size=64 * 1024))
+    assert big.l1.miss_rate < base.l1.miss_rate

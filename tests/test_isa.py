@@ -1,0 +1,71 @@
+"""Unit tests for the trace ISA."""
+
+import pytest
+
+from repro.sim.isa import (Instruction, Op, alu, barrier, exit_, load, shared,
+                           store, validate_program)
+
+
+class TestInstruction:
+    def test_memory_requires_lines(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.LD_GLOBAL)
+
+    def test_non_memory_rejects_lines(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.ALU, lines=(1,))
+
+    def test_duplicate_lines_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.LD_GLOBAL, lines=(1, 1))
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.ALU, latency=0)
+
+    def test_is_memory(self):
+        assert Instruction(Op.LD_GLOBAL, lines=(1,)).is_memory
+        assert Instruction(Op.ST_GLOBAL, lines=(1,)).is_memory
+        assert not Instruction(Op.ALU).is_memory
+        assert not Instruction(Op.BARRIER).is_memory
+
+    def test_instructions_are_immutable(self):
+        inst = alu()
+        with pytest.raises(AttributeError):
+            inst.latency = 99
+
+
+class TestConstructors:
+    def test_alu_latency(self):
+        assert alu(7).latency == 7
+        assert alu().op is Op.ALU
+
+    def test_shared(self):
+        assert shared(30).op is Op.SHARED
+
+    def test_load_collects_lines(self):
+        assert load([3, 1, 2]).lines == (3, 1, 2)
+
+    def test_store(self):
+        assert store([5]).op is Op.ST_GLOBAL
+
+    def test_barrier_and_exit(self):
+        assert barrier().op is Op.BARRIER
+        assert exit_().op is Op.EXIT
+
+
+class TestValidateProgram:
+    def test_valid_program_passes(self):
+        validate_program([alu(), load([1]), exit_()])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            validate_program([])
+
+    def test_missing_exit_rejected(self):
+        with pytest.raises(ValueError):
+            validate_program([alu()])
+
+    def test_interior_exit_rejected(self):
+        with pytest.raises(ValueError):
+            validate_program([exit_(), alu(), exit_()])

@@ -1,0 +1,76 @@
+"""Tests for the CKE multiprogram metrics."""
+
+import pytest
+
+from repro.core.cke import SMKEvenCKE
+from repro.harness.metrics import cke_metrics, kernel_turnaround
+from repro.harness.runner import simulate
+from repro.sim.stats import (CacheStats, DRAMStats, KernelStats, RunResult)
+
+from helpers import make_test_kernel
+
+
+def _fake_result(kernel_cycles: dict[str, int], total: int) -> RunResult:
+    kernels = {}
+    for i, (name, finish) in enumerate(kernel_cycles.items()):
+        stats = KernelStats(name=name, kernel_id=i, num_ctas=1)
+        stats.finish_cycle = finish
+        kernels[name] = stats
+    return RunResult(cycles=total, instructions=1, kernels=kernels,
+                     l1=CacheStats(), l2=CacheStats(), dram=DRAMStats(),
+                     issued_by_sm=[1])
+
+
+class TestArithmetic:
+    def test_no_slowdown_gives_ideal_metrics(self):
+        shared = _fake_result({"a": 100, "b": 100}, 100)
+        alone = {"a": _fake_result({"a": 100}, 100),
+                 "b": _fake_result({"b": 100}, 100)}
+        metrics = cke_metrics(shared, alone)
+        assert metrics.antt == pytest.approx(1.0)
+        assert metrics.stp == pytest.approx(2.0)
+        assert metrics.fairness == pytest.approx(1.0)
+
+    def test_uneven_slowdown(self):
+        shared = _fake_result({"a": 200, "b": 100}, 200)
+        alone = {"a": _fake_result({"a": 100}, 100),
+                 "b": _fake_result({"b": 100}, 100)}
+        metrics = cke_metrics(shared, alone)
+        assert metrics.slowdowns == (2.0, 1.0)
+        assert metrics.antt == pytest.approx(1.5)
+        assert metrics.stp == pytest.approx(0.5 + 1.0)
+        assert metrics.fairness == pytest.approx(0.5)
+
+    def test_missing_alone_run_rejected(self):
+        shared = _fake_result({"a": 100, "b": 100}, 100)
+        with pytest.raises(ValueError):
+            cke_metrics(shared, {"a": _fake_result({"a": 100}, 100)})
+
+    def test_unfinished_kernel_rejected(self):
+        shared = _fake_result({"a": 100}, 100)
+        shared.kernels["a"].finish_cycle = None
+        with pytest.raises(ValueError):
+            kernel_turnaround(shared, "a")
+
+    def test_str_renders(self):
+        shared = _fake_result({"a": 100, "b": 100}, 100)
+        alone = {"a": _fake_result({"a": 100}, 100),
+                 "b": _fake_result({"b": 100}, 100)}
+        assert "ANTT" in str(cke_metrics(shared, alone))
+
+
+class TestEndToEnd:
+    def test_metrics_from_real_runs(self, small_config):
+        def mk(name):
+            return make_test_kernel(name=name, num_ctas=8, warps_per_cta=2)
+
+        alone = {"a": simulate(mk("a"), config=small_config),
+                 "b": simulate(mk("b"), config=small_config)}
+        kernels = [mk("a"), mk("b")]
+        shared = simulate(kernels, config=small_config,
+                          cta_scheduler=SMKEvenCKE(kernels))
+        metrics = cke_metrics(shared, alone)
+        # Sharing a machine cannot make both kernels faster than solo.
+        assert metrics.antt >= 0.99
+        assert 0 < metrics.stp <= 2.01
+        assert 0 < metrics.fairness <= 1.0

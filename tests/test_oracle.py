@@ -1,0 +1,61 @@
+"""Tests for the exhaustive static-limit oracle."""
+
+import pytest
+
+from repro.core.oracle import sweep_static_limits
+from repro.sim.config import GPUConfig
+
+from helpers import make_test_kernel
+
+
+@pytest.fixture
+def config():
+    return GPUConfig.small()
+
+
+class TestSweep:
+    def test_sweeps_all_feasible_limits(self, config):
+        kernel = make_test_kernel(num_ctas=8, warps_per_cta=1,
+                                  regs_per_thread=0)
+        oracle = sweep_static_limits(kernel, config=config)
+        assert set(oracle.results) == {1, 2, 3, 4}
+        assert oracle.occupancy == 4
+
+    def test_best_limit_minimises_cycles(self, config):
+        kernel = make_test_kernel(num_ctas=8, warps_per_cta=1,
+                                  regs_per_thread=0)
+        oracle = sweep_static_limits(kernel, config=config)
+        best_cycles = oracle.best.cycles
+        assert all(best_cycles <= r.cycles for r in oracle.results.values())
+
+    def test_best_speedup_vs_max_occupancy(self, config):
+        kernel = make_test_kernel(num_ctas=8, warps_per_cta=1,
+                                  regs_per_thread=0)
+        oracle = sweep_static_limits(kernel, config=config)
+        assert oracle.best_speedup >= 1.0
+        assert oracle.baseline is oracle.results[oracle.occupancy]
+
+    def test_custom_limits_clamped_and_baseline_added(self, config):
+        kernel = make_test_kernel(num_ctas=8, warps_per_cta=1,
+                                  regs_per_thread=0)
+        oracle = sweep_static_limits(kernel, config=config, limits=[1, 99])
+        # 99 clamps to occupancy (4); baseline always present.
+        assert set(oracle.results) == {1, 4}
+
+    def test_invalid_limits_rejected(self, config):
+        kernel = make_test_kernel()
+        with pytest.raises(ValueError):
+            sweep_static_limits(kernel, config=config, limits=[0])
+
+    def test_ipc_by_limit_sorted(self, config):
+        kernel = make_test_kernel(num_ctas=4, warps_per_cta=1,
+                                  regs_per_thread=0)
+        oracle = sweep_static_limits(kernel, config=config, limits=[2, 1])
+        assert list(oracle.ipc_by_limit()) == sorted(oracle.results)
+
+    def test_compute_kernel_prefers_more_ctas(self, config):
+        # Pure ALU work scales with parallelism: max occupancy never loses.
+        kernel = make_test_kernel(num_ctas=16, warps_per_cta=2,
+                                  regs_per_thread=0)
+        oracle = sweep_static_limits(kernel, config=config)
+        assert oracle.best.cycles <= oracle.results[1].cycles

@@ -1,0 +1,146 @@
+"""Tests for the address-pattern generators."""
+
+import pytest
+
+from repro.workloads.patterns import (DEFAULT_SEED, Region, gather_lines,
+                                      hot_cold_lines, private_footprint,
+                                      region_base, rng_for, stream_lines,
+                                      tile_with_halo, warp_slice)
+
+
+class TestRegion:
+    def test_line_wraps(self):
+        region = Region(100, 10)
+        assert region.line(0) == 100
+        assert region.line(10) == 100
+        assert region.line(13) == 103
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            Region(-1, 10)
+        with pytest.raises(ValueError):
+            Region(0, 0)
+
+
+class TestDeterminism:
+    def test_rng_reproducible(self):
+        a = rng_for(DEFAULT_SEED, "kmeans", 3, 1).integers(0, 1000, 10)
+        b = rng_for(DEFAULT_SEED, "kmeans", 3, 1).integers(0, 1000, 10)
+        assert list(a) == list(b)
+
+    def test_rng_differs_across_warps(self):
+        a = rng_for(DEFAULT_SEED, "kmeans", 3, 1).integers(0, 1000, 10)
+        b = rng_for(DEFAULT_SEED, "kmeans", 3, 2).integers(0, 1000, 10)
+        assert list(a) != list(b)
+
+    def test_rng_differs_across_kernels(self):
+        a = rng_for(DEFAULT_SEED, "kmeans", 0, 0).integers(0, 1000, 10)
+        b = rng_for(DEFAULT_SEED, "bfs", 0, 0).integers(0, 1000, 10)
+        assert list(a) != list(b)
+
+    def test_region_bases_well_separated(self):
+        bases = set()
+        for name in ("kmeans", "bfs", "streaming", "spmv"):
+            for which in range(3):
+                bases.add(region_base(name, which))
+        assert len(bases) == 12
+        ordered = sorted(bases)
+        gaps = [b - a for a, b in zip(ordered, ordered[1:])]
+        assert min(gaps) >= 1 << 22
+
+
+class TestStream:
+    def test_streams_are_disjoint(self):
+        region = Region(0, 1 << 20)
+        a = stream_lines(region, 0, 10)
+        b = stream_lines(region, 1, 10)
+        assert not set(a) & set(b)
+
+    def test_lines_consecutive(self):
+        region = Region(50, 1 << 20)
+        lines = stream_lines(region, 2, 5)
+        assert lines == [60, 61, 62, 63, 64]
+
+
+class TestPrivateFootprint:
+    def test_stays_inside_footprint(self):
+        region = Region(0, 1 << 20)
+        rng = rng_for(1, "x", 0, 0)
+        lines = private_footprint(region, owner_index=3, footprint=8,
+                                  rng=rng, accesses=100)
+        assert all(24 <= line < 32 for line in lines)
+
+    def test_owners_disjoint(self):
+        region = Region(0, 1 << 20)
+        a = private_footprint(region, 0, 8, rng_for(1, "x", 0, 0), 50)
+        b = private_footprint(region, 1, 8, rng_for(1, "x", 0, 1), 50)
+        assert not set(a) & set(b)
+
+
+class TestGather:
+    def test_lines_distinct_within_access(self):
+        region = Region(0, 64)
+        gathers = gather_lines(region, rng_for(1, "g", 0, 0), 20, 4)
+        for lines in gathers:
+            assert len(set(lines)) == 4
+
+    def test_access_count(self):
+        region = Region(0, 64)
+        assert len(gather_lines(region, rng_for(1, "g", 0, 0), 7, 2)) == 7
+
+
+class TestHotCold:
+    def test_fraction_respected_statistically(self):
+        hot = Region(0, 16)
+        cold = Region(1 << 20, 1 << 16)
+        lines = hot_cold_lines(hot, cold, rng_for(1, "h", 0, 0), 2000, 0.7)
+        hot_hits = sum(1 for line in lines if line < 16)
+        assert 0.6 < hot_hits / 2000 < 0.8
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            hot_cold_lines(Region(0, 1), Region(10, 1),
+                           rng_for(1, "h", 0, 0), 10, 1.5)
+
+
+class TestTileWithHalo:
+    def test_adjacent_ctas_share_exactly_halo(self):
+        region = Region(0, 1 << 20)
+        a = set(tile_with_halo(region, 0, tile_lines=16, halo_lines=4))
+        b = set(tile_with_halo(region, 1, tile_lines=16, halo_lines=4))
+        assert len(a & b) == 4
+
+    def test_non_adjacent_ctas_disjoint(self):
+        region = Region(0, 1 << 20)
+        a = set(tile_with_halo(region, 0, 16, 4))
+        c = set(tile_with_halo(region, 2, 16, 4))
+        assert not a & c
+
+    def test_offset_shifts_plane(self):
+        region = Region(0, 1 << 20)
+        base = tile_with_halo(region, 1, 16, 4)
+        moved = tile_with_halo(region, 1, 16, 4, offset=1000)
+        assert [line - 1000 for line in moved] == base
+
+    def test_invalid_args(self):
+        region = Region(0, 100)
+        with pytest.raises(ValueError):
+            tile_with_halo(region, 0, 0, 4)
+        with pytest.raises(ValueError):
+            tile_with_halo(region, 0, 4, -1)
+        with pytest.raises(ValueError):
+            tile_with_halo(region, 0, 4, 1, offset=-5)
+
+
+class TestWarpSlice:
+    def test_round_robin_partition(self):
+        lines = list(range(10))
+        slices = [warp_slice(lines, w, 4) for w in range(4)]
+        assert slices[0] == [0, 4, 8]
+        assert slices[3] == [3, 7]
+        together = sorted(line for part in slices for line in part)
+        assert together == lines
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            warp_slice([1, 2], 2, 2)

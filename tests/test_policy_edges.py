@@ -1,0 +1,175 @@
+"""Edge-case tests across the scheduling policies: degenerate grids, extreme
+limits, policy interactions the main suites don't reach."""
+
+import pytest
+
+from repro.core.bcs import BCSScheduler
+from repro.core.cke import MixedCKE, SequentialCKE, SMKEvenCKE, SpatialCKE
+from repro.core.combined import LCSBCSScheduler
+from repro.core.dyncta import DynCTAScheduler
+from repro.core.lcs import LCSScheduler
+from repro.harness.runner import simulate
+from repro.harness.validate import validate_run
+from repro.sim.config import GPUConfig
+from repro.sim.isa import alu, exit_, load
+
+from helpers import alu_program, make_test_kernel
+
+
+class TestDegenerateGrids:
+    def test_single_cta_grid_under_every_policy(self, small_config):
+        builders = [
+            lambda k: LCSScheduler(k),
+            lambda k: BCSScheduler(k),
+            lambda k: DynCTAScheduler(k, window=64),
+            lambda k: LCSBCSScheduler(k),
+        ]
+        for build in builders:
+            kernel = make_test_kernel(num_ctas=1, warps_per_cta=1)
+            result = simulate(kernel, config=small_config,
+                              cta_scheduler=build(kernel))
+            assert result.kernel("test").finish_cycle is not None
+            validate_run(result)
+
+    def test_single_warp_single_instruction(self, small_config):
+        kernel = make_test_kernel(
+            num_ctas=1, warps_per_cta=1,
+            builder=lambda c, w: [exit_()])
+        result = simulate(kernel, config=small_config)
+        assert result.instructions == 1
+
+    def test_grid_smaller_than_sm_count(self):
+        config = GPUConfig(num_sms=15)
+        kernel = make_test_kernel(num_ctas=3, warps_per_cta=2)
+        result = simulate(kernel, config=config)
+        # Only 3 SMs did any work.
+        assert sum(1 for n in result.issued_by_sm if n) == 3
+
+    def test_one_cta_per_wave_many_waves(self, small_config):
+        # Occupancy-1 kernel: strict serialisation through dispatch.
+        kernel = make_test_kernel(num_ctas=6, warps_per_cta=16,
+                                  regs_per_thread=0)
+        result = simulate(kernel, config=small_config)
+        validate_run(result)
+
+
+class TestLCSEdges:
+    def test_lcs_on_occupancy_one_kernel(self, small_config):
+        # Occupancy 1: the monitor sees a single CTA; n* must stay 1 and
+        # nothing breaks.
+        kernel = make_test_kernel(num_ctas=4, warps_per_cta=16,
+                                  regs_per_thread=0)
+        scheduler = LCSScheduler(kernel)
+        result = simulate(kernel, config=small_config,
+                          cta_scheduler=scheduler)
+        decision = scheduler.decision
+        assert decision is not None
+        assert decision.occupancy == 1
+        assert decision.n_star == 1
+        validate_run(result)
+
+    def test_decision_only_once(self, small_config):
+        kernel = make_test_kernel(num_ctas=12, warps_per_cta=2)
+        scheduler = LCSScheduler(kernel)
+        simulate(kernel, config=small_config, cta_scheduler=scheduler)
+        first = scheduler.decision
+        # Feeding more completions can never replace the decision object.
+        assert scheduler.monitor.observe_completion(
+            None, None, None, 0) is None
+        assert scheduler.decision is first
+
+    def test_monitor_sm_restriction_respected(self, small_config):
+        kernel = make_test_kernel(num_ctas=12, warps_per_cta=2)
+        scheduler = LCSScheduler(kernel, monitor_sm=1)
+        simulate(kernel, config=small_config, cta_scheduler=scheduler)
+        assert scheduler.decision.monitor_sm == 1
+
+
+class TestBCSEdges:
+    def test_block_larger_than_grid(self, small_config):
+        kernel = make_test_kernel(num_ctas=2, warps_per_cta=1,
+                                  regs_per_thread=0)
+        result = simulate(kernel, config=small_config,
+                          cta_scheduler=BCSScheduler(kernel, block_size=4))
+        assert result.kernel("test").finish_cycle is not None
+
+    def test_block_equals_occupancy(self, small_config):
+        kernel = make_test_kernel(num_ctas=8, warps_per_cta=1,
+                                  regs_per_thread=0)
+        occupancy = kernel.max_ctas_per_sm(small_config)
+        result = simulate(kernel, config=small_config,
+                          cta_scheduler=BCSScheduler(kernel,
+                                                     block_size=occupancy))
+        validate_run(result)
+
+
+class TestCKEEdges:
+    def test_three_kernel_smk(self, small_config):
+        kernels = [make_test_kernel(name=f"k{i}", num_ctas=4,
+                                    warps_per_cta=1, regs_per_thread=0)
+                   for i in range(3)]
+        result = simulate(kernels, config=small_config,
+                          cta_scheduler=SMKEvenCKE(kernels))
+        for i in range(3):
+            assert result.kernel(f"k{i}").finish_cycle is not None
+
+    def test_three_kernel_sequential_order(self, small_config):
+        kernels = [make_test_kernel(name=f"k{i}", num_ctas=2)
+                   for i in range(3)]
+        result = simulate(kernels, config=small_config,
+                          cta_scheduler=SequentialCKE(kernels))
+        finishes = [result.kernel(f"k{i}").finish_cycle for i in range(3)]
+        assert finishes == sorted(finishes)
+
+    def test_mixed_with_tiny_primary(self, small_config):
+        # The primary's grid is so small it exhausts during monitoring.
+        kernels = [make_test_kernel(name="a", num_ctas=2),
+                   make_test_kernel(name="b", num_ctas=10)]
+        result = simulate(kernels, config=small_config,
+                          cta_scheduler=MixedCKE(kernels))
+        assert result.kernel("b").finish_cycle is not None
+
+    def test_mixed_primary_selection(self, small_config):
+        kernels = [make_test_kernel(name="a", num_ctas=8),
+                   make_test_kernel(name="b", num_ctas=8)]
+        scheduler = MixedCKE(kernels, primary=1)
+        simulate(kernels, config=small_config, cta_scheduler=scheduler)
+        assert scheduler.primary_run.kernel.name == "b"
+
+    def test_spatial_uneven_split_three_sms(self):
+        config = GPUConfig.small(num_sms=3)
+        kernels = [make_test_kernel(name="a", num_ctas=4),
+                   make_test_kernel(name="b", num_ctas=4)]
+        scheduler = SpatialCKE(kernels)
+        simulate(kernels, config=config, cta_scheduler=scheduler)
+        # 3 SMs split 2/1 (remainder to the first kernel).
+        assert len(scheduler.sms_of(0)) == 2
+        assert len(scheduler.sms_of(1)) == 1
+
+
+class TestMixedWorkloadShapes:
+    def test_alu_only_kernel_never_touches_memory(self, small_config):
+        kernel = make_test_kernel(num_ctas=4, warps_per_cta=2,
+                                  builder=lambda c, w: alu_program(30))
+        result = simulate(kernel, config=small_config)
+        assert result.l1.accesses == 0
+        assert result.dram.reads == 0
+
+    def test_memory_only_kernel(self, small_config):
+        kernel = make_test_kernel(
+            num_ctas=2, warps_per_cta=2,
+            builder=lambda c, w: [load([c * 10 + w * 5 + i])
+                                  for i in range(5)] + [exit_()])
+        result = simulate(kernel, config=small_config)
+        assert result.l1.accesses == 2 * 2 * 5
+        validate_run(result)
+
+    def test_warps_with_different_lengths(self, small_config):
+        def builder(c, w):
+            return [alu(2)] * (10 + 20 * w) + [exit_()]
+
+        kernel = make_test_kernel(num_ctas=2, warps_per_cta=3,
+                                  builder=builder)
+        result = simulate(kernel, config=small_config)
+        expected = 2 * sum(10 + 20 * w + 1 for w in range(3))
+        assert result.instructions == expected

@@ -1,0 +1,78 @@
+"""Tests for the trace builder."""
+
+import pytest
+
+from repro.sim.isa import Op
+from repro.workloads.programs import (TraceBuilder, instruction_mix,
+                                      memory_intensity)
+
+
+class TestTraceBuilder:
+    def test_fluent_chain_builds_valid_program(self):
+        program = (TraceBuilder().alu(2).load(5).barrier().store([6, 7])
+                   .shared().build())
+        assert program[-1].op is Op.EXIT
+        assert [i.op for i in program[:-1]] == [
+            Op.ALU, Op.ALU, Op.LD_GLOBAL, Op.BARRIER, Op.ST_GLOBAL, Op.SHARED]
+
+    def test_default_latencies(self):
+        program = TraceBuilder(alu_latency=7, shared_latency=33) \
+            .alu().shared().build()
+        assert program[0].latency == 7
+        assert program[1].latency == 33
+
+    def test_latency_override(self):
+        program = TraceBuilder(alu_latency=4).alu(1, latency=9).build()
+        assert program[0].latency == 9
+
+    def test_int_line_accepted(self):
+        program = TraceBuilder().load(3).store(4).build()
+        assert program[0].lines == (3,)
+        assert program[1].lines == (4,)
+
+    def test_load_each_interleaves_alu(self):
+        program = TraceBuilder().load_each([1, 2], alu_between=2).build()
+        ops = [i.op for i in program[:-1]]
+        assert ops == [Op.LD_GLOBAL, Op.ALU, Op.ALU,
+                       Op.LD_GLOBAL, Op.ALU, Op.ALU]
+
+    def test_build_once(self):
+        builder = TraceBuilder().alu()
+        builder.build()
+        with pytest.raises(RuntimeError):
+            builder.build()
+
+    def test_len_counts_instructions(self):
+        builder = TraceBuilder().alu(3)
+        assert len(builder) == 3
+
+    def test_load_strided_unit_stride_one_line(self):
+        program = TraceBuilder().load_strided(0, 1).build()
+        assert program[0].lines == (0,)
+
+    def test_load_strided_scatter(self):
+        program = TraceBuilder().load_strided(0, 32).build()
+        assert len(program[0].lines) == 32
+
+    def test_load_strided_partial_warp(self):
+        program = TraceBuilder().load_strided(0, 8, lanes=4).build()
+        assert len(program[0].lines) == 1
+
+    def test_invalid_latencies_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBuilder(alu_latency=0)
+
+
+class TestAnalysis:
+    def test_instruction_mix(self):
+        program = TraceBuilder().alu(2).load(1).build()
+        mix = instruction_mix(program)
+        assert mix == {"ALU": 2, "LD_GLOBAL": 1, "EXIT": 1}
+
+    def test_memory_intensity(self):
+        program = TraceBuilder().alu(2).load(1).store(2).build()
+        # 2 memory instructions out of 5 total (incl. EXIT).
+        assert memory_intensity(program) == pytest.approx(2 / 5)
+
+    def test_memory_intensity_empty(self):
+        assert memory_intensity([]) == 0.0

@@ -1,0 +1,70 @@
+"""Additional reporting/experiment-context behaviours."""
+
+import pytest
+
+from repro.harness.experiments import ExperimentContext
+from repro.harness.reporting import Table, geomean
+
+
+class TestContextCache:
+    def test_cache_distinguishes_scale_mults(self):
+        ctx = ExperimentContext(scale=0.02)
+        a = ctx.run(("compute",), scale_mults=(1.0,))
+        b = ctx.run(("compute",), scale_mults=(2.0,))
+        assert a is not b
+        assert b.instructions > a.instructions
+
+    def test_cache_distinguishes_warp_scheduler(self):
+        ctx = ExperimentContext(scale=0.02)
+        a = ctx.run("compute", warp="gto")
+        b = ctx.run("compute", warp="lrr")
+        assert a is not b
+
+    def test_swl_warp_descriptor(self):
+        ctx = ExperimentContext(scale=0.02)
+        result = ctx.run("kmeans", warp=("swl", 4))
+        assert result.cycles > 0
+
+    def test_unknown_warp_descriptor_rejected(self):
+        ctx = ExperimentContext(scale=0.02)
+        with pytest.raises(ValueError):
+            ctx.run("kmeans", warp=("magic", 4))
+
+    def test_static_sweep_shares_cache_with_oracle(self):
+        ctx = ExperimentContext(scale=0.02)
+        sweep = ctx.static_sweep("kmeans")
+        best, run = ctx.oracle_best("kmeans")
+        assert run is sweep[best]
+
+    def test_multi_kernel_key_order_matters(self):
+        ctx = ExperimentContext(scale=0.02)
+        ab = ctx.run(("kmeans", "compute"), policy=("smk",))
+        ba = ctx.run(("compute", "kmeans"), policy=("smk",))
+        assert ab is not ba
+
+
+class TestTableExtras:
+    def test_int_columns_render_without_decimals(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(7, 1.5)
+        rendered = table.render()
+        assert " 7 " in rendered or rendered.count("7") >= 1
+        assert "1.500" in rendered
+
+    def test_notes_render_in_order(self):
+        table = Table("t", ["a"])
+        table.add_row(1)
+        table.add_note("first")
+        table.add_note("second")
+        rendered = table.render()
+        assert rendered.index("first") < rendered.index("second")
+
+    def test_csv_round_trips_row_count(self):
+        table = Table("t", ["x", "y"])
+        for i in range(5):
+            table.add_row(i, i * 0.5)
+        lines = table.to_csv().splitlines()
+        assert len(lines) == 6
+
+    def test_geomean_of_identity_is_one(self):
+        assert geomean([1.0] * 10) == pytest.approx(1.0)

@@ -1,0 +1,152 @@
+"""Tests for the runner front end and the reporting helpers."""
+
+import pytest
+
+from repro.core.cta_schedulers import StaticLimitCTAScheduler
+from repro.harness.reporting import Table, geomean, speedup
+from repro.harness.runner import simulate
+
+from helpers import make_test_kernel
+
+
+class TestSimulate:
+    def test_default_policy_is_round_robin(self, small_config):
+        result = simulate(make_test_kernel(), config=small_config)
+        assert result.meta["cta_scheduler"] == "rr"
+        assert result.meta["warp_scheduler"] == "gto"
+
+    def test_scheduler_reuse_rejected(self, small_config):
+        kernel = make_test_kernel()
+        scheduler = StaticLimitCTAScheduler(kernel, limit_per_sm=1)
+        simulate(kernel, config=small_config, cta_scheduler=scheduler)
+        with pytest.raises(ValueError):
+            simulate(kernel, config=small_config, cta_scheduler=scheduler)
+
+    def test_kernel_mismatch_rejected(self, small_config):
+        kernel = make_test_kernel()
+        other = make_test_kernel()
+        scheduler = StaticLimitCTAScheduler(other, limit_per_sm=1)
+        with pytest.raises(ValueError):
+            simulate(kernel, config=small_config, cta_scheduler=scheduler)
+
+    def test_l1_stats_aggregate_all_sms(self, small_config):
+        from repro.sim.isa import exit_, load
+        kernel = make_test_kernel(
+            num_ctas=4, warps_per_cta=1,
+            builder=lambda c, w: [load([c * 100]), exit_()])
+        result = simulate(kernel, config=small_config)
+        assert result.l1.accesses == 4
+
+    def test_summary_is_printable(self, small_config):
+        result = simulate(make_test_kernel(), config=small_config)
+        text = result.summary()
+        assert "IPC" in text
+        assert "kernel test" in text
+
+    def test_ipc_consistency(self, small_config):
+        result = simulate(make_test_kernel(), config=small_config)
+        assert result.ipc == pytest.approx(
+            result.instructions / result.cycles)
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestSpeedup:
+    def test_direction(self):
+        assert speedup(200, 100) == pytest.approx(2.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            speedup(0, 10)
+
+
+class TestTable:
+    def make(self):
+        table = Table("demo", ["name", "value"])
+        table.add_row("a", 1.23456)
+        table.add_row("b", 7)
+        return table
+
+    def test_row_arity_checked(self):
+        with pytest.raises(ValueError):
+            self.make().add_row("only-one")
+
+    def test_column_lookup(self):
+        assert self.make().column("value") == [1.23456, 7]
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(KeyError):
+            self.make().column("nope")
+
+    def test_row_for(self):
+        assert self.make().row_for("b") == ("b", 7)
+        with pytest.raises(KeyError):
+            self.make().row_for("c")
+
+    def test_render_contains_everything(self):
+        table = self.make()
+        table.add_note("a note")
+        text = table.render()
+        assert "demo" in text
+        assert "1.235" in text       # floats at 3 decimals
+        assert "a note" in text
+
+    def test_render_empty_table(self):
+        assert "empty" in Table("empty", ["x"]).render()
+
+    def test_csv_escaping(self):
+        table = Table("t", ["a"])
+        table.add_row('hello, "world"')
+        assert table.to_csv().splitlines()[1] == '"hello, ""world"""'
+
+
+class TestChart:
+    def make(self):
+        table = Table("speedups", ["benchmark", "speedup"])
+        table.add_row("a", 2.0)
+        table.add_row("b", 0.5)
+        table.add_row("gmean", 1.0)
+        return table
+
+    def test_bars_scale_to_max(self):
+        chart = self.make().render_chart("speedup", width=10)
+        lines = chart.splitlines()[1:]
+        # The max row gets (nearly) the full width; the reference marker
+        # may overwrite one character of the bar.
+        assert lines[0].count("#") >= 9
+        assert lines[1].count("#") < lines[0].count("#")
+
+    def test_reference_marker_present(self):
+        chart = self.make().render_chart("speedup", width=10)
+        assert "|" in chart
+
+    def test_values_printed(self):
+        chart = self.make().render_chart("speedup")
+        assert "2.000" in chart and "0.500" in chart
+
+    def test_non_numeric_rows_skipped(self):
+        table = Table("t", ["name", "value"])
+        table.add_row("x", 1.5)
+        table.add_row("note", "-")
+        chart = table.render_chart("value")
+        assert "note" not in chart
+
+    def test_all_non_numeric_rejected(self):
+        table = Table("t", ["name", "value"])
+        table.add_row("x", "-")
+        with pytest.raises(ValueError):
+            table.render_chart("value")

@@ -1,0 +1,174 @@
+"""Property-based tests of the whole simulator on random programs.
+
+Hypothesis generates arbitrary (valid) warp traces, kernel geometries and
+scheduler combinations; the simulator must always terminate, execute every
+instruction exactly once, keep its statistics consistent, and be
+deterministic.  These tests catch scheduler/queue edge cases no
+hand-written scenario thinks of.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bcs import BCSScheduler
+from repro.core.cta_schedulers import StaticLimitCTAScheduler
+from repro.core.lcs import LCSScheduler
+from repro.harness.runner import simulate
+from repro.sim.config import GPUConfig
+from repro.sim.isa import Instruction, Op
+from repro.sim.kernel import Kernel
+
+# --------------------------------------------------------------------------- #
+# program strategies
+# --------------------------------------------------------------------------- #
+
+alu_instr = st.builds(
+    lambda lat: Instruction(Op.ALU, latency=lat),
+    st.integers(min_value=1, max_value=16))
+shared_instr = st.builds(
+    lambda lat: Instruction(Op.SHARED, latency=lat),
+    st.integers(min_value=1, max_value=32))
+load_instr = st.builds(
+    lambda lines: Instruction(Op.LD_GLOBAL, lines=tuple(lines)),
+    st.lists(st.integers(min_value=0, max_value=300), min_size=1,
+             max_size=4, unique=True))
+store_instr = st.builds(
+    lambda lines: Instruction(Op.ST_GLOBAL, lines=tuple(lines)),
+    st.lists(st.integers(min_value=0, max_value=300), min_size=1,
+             max_size=2, unique=True))
+
+body_instr = st.one_of(alu_instr, shared_instr, load_instr, store_instr)
+
+# A per-CTA program shape: a list of segments; a barrier after each segment.
+# Using the same shape for every warp of a CTA keeps barrier counts legal.
+segments_strategy = st.lists(
+    st.lists(body_instr, min_size=0, max_size=6),
+    min_size=1, max_size=3)
+
+
+def build_kernel(segments, num_ctas, warps_per_cta, with_barriers):
+    def builder(cta_id, warp_idx):
+        program = []
+        for segment in segments:
+            # Shift line addresses per warp so traffic varies.
+            for inst in segment:
+                if inst.is_memory:
+                    lines = tuple((line + cta_id * 31 + warp_idx * 7) % 512
+                                  for line in inst.lines)
+                    lines = tuple(dict.fromkeys(lines))
+                    program.append(Instruction(inst.op, lines=lines))
+                else:
+                    program.append(inst)
+            if with_barriers:
+                program.append(Instruction(Op.BARRIER))
+        program.append(Instruction(Op.EXIT))
+        return program
+
+    return Kernel("prop", num_ctas, warps_per_cta, builder,
+                  regs_per_thread=4)
+
+
+def expected_instructions(kernel):
+    return sum(len(kernel.build_warp_program(c, w))
+               for c in range(kernel.num_ctas)
+               for w in range(kernel.warps_per_cta))
+
+
+kernel_params = st.tuples(
+    segments_strategy,
+    st.integers(min_value=1, max_value=6),    # num_ctas
+    st.integers(min_value=1, max_value=4),    # warps_per_cta
+    st.booleans(),                            # barriers
+)
+
+
+# --------------------------------------------------------------------------- #
+# invariants
+# --------------------------------------------------------------------------- #
+
+@given(params=kernel_params)
+@settings(max_examples=40, deadline=None)
+def test_simulation_terminates_and_conserves_instructions(params):
+    segments, num_ctas, warps, barriers = params
+    kernel = build_kernel(segments, num_ctas, warps, barriers)
+    result = simulate(kernel, config=GPUConfig.small())
+    assert result.instructions == expected_instructions(
+        build_kernel(segments, num_ctas, warps, barriers))
+    assert result.kernel("prop").finish_cycle is not None
+
+
+@given(params=kernel_params,
+       warp_sched=st.sampled_from(["lrr", "gto", "baws", "two-level"]))
+@settings(max_examples=30, deadline=None)
+def test_scheduler_choice_never_changes_work(params, warp_sched):
+    segments, num_ctas, warps, barriers = params
+    kernel = build_kernel(segments, num_ctas, warps, barriers)
+    result = simulate(kernel, config=GPUConfig.small(),
+                      warp_scheduler=warp_sched)
+    assert result.instructions == expected_instructions(
+        build_kernel(segments, num_ctas, warps, barriers))
+
+
+@given(params=kernel_params, limit=st.integers(min_value=1, max_value=4))
+@settings(max_examples=25, deadline=None)
+def test_static_limits_never_deadlock(params, limit):
+    segments, num_ctas, warps, barriers = params
+    kernel = build_kernel(segments, num_ctas, warps, barriers)
+    scheduler = StaticLimitCTAScheduler(kernel, limit_per_sm=limit)
+    result = simulate(kernel, config=GPUConfig.small(),
+                      cta_scheduler=scheduler)
+    assert result.kernel("prop").finish_cycle is not None
+
+
+@given(params=kernel_params,
+       block=st.integers(min_value=1, max_value=3))
+@settings(max_examples=25, deadline=None)
+def test_bcs_never_loses_ctas(params, block):
+    segments, num_ctas, warps, barriers = params
+    kernel = build_kernel(segments, num_ctas, warps, barriers)
+    scheduler = BCSScheduler(kernel, block_size=block)
+    result = simulate(kernel, config=GPUConfig.small(),
+                      cta_scheduler=scheduler)
+    assert result.instructions == expected_instructions(
+        build_kernel(segments, num_ctas, warps, barriers))
+
+
+@given(params=kernel_params)
+@settings(max_examples=20, deadline=None)
+def test_lcs_decision_and_completion(params):
+    segments, num_ctas, warps, barriers = params
+    kernel = build_kernel(segments, num_ctas, warps, barriers)
+    scheduler = LCSScheduler(kernel)
+    result = simulate(kernel, config=GPUConfig.small(),
+                      cta_scheduler=scheduler)
+    assert result.kernel("prop").finish_cycle is not None
+    decision = scheduler.decision
+    if decision is not None:
+        assert 1 <= decision.n_star <= decision.occupancy
+
+
+@given(params=kernel_params)
+@settings(max_examples=15, deadline=None)
+def test_bit_identical_reruns(params):
+    segments, num_ctas, warps, barriers = params
+    a = simulate(build_kernel(segments, num_ctas, warps, barriers),
+                 config=GPUConfig.small())
+    b = simulate(build_kernel(segments, num_ctas, warps, barriers),
+                 config=GPUConfig.small())
+    assert a.cycles == b.cycles
+    assert a.instructions == b.instructions
+    assert a.l1.misses == b.l1.misses
+    assert a.dram.reads == b.dram.reads
+
+
+@given(params=kernel_params)
+@settings(max_examples=20, deadline=None)
+def test_memory_traffic_conservation_random(params):
+    segments, num_ctas, warps, barriers = params
+    kernel = build_kernel(segments, num_ctas, warps, barriers)
+    result = simulate(kernel, config=GPUConfig.small())
+    # Every L1 demand miss becomes exactly one L2 access; every L2 load
+    # miss becomes one DRAM read; store counts match end to end.
+    assert result.l2.accesses == result.l1.misses
+    assert result.dram.reads == result.l2.misses
+    assert result.l2.write_accesses == result.l1.write_accesses

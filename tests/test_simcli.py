@@ -1,0 +1,72 @@
+"""Tests for the repro-sim single-run CLI."""
+
+from repro.harness.simcli import main
+from repro.workloads.suite import make_kernel
+from repro.workloads.tracefile import save_kernel_trace
+
+
+def test_basic_run(capsys):
+    assert main(["kmeans", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out
+    assert "warp-time breakdown" in out
+
+
+def test_lcs_policy_prints_decision(capsys):
+    assert main(["kmeans", "--scale", "0.05", "--policy", "lcs"]) == 0
+    assert "LCS decision" in capsys.readouterr().out
+
+
+def test_static_policy(capsys):
+    assert main(["kmeans", "--scale", "0.05", "--policy", "static:2"]) == 0
+
+
+def test_static_without_limit_errors(capsys):
+    assert main(["kmeans", "--policy", "static"]) == 2
+    assert "static:N" in capsys.readouterr().err
+
+
+def test_bcs_policy_with_baws(capsys):
+    assert main(["stencil", "--scale", "0.05", "--warp", "baws",
+                 "--policy", "bcs:2"]) == 0
+
+
+def test_dyncta_policy_prints_quotas(capsys):
+    assert main(["kmeans", "--scale", "0.05", "--policy", "dyncta"]) == 0
+    assert "DynCTA final quotas" in capsys.readouterr().out
+
+
+def test_swl_warp_scheduler(capsys):
+    assert main(["kmeans", "--scale", "0.05", "--warp", "swl:4"]) == 0
+
+
+def test_kepler_config(capsys):
+    assert main(["compute", "--scale", "0.05", "--config", "kepler"]) == 0
+
+
+def test_unknown_config_errors(capsys):
+    assert main(["kmeans", "--config", "pascal"]) == 2
+
+
+def test_unknown_policy_errors(capsys):
+    assert main(["kmeans", "--policy", "magic"]) == 2
+
+
+def test_unknown_kernel_errors(capsys):
+    assert main(["nonesuch"]) == 2
+
+
+def test_timeline_output(tmp_path, capsys):
+    csv = tmp_path / "timeline.csv"
+    assert main(["kmeans", "--scale", "0.05", "--timeline", str(csv),
+                 "--timeline-period", "200"]) == 0
+    lines = csv.read_text().splitlines()
+    assert lines[0] == "cycle,mean_ctas_per_sm,mean_warps_per_sm,ipc"
+    assert len(lines) > 1
+
+
+def test_trace_file_input(tmp_path, capsys):
+    path = tmp_path / "k.json"
+    save_kernel_trace(make_kernel("kmeans", scale=0.02), path)
+    assert main([str(path), "--policy", "lcs"]) == 0
+    assert "kmeans" in capsys.readouterr().out

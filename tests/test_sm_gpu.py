@@ -1,0 +1,203 @@
+"""Integration tests for the SM + GPU execution model on tiny kernels."""
+
+import pytest
+
+from repro.harness.runner import simulate
+from repro.sim.config import GPUConfig
+from repro.sim.gpu import GPU, SimulationError
+from repro.sim.isa import alu, barrier, exit_, load, shared, store
+
+from helpers import alu_program, make_test_kernel
+
+
+def run_kernel(kernel, config=None, warp_scheduler="gto"):
+    config = config or GPUConfig.small()
+    return simulate(kernel, config=config, warp_scheduler=warp_scheduler)
+
+
+class TestBasicExecution:
+    def test_all_instructions_issue(self, small_config):
+        kernel = make_test_kernel(num_ctas=4, warps_per_cta=2)
+        result = run_kernel(kernel, small_config)
+        per_warp = len(alu_program())
+        assert result.instructions == 4 * 2 * per_warp
+
+    def test_single_warp_alu_timing(self, small_config):
+        # 10 dependent ALU ops at latency 2, one warp: ~20 cycles + exit.
+        kernel = make_test_kernel(num_ctas=1, warps_per_cta=1)
+        result = run_kernel(kernel, small_config)
+        assert 18 <= result.cycles <= 30
+
+    def test_more_warps_overlap_latency(self, small_config):
+        one = run_kernel(make_test_kernel(num_ctas=1, warps_per_cta=1),
+                         small_config)
+        many = run_kernel(make_test_kernel(num_ctas=1, warps_per_cta=4),
+                          small_config)
+        # 4 warps do 4x the work in much less than 4x the time.
+        assert many.cycles < 2.5 * one.cycles
+
+    def test_kernel_stats_recorded(self, small_config):
+        kernel = make_test_kernel(num_ctas=2)
+        result = run_kernel(kernel, small_config)
+        stats = result.kernel("test")
+        assert stats.finish_cycle is not None
+        assert stats.instructions == result.instructions
+        assert stats.ipc > 0
+
+
+class TestMemoryExecution:
+    def test_load_goes_through_hierarchy(self, small_config):
+        kernel = make_test_kernel(
+            num_ctas=1, warps_per_cta=1,
+            builder=lambda c, w: [load([0]), exit_()])
+        result = run_kernel(kernel, small_config)
+        assert result.l1.accesses == 1
+        assert result.l1.misses == 1
+        assert result.l2.misses == 1
+        assert result.dram.reads == 1
+
+    def test_repeated_load_hits_l1(self, small_config):
+        kernel = make_test_kernel(
+            num_ctas=1, warps_per_cta=1,
+            builder=lambda c, w: [load([0]), load([0]), exit_()])
+        result = run_kernel(kernel, small_config)
+        assert result.l1.hits == 1
+        assert result.dram.reads == 1
+
+    def test_two_warps_same_line_merge_in_mshr(self, small_config):
+        kernel = make_test_kernel(
+            num_ctas=1, warps_per_cta=2,
+            builder=lambda c, w: [load([0]), exit_()])
+        result = run_kernel(kernel, small_config)
+        assert result.l1.merges == 1
+        assert result.dram.reads == 1
+
+    def test_store_is_write_through(self, small_config):
+        kernel = make_test_kernel(
+            num_ctas=1, warps_per_cta=1,
+            builder=lambda c, w: [store([0]), exit_()])
+        result = run_kernel(kernel, small_config)
+        assert result.l1.write_accesses == 1
+        assert result.dram.writes == 1
+
+    def test_memory_latency_dominates_single_warp(self, small_config):
+        compute = run_kernel(make_test_kernel(
+            num_ctas=1, warps_per_cta=1,
+            builder=lambda c, w: [alu(2), exit_()]), small_config)
+        memory = run_kernel(make_test_kernel(
+            num_ctas=1, warps_per_cta=1,
+            builder=lambda c, w: [load([0]), exit_()]), small_config)
+        assert memory.cycles > 3 * compute.cycles
+
+    def test_multi_line_load_generates_transactions(self, small_config):
+        kernel = make_test_kernel(
+            num_ctas=1, warps_per_cta=1,
+            builder=lambda c, w: [load([0, 1, 2, 3]), exit_()])
+        result = run_kernel(kernel, small_config)
+        assert result.l1.accesses == 4
+
+
+class TestBarriers:
+    def test_barrier_synchronizes_warps(self, small_config):
+        # Warp 0 computes long, warp 1 short; both must reach the barrier
+        # before either proceeds.
+        def builder(cta_id, warp_idx):
+            work = 20 if warp_idx == 0 else 1
+            return ([alu(2)] * work + [barrier(), alu(2), exit_()])
+
+        kernel = make_test_kernel(num_ctas=1, warps_per_cta=2, builder=builder)
+        result = run_kernel(kernel, small_config)
+        assert result.instructions == (20 + 3) + (1 + 3)
+
+    def test_barrier_loop(self, small_config):
+        def builder(cta_id, warp_idx):
+            program = []
+            for _ in range(5):
+                program.extend([alu(2), barrier()])
+            program.append(exit_())
+            return program
+
+        kernel = make_test_kernel(num_ctas=2, warps_per_cta=4, builder=builder)
+        result = run_kernel(kernel, small_config)
+        assert result.instructions == 2 * 4 * 11
+
+    def test_uneven_barrier_counts_do_not_deadlock(self, small_config):
+        # Warp 1 exits without reaching the barrier; the simulator must
+        # release warp 0 when warp 1's exit satisfies the arrival condition.
+        def builder(cta_id, warp_idx):
+            if warp_idx == 0:
+                return [barrier(), alu(2), exit_()]
+            return [alu(2), exit_()]
+
+        kernel = make_test_kernel(num_ctas=1, warps_per_cta=2, builder=builder)
+        result = run_kernel(kernel, small_config)   # must terminate
+        assert result.instructions == 5
+
+
+class TestSharedMemoryOps:
+    def test_shared_latency_applies(self, small_config):
+        fast = run_kernel(make_test_kernel(
+            num_ctas=1, warps_per_cta=1,
+            builder=lambda c, w: [alu(1), exit_()]), small_config)
+        slow = run_kernel(make_test_kernel(
+            num_ctas=1, warps_per_cta=1,
+            builder=lambda c, w: [shared(24), exit_()]), small_config)
+        assert slow.cycles > fast.cycles
+
+
+class TestResourceLimits:
+    def test_occupancy_bounds_resident_ctas(self):
+        config = GPUConfig.small(num_sms=1)
+        # 8 warps/CTA, 16 warp contexts -> 2 CTAs resident.
+        kernel = make_test_kernel(num_ctas=4, warps_per_cta=8,
+                                  regs_per_thread=0)
+        result = run_kernel(kernel, config)
+        assert result.instructions == 4 * 8 * len(alu_program())
+
+    def test_issue_width_caps_throughput(self):
+        config = GPUConfig.small(num_sms=1)
+        kernel = make_test_kernel(num_ctas=2, warps_per_cta=8,
+                                  builder=lambda c, w: alu_program(40, 1))
+        result = run_kernel(kernel, config)
+        # 2 schedulers can retire at most 2 instructions per cycle.
+        assert result.instructions / result.cycles <= config.issue_width + 1e-9
+
+
+class TestGPULifecycle:
+    def test_gpu_cannot_launch_twice(self, small_config):
+        gpu = GPU(config=small_config)
+        gpu.launch([make_test_kernel()])
+        with pytest.raises(SimulationError):
+            gpu.launch([make_test_kernel()])
+
+    def test_empty_launch_rejected(self, small_config):
+        gpu = GPU(config=small_config)
+        with pytest.raises(ValueError):
+            gpu.launch([])
+
+    def test_unknown_warp_scheduler_rejected(self, small_config):
+        with pytest.raises(ValueError):
+            GPU(config=small_config, warp_scheduler="bogus")
+
+    def test_total_issued_matches_stats(self, small_config):
+        kernel = make_test_kernel(num_ctas=3)
+        result = run_kernel(kernel, small_config)
+        assert sum(result.issued_by_sm) == result.instructions
+
+
+class TestDeterminism:
+    def test_same_seed_same_cycles(self, small_config):
+        from repro.workloads.suite import make_kernel
+        a = simulate(make_kernel("kmeans", scale=0.05), config=small_config)
+        b = simulate(make_kernel("kmeans", scale=0.05), config=small_config)
+        assert a.cycles == b.cycles
+        assert a.instructions == b.instructions
+        assert a.l1.misses == b.l1.misses
+
+    def test_different_seed_differs(self, small_config):
+        from repro.workloads.suite import make_kernel
+        a = simulate(make_kernel("kmeans", scale=0.05, seed=1),
+                     config=small_config)
+        b = simulate(make_kernel("kmeans", scale=0.05, seed=2),
+                     config=small_config)
+        assert a.cycles != b.cycles

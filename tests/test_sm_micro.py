@@ -1,0 +1,163 @@
+"""Micro-behaviour tests of the SM: scheduler partitioning, LD/ST ordering,
+gate-blocking, MSHR interplay — the details MODEL.md §3–4 promises."""
+
+from repro.core.cta_schedulers import RoundRobinCTAScheduler
+from repro.sim.config import GPUConfig
+from repro.sim.gpu import GPU
+from repro.sim.isa import exit_, load
+from repro.sim.warp import WarpState
+
+from helpers import alu_program, make_test_kernel
+
+
+def boot(kernel, config=None, warp_scheduler="gto"):
+    """Bind + initial fill without running; returns (gpu, sm0)."""
+    config = config or GPUConfig.small(num_sms=1)
+    gpu = GPU(config=config, warp_scheduler=warp_scheduler)
+    scheduler = RoundRobinCTAScheduler(kernel)
+    gpu.cta_scheduler = scheduler
+    scheduler.bind(gpu)
+    scheduler.fill(0)
+    return gpu, gpu.sms[0]
+
+
+class TestSchedulerPartitioning:
+    def test_warps_split_round_robin_between_schedulers(self):
+        kernel = make_test_kernel(num_ctas=1, warps_per_cta=4)
+        gpu, sm = boot(kernel)
+        cta = sm.active_ctas[0]
+        owners = [warp.scheduler for warp in cta.warps]
+        assert owners[0] is owners[2]
+        assert owners[1] is owners[3]
+        assert owners[0] is not owners[1]
+
+    def test_issue_width_instructions_per_cycle_max(self):
+        kernel = make_test_kernel(num_ctas=2, warps_per_cta=4,
+                                  builder=lambda c, w: alu_program(20, 4))
+        gpu, sm = boot(kernel)
+        before = sm.issued
+        sm.tick(0)
+        assert sm.issued - before <= gpu.config.issue_width
+
+
+class TestLDSTOrdering:
+    def test_ldst_is_fifo(self):
+        kernel = make_test_kernel(
+            num_ctas=1, warps_per_cta=2,
+            builder=lambda c, w: [load([w * 100]), exit_()])
+        gpu, sm = boot(kernel)
+        sm.tick(0)   # both warps issue their loads
+        queued = [request.lines[0] for request in sm.ldst]
+        assert queued == sorted(queued) or queued == [0, 100]
+        # Processing order follows queue order.
+        first = sm.ldst[0]
+        sm.tick(1)
+        assert first.accepted or first.idx > 0
+
+    def test_one_transaction_per_cycle(self):
+        kernel = make_test_kernel(
+            num_ctas=1, warps_per_cta=1,
+            builder=lambda c, w: [load([0, 1, 2, 3]), exit_()])
+        gpu, sm = boot(kernel)
+        sm.tick(0)                       # issue the load
+        request = sm.ldst[0]
+        for expected_idx in (1, 2, 3):
+            sm.tick(expected_idx)
+            assert request.idx == expected_idx
+
+
+class TestGateBlocking:
+    def make_mem_flood(self):
+        return make_test_kernel(
+            num_ctas=4, warps_per_cta=4, regs_per_thread=0,
+            builder=lambda c, w: [load([(c * 4 + w) * 50 + i])
+                                  for i in range(12)] + [exit_()])
+
+    def test_gate_blocks_when_queue_full(self):
+        config = GPUConfig.small(num_sms=1, ldst_queue_depth=2)
+        gpu, sm = boot(self.make_mem_flood(), config)
+        # Tick until the queue is full and nothing can issue.
+        for cycle in range(40):
+            sm.tick(cycle)
+            if sm.gate_blocked:
+                break
+        assert sm.gate_blocked
+        assert len(sm.ldst) <= 2
+
+    def test_gate_clears_on_queue_drain(self):
+        config = GPUConfig.small(num_sms=1, ldst_queue_depth=2)
+        gpu, sm = boot(self.make_mem_flood(), config)
+        cycle = 0
+        while not sm.gate_blocked and cycle < 100:
+            sm.tick(cycle)
+            cycle += 1
+        # Draining one transaction (an LD/ST pop) clears the gate.
+        while sm.gate_blocked and cycle < 200:
+            gpu.events.run_due(cycle)
+            sm.tick(cycle)
+            cycle += 1
+        assert not sm.gate_blocked or cycle < 200
+
+
+class TestMSHRBackpressure:
+    def test_ldst_blocked_on_mshr_exhaustion(self):
+        config = GPUConfig.small(num_sms=1, l1_mshr_entries=2,
+                                 ldst_queue_depth=8)
+        kernel = make_test_kernel(
+            num_ctas=1, warps_per_cta=4, regs_per_thread=0,
+            builder=lambda c, w: [load([w * 100]), exit_()])
+        gpu, sm = boot(kernel, config)
+        for cycle in range(10):
+            sm.tick(cycle)
+            if sm.ldst_blocked:
+                break
+        assert sm.ldst_blocked
+        assert sm.l1.outstanding_misses == 2
+
+    def test_mem_response_unblocks(self):
+        config = GPUConfig.small(num_sms=1, l1_mshr_entries=2)
+        kernel = make_test_kernel(
+            num_ctas=1, warps_per_cta=4, regs_per_thread=0,
+            builder=lambda c, w: [load([w * 100]), exit_()])
+        gpu, sm = boot(kernel, config)
+        for cycle in range(10):
+            sm.tick(cycle)
+        assert sm.ldst_blocked
+        sm.mem_response(50, 0)
+        assert not sm.ldst_blocked
+
+
+class TestResourceRelease:
+    def test_cta_completion_frees_everything(self, small_config):
+        kernel = make_test_kernel(num_ctas=1, warps_per_cta=2,
+                                  regs_per_thread=8, shmem_per_cta=1024)
+        gpu, sm = boot(kernel, GPUConfig.small(num_sms=1))
+        assert sm.used_slots == 1
+        assert sm.used_warps == 2
+        assert sm.used_regs == 8 * 2 * 32
+        assert sm.used_shmem == 1024
+        cycle = 0
+        scheduler = gpu.cta_scheduler
+        while not scheduler.done and cycle < 10_000:
+            gpu.events.run_due(cycle)
+            scheduler.fill(cycle)
+            sm.tick(cycle)
+            cycle += 1
+        assert scheduler.done
+        assert sm.used_slots == 0
+        assert sm.used_warps == 0
+        assert sm.used_regs == 0
+        assert sm.used_shmem == 0
+        assert sm.kernel_active[0] == 0
+
+    def test_warp_states_terminal(self):
+        kernel = make_test_kernel(num_ctas=1, warps_per_cta=2)
+        gpu, sm = boot(kernel, GPUConfig.small(num_sms=1))
+        cta = sm.active_ctas[0]
+        cycle = 0
+        while not gpu.cta_scheduler.done and cycle < 10_000:
+            gpu.events.run_due(cycle)
+            gpu.cta_scheduler.fill(cycle)
+            sm.tick(cycle)
+            cycle += 1
+        assert all(warp.state == WarpState.DONE for warp in cta.warps)

@@ -1,0 +1,78 @@
+"""Tests for the statistics containers."""
+
+import pytest
+
+from repro.sim.stats import CacheStats, DRAMStats, KernelStats, RunResult
+
+
+class TestCacheStats:
+    def test_add_accumulates_everything(self):
+        a = CacheStats(accesses=10, hits=6, misses=3, merges=1,
+                       mshr_stalls=2, write_accesses=5, write_hits=2,
+                       fills=3, evictions=1)
+        b = CacheStats(accesses=1, hits=1)
+        b.add(a)
+        assert b.accesses == 11
+        assert b.hits == 7
+        assert b.evictions == 1
+
+    def test_rates_on_empty_stats(self):
+        empty = CacheStats()
+        assert empty.miss_rate == 0.0
+        assert empty.hit_rate == 0.0
+
+    def test_hit_rate_complements_miss_rate(self):
+        stats = CacheStats(accesses=10, hits=7, misses=2, merges=1)
+        assert stats.hit_rate + stats.miss_rate == pytest.approx(1.0)
+
+
+class TestDRAMStats:
+    def test_row_hit_rate(self):
+        stats = DRAMStats(row_hits=3, row_misses=1)
+        assert stats.row_hit_rate == pytest.approx(0.75)
+
+    def test_row_hit_rate_empty(self):
+        assert DRAMStats().row_hit_rate == 0.0
+
+
+class TestKernelStats:
+    def test_cycles_and_ipc(self):
+        stats = KernelStats(name="k", kernel_id=0, num_ctas=4,
+                            instructions=100)
+        assert stats.cycles == 0       # unfinished
+        assert stats.ipc == 0.0
+        stats.finish_cycle = 50
+        assert stats.cycles == 50
+        assert stats.ipc == pytest.approx(2.0)
+
+    def test_launch_offset(self):
+        stats = KernelStats(name="k", kernel_id=0, num_ctas=1,
+                            instructions=10, launch_cycle=20)
+        stats.finish_cycle = 70
+        assert stats.cycles == 50
+
+
+class TestRunResult:
+    def make(self):
+        ks = KernelStats(name="k", kernel_id=0, num_ctas=1, instructions=50)
+        ks.finish_cycle = 100
+        return RunResult(cycles=100, instructions=50, kernels={"k": ks},
+                         l1=CacheStats(accesses=10, hits=5, misses=5),
+                         l2=CacheStats(), dram=DRAMStats(),
+                         issued_by_sm=[25, 25])
+
+    def test_ipc(self):
+        assert self.make().ipc == pytest.approx(0.5)
+
+    def test_ipc_zero_cycles(self):
+        result = self.make()
+        result.cycles = 0
+        assert result.ipc == 0.0
+
+    def test_kernel_lookup(self):
+        assert self.make().kernel("k").instructions == 50
+
+    def test_summary_mentions_components(self):
+        text = self.make().summary()
+        for needle in ("IPC", "L1", "L2", "DRAM", "kernel k"):
+            assert needle in text

@@ -1,0 +1,133 @@
+"""Unit tests for the L2 + DRAM memory subsystem (with a stub SM)."""
+
+import pytest
+
+from repro.mem.subsystem import MemorySubsystem
+from repro.sim.config import GPUConfig
+from repro.sim.events import EventQueue
+
+
+class StubSM:
+    """Collects memory responses like an SM would."""
+
+    def __init__(self, name="sm"):
+        self.name = name
+        self.responses = []
+
+    def mem_response(self, now, line):
+        self.responses.append((now, line))
+
+
+@pytest.fixture
+def setup():
+    config = GPUConfig.small()
+    events = EventQueue()
+    subsystem = MemorySubsystem(config, events)
+    return config, events, subsystem
+
+
+def drain(events):
+    while events:
+        events.run_due(events.next_time())
+
+
+class TestLoadPath:
+    def test_load_miss_reaches_dram_and_returns(self, setup):
+        config, events, subsystem = setup
+        sm = StubSM()
+        subsystem.load(sm, 0, now=0)
+        drain(events)
+        assert len(sm.responses) == 1
+        now, line = sm.responses[0]
+        assert line == 0
+        # At least 2x interconnect + L2 + DRAM row miss + burst.
+        floor = (2 * config.icnt_latency + config.l2_latency
+                 + config.dram_t_row_miss + config.dram_t_burst)
+        assert now >= floor
+        assert subsystem.dram.stats.reads == 1
+
+    def test_l2_hit_skips_dram(self, setup):
+        config, events, subsystem = setup
+        sm = StubSM()
+        subsystem.load(sm, 0, now=0)
+        drain(events)
+        first_time = sm.responses[0][0]
+        subsystem.load(sm, 0, now=first_time)
+        drain(events)
+        assert subsystem.dram.stats.reads == 1   # still one DRAM read
+        second_latency = sm.responses[1][0] - first_time
+        assert second_latency == 2 * config.icnt_latency + config.l2_latency
+
+    def test_cross_sm_requests_merge_at_l2(self, setup):
+        config, events, subsystem = setup
+        sm_a, sm_b = StubSM("a"), StubSM("b")
+        subsystem.load(sm_a, 0, now=0)
+        subsystem.load(sm_b, 0, now=0)
+        drain(events)
+        assert subsystem.dram.stats.reads == 1
+        assert len(sm_a.responses) == 1
+        assert len(sm_b.responses) == 1
+
+    def test_requests_to_distinct_banks_proceed_independently(self, setup):
+        config, events, subsystem = setup
+        sm = StubSM()
+        subsystem.load(sm, 0, now=0)   # bank 0
+        subsystem.load(sm, 1, now=0)   # bank 1
+        drain(events)
+        assert len(sm.responses) == 2
+
+
+class TestL2MSHRBackpressure:
+    def test_mshr_exhaustion_queues_and_drains(self, setup):
+        config, events, subsystem = setup
+        sm = StubSM()
+        num_banks = config.l2_num_banks
+        overload = config.l2_mshr_entries + 5
+        # All to bank 0: lines are multiples of num_banks.
+        for i in range(overload):
+            subsystem.load(sm, i * num_banks, now=0)
+        # After the interconnect delivers the requests, 5 of them find the
+        # bank MSHR full and wait in the bank input queue.
+        events.run_due(config.icnt_latency)
+        assert subsystem.queued_requests == 5
+        drain(events)
+        assert subsystem.queued_requests == 0
+        assert len(sm.responses) == overload
+
+
+class TestStorePath:
+    def test_store_miss_writes_to_dram(self, setup):
+        config, events, subsystem = setup
+        sm = StubSM()
+        subsystem.store(sm, 0, now=0)
+        drain(events)
+        assert subsystem.dram.stats.writes == 1
+        assert sm.responses == []   # stores never respond
+
+    def test_store_hit_absorbed_by_l2(self, setup):
+        config, events, subsystem = setup
+        sm = StubSM()
+        subsystem.load(sm, 0, now=0)
+        drain(events)
+        subsystem.store(sm, 0, now=sm.responses[0][0])
+        drain(events)
+        assert subsystem.dram.stats.writes == 0
+
+    def test_store_counts_in_l2_stats(self, setup):
+        config, events, subsystem = setup
+        sm = StubSM()
+        subsystem.store(sm, 0, now=0)
+        drain(events)
+        assert subsystem.l2_stats().write_accesses == 1
+
+
+class TestAggregation:
+    def test_l2_stats_aggregates_banks(self, setup):
+        config, events, subsystem = setup
+        sm = StubSM()
+        for line in range(config.l2_num_banks):
+            subsystem.load(sm, line, now=0)
+        drain(events)
+        total = subsystem.l2_stats()
+        assert total.accesses == config.l2_num_banks
+        assert total.misses == config.l2_num_banks

@@ -1,0 +1,47 @@
+"""Pinned workload characteristics: occupancy and trace geometry.
+
+Unlike the timing goldens these do not run the simulator — they freeze the
+*workload definitions* the evaluation depends on.  If a suite kernel's
+resource appetite or program length changes, EXPERIMENTS.md is stale.
+"""
+
+import pytest
+
+from repro.sim.config import GPUConfig
+from repro.workloads.suite import CORE_SET, make_kernel
+
+# name -> (occupancy on the Fermi-class default, warps_per_cta,
+#          instructions in warp (0,0) at any scale)
+PINNED = {
+    "compute": (8, 6, 245),
+    "blackscholes": (8, 6, 255),
+    "matmul": (5, 8, 259),
+    "lud": (2, 4, 290),
+    "nw": (3, 2, 181),
+    "streaming": (8, 6, 49),
+    "backprop": (6, 8, 87),
+    "kmeans": (8, 6, 217),
+    "iindex": (8, 6, 169),
+    "bfs": (8, 6, 161),
+    "spmv": (7, 6, 73),
+    "stencil": (6, 4, 179),
+    "hotspot": (6, 4, 462),
+    "pathfinder": (6, 4, 256),
+    "srad": (6, 4, 371),
+}
+
+
+def test_pins_cover_exactly_the_core_set():
+    assert set(PINNED) == set(CORE_SET)
+
+
+@pytest.mark.parametrize("name", sorted(PINNED))
+def test_pinned_characteristics(name):
+    occupancy, warps, instructions = PINNED[name]
+    kernel = make_kernel(name, scale=0.05)
+    config = GPUConfig()
+    assert kernel.max_ctas_per_sm(config) == occupancy, (
+        f"{name}: occupancy changed — re-baseline EXPERIMENTS.md")
+    assert kernel.warps_per_cta == warps
+    assert len(kernel.build_warp_program(0, 0)) == instructions, (
+        f"{name}: trace length changed — re-baseline EXPERIMENTS.md")

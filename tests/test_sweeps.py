@@ -1,0 +1,51 @@
+"""Tests for the configuration-sweep utility."""
+
+import pytest
+
+from repro.harness.sweeps import config_sweep, occupancy_position
+from repro.sim.config import GPUConfig
+
+
+SMALL = GPUConfig.small()
+
+
+class TestConfigSweep:
+    def test_rows_per_value(self):
+        table = config_sweep("kmeans", "l1_size", [4096, 8192],
+                             base_config=SMALL, scale=0.03)
+        assert len(table.rows) == 2
+        assert table.column("l1_size") == [4096, 8192]
+
+    def test_larger_l1_does_not_hurt(self):
+        table = config_sweep("kmeans", "l1_size", [4096, 16384],
+                             base_config=SMALL, scale=0.05)
+        small_ipc, big_ipc = table.column("ipc_ipc")
+        assert big_ipc >= small_ipc * 0.98
+
+    def test_multiple_policies_and_best_column(self):
+        table = config_sweep("kmeans", "l1_mshr_entries", [8],
+                             base_config=SMALL, scale=0.03,
+                             policies={"base": ("rr",),
+                                       "limit1": ("static", 1)})
+        assert "best_policy" in table.columns
+        assert table.rows[0][-1] in ("base", "limit1")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            config_sweep("kmeans", "warp_drive", [1], base_config=SMALL)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            config_sweep("kmeans", "l1_size", [], base_config=SMALL)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            config_sweep("kmeans", "l1_size", [4096], base_config=SMALL,
+                         scale=0.03, policies={"x": ("bcs", 2)})
+
+
+class TestOccupancyPosition:
+    def test_reports_consistent_fields(self):
+        info = occupancy_position("kmeans", config=SMALL, scale=0.05)
+        assert 1 <= info["best"] <= info["occupancy"]
+        assert info["best_over_max"] >= 1.0

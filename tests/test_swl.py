@@ -1,0 +1,67 @@
+"""Tests for the SWL (static warp limiting) scheduler."""
+
+import pytest
+
+from repro.core.warp_schedulers import (SWLScheduler, swl_factory,
+                                        warp_scheduler_factory)
+from repro.harness.runner import simulate
+from repro.sim.config import GPUConfig
+from repro.workloads.suite import make_kernel
+
+from helpers import alu_program, make_test_kernel
+
+
+class TestConstruction:
+    def test_registered(self):
+        assert warp_scheduler_factory("swl") is SWLScheduler
+
+    def test_limit_validated(self):
+        with pytest.raises(ValueError):
+            SWLScheduler(warp_limit=0)
+
+    def test_factory_names_itself(self):
+        factory = swl_factory(12)
+        assert factory.name == "swl-12"
+        assert factory().warp_limit == 12
+
+
+class TestBehaviour:
+    def test_all_work_completes_under_tight_limit(self, small_config):
+        kernel = make_test_kernel(num_ctas=12, warps_per_cta=4)
+        result = simulate(kernel, config=small_config,
+                          warp_scheduler=swl_factory(2))
+        assert result.instructions == 12 * 4 * len(alu_program())
+        assert result.kernel("test").finish_cycle is not None
+
+    def test_membership_never_exceeds_limit(self):
+        from repro.core.cta_schedulers import RoundRobinCTAScheduler
+        from repro.sim.gpu import GPU
+        config = GPUConfig.small()
+        kernel = make_test_kernel(num_ctas=8, warps_per_cta=4,
+                                  regs_per_thread=0)
+        gpu = GPU(config=config, warp_scheduler=swl_factory(3))
+        gpu.run(RoundRobinCTAScheduler(kernel))
+        for sm in gpu.sms:
+            for scheduler in sm.schedulers:
+                assert scheduler.member_count <= 3
+
+    def test_tight_limit_serialises_compute(self, small_config):
+        wide = simulate(make_test_kernel(num_ctas=8, warps_per_cta=4),
+                        config=small_config, warp_scheduler=swl_factory(16))
+        narrow = simulate(make_test_kernel(num_ctas=8, warps_per_cta=4),
+                          config=small_config, warp_scheduler=swl_factory(1))
+        assert narrow.cycles > wide.cycles
+
+    def test_limit_helps_cache_thrashing_kernel(self):
+        config = GPUConfig(num_sms=4)
+        base = simulate(make_kernel("kmeans", scale=0.1), config=config)
+        limited = simulate(make_kernel("kmeans", scale=0.1), config=config,
+                           warp_scheduler=swl_factory(8))
+        assert limited.cycles < base.cycles
+
+    def test_instruction_count_invariant(self, small_config):
+        a = simulate(make_test_kernel(num_ctas=6, warps_per_cta=4),
+                     config=small_config, warp_scheduler=swl_factory(2))
+        b = simulate(make_test_kernel(num_ctas=6, warps_per_cta=4),
+                     config=small_config, warp_scheduler="gto")
+        assert a.instructions == b.instructions

@@ -1,0 +1,97 @@
+"""Tests for the two-level warp scheduler and stall accounting."""
+
+import pytest
+
+from repro.core.warp_schedulers import (TwoLevelScheduler,
+                                        available_warp_schedulers,
+                                        warp_scheduler_factory)
+from repro.harness.runner import simulate
+from repro.sim.config import GPUConfig
+from repro.sim.isa import exit_, load
+from repro.workloads.suite import make_kernel
+
+from helpers import alu_program, make_test_kernel
+
+
+class TestRegistration:
+    def test_registered(self):
+        assert "two-level" in available_warp_schedulers()
+        assert warp_scheduler_factory("two-level") is TwoLevelScheduler
+
+
+class TestActiveSet:
+    def test_active_set_bounded(self, small_config):
+        kernel = make_test_kernel(num_ctas=8, warps_per_cta=8,
+                                  regs_per_thread=0)
+        result = simulate(kernel, config=small_config,
+                          warp_scheduler="two-level")
+        assert result.instructions == 8 * 8 * len(alu_program())
+
+    def test_memory_issue_demotes(self):
+        # Direct: issue a memory instruction, check demotion.
+        from repro.core.cta_schedulers import RoundRobinCTAScheduler
+        from repro.sim.gpu import GPU
+        config = GPUConfig.small()
+        kernel = make_test_kernel(
+            num_ctas=1, warps_per_cta=2,
+            builder=lambda c, w: [load([w]), exit_()])
+        gpu = GPU(config=config, warp_scheduler="two-level")
+        gpu.run(RoundRobinCTAScheduler(kernel))
+        for sm in gpu.sms:
+            for scheduler in sm.schedulers:
+                assert scheduler.active_set_size <= \
+                    TwoLevelScheduler.ACTIVE_SET_SIZE
+
+    def test_runs_full_suite_kernel(self):
+        config = GPUConfig(num_sms=2)
+        result = simulate(make_kernel("kmeans", scale=0.05), config=config,
+                          warp_scheduler="two-level")
+        assert result.kernel("kmeans").finish_cycle is not None
+
+    def test_instruction_count_invariant(self, small_config):
+        kernel = make_test_kernel(num_ctas=6, warps_per_cta=4)
+        two = simulate(kernel, config=small_config,
+                       warp_scheduler="two-level")
+        kernel2 = make_test_kernel(num_ctas=6, warps_per_cta=4)
+        gto = simulate(kernel2, config=small_config, warp_scheduler="gto")
+        assert two.instructions == gto.instructions
+
+
+class TestStallAccounting:
+    def test_memory_kernel_mostly_mem_stalled(self, small_config):
+        kernel = make_test_kernel(
+            num_ctas=2, warps_per_cta=2,
+            builder=lambda c, w: [load([c * 100 + w * 10 + i])
+                                  for i in range(10)] + [exit_()])
+        result = simulate(kernel, config=small_config)
+        breakdown = result.kernel("test").stall_breakdown()
+        assert breakdown["mem"] > 0.8
+
+    def test_compute_kernel_mostly_alu(self, small_config):
+        kernel = make_test_kernel(num_ctas=2, warps_per_cta=1)
+        result = simulate(kernel, config=small_config)
+        breakdown = result.kernel("test").stall_breakdown()
+        assert breakdown["alu"] > 0.5
+
+    def test_fractions_sum_to_one(self, small_config):
+        kernel = make_test_kernel(num_ctas=4, warps_per_cta=4)
+        result = simulate(kernel, config=small_config)
+        breakdown = result.kernel("test").stall_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_barrier_kernel_accumulates_barrier_wait(self, small_config):
+        from repro.sim.isa import alu, barrier
+
+        def builder(cta_id, warp_idx):
+            work = 30 if warp_idx == 0 else 1
+            return [alu(2)] * work + [barrier(), exit_()]
+
+        kernel = make_test_kernel(num_ctas=2, warps_per_cta=2,
+                                  builder=builder)
+        result = simulate(kernel, config=small_config)
+        assert result.kernel("test").barrier_wait > 0
+
+    def test_empty_breakdown_is_zero(self):
+        from repro.sim.stats import KernelStats
+        stats = KernelStats(name="x", kernel_id=0, num_ctas=1)
+        assert sum(stats.stall_breakdown().values()) == 0.0

@@ -1,0 +1,91 @@
+"""validate_run invariants + fast-forward ⇔ cycle-accurate equivalence."""
+
+import pytest
+
+from repro.core.cta_schedulers import RoundRobinCTAScheduler
+from repro.core.lcs import LCSScheduler
+from repro.harness.runner import simulate
+from repro.harness.validate import RunValidationError, validate_run
+from repro.sim.config import GPUConfig
+from repro.sim.gpu import GPU
+from repro.workloads.suite import make_kernel
+
+from helpers import make_test_kernel
+
+
+class TestValidateRun:
+    @pytest.mark.parametrize("name", ("kmeans", "stencil", "streaming",
+                                      "compute", "matmul", "spmv"))
+    def test_suite_kernels_pass_validation(self, name):
+        result = simulate(make_kernel(name, scale=0.05), config=GPUConfig())
+        validate_run(result)
+
+    def test_multi_kernel_run_passes(self, small_config):
+        kernels = [make_test_kernel(name="a", num_ctas=6),
+                   make_test_kernel(name="b", num_ctas=6)]
+        validate_run(simulate(kernels, config=small_config))
+
+    def test_lcs_run_passes(self, small_config):
+        kernel = make_test_kernel(num_ctas=12)
+        validate_run(simulate(kernel, config=small_config,
+                              cta_scheduler=LCSScheduler(kernel)))
+
+    def test_tampered_result_fails(self, small_config):
+        result = simulate(make_test_kernel(), config=small_config)
+        result.l1.misses += 1
+        with pytest.raises(RunValidationError):
+            validate_run(result)
+
+    def test_unfinished_kernel_fails(self, small_config):
+        result = simulate(make_test_kernel(), config=small_config)
+        result.kernel("test").finish_cycle = None
+        with pytest.raises(RunValidationError):
+            validate_run(result)
+
+
+class TestFastForwardEquivalence:
+    """The event fast-forward must be *exactly* equivalent to ticking every
+    cycle — the strongest evidence that the skip condition is sound."""
+
+    def run_both(self, kernel_factory, config, warp_scheduler="gto"):
+        results = []
+        for cycle_accurate in (False, True):
+            gpu = GPU(config=config, warp_scheduler=warp_scheduler)
+            gpu.run(RoundRobinCTAScheduler(kernel_factory()),
+                    cycle_accurate=cycle_accurate)
+            results.append(gpu)
+        return results
+
+    @pytest.mark.parametrize("name", ("kmeans", "streaming", "stencil",
+                                      "matmul"))
+    def test_suite_kernels_identical(self, name):
+        config = GPUConfig(num_sms=2)
+        fast, slow = self.run_both(
+            lambda: make_kernel(name, scale=0.03), config)
+        assert fast.cycle == slow.cycle
+        assert fast.total_issued == slow.total_issued
+        for sm_fast, sm_slow in zip(fast.sms, slow.sms):
+            assert sm_fast.l1.stats.misses == sm_slow.l1.stats.misses
+            assert sm_fast.issued == sm_slow.issued
+        assert fast.mem.dram.stats.reads == slow.mem.dram.stats.reads
+        assert (fast.mem.dram.stats.row_hits
+                == slow.mem.dram.stats.row_hits)
+
+    def test_memory_heavy_tiny_kernel_identical(self, small_config):
+        from repro.sim.isa import exit_, load
+
+        def factory():
+            return make_test_kernel(
+                num_ctas=6, warps_per_cta=2,
+                builder=lambda c, w: [load([c * 10 + w]), load([c * 10 + w + 100]),
+                                      exit_()])
+
+        fast, slow = self.run_both(factory, small_config)
+        assert fast.cycle == slow.cycle
+        assert fast.total_issued == slow.total_issued
+
+    def test_lrr_scheduler_identical(self, small_config):
+        fast, slow = self.run_both(
+            lambda: make_test_kernel(num_ctas=8, warps_per_cta=4),
+            small_config, warp_scheduler="lrr")
+        assert fast.cycle == slow.cycle
