@@ -1,0 +1,22 @@
+# Convenience entry points.  Everything assumes the src/ layout:
+# PYTHONPATH=src python -m pytest ...
+PY      ?= python
+PYTEST  = PYTHONPATH=src $(PY) -m pytest
+
+.PHONY: test bench bench-smoke bench-engine clean-cache
+
+test:            ## tier-1 test suite
+	$(PYTEST) -q
+
+bench:           ## full experiment benchmarks (slow)
+	$(PYTEST) benchmarks/ --benchmark-only
+
+bench-smoke:     ## quick engine sanity: serial vs parallel vs warm cache
+	REPRO_BENCH_SCALE=0.25 $(PYTEST) benchmarks/bench_engine.py \
+		--benchmark-only -q
+
+bench-engine:    ## engine benchmarks at the default scale
+	$(PYTEST) benchmarks/bench_engine.py --benchmark-only
+
+clean-cache:     ## purge the persistent result cache
+	PYTHONPATH=src $(PY) -m repro.harness.cli --clear-cache

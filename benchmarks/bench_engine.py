@@ -1,0 +1,58 @@
+"""Engine benchmarks: serial vs parallel vs warm-cache execution.
+
+Unlike the ``bench_eNN_*`` macro-experiments these measure the *harness*
+itself: the same batch of independent jobs run serially, through the
+process pool, and replayed from a warm cache — asserting field-for-field
+identical results every time.  On a multi-core machine the parallel round
+approaches ``min(workers, len(jobs))``× the serial throughput; on a
+single-core CI box it mainly demonstrates that pool overhead is bounded.
+
+Scale with ``REPRO_BENCH_SCALE`` like the experiment benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.harness.cache import ResultCache
+from repro.harness.engine import default_workers, run_jobs
+from repro.harness.jobs import SimJob
+from repro.sim.config import GPUConfig
+
+ENGINE_SCALE = 0.2 * float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+SMALL = GPUConfig.small()
+
+BENCHES = ("kmeans", "streaming", "compute", "stencil")
+POLICIES = (("rr",), ("lcs",), ("static", 2))
+
+
+def _jobs() -> list[SimJob]:
+    return [SimJob(names=(name,), scale=ENGINE_SCALE, policy=policy,
+                   config=SMALL)
+            for name in BENCHES for policy in POLICIES]
+
+
+def test_engine_serial(benchmark):
+    results = benchmark.pedantic(lambda: run_jobs(_jobs(), workers=1),
+                                 rounds=1, iterations=1)
+    assert len(results) == len(BENCHES) * len(POLICIES)
+
+
+def test_engine_parallel_matches_serial(benchmark):
+    workers = max(2, min(default_workers(), 8))
+    parallel = benchmark.pedantic(
+        lambda: run_jobs(_jobs(), workers=workers), rounds=1, iterations=1)
+    serial = run_jobs(_jobs(), workers=1)
+    assert parallel == serial   # dataclass ==: field-for-field identical
+
+
+def test_engine_warm_cache_replay(benchmark, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cold = run_jobs(_jobs(), workers=1, cache=cache)
+    assert cache.misses == len(cold)
+
+    warm = benchmark.pedantic(
+        lambda: run_jobs(_jobs(), workers=1, cache=cache),
+        rounds=1, iterations=1)
+    assert cache.hits == len(cold)   # zero simulations executed
+    assert warm == cold

@@ -12,7 +12,6 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 from ..sim.config import GPUConfig
-from ..sim.kernel import Kernel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.stats import RunResult
@@ -45,34 +44,56 @@ class OracleResult:
         return {limit: result.ipc for limit, result in sorted(self.results.items())}
 
 
-def sweep_static_limits(kernel: Kernel, *, config: GPUConfig | None = None,
+def sweep_static_limits(kernel, *, config: GPUConfig | None = None,
                         warp_scheduler: str = "gto",
-                        limits: Sequence[int] | None = None) -> OracleResult:
+                        limits: Sequence[int] | None = None,
+                        jobs: int = 1, cache=None) -> OracleResult:
     """Simulate the kernel once per static CTA limit and rank the results.
+
+    ``kernel`` is either a live :class:`~repro.sim.kernel.Kernel` or a
+    declarative :class:`~repro.harness.jobs.KernelSpec`.  The spec form
+    routes every per-limit run through the batch engine, so the sweep —
+    the single hottest serial loop in the harness — fans out across
+    ``jobs`` worker processes and memoises into ``cache`` (a
+    :class:`~repro.harness.cache.ResultCache`).  A live kernel cannot be
+    shipped to workers (its trace builder is a closure), so that form
+    always runs serially in-process.
 
     ``limits`` defaults to every feasible value ``1..occupancy``.
     """
     # Imported lazily: the harness imports this package.
+    from ..harness.jobs import KernelSpec, SimJob
     from ..harness.runner import simulate
     from .cta_schedulers import StaticLimitCTAScheduler
 
     config = config if config is not None else GPUConfig()
+    spec = kernel if isinstance(kernel, KernelSpec) else None
+    if spec is not None:
+        kernel = spec.build()
     occupancy = kernel.max_ctas_per_sm(config)
     if limits is None:
         limits = range(1, occupancy + 1)
     candidate_limits = sorted({min(limit, occupancy) for limit in limits})
     if not candidate_limits or candidate_limits[0] < 1:
         raise ValueError("limits must contain values >= 1")
+    if occupancy not in candidate_limits:
+        candidate_limits.append(occupancy)
 
     results: dict[int, "RunResult"] = {}
-    for limit in candidate_limits:
-        scheduler = StaticLimitCTAScheduler(kernel, limit_per_sm=limit)
-        results[limit] = simulate(kernel, config=config,
-                                  warp_scheduler=warp_scheduler,
-                                  cta_scheduler=scheduler)
-    if occupancy not in results:
-        scheduler = StaticLimitCTAScheduler(kernel, limit_per_sm=occupancy)
-        results[occupancy] = simulate(kernel, config=config,
+    if spec is not None:
+        from ..harness.engine import run_jobs
+        sweep_jobs = [SimJob(names=(spec.name,), scale=spec.scale,
+                             seed=spec.seed, warp=warp_scheduler,
+                             policy=("static", limit), config=config)
+                      for limit in candidate_limits]
+        for limit, result in zip(candidate_limits,
+                                 run_jobs(sweep_jobs, workers=jobs,
+                                          cache=cache)):
+            results[limit] = result
+    else:
+        for limit in candidate_limits:
+            scheduler = StaticLimitCTAScheduler(kernel, limit_per_sm=limit)
+            results[limit] = simulate(kernel, config=config,
                                       warp_scheduler=warp_scheduler,
                                       cta_scheduler=scheduler)
     best_limit = min(results, key=lambda limit: (results[limit].cycles, limit))

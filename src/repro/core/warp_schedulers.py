@@ -76,9 +76,11 @@ class WarpScheduler:
         warp competes for the same slot.
         """
         heap = self._heap
+        heappop = heapq.heappop
+        ready = WarpState.READY   # enum members are singletons: `is` is ==
         if self.greedy:
             greedy_warp = self._greedy_warp
-            if greedy_warp is not None and greedy_warp.state == WarpState.READY:
+            if greedy_warp is not None and greedy_warp.state is ready:
                 if can_issue is None or can_issue(greedy_warp):
                     return greedy_warp
                 # Greedy warp blocked at issue: make it findable again and
@@ -90,9 +92,9 @@ class WarpScheduler:
         skipped: list[tuple] = []
         scans = 0
         while heap:
-            entry = heapq.heappop(heap)
+            entry = heappop(heap)
             _, epoch, warp = entry
-            if warp.state != WarpState.READY or warp.epoch != epoch:
+            if warp.state is not ready or warp.epoch != epoch:
                 continue  # stale entry
             if can_issue is None or can_issue(warp):
                 picked = warp

@@ -1,0 +1,107 @@
+"""Persistent, cross-process result cache.
+
+One JSON file per job fingerprint under a cache root (default
+``.repro-cache/`` in the working directory).  Writes are atomic — the entry
+is written to a temporary file in the same directory and ``os.replace``'d
+into place — so concurrent workers (or concurrent ``repro-exp``
+invocations) can never observe a half-written entry.  A corrupted or
+unreadable entry is treated as a miss and silently recomputed, never a
+crash.
+
+The cache key is :meth:`repro.harness.jobs.SimJob.fingerprint`, which
+includes the :data:`~repro.harness.jobs.SIM_VERSION` salt; bumping the salt
+invalidates every old entry without touching the files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from ..sim.stats import RunResult
+
+#: Default cache directory (relative to the current working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: On-disk schema version, distinct from the simulator-version salt: the
+#: salt changes the *fingerprint*, this guards the file layout itself.
+_ENTRY_FORMAT = 1
+
+
+class ResultCache:
+    """A directory of ``<fingerprint>.json`` result files."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:
+        return (f"ResultCache({str(self.root)!r}, hits={self.hits}, "
+                f"misses={self.misses})")
+
+    # ------------------------------------------------------------------ #
+    def path_for(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> RunResult | None:
+        """The cached result, or None (counting a miss) if absent/corrupt."""
+        path = self.path_for(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("format") != _ENTRY_FORMAT:
+                raise ValueError(f"unknown entry format in {path}")
+            result = RunResult.from_dict(entry["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing file, bad JSON, truncated write from a killed process,
+            # or a schema change: all are treated as a miss.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, fingerprint: str, result: RunResult) -> None:
+        """Store a result atomically (tmp file + rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry: dict[str, Any] = {
+            "format": _ENTRY_FORMAT,
+            "fingerprint": fingerprint,
+            "result": result.to_dict(),
+        }
+        payload = json.dumps(entry, separators=(",", ":"))
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, prefix=".tmp-",
+                                        suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self.path_for(fingerprint))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry (and stray temp file); return the count."""
+        if not self.root.is_dir():
+            return 0
+        removed = 0
+        for path in list(self.root.glob("*.json")) \
+                + list(self.root.glob(".tmp-*")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

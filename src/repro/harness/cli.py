@@ -8,6 +8,10 @@ Usage::
     repro-exp all                 # the full reconstructed evaluation
     repro-exp e3 --csv            # machine-readable output
     repro-exp e3 --output out/    # also write CSV files
+    repro-exp all --jobs 4        # fan simulations out across 4 processes
+    repro-exp all                 # second invocation: warm disk cache,
+                                  # zero simulations executed
+    repro-exp --clear-cache       # purge .repro-cache/
 """
 
 from __future__ import annotations
@@ -19,6 +23,8 @@ from pathlib import Path
 from typing import Sequence
 
 from ..workloads.patterns import DEFAULT_SEED
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .engine import default_workers
 from .experiments import (EXPERIMENTS, ExperimentContext, e12_benchmark_table,
                           e12_config_table)
 
@@ -44,6 +50,15 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
                         help="emit CSV instead of aligned tables")
     parser.add_argument("--chart", metavar="COLUMN",
                         help="also render COLUMN as an ASCII bar chart")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes for independent simulations "
+                             "(default 1 = serial; 0 = one per CPU core)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent result cache "
+                             f"({DEFAULT_CACHE_DIR}/)")
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="purge the persistent result cache, then run "
+                             "any requested experiments")
     return parser.parse_args(argv)
 
 
@@ -60,6 +75,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         for exp_id in ALL_IDS:
             print(f"{exp_id:>4}  {_describe(exp_id)}")
         return 0
+    if args.clear_cache:
+        removed = ResultCache().clear()
+        print(f"[cache cleared: {removed} entries]", file=sys.stderr)
+        if not args.experiments:
+            return 0
     if not args.experiments:
         print("no experiments requested (try --list)", file=sys.stderr)
         return 2
@@ -71,8 +91,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"unknown experiment ids: {unknown}; "
               f"available: {', '.join(ALL_IDS)}", file=sys.stderr)
         return 2
+    if args.jobs < 0:
+        print(f"--jobs must be >= 0, got {args.jobs}", file=sys.stderr)
+        return 2
+    workers = args.jobs if args.jobs else default_workers()
+    cache = None if args.no_cache else ResultCache()
 
-    ctx = ExperimentContext(scale=args.scale, seed=args.seed)
+    ctx = ExperimentContext(scale=args.scale, seed=args.seed,
+                            jobs=workers, cache=cache)
+    total_started = time.perf_counter()
     for exp_id in requested:
         started = time.perf_counter()
         if exp_id == "e12":
@@ -93,6 +120,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                 (out_dir / f"{exp_id}{suffix}.csv").write_text(
                     table.to_csv() + "\n")
         print(f"[{exp_id} finished in {elapsed:.1f}s]", file=sys.stderr)
+    total = time.perf_counter() - total_started
+    summary = (f"[total: {total:.1f}s for {len(requested)} experiment(s), "
+               f"jobs={workers}")
+    if cache is not None:
+        summary += (f"; cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+                    f"-> {DEFAULT_CACHE_DIR}/")
+    print(summary + "]", file=sys.stderr)
     return 0
 
 

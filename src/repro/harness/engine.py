@@ -1,0 +1,128 @@
+"""Batch execution engine: fan independent simulations out across cores.
+
+:func:`run_jobs` takes declarative :class:`~repro.harness.jobs.SimJob`
+descriptions and returns their :class:`~repro.sim.stats.RunResult`\\ s in
+input order.  Results are memoised on disk through an optional
+:class:`~repro.harness.cache.ResultCache`; only cache misses are executed.
+
+Execution strategy:
+
+* ``workers <= 1`` (or a single pending job): run inline in this process —
+  no IPC, no pickling, identical to calling ``job.execute()`` directly.
+* ``workers > 1``: a ``concurrent.futures.ProcessPoolExecutor`` with a
+  chunking heuristic (several jobs per IPC round-trip) so many tiny runs
+  don't drown in process-pool overhead.  If the platform cannot spawn a
+  process pool (restricted environments, missing ``fork``/semaphores), the
+  engine silently falls back to the serial path — results are identical by
+  construction, only wall-clock differs.
+
+Worker exceptions are re-raised in the parent as
+:class:`JobExecutionError`, tagged with the failing job's fingerprint and
+carrying the worker traceback text.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Sequence
+
+from ..sim.stats import RunResult
+from .cache import ResultCache
+from .jobs import SimJob
+
+#: ``progress(done, total)`` is invoked after every completed job.
+ProgressFn = Callable[[int, int], None]
+
+
+class JobExecutionError(RuntimeError):
+    """A job failed inside a worker (or the inline path)."""
+
+    def __init__(self, fingerprint: str, message: str,
+                 worker_traceback: str | None = None) -> None:
+        super().__init__(f"job {fingerprint[:12]} failed: {message}")
+        self.fingerprint = fingerprint
+        self.worker_traceback = worker_traceback
+
+
+def default_workers() -> int:
+    """The CLI default for ``--jobs``: one worker per available core."""
+    return os.cpu_count() or 1
+
+
+def _chunksize(pending: int, workers: int) -> int:
+    """Jobs per IPC round-trip: aim for ~4 chunks per worker so the pool
+    stays load-balanced without paying one round-trip per tiny job."""
+    return max(1, pending // (workers * 4))
+
+
+def _execute_tagged(job: SimJob):
+    """Worker entry point: never raises, returns a tagged outcome."""
+    try:
+        return ("ok", job.execute())
+    except Exception as error:   # noqa: BLE001 - transported to the parent
+        import traceback
+        return ("err", job.fingerprint(),
+                f"{type(error).__name__}: {error}", traceback.format_exc())
+
+
+def run_jobs(jobs: Iterable[SimJob], *, workers: int = 1,
+             cache: ResultCache | None = None,
+             progress: ProgressFn | None = None) -> list[RunResult]:
+    """Execute jobs (parallel, cached) and return results in input order."""
+    jobs = list(jobs)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    fingerprints = [job.fingerprint() for job in jobs]
+    results: list[RunResult | None] = [None] * len(jobs)
+
+    pending: list[int] = []
+    for index, fingerprint in enumerate(fingerprints):
+        cached = cache.get(fingerprint) if cache is not None else None
+        if cached is not None:
+            results[index] = cached
+        else:
+            pending.append(index)
+
+    done = len(jobs) - len(pending)
+    if progress is not None and done:
+        progress(done, len(jobs))
+
+    if not pending:
+        return results   # type: ignore[return-value]
+
+    outcomes = None
+    if workers > 1 and len(pending) > 1:
+        outcomes = _run_pool([jobs[i] for i in pending], workers)
+    if outcomes is None:
+        outcomes = (_execute_tagged(jobs[i]) for i in pending)
+
+    for index, outcome in zip(pending, outcomes):
+        if outcome[0] == "err":
+            _, fingerprint, message, worker_tb = outcome
+            raise JobExecutionError(fingerprint, message, worker_tb)
+        result = outcome[1]
+        results[index] = result
+        if cache is not None:
+            cache.put(fingerprints[index], result)
+        done += 1
+        if progress is not None:
+            progress(done, len(jobs))
+    return results   # type: ignore[return-value]
+
+
+def _run_pool(jobs: Sequence[SimJob], workers: int):
+    """Map jobs over a process pool; None if no pool can be created."""
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(jobs)))
+    except (ImportError, NotImplementedError, OSError, PermissionError):
+        return None   # no usable multiprocessing: inline fallback
+    try:
+        with pool:
+            # list() inside the ``with`` so worker crashes surface here.
+            return list(pool.map(_execute_tagged, jobs,
+                                 chunksize=_chunksize(len(jobs), workers)))
+    except (OSError, PermissionError, RuntimeError):
+        # The pool died before producing results (e.g. sandboxed fork);
+        # fall back to inline execution.
+        return None

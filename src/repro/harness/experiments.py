@@ -17,15 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
-from ..core.bcs import BCSScheduler
-from ..core.cke import MixedCKE, SequentialCKE, SMKEvenCKE, SpatialCKE
-from ..core.combined import LCSBCSScheduler
-from ..core.cta_schedulers import (CTAScheduler, DepthFirstCTAScheduler,
-                                   RoundRobinCTAScheduler,
-                                   StaticLimitCTAScheduler)
-from ..core.dyncta import DynCTAScheduler
-from ..core.lcs import LCSScheduler
-from ..core.warp_schedulers import swl_factory
 from ..sim.config import GPUConfig
 from ..sim.kernel import Kernel
 from ..sim.stats import RunResult
@@ -33,9 +24,11 @@ from ..workloads.patterns import DEFAULT_SEED
 from ..workloads.programs import memory_intensity
 from ..workloads.suite import (CKE_PAIRS, LCS_SET, LOCALITY_SET,
                                MOTIVATION_SET, SUITE, make_kernel)
+from .cache import ResultCache
+from .engine import run_jobs
+from .jobs import SimJob
 from .metrics import cke_metrics
 from .reporting import Table, geomean, speedup
-from .runner import simulate
 
 #: Default LCS decision rule and parameter used across experiments
 #: (calibrated by the E9 sensitivity sweep; see EXPERIMENTS.md).
@@ -48,11 +41,21 @@ BCS_BLOCK = 2
 
 @dataclass
 class ExperimentContext:
-    """Shared settings plus a memo of completed simulation runs."""
+    """Shared settings plus a memo of completed simulation runs.
+
+    ``jobs`` and ``cache`` plug the context into the batch engine
+    (:mod:`repro.harness.engine`): experiment drivers *declare* their runs
+    up front with :meth:`prefetch`, the engine executes the cache misses —
+    across ``jobs`` worker processes when ``jobs > 1`` — and :meth:`run`
+    then assembles tables entirely from the in-memory memo.  Results are
+    bit-identical to serial, uncached execution by construction.
+    """
 
     scale: float = 0.4
     seed: int = DEFAULT_SEED
     config: GPUConfig = field(default_factory=GPUConfig)
+    jobs: int = 1
+    cache: ResultCache | None = None
     _cache: dict[tuple, RunResult] = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------ #
@@ -63,75 +66,82 @@ class ExperimentContext:
     def occupancy(self, name: str) -> int:
         return self.kernel(name).max_ctas_per_sm(self.config)
 
+    def subcontext(self, config: GPUConfig) -> "ExperimentContext":
+        """A context on different hardware sharing scale/seed/jobs/cache."""
+        return ExperimentContext(scale=self.scale, seed=self.seed,
+                                 config=config, jobs=self.jobs,
+                                 cache=self.cache)
+
+    # ------------------------------------------------------------------ #
+    def job(self, names: str | Sequence[str], *,
+            warp: str | tuple = "gto",
+            policy: tuple = ("rr",),
+            scale_mults: Sequence[float] | None = None) -> SimJob:
+        """The declarative job for one :meth:`run` parameter combination."""
+        if isinstance(names, str):
+            names = (names,)
+        return SimJob(names=tuple(names), scale=self.scale, seed=self.seed,
+                      scale_mults=(tuple(scale_mults)
+                                   if scale_mults is not None else None),
+                      warp=warp, policy=policy, config=self.config)
+
+    @staticmethod
+    def _memo_key(job: SimJob) -> tuple:
+        return (job.names, job.scale_mults, job.warp, job.policy)
+
+    def prefetch(self, jobs: Iterable[SimJob]) -> None:
+        """Execute not-yet-memoised jobs as one batch (parallel + cached).
+
+        Drivers call this with every run they are about to consume; the
+        subsequent :meth:`run` calls are then pure memo lookups.
+        """
+        batch: list[SimJob] = []
+        seen: set[tuple] = set()
+        for job in jobs:
+            if job.scale != self.scale or job.seed != self.seed \
+                    or job.config != self.config:
+                raise ValueError(
+                    "prefetch jobs must be built by this context "
+                    "(ctx.job(...)); scale/seed/config differ")
+            key = self._memo_key(job)
+            if key in self._cache or key in seen:
+                continue
+            seen.add(key)
+            batch.append(job)
+        if not batch:
+            return
+        for job, result in zip(batch, run_jobs(batch, workers=self.jobs,
+                                               cache=self.cache)):
+            self._cache[self._memo_key(job)] = result
+
     # ------------------------------------------------------------------ #
     def run(self, names: str | Sequence[str], *,
             warp: str | tuple = "gto",
             policy: tuple = ("rr",),
             scale_mults: Sequence[float] | None = None) -> RunResult:
         """Simulate (memoised on the full parameter tuple)."""
-        if isinstance(names, str):
-            names = (names,)
-        names = tuple(names)
-        if scale_mults is None:
-            scale_mults = (1.0,) * len(names)
-        scale_mults = tuple(float(m) for m in scale_mults)
-        key = (names, scale_mults, warp, policy)
+        job = self.job(names, warp=warp, policy=policy,
+                       scale_mults=scale_mults)
+        key = self._memo_key(job)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        kernels = [self.kernel(name, mult)
-                   for name, mult in zip(names, scale_mults)]
-        scheduler = self._build_policy(policy, kernels)
-        if isinstance(warp, tuple):
-            kind, value = warp
-            if kind != "swl":
-                raise ValueError(f"unknown warp descriptor {warp!r}")
-            warp_scheduler = swl_factory(value)
-        else:
-            warp_scheduler = warp
-        result = simulate(kernels, config=self.config,
-                          warp_scheduler=warp_scheduler,
-                          cta_scheduler=scheduler)
+        result = run_jobs([job], cache=self.cache)[0]
         self._cache[key] = result
         return result
 
-    @staticmethod
-    def _build_policy(policy: tuple, kernels: list[Kernel]) -> CTAScheduler:
-        kind, *args = policy
-        if kind == "rr":
-            return RoundRobinCTAScheduler(kernels)
-        if kind == "static":
-            (limit,) = args
-            return StaticLimitCTAScheduler(kernels, limit_per_sm=limit)
-        if kind == "lcs":
-            rule, param = args
-            return LCSScheduler(kernels, rule=rule, param=param)
-        if kind == "bcs":
-            block, limit = args
-            return BCSScheduler(kernels, block_size=block, limit_per_sm=limit)
-        if kind == "sequential":
-            return SequentialCKE(kernels)
-        if kind == "spatial":
-            return SpatialCKE(kernels)
-        if kind == "smk":
-            return SMKEvenCKE(kernels)
-        if kind == "mixed":
-            rule, param = args
-            return MixedCKE(kernels, rule=rule, param=param)
-        if kind == "dyncta":
-            return DynCTAScheduler(kernels)
-        if kind == "depth-first":
-            return DepthFirstCTAScheduler(kernels)
-        if kind == "lcs+bcs":
-            block, rule, param = args
-            return LCSBCSScheduler(kernels, block_size=block, rule=rule,
-                                   param=param)
-        raise ValueError(f"unknown policy descriptor {policy!r}")
-
     # ------------------------------------------------------------------ #
-    def static_sweep(self, name: str, *, warp: str = "gto") -> dict[int, RunResult]:
+    def static_sweep_jobs(self, name: str, *,
+                          warp: str | tuple = "gto") -> list[SimJob]:
+        """The per-limit jobs of :meth:`static_sweep` (for prefetching)."""
+        return [self.job(name, warp=warp, policy=("static", limit))
+                for limit in range(1, self.occupancy(name) + 1)]
+
+    def static_sweep(self, name: str, *,
+                     warp: str | tuple = "gto") -> dict[int, RunResult]:
         """One run per static CTA limit 1..occupancy."""
         occupancy = self.occupancy(name)
+        self.prefetch(self.static_sweep_jobs(name, warp=warp))
         return {limit: self.run(name, warp=warp, policy=("static", limit))
                 for limit in range(1, occupancy + 1)}
 
@@ -142,6 +152,33 @@ class ExperimentContext:
         return best, sweep[best]
 
 
+def prefetch_contexts(
+        items: Iterable[tuple[ExperimentContext, SimJob]]) -> None:
+    """Batch-execute jobs that belong to *several* contexts.
+
+    The sub-context experiments (E19/E20/E22) vary the hardware
+    configuration, so their runs live in different contexts; this executes
+    all their pending jobs as one engine batch and files each result in
+    the owning context's memo.
+    """
+    pending: list[tuple[ExperimentContext, SimJob]] = []
+    seen: set[tuple] = set()
+    for ctx, job in items:
+        key = (id(ctx), ExperimentContext._memo_key(job))
+        if key in seen or ExperimentContext._memo_key(job) in ctx._cache:
+            continue
+        seen.add(key)
+        pending.append((ctx, job))
+    if not pending:
+        return
+    workers = max(ctx.jobs for ctx, _ in pending)
+    cache = pending[0][0].cache
+    results = run_jobs([job for _, job in pending], workers=workers,
+                       cache=cache)
+    for (ctx, job), result in zip(pending, results):
+        ctx._cache[ExperimentContext._memo_key(job)] = result
+
+
 # =========================================================================== #
 # E1 — motivation: IPC vs CTAs per core
 # =========================================================================== #
@@ -150,6 +187,8 @@ def e1_occupancy_sweep(ctx: ExperimentContext,
                        benchmarks: Sequence[str] = MOTIVATION_SET) -> Table:
     """Normalized IPC against the per-core CTA limit (paper's motivation
     figure): memory-sensitive kernels peak *below* maximum occupancy."""
+    ctx.prefetch(job for name in benchmarks
+                 for job in ctx.static_sweep_jobs(name))
     max_occ = max(ctx.occupancy(name) for name in benchmarks)
     columns = ["benchmark"] + [f"n={n}" for n in range(1, max_occ + 1)] \
         + ["best_n", "max_n"]
@@ -179,6 +218,8 @@ def e2_issue_signature(ctx: ExperimentContext,
                        param: float = LCS_PARAM) -> Table:
     """The monitored core's per-CTA issued-instruction distribution at the
     end of the LCS monitoring period, normalized to the busiest CTA."""
+    ctx.prefetch(ctx.job(name, policy=("lcs", rule, param))
+                 for name in benchmarks)
     max_occ = max(ctx.occupancy(name) for name in benchmarks)
     columns = ["benchmark"] + [f"cta{r}" for r in range(1, max_occ + 1)] \
         + ["n_star"]
@@ -207,6 +248,11 @@ def e3_lcs_speedup(ctx: ExperimentContext,
                    rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
     """The headline figure: LCS speedup over the max-occupancy baseline,
     with the exhaustive static oracle alongside."""
+    ctx.prefetch([ctx.job(name) for name in benchmarks]
+                 + [ctx.job(name, policy=("lcs", rule, param))
+                    for name in benchmarks]
+                 + [job for name in benchmarks
+                    for job in ctx.static_sweep_jobs(name)])
     table = Table(
         "E3: LCS and oracle speedup over baseline (GTO, max occupancy)",
         ["benchmark", "base_ipc", "lcs_ipc", "oracle_ipc",
@@ -237,6 +283,10 @@ def e4_lcs_vs_oracle(ctx: ExperimentContext,
                      benchmarks: Sequence[str] = LCS_SET,
                      rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
     """Decision quality: the online N* against the oracle's static best."""
+    ctx.prefetch([ctx.job(name, policy=("lcs", rule, param))
+                  for name in benchmarks]
+                 + [job for name in benchmarks
+                    for job in ctx.static_sweep_jobs(name)])
     table = Table(
         "E4: LCS-chosen CTA count vs oracle static best",
         ["benchmark", "occupancy", "n_lcs", "n_oracle",
@@ -259,6 +309,9 @@ def e4_lcs_vs_oracle(ctx: ExperimentContext,
 def e5_warp_schedulers(ctx: ExperimentContext,
                        benchmarks: Sequence[str] = LCS_SET) -> Table:
     """Warp-scheduler baselines: LRR vs GTO vs two-level round robin."""
+    ctx.prefetch(ctx.job(name, warp=warp)
+                 for name in benchmarks
+                 for warp in ("lrr", "gto", "two-level"))
     table = Table(
         "E5: warp schedulers at max occupancy (speedup over LRR)",
         ["benchmark", "lrr_ipc", "gto_ipc", "twolevel_ipc",
@@ -282,10 +335,21 @@ def e5_warp_schedulers(ctx: ExperimentContext,
 # E6 — BCS and BCS+BAWS speedups
 # =========================================================================== #
 
+def _bcs_jobs(ctx: ExperimentContext, benchmarks: Sequence[str],
+              block_size: int) -> list[SimJob]:
+    """The (baseline, BCS, BCS+BAWS) runs E6 and E7 both consume."""
+    return [job for name in benchmarks for job in (
+        ctx.job(name),
+        ctx.job(name, policy=("bcs", block_size, None)),
+        ctx.job(name, warp="baws", policy=("bcs", block_size, None)),
+    )]
+
+
 def e6_bcs(ctx: ExperimentContext,
            benchmarks: Sequence[str] = LOCALITY_SET,
            block_size: int = BCS_BLOCK) -> Table:
     """BCS and BCS+BAWS speedups on the inter-CTA-locality kernels."""
+    ctx.prefetch(_bcs_jobs(ctx, benchmarks, block_size))
     table = Table(
         "E6: BCS speedup over baseline (block = consecutive pair)",
         ["benchmark", "base_ipc", "bcs_gto", "bcs_baws"])
@@ -312,6 +376,7 @@ def e7_bcs_l1(ctx: ExperimentContext,
               benchmarks: Sequence[str] = LOCALITY_SET,
               block_size: int = BCS_BLOCK) -> Table:
     """L1 miss rates and MSHR merges under BCS (where the speedup is from)."""
+    ctx.prefetch(_bcs_jobs(ctx, benchmarks, block_size))
     table = Table(
         "E7: L1 miss rate and MSHR merges under BCS",
         ["benchmark", "miss_base", "miss_bcs", "miss_baws",
@@ -335,6 +400,11 @@ def e8_cke(ctx: ExperimentContext,
            rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
     """Concurrent kernel execution: sequential vs spatial vs SMK-even vs
     the paper's LCS-guided mixed allocation."""
+    ctx.prefetch(ctx.job((mem_name, compute_name), policy=policy,
+                         scale_mults=(1.0, mult))
+                 for mem_name, compute_name, mult in pairs
+                 for policy in (("sequential",), ("spatial",), ("smk",),
+                                ("mixed", rule, param)))
     table = Table(
         "E8: concurrent kernel execution (speedup over sequential)",
         ["pair", "seq_cycles", "spatial", "smk_even", "mixed", "n_star"])
@@ -371,6 +441,9 @@ def e9_lcs_threshold(ctx: ExperimentContext,
                          ("coverage", 0.9), ("threshold", 0.18)),
                      ) -> Table:
     """Sensitivity of LCS to its decision rule and parameter."""
+    ctx.prefetch([ctx.job(name) for name in benchmarks]
+                 + [ctx.job(name, policy=("lcs", rule, param))
+                    for name in benchmarks for rule, param in variants])
     columns = ["benchmark"] + [f"{rule[:3]}={param}" for rule, param in variants]
     table = Table("E9: LCS speedup vs decision rule/parameter", columns)
     per_variant: dict[tuple[str, float], list[float]] = {v: [] for v in variants}
@@ -395,6 +468,9 @@ def e10_block_size(ctx: ExperimentContext,
                    benchmarks: Sequence[str] = LOCALITY_SET,
                    sizes: Sequence[int] = (1, 2, 4)) -> Table:
     """Sensitivity of BCS+BAWS to the block size (pairs are the sweet spot)."""
+    ctx.prefetch([ctx.job(name) for name in benchmarks]
+                 + [ctx.job(name, warp="baws", policy=("bcs", b, None))
+                    for name in benchmarks for b in sizes])
     columns = ["benchmark"] + [f"block={b}" for b in sizes]
     table = Table("E10: BCS+BAWS speedup vs block size", columns)
     per_size: dict[int, list[float]] = {b: [] for b in sizes}
@@ -421,6 +497,12 @@ def e11_lcs_needs_gto(ctx: ExperimentContext,
                       rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
     """Run the LCS monitor under LRR: without greedy age priority the
     per-CTA issue counts flatten out and the decision degrades."""
+    ctx.prefetch([job for name in benchmarks
+                  for job in ctx.static_sweep_jobs(name)]
+                 + [ctx.job(name, warp=warp, policy=policy)
+                    for name in benchmarks
+                    for warp in ("gto", "lrr")
+                    for policy in (("rr",), ("lcs", rule, param))])
     table = Table(
         "E11: LCS decision under GTO vs LRR monitoring",
         ["benchmark", "n_oracle", "n_gto", "n_lrr",
@@ -504,6 +586,9 @@ def e13_lcs_vs_dyncta(ctx: ExperimentContext,
                       rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
     """Compare the paper's one-shot LCS against the prior continuous
     CTA-throttling approach (DynCTA-style, Kayiran et al. PACT'13)."""
+    ctx.prefetch(ctx.job(name, policy=policy)
+                 for name in benchmarks
+                 for policy in (("rr",), ("lcs", rule, param), ("dyncta",)))
     table = Table(
         "E13: LCS vs DynCTA-style throttling (speedup over baseline)",
         ["benchmark", "lcs", "dyncta", "lcs_n_star", "dyncta_final_quota"])
@@ -535,6 +620,13 @@ def e14_cke_metrics(ctx: ExperimentContext,
                     rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
     """Multiprogram metrics for the CKE policies: beyond total runtime,
     how fairly and how productively do the kernels share the machine?"""
+    ctx.prefetch([job for mem_name, compute_name, mult in pairs
+                  for job in (ctx.job(mem_name),
+                              ctx.job(compute_name, scale_mults=(mult,)))]
+                 + [ctx.job((mem_name, compute_name), policy=policy,
+                            scale_mults=(1.0, mult))
+                    for mem_name, compute_name, mult in pairs
+                    for policy in (("smk",), ("mixed", rule, param))])
     table = Table(
         "E14: CKE multiprogram metrics (ANTT lower / STP higher is better)",
         ["pair", "policy", "antt", "stp", "fairness"])
@@ -563,6 +655,13 @@ def e15_lcs_plus_bcs(ctx: ExperimentContext,
                      block_size: int = BCS_BLOCK,
                      rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
     """The paper's two mechanisms composed: block dispatch + lazy limit."""
+    ctx.prefetch(job for name in benchmarks for job in (
+        ctx.job(name),
+        ctx.job(name, policy=("lcs", rule, param)),
+        ctx.job(name, warp="baws", policy=("bcs", block_size, None)),
+        ctx.job(name, warp="baws",
+                policy=("lcs+bcs", block_size, rule, param)),
+    ))
     table = Table(
         "E15: LCS, BCS and LCS+BCS on the locality kernels "
         "(speedup over baseline)",
@@ -594,6 +693,9 @@ def e16_stall_breakdown(ctx: ExperimentContext,
                         rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
     """Why LCS helps: warp-time spent memory-stalled shrinks after
     throttling (the paper's resource-utilization argument made visible)."""
+    ctx.prefetch(ctx.job(name, policy=policy)
+                 for name in benchmarks
+                 for policy in (("rr",), ("lcs", rule, param)))
     table = Table(
         "E16: warp-state time breakdown, baseline vs LCS "
         "(fractions of total warp wait time)",
@@ -623,6 +725,11 @@ def e17_swl_vs_lcs(ctx: ExperimentContext,
     """Static warp limiting sweeps the throttle at warp granularity; LCS
     reaches comparable performance at CTA granularity with one online
     decision (the paper's granularity argument)."""
+    ctx.prefetch([ctx.job(name) for name in benchmarks]
+                 + [ctx.job(name, warp=("swl", k))
+                    for name in benchmarks for k in warp_limits]
+                 + [ctx.job(name, policy=("lcs", rule, param))
+                    for name in benchmarks])
     columns = (["benchmark"] + [f"swl={k}" for k in warp_limits]
                + ["best_swl", "lcs"])
     table = Table("E17: SWL (per-scheduler warp limit) vs LCS "
@@ -655,6 +762,10 @@ def e18_phase_sensitivity(ctx: ExperimentContext,
     """One-shot LCS decides during the first (cache-thrashing) phase and
     cannot revise when the kernel turns compute-bound; continuous schemes
     re-adapt.  An honest limitation study of the paper's mechanism."""
+    ctx.prefetch([ctx.job(benchmark, policy=policy)
+                  for policy in (("rr",), ("lcs", rule, param),
+                                 ("dyncta",))]
+                 + ctx.static_sweep_jobs(benchmark))
     table = Table(
         "E18: phase-changing kernel — one-shot vs adaptive throttling",
         ["policy", "cycles", "speedup_vs_baseline", "final_limit"])
@@ -687,7 +798,10 @@ def e19_config_robustness(ctx: ExperimentContext,
     configuration (13 fat cores, 16 CTA slots, 64 warps): the conclusions
     must not be artefacts of the Fermi-class default."""
     kepler = GPUConfig.kepler_class()
-    kctx = ExperimentContext(scale=ctx.scale, seed=ctx.seed, config=kepler)
+    kctx = ctx.subcontext(kepler)
+    kctx.prefetch(kctx.job(name, policy=policy)
+                  for name in benchmarks
+                  for policy in (("rr",), ("lcs", rule, param)))
     table = Table(
         "E19: LCS on a Kepler-class GPU (speedup over baseline)",
         ["benchmark", "occupancy", "n_lcs", "lcs_speedup"])
@@ -717,12 +831,16 @@ def e20_mshr_sensitivity(ctx: ExperimentContext,
     table = Table(
         "E20: LCS speedup vs L1 MSHR entries",
         ["benchmark"] + [f"mshr={m}" for m in mshr_counts])
+    contexts = {m: ctx.subcontext(ctx.config.with_overrides(l1_mshr_entries=m))
+                for m in mshr_counts}
+    prefetch_contexts((kctx, kctx.job(name, policy=policy))
+                      for kctx in contexts.values()
+                      for name in benchmarks
+                      for policy in (("rr",), ("lcs", rule, param)))
     for name in benchmarks:
         cells: list[Any] = [name]
         for m in mshr_counts:
-            config = ctx.config.with_overrides(l1_mshr_entries=m)
-            kctx = ExperimentContext(scale=ctx.scale, seed=ctx.seed,
-                                     config=config)
+            kctx = contexts[m]
             base = kctx.run(name)
             lcs = kctx.run(name, policy=("lcs", rule, param))
             cells.append(speedup(base.cycles, lcs.cycles))
@@ -772,15 +890,15 @@ def e22_feature_ablation(ctx: ExperimentContext,
         "E22: optional feature ablation (speedup over features-off)",
         ["benchmark", "prefetch", "store_coalescing", "prefetches",
          "stores_absorbed"])
+    pf_ctx = ctx.subcontext(
+        ctx.config.with_overrides(l1_prefetch_next_line=True))
+    sc_ctx = ctx.subcontext(ctx.config.with_overrides(store_coalescing=True))
+    prefetch_contexts((kctx, kctx.job(name))
+                      for name in benchmarks
+                      for kctx in (ctx, pf_ctx, sc_ctx))
     for name in benchmarks:
         base = ctx.run(name)
-        pf_config = ctx.config.with_overrides(l1_prefetch_next_line=True)
-        pf_ctx = ExperimentContext(scale=ctx.scale, seed=ctx.seed,
-                                   config=pf_config)
         prefetch = pf_ctx.run(name)
-        sc_config = ctx.config.with_overrides(store_coalescing=True)
-        sc_ctx = ExperimentContext(scale=ctx.scale, seed=ctx.seed,
-                                   config=sc_config)
         coalesce = sc_ctx.run(name)
         table.add_row(name,
                       speedup(base.cycles, prefetch.cycles),

@@ -1,0 +1,245 @@
+"""Declarative simulation jobs.
+
+A :class:`SimJob` is a pure *description* of one ``simulate()`` call: suite
+benchmark names, grid scaling, the workload seed, a warp-scheduler
+descriptor, a CTA-policy descriptor and the hardware configuration.  Jobs
+carry no live objects — kernels and policy instances are constructed at
+execution time (inside a worker process, for parallel runs), which
+sidesteps the "policies hold per-run state" constraint of
+:func:`repro.harness.runner.simulate` and keeps jobs picklable.
+
+Every job has a stable, deterministic :meth:`~SimJob.fingerprint` — a
+sha256 over a canonical JSON rendering of all inputs plus the
+:data:`SIM_VERSION` salt — which keys the persistent result cache
+(:mod:`repro.harness.cache`).  Bump :data:`SIM_VERSION` whenever a change
+alters simulation *results*; old cache entries then miss and are recomputed.
+
+Descriptor grammar (shared by :class:`ExperimentContext`, the sweeps and
+the CLIs):
+
+* warp: ``"lrr" | "gto" | "baws" | "two-level" | "swl"`` or ``("swl", K)``
+* policy: ``("rr",)``, ``("static", N)``, ``("lcs",[ rule, param])``,
+  ``("bcs", B, limit)``, ``("lcs+bcs", B, rule, param)``, ``("dyncta",)``,
+  ``("depth-first",)``, ``("sequential",)``, ``("spatial",)``, ``("smk",)``,
+  ``("mixed", rule, param)``
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Sequence
+
+from ..core.bcs import BCSScheduler
+from ..core.cke import MixedCKE, SequentialCKE, SMKEvenCKE, SpatialCKE
+from ..core.combined import LCSBCSScheduler
+from ..core.cta_schedulers import (CTAScheduler, DepthFirstCTAScheduler,
+                                   RoundRobinCTAScheduler,
+                                   StaticLimitCTAScheduler)
+from ..core.dyncta import DynCTAScheduler
+from ..core.lcs import LCSScheduler
+from ..core.warp_schedulers import available_warp_schedulers, swl_factory
+from ..sim.config import GPUConfig
+from ..sim.kernel import Kernel
+from ..workloads.patterns import DEFAULT_SEED
+from ..workloads.suite import SUITE, make_kernel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.stats import RunResult
+
+#: Fingerprint salt.  Bump on any change that alters simulation results so
+#: stale cache entries under ``.repro-cache/`` are recomputed, not reused.
+SIM_VERSION = 1
+
+
+class JobError(ValueError):
+    """An invalid job description (unknown benchmark/warp/policy)."""
+
+
+# --------------------------------------------------------------------------- #
+# descriptor validation / construction
+# --------------------------------------------------------------------------- #
+
+#: policy kind -> number of accepted argument tuples (for validation).
+_POLICY_ARITIES: dict[str, tuple[int, ...]] = {
+    "rr": (0,),
+    "static": (1,),
+    "lcs": (0, 2),
+    "bcs": (2,),
+    "sequential": (0,),
+    "spatial": (0,),
+    "smk": (0,),
+    "mixed": (2,),
+    "dyncta": (0,),
+    "depth-first": (0,),
+    "lcs+bcs": (3,),
+}
+
+
+def validate_policy(policy: tuple) -> tuple:
+    """Check a policy descriptor's shape; return it normalized to a tuple."""
+    if not isinstance(policy, tuple) or not policy:
+        raise JobError(f"policy descriptor must be a non-empty tuple, "
+                       f"got {policy!r}")
+    kind, *args = policy
+    arities = _POLICY_ARITIES.get(kind)
+    if arities is None:
+        raise JobError(f"unknown policy descriptor {policy!r}; "
+                       f"available kinds: {sorted(_POLICY_ARITIES)}")
+    if len(args) not in arities:
+        raise JobError(f"policy {kind!r} takes {arities} arguments, "
+                       f"got {len(args)}: {policy!r}")
+    return tuple(policy)
+
+
+def validate_warp(warp: str | tuple) -> str | tuple:
+    """Check a warp-scheduler descriptor; return it unchanged."""
+    if isinstance(warp, tuple):
+        if len(warp) != 2 or warp[0] != "swl" or not isinstance(warp[1], int):
+            raise JobError(f"unknown warp descriptor {warp!r}; tuple form "
+                           f"is ('swl', K)")
+        return ("swl", warp[1])
+    if warp not in available_warp_schedulers():
+        raise JobError(f"unknown warp scheduler {warp!r}; available: "
+                       f"{available_warp_schedulers()} or ('swl', K)")
+    return warp
+
+
+def build_policy(policy: tuple, kernels: Sequence[Kernel]) -> CTAScheduler:
+    """Instantiate a fresh CTA scheduler from its descriptor."""
+    kind, *args = validate_policy(policy)
+    kernels = list(kernels)
+    if kind == "rr":
+        return RoundRobinCTAScheduler(kernels)
+    if kind == "static":
+        (limit,) = args
+        return StaticLimitCTAScheduler(kernels, limit_per_sm=limit)
+    if kind == "lcs":
+        if args:
+            rule, param = args
+            return LCSScheduler(kernels, rule=rule, param=param)
+        return LCSScheduler(kernels)
+    if kind == "bcs":
+        block, limit = args
+        return BCSScheduler(kernels, block_size=block, limit_per_sm=limit)
+    if kind == "sequential":
+        return SequentialCKE(kernels)
+    if kind == "spatial":
+        return SpatialCKE(kernels)
+    if kind == "smk":
+        return SMKEvenCKE(kernels)
+    if kind == "mixed":
+        rule, param = args
+        return MixedCKE(kernels, rule=rule, param=param)
+    if kind == "dyncta":
+        return DynCTAScheduler(kernels)
+    if kind == "depth-first":
+        return DepthFirstCTAScheduler(kernels)
+    block, rule, param = args   # kind == "lcs+bcs"
+    return LCSBCSScheduler(kernels, block_size=block, rule=rule, param=param)
+
+
+def build_warp_scheduler(warp: str | tuple):
+    """Resolve a warp descriptor to what ``simulate()`` accepts."""
+    warp = validate_warp(warp)
+    if isinstance(warp, tuple):
+        return swl_factory(warp[1])
+    return warp
+
+
+# --------------------------------------------------------------------------- #
+# job descriptions
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A declarative suite-kernel reference (name + scale + seed).
+
+    The oracle sweep accepts this in place of a live :class:`Kernel` so the
+    per-limit simulations can be described as jobs and fanned out / cached.
+    """
+
+    name: str
+    scale: float = 1.0
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if self.name not in SUITE:
+            raise JobError(f"unknown benchmark {self.name!r}; "
+                           f"available: {sorted(SUITE)}")
+
+    def build(self) -> Kernel:
+        return make_kernel(self.name, scale=self.scale, seed=self.seed)
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """A picklable description of one simulation run."""
+
+    names: tuple[str, ...]
+    scale: float = 1.0
+    seed: int = DEFAULT_SEED
+    scale_mults: tuple[float, ...] | None = None
+    warp: str | tuple = "gto"
+    policy: tuple = ("rr",)
+    config: GPUConfig = field(default_factory=GPUConfig)
+
+    def __post_init__(self) -> None:
+        names = ((self.names,) if isinstance(self.names, str)
+                 else tuple(self.names))
+        if not names:
+            raise JobError("a job needs at least one kernel name")
+        for name in names:
+            if name not in SUITE:
+                raise JobError(f"unknown benchmark {name!r}; "
+                               f"available: {sorted(SUITE)}")
+        mults = self.scale_mults
+        if mults is None:
+            mults = (1.0,) * len(names)
+        mults = tuple(float(m) for m in mults)
+        if len(mults) != len(names):
+            raise JobError(f"scale_mults has {len(mults)} entries for "
+                           f"{len(names)} kernels")
+        warp = validate_warp(tuple(self.warp) if isinstance(self.warp, list)
+                             else self.warp)
+        policy = validate_policy(tuple(self.policy))
+        object.__setattr__(self, "names", names)
+        object.__setattr__(self, "scale_mults", mults)
+        object.__setattr__(self, "warp", warp)
+        object.__setattr__(self, "policy", policy)
+
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """sha256 over a canonical JSON of all inputs + the version salt."""
+        payload = {
+            "version": SIM_VERSION,
+            "names": list(self.names),
+            "scale": self.scale,
+            "seed": self.seed,
+            "scale_mults": list(self.scale_mults),
+            "warp": (list(self.warp) if isinstance(self.warp, tuple)
+                     else self.warp),
+            "policy": list(self.policy),
+            "config": {f.name: getattr(self.config, f.name)
+                       for f in fields(self.config)},
+        }
+        canonical = json.dumps(payload, sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------ #
+    def build_kernels(self) -> list[Kernel]:
+        """Fresh kernel instances (policies hold per-run state)."""
+        return [make_kernel(name, scale=self.scale * mult, seed=self.seed)
+                for name, mult in zip(self.names, self.scale_mults)]
+
+    def execute(self) -> "RunResult":
+        """Construct kernels + policy and run the simulation."""
+        from .runner import simulate   # local import: runner imports nothing
+        kernels = self.build_kernels()
+        scheduler = build_policy(self.policy, kernels)
+        warp_scheduler = build_warp_scheduler(self.warp)
+        return simulate(kernels, config=self.config,
+                        warp_scheduler=warp_scheduler,
+                        cta_scheduler=scheduler)

@@ -114,6 +114,22 @@ class Table:
             lines.append(f"{label.ljust(label_width)}  {bar} {value:.3f}")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible rendering; inverse of :meth:`from_dict`."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Table":
+        table = cls(title=data["title"], columns=list(data["columns"]))
+        table.rows = [tuple(row) for row in data["rows"]]
+        table.notes = list(data["notes"])
+        return table
+
     def to_csv(self) -> str:
         def esc(value: Any) -> str:
             text = self._format(value)

@@ -12,6 +12,13 @@ Examples::
     repro-sim stencil --warp baws --policy bcs:2
     repro-sim kmeans --policy static:3 --config kepler
     repro-sim my_kernel.json --policy dyncta --timeline out.csv
+
+Suite-benchmark runs without ``--timeline`` are described as declarative
+jobs and executed through the batch engine, so they share the persistent
+result cache with ``repro-exp`` (a repeated invocation replays the stored
+statistics instead of re-simulating; disable with ``--no-cache``).  Trace
+files and timeline sampling need the live in-process objects and always
+simulate directly.
 """
 
 from __future__ import annotations
@@ -31,10 +38,14 @@ from ..core.warp_schedulers import available_warp_schedulers, swl_factory
 from ..sim.config import GPUConfig
 from ..sim.gpu import GPU
 from ..sim.kernel import Kernel
+from ..sim.stats import RunResult
 from ..sim.timeline import TimelineSampler
 from ..workloads.patterns import DEFAULT_SEED
 from ..workloads.suite import SUITE, make_kernel
 from ..workloads.tracefile import load_kernel_trace
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .engine import run_jobs
+from .jobs import SimJob
 
 CONFIGS = ("fermi", "kepler", "small")
 POLICIES = ("rr", "static:N", "lcs", "bcs[:B]", "lcs+bcs[:B]", "dyncta")
@@ -62,8 +73,16 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
                         help=f"CTA policy: {', '.join(POLICIES)} "
                              "(default rr)")
     parser.add_argument("--timeline", metavar="CSV",
-                        help="write an occupancy/IPC timeline CSV")
+                        help="write an occupancy/IPC timeline CSV "
+                             "(forces a live in-process run)")
     parser.add_argument("--timeline-period", type=int, default=1000)
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes for the batch engine "
+                             "(a single run never fans out; accepted for "
+                             "symmetry with repro-exp)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent result cache "
+                             f"({DEFAULT_CACHE_DIR}/)")
     return parser.parse_args(argv)
 
 
@@ -109,13 +128,72 @@ def _make_warp(spec: str):
     return spec
 
 
+def _policy_descriptor(spec: str) -> tuple:
+    """Translate a ``--policy`` string into a job-layer descriptor."""
+    name, _, arg = spec.partition(":")
+    if name == "rr":
+        return ("rr",)
+    if name == "static":
+        if not arg:
+            raise ValueError("static policy needs a limit: static:N")
+        return ("static", int(arg))
+    if name == "lcs":
+        return ("lcs",)
+    if name == "bcs":
+        return ("bcs", int(arg) if arg else 2, None)
+    if name == "lcs+bcs":
+        return ("lcs+bcs", int(arg) if arg else 2, "tail", None)
+    if name == "dyncta":
+        return ("dyncta",)
+    raise ValueError(f"unknown policy {spec!r}; choose from {POLICIES}")
+
+
+def _warp_descriptor(spec: str) -> str | tuple:
+    name, _, arg = spec.partition(":")
+    if name == "swl":
+        return ("swl", int(arg) if arg else 8)
+    return spec
+
+
+def _print_result(result: RunResult, kernel_name: str,
+                  policy_kind: str) -> None:
+    """The shared summary block (engine path and live path alike)."""
+    print(result.summary())
+
+    stats = result.kernel(kernel_name)
+    breakdown = stats.stall_breakdown()
+    print("warp-time breakdown: "
+          + "  ".join(f"{k}={v:.2f}" for k, v in breakdown.items()))
+
+    decision = result.meta.get("lcs_decision")
+    if decision is not None:
+        print(f"LCS decision: N*={decision.n_star}/{decision.occupancy} "
+              f"at cycle {decision.decided_cycle} "
+              f"(rule {decision.rule}@{decision.param}, "
+              f"guard {decision.guard_reason or 'clear'})")
+    if policy_kind == "dyncta" and result.cta_limits:
+        quotas = result.cta_limits
+        print(f"DynCTA final quotas: min={min(quotas.values())} "
+              f"max={max(quotas.values())}")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _parse_args(argv)
+    use_engine = (not args.kernel.endswith(".json")
+                  and not args.timeline)
     try:
         config = _make_config(args.config)
-        kernel = _load_kernel(args.kernel, args.scale, args.seed)
-        policy = _make_policy(args.policy, kernel)
-        warp = _make_warp(args.warp)
+        if use_engine:
+            job = SimJob(names=(args.kernel,), scale=args.scale,
+                         seed=args.seed,
+                         warp=_warp_descriptor(args.warp),
+                         policy=_policy_descriptor(args.policy),
+                         config=config)
+            kernel = job.build_kernels()[0]
+        else:
+            kernel = _load_kernel(args.kernel, args.scale, args.seed)
+            policy = _make_policy(args.policy, kernel)
+            warp = _make_warp(args.warp)
     except (ValueError, FileNotFoundError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -125,13 +203,24 @@ def main(argv: Sequence[str] | None = None) -> int:
           f"{kernel.warps_per_cta} warps, occupancy {occupancy} CTAs/SM, "
           f"config {args.config}, warp {args.warp}, policy {args.policy}\n")
 
+    if use_engine:
+        cache = None if args.no_cache else ResultCache()
+        result = run_jobs([job], workers=max(args.jobs, 1),
+                          cache=cache)[0]
+        if cache is not None:
+            state = "hit" if cache.hits else "miss"
+            print(f"[cache {state}: {job.fingerprint()[:12]} in "
+                  f"{DEFAULT_CACHE_DIR}/]", file=sys.stderr)
+        _print_result(result, kernel.name, job.policy[0])
+        return 0
+
     gpu = GPU(config=config, warp_scheduler=warp)
     sampler = (TimelineSampler(gpu, period=args.timeline_period)
                if args.timeline else None)
     gpu.run(policy)
 
     # Assemble the same summary simulate() would give.
-    from ..sim.stats import CacheStats, RunResult
+    from ..sim.stats import CacheStats
     l1_total = CacheStats()
     for sm in gpu.sms:
         l1_total.add(sm.l1.stats)
@@ -139,24 +228,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         cycles=gpu.cycle, instructions=gpu.total_issued,
         kernels={run.kernel.name: run.stats for run in gpu.runs},
         l1=l1_total, l2=gpu.mem.l2_stats(), dram=gpu.mem.dram.stats,
-        issued_by_sm=[sm.issued for sm in gpu.sms])
-    print(result.summary())
-
-    stats = result.kernel(kernel.name)
-    breakdown = stats.stall_breakdown()
-    print("warp-time breakdown: "
-          + "  ".join(f"{k}={v:.2f}" for k, v in breakdown.items()))
-
-    decision = getattr(policy, "decision", None)
-    if decision is not None:
-        print(f"LCS decision: N*={decision.n_star}/{decision.occupancy} "
-              f"at cycle {decision.decided_cycle} "
-              f"(rule {decision.rule}@{decision.param}, "
-              f"guard {decision.guard_reason or 'clear'})")
-    if isinstance(policy, DynCTAScheduler):
-        quotas = policy.quotas()
-        print(f"DynCTA final quotas: min={min(quotas.values())} "
-              f"max={max(quotas.values())}")
+        issued_by_sm=[sm.issued for sm in gpu.sms],
+        cta_limits=policy.limits_snapshot(),
+        meta={"lcs_decision": getattr(policy, "decision", None)})
+    _print_result(result, kernel.name, args.policy.partition(":")[0])
 
     if sampler is not None:
         lines = ["cycle,mean_ctas_per_sm,mean_warps_per_sm,ipc"]

@@ -8,44 +8,39 @@ exploring their own design spaces::
     from repro.harness.sweeps import config_sweep
     table = config_sweep("kmeans", "l1_mshr_entries", [8, 16, 32],
                          policies={"base": ("rr",), "lcs": ("lcs",)})
+
+Every (value, policy) cell is described as a :class:`~repro.harness.jobs.
+SimJob` and executed by the batch engine, so invalid descriptors — an
+unknown ``warp_scheduler``, a malformed policy — fail up front with the
+engine's uniform :class:`~repro.harness.jobs.JobError` before any
+simulation runs, and the whole sweep fans out across ``jobs`` worker
+processes and memoises into ``cache``.
 """
 
 from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-from ..core.cta_schedulers import RoundRobinCTAScheduler, StaticLimitCTAScheduler
-from ..core.lcs import LCSScheduler
 from ..sim.config import GPUConfig
 from ..workloads.patterns import DEFAULT_SEED
-from ..workloads.suite import make_kernel
+from .cache import ResultCache
+from .engine import run_jobs
+from .jobs import KernelSpec, SimJob
 from .reporting import Table
-from .runner import simulate
-
-
-def _build_policy(descriptor: tuple, kernel):
-    kind, *args = descriptor
-    if kind == "rr":
-        return RoundRobinCTAScheduler(kernel)
-    if kind == "static":
-        (limit,) = args
-        return StaticLimitCTAScheduler(kernel, limit_per_sm=limit)
-    if kind == "lcs":
-        return LCSScheduler(kernel)
-    raise ValueError(f"unknown policy descriptor {descriptor!r} "
-                     "(sweeps support rr, static:N, lcs)")
 
 
 def config_sweep(benchmark: str, field: str, values: Sequence,
                  *, policies: Mapping[str, tuple] | None = None,
                  base_config: GPUConfig | None = None,
                  scale: float = 0.4, seed: int = DEFAULT_SEED,
-                 warp_scheduler: str = "gto") -> Table:
+                 warp_scheduler: str = "gto",
+                 jobs: int = 1, cache: ResultCache | None = None) -> Table:
     """Sweep one ``GPUConfig`` field; report IPC per (value, policy).
 
     ``policies`` maps a column label to a policy descriptor (``("rr",)``,
-    ``("static", n)``, ``("lcs",)``); default is the baseline only.
-    Returns a table with one row per swept value.
+    ``("static", n)``, ``("lcs",)``, or any other descriptor the job layer
+    knows); default is the baseline only.  Returns a table with one row
+    per swept value.
     """
     if not values:
         raise ValueError("values must be non-empty")
@@ -55,20 +50,24 @@ def config_sweep(benchmark: str, field: str, values: Sequence,
     if not hasattr(base_config, field):
         raise ValueError(f"GPUConfig has no field {field!r}")
 
+    # Declare every cell up front: descriptor validation (benchmark name,
+    # warp scheduler, policy shape) happens here, before anything runs.
+    cells_jobs = [SimJob(names=(benchmark,), scale=scale, seed=seed,
+                         warp=warp_scheduler, policy=descriptor,
+                         config=base_config.with_overrides(**{field: value}))
+                  for value in values
+                  for descriptor in policies.values()]
+    results = iter(run_jobs(cells_jobs, workers=jobs, cache=cache))
+
     columns = [field] + [f"{label}_ipc" for label in policies]
     if len(policies) > 1:
         columns.append("best_policy")
     table = Table(f"{benchmark}: sweep of {field}", columns)
     for value in values:
-        config = base_config.with_overrides(**{field: value})
         cells: list = [value]
         best_label, best_ipc = None, -1.0
-        for label, descriptor in policies.items():
-            kernel = make_kernel(benchmark, scale=scale, seed=seed)
-            scheduler = _build_policy(descriptor, kernel)
-            result = simulate(kernel, config=config,
-                              warp_scheduler=warp_scheduler,
-                              cta_scheduler=scheduler)
+        for label in policies:
+            result = next(results)
             cells.append(result.ipc)
             if result.ipc > best_ipc:
                 best_label, best_ipc = label, result.ipc
@@ -79,7 +78,9 @@ def config_sweep(benchmark: str, field: str, values: Sequence,
 
 
 def occupancy_position(benchmark: str, *, config: GPUConfig | None = None,
-                       scale: float = 0.4, seed: int = DEFAULT_SEED) -> dict:
+                       scale: float = 0.4, seed: int = DEFAULT_SEED,
+                       jobs: int = 1,
+                       cache: ResultCache | None = None) -> dict:
     """Convenience: where does this kernel's best static limit sit?
 
     Returns ``{"occupancy": o, "best": n, "best_over_max": s}`` — the raw
@@ -87,8 +88,8 @@ def occupancy_position(benchmark: str, *, config: GPUConfig | None = None,
     """
     from ..core.oracle import sweep_static_limits
     config = config if config is not None else GPUConfig()
-    kernel = make_kernel(benchmark, scale=scale, seed=seed)
-    oracle = sweep_static_limits(kernel, config=config)
+    spec = KernelSpec(benchmark, scale=scale, seed=seed)
+    oracle = sweep_static_limits(spec, config=config, jobs=jobs, cache=cache)
     return {
         "occupancy": oracle.occupancy,
         "best": oracle.best_limit,

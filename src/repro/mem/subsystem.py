@@ -35,6 +35,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class MemorySubsystem:
     """Everything below the L1s: interconnect, L2 banks, DRAM."""
 
+    __slots__ = ("_config", "_events", "_icnt", "_l2_latency", "_icnt_bw",
+                 "_icnt_next_free", "l2_banks", "_bank_queues", "dram")
+
     def __init__(self, config: GPUConfig, events: EventQueue) -> None:
         self._config = config
         self._events = events

@@ -41,8 +41,9 @@ class EventQueue:
         """Fire every event scheduled at or before ``now``; return the count."""
         fired = 0
         heap = self._heap
+        heappop = heapq.heappop
         while heap and heap[0][0] <= now:
-            _, _, callback, arg = heapq.heappop(heap)
+            _, _, callback, arg = heappop(heap)
             callback(now, arg)
             fired += 1
         return fired

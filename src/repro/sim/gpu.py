@@ -96,6 +96,11 @@ class GPU:
                      for kernel_id, kernel in enumerate(kernels)]
         if not self.runs:
             raise ValueError("at least one kernel is required")
+        # Pre-register every kernel id in the per-SM residency counters so
+        # the dispatch hot path can use plain increments.
+        for sm in self.sms:
+            for run in self.runs:
+                sm.kernel_active.setdefault(run.kernel_id, 0)
         return self.runs
 
     def next_block_seq(self) -> int:
@@ -153,8 +158,14 @@ class GPU:
             cta_scheduler.fill(cycle)
             active = False
             for sm in sms:
-                if sm.tick(cycle):
-                    active = True
+                # Mirror of SM.tick's entry guards: an SM with nothing in
+                # the LD/ST unit and nothing issuable does nothing this
+                # cycle, so skip the call (memory-bound phases spend most
+                # cycles with every SM in this state).
+                if ((sm.ldst and not sm.ldst_blocked)
+                        or (sm.num_ready and not sm.gate_blocked)):
+                    if sm.tick(cycle):
+                        active = True
             if active:
                 cycle += 1
             else:

@@ -41,7 +41,9 @@ class SM:
                  "ldst_blocked", "gate_blocked", "num_ready", "issued",
                  "active_ctas", "used_slots", "used_warps", "used_regs",
                  "used_shmem", "kernel_active", "_sched_rr", "completed_ctas",
-                 "_store_window", "_store_window_set")
+                 "_store_window", "_store_window_set", "_mem", "_events",
+                 "_ldst_depth", "_store_coalescing", "_prefetch_next",
+                 "_l1_hit_latency")
 
     #: Sentinel registered as the MSHR waiter of a prefetch request; fills
     #: install the line but wake nobody.
@@ -80,6 +82,14 @@ class SM:
         self._store_window: deque[int] = deque(
             maxlen=config.store_coalesce_window)
         self._store_window_set: set[int] = set()
+        # Hot-path shortcuts: these are read every cycle (or every memory
+        # transaction), so resolve the gpu.*/config.* indirections once.
+        self._mem = gpu.mem
+        self._events = gpu.events
+        self._ldst_depth = config.ldst_queue_depth
+        self._store_coalescing = config.store_coalescing
+        self._prefetch_next = config.l1_prefetch_next_line
+        self._l1_hit_latency = config.l1_hit_latency
 
     def __repr__(self) -> str:
         return f"SM({self.sm_id}, ctas={self.used_slots}, warps={self.used_warps})"
@@ -137,7 +147,9 @@ class SM:
         self.used_warps += kernel.warps_per_cta
         self.used_regs += run.regs_per_cta
         self.used_shmem += kernel.shmem_per_cta
-        self.kernel_active[run.kernel_id] = self.kernel_active.get(run.kernel_id, 0) + 1
+        # Kernel ids are pre-registered at launch (see GPU.launch), so this
+        # is a plain increment rather than a get()+store pair.
+        self.kernel_active[run.kernel_id] += 1
         return cta
 
     def _release(self, cta: CTA, now: int) -> None:
@@ -161,10 +173,17 @@ class SM:
             self._ldst_tick(now)
             active = True
         if self.num_ready and not self.gate_blocked:
-            can_issue = self._can_issue
+            ldst = self.ldst
+            depth = self._ldst_depth
+            qfull = self._can_issue_qfull
             issued_any = False
             for scheduler in self.schedulers:
-                warp = scheduler.pick(can_issue)
+                # With LD/ST queue space free, *every* ready warp passes the
+                # structural check, so skip the per-warp call entirely; when
+                # the queue is full it cannot drain during a pick, so only
+                # the instruction kind matters (the queue can fill mid-loop,
+                # hence the per-scheduler test).
+                warp = scheduler.pick(None if len(ldst) < depth else qfull)
                 if warp is not None:
                     self._issue(warp, scheduler, now)
                     issued_any = True
@@ -180,8 +199,13 @@ class SM:
         """Structural check at the issue stage: a memory instruction needs a
         free slot in the LD/ST queue."""
         if warp.program[warp.pc].is_memory:
-            return len(self.ldst) < self.config.ldst_queue_depth
+            return len(self.ldst) < self._ldst_depth
         return True
+
+    def _can_issue_qfull(self, warp: Warp) -> bool:
+        """:meth:`_can_issue` specialised for a full LD/ST queue (it cannot
+        drain during a pick, so only the instruction kind matters)."""
+        return not warp.program[warp.pc].is_memory
 
     def _issue(self, warp: Warp, scheduler, now: int) -> None:
         instruction = warp.program[warp.pc]
@@ -196,7 +220,7 @@ class SM:
         op = instruction.op
         if op == Op.ALU or op == Op.SHARED:
             warp.state = WarpState.WAIT_ALU
-            self.gpu.events.schedule(now + instruction.latency, self._wake_alu, warp)
+            self._events.schedule(now + instruction.latency, self._wake_alu, warp)
         elif op == Op.LD_GLOBAL:
             warp.state = WarpState.WAIT_MEM
             self.ldst.append(MemRequest(warp, instruction.lines, is_store=False))
@@ -258,26 +282,27 @@ class SM:
     # ------------------------------------------------------------------ #
     # LD/ST unit
     def _ldst_tick(self, now: int) -> None:
+        l1 = self.l1
         request = self.ldst[0]
         line = request.lines[request.idx]
         if request.is_store:
             # Write-through, no-allocate: probe updates LRU on hit, then the
             # write travels to L2 — unless the write-combining window just
             # saw the same line.
-            self.l1.write_probe(line)
-            if self.config.store_coalescing and self._store_absorbed(line):
-                self.l1.stats.stores_coalesced += 1
+            l1.write_probe(line)
+            if self._store_coalescing and self._store_absorbed(line):
+                l1.stats.stores_coalesced += 1
             else:
-                self.gpu.mem.store(self, line, now)
+                self._mem.store(self, line, now)
         else:
-            outcome = self.l1.lookup_load(line, request)
+            outcome = l1.lookup_load(line, request)
             if outcome is Access.STALL:
                 self.ldst_blocked = True
                 return
             if outcome is Access.MISS:
                 request.outstanding += 1
-                self.gpu.mem.load(self, line, now)
-                if self.config.l1_prefetch_next_line:
+                self._mem.load(self, line, now)
+                if self._prefetch_next:
                     self._maybe_prefetch(line + 1, now)
             elif outcome is Access.MERGED:
                 request.outstanding += 1
@@ -290,8 +315,8 @@ class SM:
             if request.complete:
                 # All transactions hit (or it was a store): the warp resumes
                 # after the L1 hit latency.
-                self.gpu.events.schedule(now + self.config.l1_hit_latency,
-                                         self._wake_mem_event, request.warp)
+                self._events.schedule(now + self._l1_hit_latency,
+                                      self._wake_mem_event, request.warp)
 
     def _wake_mem_event(self, now: int, warp: Warp) -> None:
         self._wake_mem(now, warp)
@@ -320,7 +345,7 @@ class SM:
             l1.stats.accesses -= 1
             l1.stats.misses -= 1
             l1.stats.prefetches += 1
-            self.gpu.mem.load(self, line, now)
+            self._mem.load(self, line, now)
 
     def mem_response(self, now: int, line: int) -> None:
         """A missed line returned from the memory system: fill L1, wake warps."""

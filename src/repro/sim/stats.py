@@ -3,11 +3,17 @@
 Component-local counters (`CacheStats`, `DRAMStats`) are owned by the
 hardware models and mutated in the hot path; `KernelStats` and `RunResult`
 are assembled once at the end of a run by ``repro.harness.runner``.
+
+Every container serialises losslessly through ``to_dict``/``from_dict``
+(plain JSON-compatible values), which is what the persistent result cache
+(:mod:`repro.harness.cache`) and the parallel engine rely on: a result that
+round-trips through disk must compare equal, field for field, to the run
+that produced it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any
 
 
@@ -52,6 +58,13 @@ class CacheStats:
         self.prefetches += other.prefetches
         self.stores_coalesced += other.stores_coalesced
 
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CacheStats":
+        return cls(**data)
+
 
 @dataclass
 class DRAMStats:
@@ -65,6 +78,13 @@ class DRAMStats:
     def row_hit_rate(self) -> float:
         total = self.row_hits + self.row_misses
         return self.row_hits / total if total else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "DRAMStats":
+        return cls(**data)
 
 
 @dataclass
@@ -110,6 +130,13 @@ class KernelStats:
             "barrier": self.barrier_wait / total,
         }
 
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "KernelStats":
+        return cls(**data)
+
 
 @dataclass
 class RunResult:
@@ -150,3 +177,65 @@ class RunResult:
                 f"IPC={ks.ipc:.3f}"
             )
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # serialisation (persistent result cache, worker <-> parent transport)
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible rendering; inverse of :meth:`from_dict`."""
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "kernels": {name: ks.to_dict()
+                        for name, ks in self.kernels.items()},
+            "l1": self.l1.to_dict(),
+            "l2": self.l2.to_dict(),
+            "dram": self.dram.to_dict(),
+            "issued_by_sm": list(self.issued_by_sm),
+            "cta_limits": {str(sm_id): limit
+                           for sm_id, limit in self.cta_limits.items()},
+            "meta": _encode_meta(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunResult":
+        return cls(
+            cycles=data["cycles"],
+            instructions=data["instructions"],
+            kernels={name: KernelStats.from_dict(ks)
+                     for name, ks in data["kernels"].items()},
+            l1=CacheStats.from_dict(data["l1"]),
+            l2=CacheStats.from_dict(data["l2"]),
+            dram=DRAMStats.from_dict(data["dram"]),
+            issued_by_sm=list(data["issued_by_sm"]),
+            cta_limits={int(sm_id): limit
+                        for sm_id, limit in data["cta_limits"].items()},
+            meta=_decode_meta(data["meta"]),
+        )
+
+
+#: Marker key for values that need reconstruction beyond plain JSON.
+_LCS_DECISION_KEY = "__lcs_decision__"
+
+
+def _encode_meta(meta: dict[str, Any]) -> dict[str, Any]:
+    encoded: dict[str, Any] = {}
+    for key, value in meta.items():
+        if key == "lcs_decision" and value is not None:
+            encoded[key] = {_LCS_DECISION_KEY: asdict(value)}
+        else:
+            encoded[key] = value
+    return encoded
+
+
+def _decode_meta(meta: dict[str, Any]) -> dict[str, Any]:
+    decoded: dict[str, Any] = {}
+    for key, value in meta.items():
+        if isinstance(value, dict) and _LCS_DECISION_KEY in value:
+            # Imported lazily to keep sim free of core-layer dependencies.
+            from ..core.lcs import LCSDecision
+            payload = dict(value[_LCS_DECISION_KEY])
+            payload["issue_counts"] = tuple(payload["issue_counts"])
+            decoded[key] = LCSDecision(**payload)
+        else:
+            decoded[key] = value
+    return decoded

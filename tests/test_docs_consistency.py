@@ -54,8 +54,12 @@ def test_readme_docs_links_exist():
 
 def test_experiments_md_references_existing_results_files():
     text = (ROOT / "EXPERIMENTS.md").read_text()
-    for match in re.finditer(r"full_scale_results\d*\.txt", text):
-        assert (ROOT / match.group(0)).exists(), match.group(0)
+    matches = list(re.finditer(r"(?:docs/results/)?full_scale_results\d*\.txt",
+                               text))
+    assert matches, "EXPERIMENTS.md no longer mentions the results files"
+    for match in matches:
+        name = match.group(0).rsplit("/", 1)[-1]
+        assert (ROOT / "docs" / "results" / name).exists(), match.group(0)
 
 
 def test_all_public_exports_resolve():

@@ -1,0 +1,156 @@
+"""Tests for the batch execution engine and the persistent result cache.
+
+The determinism suite is the load-bearing part: parallel execution and
+cache replay must be *field-for-field* identical to a plain serial run —
+``RunResult`` is a dataclass, so ``==`` compares every counter, per-kernel
+stat, CTA limit and meta entry (including the LCS decision object).
+"""
+
+import json
+
+import pytest
+
+from repro.harness.cache import ResultCache
+from repro.harness.engine import JobExecutionError, run_jobs
+from repro.harness.jobs import SimJob
+from repro.harness.reporting import Table
+from repro.sim.config import GPUConfig
+
+SMALL = GPUConfig.small()
+
+
+def _style_jobs():
+    """Small-scale stand-ins for the E3 (LCS), E6 (BCS+BAWS) and E8
+    (multi-kernel CKE) experiment shapes."""
+    return [
+        SimJob(names=("kmeans",), scale=0.05, config=SMALL),
+        SimJob(names=("kmeans",), scale=0.05, policy=("lcs",), config=SMALL),
+        SimJob(names=("stencil",), scale=0.05, warp="baws",
+               policy=("bcs", 2, None), config=SMALL),
+        SimJob(names=("kmeans", "compute"), scale=0.05,
+               scale_mults=(1.0, 0.5), policy=("smk",), config=SMALL),
+    ]
+
+
+class TestDeterminism:
+    def test_parallel_identical_to_serial(self):
+        serial = run_jobs(_style_jobs(), workers=1)
+        parallel = run_jobs(_style_jobs(), workers=2)
+        assert serial == parallel   # dataclass ==: field-for-field
+
+    def test_cached_replay_identical_to_serial(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        first = run_jobs(_style_jobs(), workers=1, cache=cache)
+        assert cache.misses == 4 and cache.hits == 0
+        replay = run_jobs(_style_jobs(), workers=1, cache=cache)
+        assert cache.hits == 4   # zero simulations on the second pass
+        assert replay == first
+        uncached = run_jobs(_style_jobs(), workers=1)
+        assert replay == uncached
+
+    def test_results_preserve_input_order(self, tmp_path):
+        jobs = _style_jobs()
+        cache = ResultCache(tmp_path / "cache")
+        # Warm only one middle job, so the second pass mixes hits + misses.
+        run_jobs([jobs[2]], cache=cache)
+        mixed = run_jobs(jobs, cache=cache)
+        plain = run_jobs(jobs)
+        assert mixed == plain
+
+    def test_progress_callback_counts_every_job(self):
+        seen = []
+        run_jobs(_style_jobs()[:2],
+                 progress=lambda done, total: seen.append((done, total)))
+        assert seen == [(1, 2), (2, 2)]
+
+
+class TestErrors:
+    def test_worker_failure_raises_with_fingerprint(self):
+        # Valid shape, fails at execution time (a CTA limit must be >= 1).
+        bad = SimJob(names=("kmeans",), scale=0.05, policy=("static", 0),
+                     config=SMALL)
+        with pytest.raises(JobExecutionError) as excinfo:
+            run_jobs([bad])
+        assert bad.fingerprint()[:12] in str(excinfo.value)
+        assert excinfo.value.fingerprint == bad.fingerprint()
+
+    def test_parallel_worker_failure_propagates(self):
+        bad = SimJob(names=("kmeans",), scale=0.05, policy=("static", 0),
+                     config=SMALL)
+        ok = SimJob(names=("kmeans",), scale=0.05, config=SMALL)
+        with pytest.raises(JobExecutionError):
+            run_jobs([ok, bad], workers=2)
+
+    def test_workers_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            run_jobs([], workers=0)
+
+
+class TestCache:
+    def test_round_trip_equals_original(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = SimJob(names=("kmeans",), scale=0.05, policy=("lcs",),
+                     config=SMALL)
+        original = job.execute()
+        cache.put(job.fingerprint(), original)
+        restored = cache.get(job.fingerprint())
+        assert restored == original
+        # The LCS decision object survives the trip intact.
+        assert restored.meta["lcs_decision"] == original.meta["lcs_decision"]
+
+    def test_corrupted_entry_is_a_miss_not_a_crash(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = SimJob(names=("kmeans",), scale=0.05, config=SMALL)
+        fingerprint = job.fingerprint()
+        cache.put(fingerprint, job.execute())
+        cache.path_for(fingerprint).write_text("{ not json")
+        assert cache.get(fingerprint) is None
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = SimJob(names=("kmeans",), scale=0.05, config=SMALL)
+        fingerprint = job.fingerprint()
+        cache.put(fingerprint, job.execute())
+        payload = cache.path_for(fingerprint).read_text()
+        cache.path_for(fingerprint).write_text(payload[:len(payload) // 2])
+        assert cache.get(fingerprint) is None
+
+    def test_unknown_entry_format_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = SimJob(names=("kmeans",), scale=0.05, config=SMALL)
+        fingerprint = job.fingerprint()
+        cache.put(fingerprint, job.execute())
+        entry = json.loads(cache.path_for(fingerprint).read_text())
+        entry["format"] = 999
+        cache.path_for(fingerprint).write_text(json.dumps(entry))
+        assert cache.get(fingerprint) is None
+
+    def test_engine_recovers_from_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = SimJob(names=("kmeans",), scale=0.05, config=SMALL)
+        first = run_jobs([job], cache=cache)[0]
+        cache.path_for(job.fingerprint()).write_text("garbage")
+        again = run_jobs([job], cache=cache)[0]
+        assert again == first
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert len(cache) == 0 and cache.clear() == 0
+        job = SimJob(names=("kmeans",), scale=0.05, config=SMALL)
+        cache.put(job.fingerprint(), job.execute())
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestTableRoundTrip:
+    def test_round_trip(self):
+        table = Table("t", ["a", "b"])
+        table.add_row("x", 1.5)
+        table.add_row("y", None)
+        table.add_note("n")
+        restored = Table.from_dict(table.to_dict())
+        assert restored.title == table.title
+        assert restored.columns == table.columns
+        assert restored.rows == table.rows
+        assert restored.notes == table.notes

@@ -43,6 +43,20 @@ class TestConfigSweep:
             config_sweep("kmeans", "l1_size", [4096], base_config=SMALL,
                          scale=0.03, policies={"x": ("bcs", 2)})
 
+    def test_unknown_warp_scheduler_rejected(self):
+        # Regression: the sweep used to hand the string straight to
+        # simulate(), so a typo surfaced mid-sweep (or not at all) instead
+        # of failing up front with the engine's uniform descriptor error.
+        from repro.harness.jobs import JobError
+        with pytest.raises(JobError):
+            config_sweep("kmeans", "l1_size", [4096], base_config=SMALL,
+                         scale=0.03, warp_scheduler="gtoo")
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError):
+            config_sweep("warp_drive", "l1_size", [4096], base_config=SMALL,
+                         scale=0.03)
+
 
 class TestOccupancyPosition:
     def test_reports_consistent_fields(self):
