@@ -3,10 +3,17 @@
 PY      ?= python
 PYTEST  = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test bench bench-smoke bench-engine clean-cache
+.PHONY: test lint bench bench-smoke bench-engine clean-cache
 
 test:            ## tier-1 test suite
 	$(PYTEST) -q
+
+lint:            ## ruff checks (skipped with a notice if ruff is absent)
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "lint: ruff not installed; skipping (CI enforces it)"; \
+	fi
 
 bench:           ## full experiment benchmarks (slow)
 	$(PYTEST) benchmarks/ --benchmark-only

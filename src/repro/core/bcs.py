@@ -89,9 +89,15 @@ class BCSScheduler(CTAScheduler):
                     # split blocks (that is the point of BCS).
                     return
             block_seq = self.gpu.next_block_seq()
+            first_cta = run.next_cta
             for _ in range(block):
                 self.gpu.dispatch(target, run, block_seq, now)
             self.blocks_dispatched += 1
+            hub = self.gpu.telemetry
+            if hub is not None:
+                hub.emit("bcs.block", now, kernel=run.kernel.name,
+                         block_seq=block_seq, sm=target.sm_id,
+                         first_cta=first_cta, size=block)
 
     def _odd_slot_size(self, run: "KernelRun") -> int:
         """Size of the permanent leftover slot group (0 when none exists)."""

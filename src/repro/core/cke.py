@@ -143,6 +143,8 @@ class MixedCKE(CTAScheduler):
         self.monitor = LCSMonitor(rule=rule, param=param,
                                   util_guard=util_guard,
                                   monitor_sm=monitor_sm)
+        self._mixed_emitted = False
+        self._drain_emitted = False
 
     @property
     def decision(self) -> LCSDecision | None:
@@ -177,9 +179,30 @@ class MixedCKE(CTAScheduler):
             return max(1, run.occupancy // len(self.runs))
         return run.occupancy
 
+    def on_bound(self) -> None:
+        self.monitor.announce(self.gpu)
+        hub = self.gpu.telemetry
+        if hub is not None:
+            hub.emit("cke.phase", self.gpu.cycle, phase="monitor",
+                     primary=self.primary_run.kernel.name,
+                     monitor_sm=self.monitor_sm)
+
     def on_cta_complete(self, sm: "SM", cta: "CTA", now: int) -> None:
         super().on_cta_complete(sm, cta, now)
         self.monitor.observe_completion(sm, cta, self.primary_run, now)
+        hub = self.gpu.telemetry
+        if hub is None:
+            return
+        decision = self.monitor.decision
+        if decision is not None and not self._mixed_emitted:
+            self._mixed_emitted = True
+            hub.emit("cke.phase", now, phase="mixed",
+                     primary=self.primary_run.kernel.name,
+                     n_star=decision.n_star)
+        if self.primary_run.done and not self._drain_emitted:
+            self._drain_emitted = True
+            hub.emit("cke.phase", now, phase="drain",
+                     primary=self.primary_run.kernel.name)
 
     def limits_snapshot(self) -> dict[int, int | None]:
         if self.gpu is None:

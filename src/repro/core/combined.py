@@ -46,6 +46,9 @@ class LCSBCSScheduler(BCSScheduler):
     def decision(self) -> LCSDecision | None:
         return self.monitor.decision
 
+    def on_bound(self) -> None:
+        self.monitor.announce(self.gpu)
+
     def limit(self, sm: "SM", run: "KernelRun") -> int:
         decision = self.monitor.decision
         if decision is None:

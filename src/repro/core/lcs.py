@@ -224,6 +224,15 @@ class LCSMonitor:
         self.monitor_sm = monitor_sm   # None = first CTA completion anywhere
         self.decision: LCSDecision | None = None
 
+    def announce(self, gpu) -> None:
+        """Trace the monitoring-phase start (call from a policy's on_bound)."""
+        hub = gpu.telemetry
+        if hub is not None:
+            hub.emit("lcs.monitor", gpu.cycle, rule=self.rule,
+                     param=self.param, util_guard=self.util_guard,
+                     barrier_guard=self.barrier_guard,
+                     monitor_sm=self.monitor_sm)
+
     def observe_completion(self, sm: "SM", cta: "CTA", run: "KernelRun",
                            now: int) -> LCSDecision | None:
         """Feed a CTA completion; returns the decision if this one ends the
@@ -263,6 +272,18 @@ class LCSMonitor:
             barriers_per_warp=barriers_per_warp,
             barrier_guard=self.barrier_guard,
         )
+        # Every LCS-monitoring policy (LCS, LCS+BCS, mixed CKE) funnels
+        # through here, so the decision is traced in one place.
+        hub = sm.gpu.telemetry
+        if hub is not None:
+            decision = self.decision
+            hub.emit("lcs.decision", now, kernel=run.kernel.name,
+                     n_star=decision.n_star, occupancy=decision.occupancy,
+                     monitor_sm=decision.monitor_sm, rule=decision.rule,
+                     param=decision.param,
+                     utilization=decision.utilization,
+                     guard=decision.guard_reason,
+                     issue_counts=list(decision.issue_counts))
         return self.decision
 
 
@@ -292,6 +313,9 @@ class LCSScheduler(CTAScheduler):
     @property
     def decision(self) -> LCSDecision | None:
         return self.monitor.decision
+
+    def on_bound(self) -> None:
+        self.monitor.announce(self.gpu)
 
     def limit(self, sm: "SM", run: "KernelRun") -> int:
         decision = self.monitor.decision

@@ -11,6 +11,12 @@ crash.
 The cache key is :meth:`repro.harness.jobs.SimJob.fingerprint`, which
 includes the :data:`~repro.harness.jobs.SIM_VERSION` salt; bumping the salt
 invalidates every old entry without touching the files.
+
+Rich meta payloads (the ``timeline``/``trace`` riders collected by
+:mod:`repro.telemetry`) round-trip through the same JSON entry; their
+decode runs inside the same try block as everything else, so an entry with
+a mangled timeline or trace is a silent miss and gets recomputed, never a
+crash.
 """
 
 from __future__ import annotations

@@ -12,11 +12,15 @@ Usage::
     repro-exp all                 # second invocation: warm disk cache,
                                   # zero simulations executed
     repro-exp --clear-cache       # purge .repro-cache/
+    repro-exp e1 --timeline --output out/
+                                  # + one windowed-telemetry CSV per run
+    repro-exp e1 --trace e1.json  # merged chrome://tracing document
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -53,6 +57,15 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
     parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                         help="worker processes for independent simulations "
                              "(default 1 = serial; 0 = one per CPU core)")
+    parser.add_argument("--timeline", nargs="?", const=1000, type=int,
+                        metavar="WINDOW",
+                        help="sample a windowed telemetry timeline per run "
+                             "(WINDOW cycles, default 1000); CSVs are "
+                             "written when --output is given")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="write all runs' structured event traces as "
+                             "one merged Chrome trace_event document "
+                             "(one pid lane per run)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the persistent result cache "
                              f"({DEFAULT_CACHE_DIR}/)")
@@ -67,6 +80,36 @@ def _describe(exp_id: str) -> str:
         return "configuration and benchmark-characteristics tables"
     doc = EXPERIMENTS[exp_id].__doc__ or ""
     return " ".join(doc.split("\n\n")[0].split()) or exp_id
+
+
+def _write_telemetry(ctx: ExperimentContext,
+                     args: argparse.Namespace) -> None:
+    """Export the memoised runs' telemetry (timeline CSVs, merged trace)."""
+    runs = ctx.telemetry_runs()
+    if not runs:
+        return
+    if args.timeline is not None and args.output:
+        out_dir = Path(args.output)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        written = 0
+        for label, result in runs:
+            timeline = result.meta.get("timeline")
+            if not timeline:
+                continue
+            path = out_dir / f"{label}.timeline.csv"
+            path.write_text(timeline.to_csv() + "\n")
+            written += 1
+        print(f"[timelines: {written} CSV(s) -> {args.output}/]",
+              file=sys.stderr)
+    if args.trace:
+        from ..telemetry.trace import merge_chrome_traces
+        named = [(label, result.meta.get("trace") or [],
+                  result.meta.get("timeline"))
+                 for label, result in runs]
+        doc = merge_chrome_traces(named)
+        Path(args.trace).write_text(json.dumps(doc))
+        print(f"[trace: {len(runs)} run(s) merged -> {args.trace}]",
+              file=sys.stderr)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -98,7 +141,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     cache = None if args.no_cache else ResultCache()
 
     ctx = ExperimentContext(scale=args.scale, seed=args.seed,
-                            jobs=workers, cache=cache)
+                            jobs=workers, cache=cache,
+                            timeline_window=args.timeline,
+                            trace=bool(args.trace))
     total_started = time.perf_counter()
     for exp_id in requested:
         started = time.perf_counter()
@@ -120,6 +165,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 (out_dir / f"{exp_id}{suffix}.csv").write_text(
                     table.to_csv() + "\n")
         print(f"[{exp_id} finished in {elapsed:.1f}s]", file=sys.stderr)
+    if args.timeline is not None or args.trace:
+        _write_telemetry(ctx, args)
     total = time.perf_counter() - total_started
     summary = (f"[total: {total:.1f}s for {len(requested)} experiment(s), "
                f"jobs={workers}")

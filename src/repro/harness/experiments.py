@@ -56,6 +56,12 @@ class ExperimentContext:
     config: GPUConfig = field(default_factory=GPUConfig)
     jobs: int = 1
     cache: ResultCache | None = None
+    # Telemetry riders applied to every job this context builds: a windowed
+    # timeline (cycles per window) and/or a structured event trace.  They
+    # change job fingerprints (telemetry-bearing results cache separately)
+    # but never the simulated statistics.
+    timeline_window: int | None = None
+    trace: bool = False
     _cache: dict[tuple, RunResult] = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------ #
@@ -70,7 +76,9 @@ class ExperimentContext:
         """A context on different hardware sharing scale/seed/jobs/cache."""
         return ExperimentContext(scale=self.scale, seed=self.seed,
                                  config=config, jobs=self.jobs,
-                                 cache=self.cache)
+                                 cache=self.cache,
+                                 timeline_window=self.timeline_window,
+                                 trace=self.trace)
 
     # ------------------------------------------------------------------ #
     def job(self, names: str | Sequence[str], *,
@@ -83,7 +91,9 @@ class ExperimentContext:
         return SimJob(names=tuple(names), scale=self.scale, seed=self.seed,
                       scale_mults=(tuple(scale_mults)
                                    if scale_mults is not None else None),
-                      warp=warp, policy=policy, config=self.config)
+                      warp=warp, policy=policy, config=self.config,
+                      timeline_window=self.timeline_window,
+                      trace=self.trace)
 
     @staticmethod
     def _memo_key(job: SimJob) -> tuple:
@@ -150,6 +160,30 @@ class ExperimentContext:
         sweep = self.static_sweep(name, warp=warp)
         best = min(sweep, key=lambda limit: (sweep[limit].cycles, limit))
         return best, sweep[best]
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _run_label(key: tuple) -> str:
+        """A filesystem-safe slug for one memoised run's parameters."""
+        names, _mults, warp, policy = key
+        warp_part = (f"{warp[0]}{warp[1]}" if isinstance(warp, tuple)
+                     else str(warp))
+        policy_part = "_".join(str(p) for p in policy if p is not None)
+        slug = "+".join(names) + f".{warp_part}.{policy_part}"
+        return slug.replace("/", "-").replace(" ", "")
+
+    def telemetry_runs(self) -> list[tuple[str, RunResult]]:
+        """Memoised runs that carry telemetry, as (label, result) pairs.
+
+        Labels are deterministic slugs of the run parameters, suitable as
+        file stems; runs without a timeline or trace are skipped.
+        """
+        out = []
+        for key, result in self._cache.items():
+            if "timeline" in result.meta or "trace" in result.meta:
+                out.append((self._run_label(key), result))
+        out.sort(key=lambda pair: pair[0])
+        return out
 
 
 def prefetch_contexts(

@@ -184,6 +184,12 @@ class SimJob:
     warp: str | tuple = "gto"
     policy: tuple = ("rr",)
     config: GPUConfig = field(default_factory=GPUConfig)
+    # Telemetry riders: a sampling window (cycles) and/or an event trace.
+    # Both default off and only then join the fingerprint payload, so
+    # telemetry-free jobs keep their pre-telemetry fingerprints (and cache
+    # entries) while telemetry-bearing results are cached separately.
+    timeline_window: int | None = None
+    trace: bool = False
 
     def __post_init__(self) -> None:
         names = ((self.names,) if isinstance(self.names, str)
@@ -204,6 +210,8 @@ class SimJob:
         warp = validate_warp(tuple(self.warp) if isinstance(self.warp, list)
                              else self.warp)
         policy = validate_policy(tuple(self.policy))
+        if self.timeline_window is not None and self.timeline_window < 1:
+            raise JobError("timeline_window must be >= 1 (or None)")
         object.__setattr__(self, "names", names)
         object.__setattr__(self, "scale_mults", mults)
         object.__setattr__(self, "warp", warp)
@@ -224,6 +232,12 @@ class SimJob:
             "config": {f.name: getattr(self.config, f.name)
                        for f in fields(self.config)},
         }
+        # Only telemetry-bearing jobs carry these keys: adding them
+        # unconditionally would orphan every pre-telemetry cache entry.
+        if self.timeline_window is not None:
+            payload["timeline_window"] = self.timeline_window
+        if self.trace:
+            payload["trace"] = True
         canonical = json.dumps(payload, sort_keys=True,
                                separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -240,6 +254,12 @@ class SimJob:
         kernels = self.build_kernels()
         scheduler = build_policy(self.policy, kernels)
         warp_scheduler = build_warp_scheduler(self.warp)
+        telemetry = None
+        if self.timeline_window is not None or self.trace:
+            from ..telemetry.hub import TelemetryHub
+            telemetry = TelemetryHub(window=self.timeline_window,
+                                     trace=self.trace)
         return simulate(kernels, config=self.config,
                         warp_scheduler=warp_scheduler,
-                        cta_scheduler=scheduler)
+                        cta_scheduler=scheduler,
+                        telemetry=telemetry)

@@ -20,7 +20,7 @@ can report them alongside total-cycles speedup:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from ..sim.stats import RunResult
 

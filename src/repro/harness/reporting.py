@@ -19,7 +19,10 @@ def geomean(values: Iterable[float]) -> float:
         raise ValueError("geomean of no values")
     if any(v <= 0 for v in values):
         raise ValueError("geomean requires positive values")
-    return math.exp(sum(math.log(v) for v in values) / len(values))
+    # fsum keeps the log-sum exact to one rounding, so the result is stable
+    # under reordering (experiment rows arrive in varying orders when the
+    # engine fans out).
+    return math.exp(math.fsum(math.log(v) for v in values) / len(values))
 
 
 def speedup(baseline_cycles: int, new_cycles: int) -> float:
@@ -91,7 +94,9 @@ class Table:
 
         Bars scale to the column maximum; ``reference`` (default 1.0, the
         baseline in a speedup column) is marked with ``|`` so wins and
-        losses are visible at a glance.  Non-numeric cells are skipped.
+        losses are visible at a glance.  A reference above the column peak
+        clamps to the right edge (with a note) instead of disappearing.
+        Non-numeric cells are skipped.
         """
         pairs = [(str(row[0]), value)
                  for row, value in zip(self.rows, self.column(column))
@@ -103,15 +108,21 @@ class Table:
             raise ValueError(f"column {column!r} has no positive values")
         label_width = max(len(label) for label, _ in pairs)
         lines = [f"== {self.title} — {column} =="]
+        clamped = reference is not None and reference > peak
         for label, value in pairs:
             bar_len = max(1, round(value / peak * width))
             bar = "#" * bar_len
-            if reference is not None and 0 < reference <= peak:
-                ref_pos = max(0, round(reference / peak * width) - 1)
+            if reference is not None and reference > 0:
+                marker = min(reference, peak)
+                ref_pos = max(0, round(marker / peak * width) - 1)
                 bar = (bar + " " * width)[:width + 1]
                 bar = bar[:ref_pos] + "|" + bar[ref_pos + 1:]
                 bar = bar.rstrip()
             lines.append(f"{label.ljust(label_width)}  {bar} {value:.3f}")
+        if clamped:
+            lines.append(f"  note: reference {reference:.3f} exceeds the "
+                         f"column peak {peak:.3f}; marker clamped to the "
+                         "right edge")
         return "\n".join(lines)
 
     def to_dict(self) -> dict[str, Any]:

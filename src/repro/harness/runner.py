@@ -14,12 +14,14 @@ from ..sim.config import GPUConfig
 from ..sim.gpu import GPU
 from ..sim.kernel import Kernel
 from ..sim.stats import CacheStats, RunResult
+from ..telemetry.hub import TelemetryHub
 
 
 def simulate(kernels: Kernel | Sequence[Kernel], *,
              config: GPUConfig | None = None,
              warp_scheduler="gto",
-             cta_scheduler: CTAScheduler | None = None) -> RunResult:
+             cta_scheduler: CTAScheduler | None = None,
+             telemetry: TelemetryHub | None = None) -> RunResult:
     """Run kernels to completion and return the collected statistics.
 
     Parameters
@@ -38,6 +40,13 @@ def simulate(kernels: Kernel | Sequence[Kernel], *,
         A policy object from ``repro.core``; defaults to the conventional
         round-robin maximum-occupancy baseline.  Must not have been used in
         a previous run (policies hold per-run state).
+    telemetry:
+        An optional :class:`~repro.telemetry.TelemetryHub`.  When provided,
+        the windowed timeline lands in ``result.meta["timeline"]`` (a
+        :class:`~repro.telemetry.TimelineResult`) and the structured event
+        trace in ``result.meta["trace"]`` (a list of plain dicts).  Neither
+        perturbs the simulated statistics.  Hubs are single-use, like
+        policy objects.
     """
     if isinstance(kernels, Kernel):
         kernels = [kernels]
@@ -53,13 +62,28 @@ def simulate(kernels: Kernel | Sequence[Kernel], *,
             raise ValueError("cta_scheduler was built for different kernels")
     config = config if config is not None else GPUConfig()
 
-    gpu = GPU(config=config, warp_scheduler=warp_scheduler)
+    gpu = GPU(config=config, warp_scheduler=warp_scheduler,
+              telemetry=telemetry)
     gpu.run(cta_scheduler)
 
     l1_total = CacheStats()
     for sm in gpu.sms:
         l1_total.add(sm.l1.stats)
     kernel_stats = {run.kernel.name: run.stats for run in gpu.runs}
+    meta: dict = {
+        "warp_scheduler": gpu.warp_scheduler_name,
+        "cta_scheduler": cta_scheduler.name,
+        "num_sms": config.num_sms,
+        "kernels": [k.name for k in kernels],
+        # LCS-style policies expose their monitoring outcome.
+        "lcs_decision": getattr(cta_scheduler, "decision", None),
+    }
+    if telemetry is not None:
+        timeline = telemetry.timeline_result()
+        if timeline is not None:
+            meta["timeline"] = timeline
+        if telemetry.trace_enabled:
+            meta["trace"] = telemetry.trace_events()
     return RunResult(
         cycles=gpu.cycle,
         instructions=gpu.total_issued,
@@ -69,12 +93,5 @@ def simulate(kernels: Kernel | Sequence[Kernel], *,
         dram=gpu.mem.dram.stats,
         issued_by_sm=[sm.issued for sm in gpu.sms],
         cta_limits=cta_scheduler.limits_snapshot(),
-        meta={
-            "warp_scheduler": gpu.warp_scheduler_name,
-            "cta_scheduler": cta_scheduler.name,
-            "num_sms": config.num_sms,
-            "kernels": [k.name for k in kernels],
-            # LCS-style policies expose their monitoring outcome.
-            "lcs_decision": getattr(cta_scheduler, "decision", None),
-        },
+        meta=meta,
     )

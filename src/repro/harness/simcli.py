@@ -3,7 +3,7 @@
 The single-run counterpart to ``repro-exp``: pick a benchmark (or a trace
 file), a hardware configuration, a warp scheduler and a CTA policy, run it,
 and print the summary (optionally with the LCS decision, the stall
-breakdown and a sampled occupancy/IPC timeline CSV).
+breakdown, a windowed telemetry timeline CSV and a structured event trace).
 
 Examples::
 
@@ -12,13 +12,16 @@ Examples::
     repro-sim stencil --warp baws --policy bcs:2
     repro-sim kmeans --policy static:3 --config kepler
     repro-sim my_kernel.json --policy dyncta --timeline out.csv
+    repro-sim kmeans --policy lcs --timeline 500       # window=500, stdout
+    repro-sim kmeans --policy lcs --trace out.json     # chrome://tracing
+    repro-sim kmeans --trace out.jsonl                 # JSONL event log
 
-Suite-benchmark runs without ``--timeline`` are described as declarative
-jobs and executed through the batch engine, so they share the persistent
-result cache with ``repro-exp`` (a repeated invocation replays the stored
-statistics instead of re-simulating; disable with ``--no-cache``).  Trace
-files and timeline sampling need the live in-process objects and always
-simulate directly.
+Suite-benchmark runs without ``--timeline``/``--trace`` are described as
+declarative jobs and executed through the batch engine, so they share the
+persistent result cache with ``repro-exp`` (a repeated invocation replays
+the stored statistics instead of re-simulating; disable with
+``--no-cache``).  Kernel trace files and telemetry collection use the live
+in-process objects and always simulate directly.
 """
 
 from __future__ import annotations
@@ -39,7 +42,8 @@ from ..sim.config import GPUConfig
 from ..sim.gpu import GPU
 from ..sim.kernel import Kernel
 from ..sim.stats import RunResult
-from ..sim.timeline import TimelineSampler
+from ..telemetry.hub import TelemetryHub
+from ..telemetry.trace import write_trace
 from ..workloads.patterns import DEFAULT_SEED
 from ..workloads.suite import SUITE, make_kernel
 from ..workloads.tracefile import load_kernel_trace
@@ -72,10 +76,18 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
     parser.add_argument("--policy", default="rr",
                         help=f"CTA policy: {', '.join(POLICIES)} "
                              "(default rr)")
-    parser.add_argument("--timeline", metavar="CSV",
-                        help="write an occupancy/IPC timeline CSV "
-                             "(forces a live in-process run)")
-    parser.add_argument("--timeline-period", type=int, default=1000)
+    parser.add_argument("--timeline", metavar="CSV", nargs="?", const="-",
+                        help="write the windowed telemetry timeline as CSV "
+                             "to FILE ('-' or no value = stdout; an "
+                             "all-digits value sets the window instead and "
+                             "prints to stdout; forces a live run)")
+    parser.add_argument("--timeline-period", type=int, default=1000,
+                        metavar="CYCLES",
+                        help="timeline sampling window (default 1000)")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="write the structured event trace ('.jsonl' = "
+                             "JSON lines, else Chrome trace_event JSON for "
+                             "chrome://tracing; forces a live run)")
     parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                         help="worker processes for the batch engine "
                              "(a single run never fans out; accepted for "
@@ -180,7 +192,8 @@ def _print_result(result: RunResult, kernel_name: str,
 def main(argv: Sequence[str] | None = None) -> int:
     args = _parse_args(argv)
     use_engine = (not args.kernel.endswith(".json")
-                  and not args.timeline)
+                  and args.timeline is None
+                  and not args.trace)
     try:
         config = _make_config(args.config)
         if use_engine:
@@ -214,9 +227,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         _print_result(result, kernel.name, job.policy[0])
         return 0
 
-    gpu = GPU(config=config, warp_scheduler=warp)
-    sampler = (TimelineSampler(gpu, period=args.timeline_period)
-               if args.timeline else None)
+    # Telemetry configuration for the live path: `--timeline 500` (all
+    # digits) means "window 500 cycles, CSV to stdout"; anything else is
+    # the destination file ('-' = stdout) sampled at --timeline-period.
+    window = None
+    timeline_dest = None
+    if args.timeline is not None:
+        if args.timeline.isdigit():
+            window = int(args.timeline)
+            timeline_dest = "-"
+        else:
+            window = args.timeline_period
+            timeline_dest = args.timeline
+    hub = TelemetryHub(window=window, trace=bool(args.trace))
+
+    gpu = GPU(config=config, warp_scheduler=warp, telemetry=hub)
     gpu.run(policy)
 
     # Assemble the same summary simulate() would give.
@@ -233,14 +258,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         meta={"lcs_decision": getattr(policy, "decision", None)})
     _print_result(result, kernel.name, args.policy.partition(":")[0])
 
-    if sampler is not None:
-        lines = ["cycle,mean_ctas_per_sm,mean_warps_per_sm,ipc"]
-        for sample in sampler.samples:
-            ipc = sample.issued_since_last / args.timeline_period
-            lines.append(f"{sample.cycle},{sample.mean_ctas_per_sm:.3f},"
-                         f"{sample.mean_warps_per_sm:.3f},{ipc:.3f}")
-        Path(args.timeline).write_text("\n".join(lines) + "\n")
-        print(f"timeline: {len(sampler.samples)} samples -> {args.timeline}")
+    timeline = hub.timeline_result()
+    if timeline_dest is not None and timeline is not None:
+        csv = timeline.to_csv() + "\n"
+        if timeline_dest == "-":
+            print(f"\ntimeline ({len(timeline)} windows of "
+                  f"{timeline.window} cycles):")
+            sys.stdout.write(csv)
+        else:
+            Path(timeline_dest).write_text(csv)
+            print(f"timeline: {len(timeline)} windows of "
+                  f"{timeline.window} cycles -> {timeline_dest}")
+    if args.trace:
+        write_trace(args.trace, hub.events, timeline=timeline)
+        print(f"trace: {len(hub.events)} events -> {args.trace}")
     return 0
 
 

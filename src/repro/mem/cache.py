@@ -139,6 +139,27 @@ class Cache:
     def outstanding_misses(self) -> int:
         return len(self._mshr)
 
+    def telemetry_snapshot(self) -> dict:
+        """Cumulative counters + instantaneous MSHR state for telemetry.
+
+        This is the cache's *reporting* interface: probes read it at
+        window boundaries instead of groveling through ``stats``
+        attributes, so the counter layout can evolve without touching the
+        telemetry layer.  Pure read — never mutates tag or MSHR state.
+        """
+        stats = self.stats
+        return {
+            "name": self.name,
+            "accesses": stats.accesses,
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "merges": stats.merges,
+            "mshr_stalls": stats.mshr_stalls,
+            "write_accesses": stats.write_accesses,
+            "mshr_occupancy": len(self._mshr),
+            "mshr_entries": self.mshr_entries,
+        }
+
     def flush(self) -> None:
         """Drop all cached lines (MSHRs must be drained first)."""
         if self._mshr:

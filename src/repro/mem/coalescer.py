@@ -13,7 +13,7 @@ tuples, and it preserves the properties the timing model depends on:
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 
 def coalesce(byte_addresses: Iterable[int], line_size: int = 128) -> tuple[int, ...]:

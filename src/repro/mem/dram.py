@@ -164,6 +164,23 @@ class DRAMModel:
     def pending_requests(self) -> int:
         return sum(len(ch.pending) for ch in self._channels)
 
+    def telemetry_snapshot(self) -> dict:
+        """Cumulative counters + queue depth for telemetry probes.
+
+        The DRAM model's reporting interface (pure read): per-window bus
+        utilization is ``Δbus_busy_cycles / (window × channels)``.
+        """
+        stats = self.stats
+        return {
+            "reads": stats.reads,
+            "writes": stats.writes,
+            "row_hits": stats.row_hits,
+            "row_misses": stats.row_misses,
+            "bus_busy_cycles": stats.bus_busy_cycles,
+            "pending_requests": self.pending_requests,
+            "channels": self._num_channels,
+        }
+
     def open_row(self, line: int) -> int | None:
         """Currently open row of the bank serving ``line`` (None if closed)."""
         coords = dram_coordinates(line, self._num_channels, self._banks,

@@ -155,3 +155,30 @@ class MemorySubsystem:
     @property
     def queued_requests(self) -> int:
         return sum(len(q) for q in self._bank_queues)
+
+    def telemetry_snapshot(self) -> dict:
+        """Aggregate L2 counters + queue pressure for telemetry probes.
+
+        The memory system's reporting interface (pure read): sums the
+        per-bank cache snapshots and adds the bank-queue backlog (requests
+        parked on full MSHRs, the backpressure signal).
+        """
+        accesses = hits = misses = merges = stalls = occupancy = 0
+        for bank in self.l2_banks:
+            snap = bank.telemetry_snapshot()
+            accesses += snap["accesses"]
+            hits += snap["hits"]
+            misses += snap["misses"]
+            merges += snap["merges"]
+            stalls += snap["mshr_stalls"]
+            occupancy += snap["mshr_occupancy"]
+        return {
+            "accesses": accesses,
+            "hits": hits,
+            "misses": misses,
+            "merges": merges,
+            "mshr_stalls": stalls,
+            "mshr_occupancy": occupancy,
+            "queued_requests": self.queued_requests,
+            "dram_pending": self.dram.pending_requests,
+        }

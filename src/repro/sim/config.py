@@ -12,7 +12,7 @@ clock domain (see DESIGN.md, "Out of scope").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, fields, replace
 
 
 @dataclass(frozen=True)

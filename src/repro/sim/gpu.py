@@ -8,7 +8,7 @@ condition is exactly "no state transition can happen before that event").
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from ..core.warp_schedulers import WarpScheduler, warp_scheduler_factory
 from ..mem.subsystem import MemorySubsystem
@@ -21,6 +21,7 @@ from .stats import KernelStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.cta_schedulers import CTAScheduler
+    from ..telemetry.hub import TelemetryHub
 
 
 class SimulationError(RuntimeError):
@@ -69,9 +70,15 @@ class GPU:
     """One simulated device.  Create, then :meth:`run` a CTA scheduler."""
 
     def __init__(self, config: GPUConfig | None = None,
-                 warp_scheduler: str | Callable[[], WarpScheduler] = "gto") -> None:
+                 warp_scheduler: str | Callable[[], WarpScheduler] = "gto",
+                 telemetry: "TelemetryHub | None" = None) -> None:
         self.config = config if config is not None else DEFAULT_CONFIG
         self.events = EventQueue()
+        # Telemetry is strictly opt-in: with no hub the run loop below is
+        # the exact pre-telemetry loop (the null check happens once per
+        # run, never per cycle) and the per-CTA emit guards cost one
+        # attribute test per dispatch/completion.
+        self.telemetry = telemetry
         self.mem = MemorySubsystem(self.config, self.events)
         if isinstance(warp_scheduler, str):
             self.warp_scheduler_name = warp_scheduler
@@ -86,6 +93,8 @@ class GPU:
         self.cta_scheduler: "CTAScheduler | None" = None
         self._cta_seq = 0
         self._block_seq = 0
+        if telemetry is not None:
+            telemetry.attach(self)
 
     # ------------------------------------------------------------------ #
     def launch(self, kernels: Iterable[Kernel]) -> list[KernelRun]:
@@ -117,8 +126,16 @@ class GPU:
         self._cta_seq += 1
         if block_seq is None:
             block_seq = self.next_block_seq()
+        hub = self.telemetry
         if run.stats.first_dispatch_cycle is None:
             run.stats.first_dispatch_cycle = now
+            if hub is not None:
+                hub.emit("kernel.start", now, kernel=run.kernel.name,
+                         kernel_id=run.kernel_id,
+                         num_ctas=run.kernel.num_ctas)
+        if hub is not None:
+            hub.emit("cta.dispatch", now, kernel=run.kernel.name,
+                     cta=cta_id, sm=sm.sm_id, block_seq=block_seq)
         return sm.dispatch(run, cta_id, seq, block_seq, now)
 
     def on_cta_complete(self, sm: SM, cta: CTA, now: int) -> None:
@@ -133,6 +150,14 @@ class GPU:
             stats.barrier_wait += warp.t_barrier
         if run.done:
             run.stats.finish_cycle = now
+        hub = self.telemetry
+        if hub is not None:
+            hub.emit("cta.complete", now, kernel=run.kernel.name,
+                     cta=cta.cta_id, sm=sm.sm_id,
+                     issued_instrs=cta.issued_instrs)
+            if run.done:
+                hub.emit("kernel.done", now, kernel=run.kernel.name,
+                         kernel_id=run.kernel_id)
         if self.cta_scheduler is not None:
             self.cta_scheduler.on_cta_complete(sm, cta, now)
 
@@ -146,9 +171,39 @@ class GPU:
         skip condition enumerates every possible state change); the flag
         exists so the test suite can *prove* that equivalence, and as a
         debugging aid.
+
+        Telemetry never rides the event queue (extra queue entries would
+        change fast-forward jumps and the drain's final cycle): windowed
+        sampling runs a dedicated loop variant selected *once* per run, so
+        a GPU without a hub executes the exact pre-telemetry loop.
         """
+        hub = self.telemetry
+        if hub is not None:
+            # Before bind(): policy on_bound hooks emit trace events
+            # (lcs.monitor, cke.phase) that must follow run.start.
+            hub.on_run_start(self.cycle)
         self.cta_scheduler = cta_scheduler
         cta_scheduler.bind(self)
+        if hub is not None and hub.window is not None:
+            cycle = self._loop_windowed(cta_scheduler, cycle_accurate, hub)
+        else:
+            cycle = self._loop(cta_scheduler, cycle_accurate)
+        # All CTAs have completed; drain in-flight memory traffic (pending
+        # write-throughs and late fills) so the memory-system statistics are
+        # complete.  The clock advances with the drain: a kernel is not done
+        # until its stores are visible.
+        events = self.events
+        while events:
+            drain_to = events.next_time()
+            events.run_due(drain_to)
+            cycle = max(cycle, drain_to)
+        self.cycle = cycle
+        if hub is not None:
+            hub.on_run_end(cycle)
+
+    def _loop(self, cta_scheduler: "CTAScheduler",
+              cycle_accurate: bool) -> int:
+        """The telemetry-free run loop (the pre-telemetry hot path)."""
         events = self.events
         sms = self.sms
         max_cycles = self.config.max_cycles
@@ -183,15 +238,56 @@ class GPU:
                 self.cycle = cycle
                 raise SimulationTimeout(
                     f"exceeded max_cycles={max_cycles}; runs={self.runs!r}")
-        # All CTAs have completed; drain in-flight memory traffic (pending
-        # write-throughs and late fills) so the memory-system statistics are
-        # complete.  The clock advances with the drain: a kernel is not done
-        # until its stores are visible.
-        while events:
-            drain_to = events.next_time()
-            events.run_due(drain_to)
-            cycle = max(cycle, drain_to)
-        self.cycle = cycle
+        return cycle
+
+    def _loop_windowed(self, cta_scheduler: "CTAScheduler",
+                       cycle_accurate: bool, hub: "TelemetryHub") -> int:
+        """:meth:`_loop` plus window-boundary sampling.
+
+        The boundary check sits at the *top* of the iteration, before
+        events due at ``cycle`` fire, so a boundary crossed inside a
+        fast-forward jump samples exactly the state a cycle-accurate run
+        would have had at that cycle — nothing can have changed between
+        the jump origin and the boundary (that is the fast-forward
+        invariant), and events *at* the boundary fire after the sample in
+        both modes.  Sampling reads state only; results are untouched.
+        """
+        events = self.events
+        sms = self.sms
+        max_cycles = self.config.max_cycles
+        cycle = self.cycle
+        window = hub.window
+        boundary = (cycle // window + 1) * window
+        while not cta_scheduler.done:
+            while cycle >= boundary:
+                hub.close_window(boundary)
+                boundary += window
+            events.run_due(cycle)
+            cta_scheduler.fill(cycle)
+            active = False
+            for sm in sms:
+                if ((sm.ldst and not sm.ldst_blocked)
+                        or (sm.num_ready and not sm.gate_blocked)):
+                    if sm.tick(cycle):
+                        active = True
+            if active:
+                cycle += 1
+            else:
+                next_event = events.next_time()
+                if next_event is None:
+                    self.cycle = cycle
+                    raise SimulationDeadlock(
+                        f"cycle {cycle}: no progress possible; "
+                        f"runs={self.runs!r}")
+                if cycle_accurate:
+                    cycle += 1
+                else:
+                    cycle = max(cycle + 1, next_event)
+            if cycle > max_cycles:
+                self.cycle = cycle
+                raise SimulationTimeout(
+                    f"exceeded max_cycles={max_cycles}; runs={self.runs!r}")
+        return cycle
 
     # ------------------------------------------------------------------ #
     @property

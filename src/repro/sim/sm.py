@@ -364,3 +364,41 @@ class SM:
 
     def ctas_of(self, kernel_id: int) -> list[CTA]:
         return [cta for cta in self.active_ctas if cta.run.kernel_id == kernel_id]
+
+    # ------------------------------------------------------------------ #
+    # Telemetry probe interface (read-only; see repro.telemetry.probes).
+    def warp_state_counts(self) -> tuple[int, int, int, int]:
+        """Resident warps per state: (ready, wait_alu, wait_mem, wait_barrier).
+
+        DONE warps of still-resident CTAs are excluded — they no longer
+        compete for anything.  Pure read; never mutates scheduler state.
+        """
+        ready = alu = mem = barrier = 0
+        for cta in self.active_ctas:
+            for warp in cta.warps:
+                state = warp.state
+                if state == WarpState.READY:
+                    ready += 1
+                elif state == WarpState.WAIT_ALU:
+                    alu += 1
+                elif state == WarpState.WAIT_MEM:
+                    mem += 1
+                elif state == WarpState.WAIT_BARRIER:
+                    barrier += 1
+        return ready, alu, mem, barrier
+
+    def telemetry_snapshot(self) -> dict:
+        """Instantaneous core state for telemetry probes (read-only)."""
+        ready, alu, mem, barrier = self.warp_state_counts()
+        return {
+            "sm": self.sm_id,
+            "issued": self.issued,
+            "resident_ctas": self.used_slots,
+            "resident_warps": self.used_warps,
+            "ldst_queue": len(self.ldst),
+            "l1_mshr_occupancy": self.l1.outstanding_misses,
+            "warps_ready": ready,
+            "warps_wait_alu": alu,
+            "warps_wait_mem": mem,
+            "warps_wait_barrier": barrier,
+        }

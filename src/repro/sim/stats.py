@@ -9,6 +9,25 @@ Every container serialises losslessly through ``to_dict``/``from_dict``
 (:mod:`repro.harness.cache`) and the parallel engine rely on: a result that
 round-trips through disk must compare equal, field for field, to the run
 that produced it.
+
+Meta encoding contract
+----------------------
+``RunResult.meta`` is an open dict, but every value stored in it must be
+either JSON-native (str/int/float/bool/None, lists and dicts thereof) or
+one of the rich types below, which ``_encode_meta`` wraps in a
+single-entry marker dict so ``_decode_meta`` can reconstruct them:
+
+====================  ============================  =========================
+meta key              value type                    marker key
+====================  ============================  =========================
+``lcs_decision``      ``repro.core.lcs.LCSDecision``  ``__lcs_decision__``
+``timeline``          ``repro.telemetry.TimelineResult``  ``__timeline__``
+====================  ============================  =========================
+
+``meta["trace"]`` (the structured event trace) is deliberately a plain
+list of ``{"kind", "cycle", "payload"}`` dicts and needs no marker.
+Rich types are imported lazily inside the codec so ``repro.sim`` stays
+free of core/telemetry-layer dependencies.
 """
 
 from __future__ import annotations
@@ -176,7 +195,29 @@ class RunResult:
                 f"  kernel {ks.name}: instrs={ks.instructions} cycles={ks.cycles} "
                 f"IPC={ks.ipc:.3f}"
             )
+            sb = ks.stall_breakdown()
+            lines.append(
+                f"    stalls: ready={sb['ready']:.2f} alu={sb['alu']:.2f} "
+                f"mem={sb['mem']:.2f} barrier={sb['barrier']:.2f}"
+            )
+        lines.append(self._cta_limits_line())
         return "\n".join(lines)
+
+    def _cta_limits_line(self) -> str:
+        """Compact rendering of the per-SM CTA limits in force."""
+        if not self.cta_limits:
+            return "CTA limits: (none recorded)"
+        limits = set(self.cta_limits.values())
+        num_sms = len(self.cta_limits)
+        if limits == {None}:
+            return f"CTA limits: occupancy-bound on all {num_sms} SMs"
+        if len(limits) == 1:
+            return f"CTA limits: {limits.pop()} CTAs/SM on all {num_sms} SMs"
+        parts = []
+        for sm_id in sorted(self.cta_limits):
+            limit = self.cta_limits[sm_id]
+            parts.append(f"SM{sm_id}={'occ' if limit is None else limit}")
+        return "CTA limits: " + " ".join(parts)
 
     # ------------------------------------------------------------------ #
     # serialisation (persistent result cache, worker <-> parent transport)
@@ -213,8 +254,10 @@ class RunResult:
         )
 
 
-#: Marker key for values that need reconstruction beyond plain JSON.
+#: Marker keys for values that need reconstruction beyond plain JSON
+#: (see the module docstring's meta encoding contract).
 _LCS_DECISION_KEY = "__lcs_decision__"
+_TIMELINE_KEY = "__timeline__"
 
 
 def _encode_meta(meta: dict[str, Any]) -> dict[str, Any]:
@@ -222,6 +265,8 @@ def _encode_meta(meta: dict[str, Any]) -> dict[str, Any]:
     for key, value in meta.items():
         if key == "lcs_decision" and value is not None:
             encoded[key] = {_LCS_DECISION_KEY: asdict(value)}
+        elif key == "timeline" and value is not None:
+            encoded[key] = {_TIMELINE_KEY: value.to_dict()}
         else:
             encoded[key] = value
     return encoded
@@ -236,6 +281,9 @@ def _decode_meta(meta: dict[str, Any]) -> dict[str, Any]:
             payload = dict(value[_LCS_DECISION_KEY])
             payload["issue_counts"] = tuple(payload["issue_counts"])
             decoded[key] = LCSDecision(**payload)
+        elif isinstance(value, dict) and _TIMELINE_KEY in value:
+            from ..telemetry.timeline import TimelineResult
+            decoded[key] = TimelineResult.from_dict(value[_TIMELINE_KEY])
         else:
             decoded[key] = value
     return decoded

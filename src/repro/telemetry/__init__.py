@@ -1,0 +1,31 @@
+"""Layered observability for the simulator (probes, timelines, traces).
+
+Quick start::
+
+    from repro.harness.runner import simulate
+    from repro.telemetry import TelemetryHub
+
+    hub = TelemetryHub(window=500)            # sample every 500 cycles
+    result = simulate(kernel, telemetry=hub)  # golden stats unchanged
+    timeline = result.meta["timeline"]        # TimelineResult
+    print(timeline.to_csv())
+
+See ``docs/TELEMETRY.md`` for the probe API, window semantics, the trace
+schema and the chrome://tracing workflow.
+"""
+
+from .hub import Probe, TelemetryError, TelemetryHub, TraceEvent
+from .timeline import TimelineResult
+from .trace import chrome_trace, merge_chrome_traces, to_jsonl, write_trace
+
+__all__ = [
+    "Probe",
+    "TelemetryError",
+    "TelemetryHub",
+    "TimelineResult",
+    "TraceEvent",
+    "chrome_trace",
+    "merge_chrome_traces",
+    "to_jsonl",
+    "write_trace",
+]

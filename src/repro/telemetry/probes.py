@@ -1,0 +1,172 @@
+"""The default probe set: what every windowed timeline reports.
+
+Each probe wraps one hardware layer's snapshot interface and turns
+cumulative counters into per-window rates (keeping its own previous
+snapshot), or reads instantaneous state (occupancy, MSHR fill, warp-state
+mix).  Probes are read-only by contract — they may not mutate simulator
+state, so enabling them cannot perturb results.
+
+Column reference (see ``docs/TELEMETRY.md`` for semantics):
+
+====================  =====================================================
+``ipc``               instructions issued per cycle in the window
+``resident_ctas``     mean resident CTAs per SM at the window boundary
+``resident_warps``    mean resident warps per SM at the window boundary
+``l1_miss_rate``      demand load miss rate (misses+merges)/accesses, window
+``l1_mshr``           mean outstanding L1 misses per SM (boundary snapshot)
+``l2_miss_rate``      L2 windowed demand miss rate
+``l2_mshr``           outstanding L2 misses, all banks (boundary snapshot)
+``l2_queued``         requests parked on full L2 MSHRs (boundary snapshot)
+``dram_bus_util``     DRAM data-bus occupancy fraction in the window
+``stall_ready`` ...   fraction of resident warps per state at the boundary
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.gpu import GPU
+
+
+def _window_miss_rate(snapshot: dict[str, int],
+                      last: dict[str, int]) -> tuple[float, dict[str, int]]:
+    """Demand-view miss rate over the delta between two cache snapshots."""
+    d_accesses = snapshot["accesses"] - last["accesses"]
+    d_misses = (snapshot["misses"] - last["misses"]
+                + snapshot["merges"] - last["merges"])
+    rate = d_misses / d_accesses if d_accesses > 0 else 0.0
+    return rate, snapshot
+
+
+class IssueProbe:
+    """Machine-wide issue rate (per-window IPC)."""
+
+    name = "issue"
+
+    def __init__(self, gpu: "GPU") -> None:
+        self._gpu = gpu
+        self._last_issued = gpu.total_issued
+
+    def sample(self, cycle: int, elapsed: int) -> dict[str, float]:
+        issued = self._gpu.total_issued
+        ipc = (issued - self._last_issued) / elapsed
+        self._last_issued = issued
+        return {"ipc": ipc}
+
+
+class OccupancyProbe:
+    """Mean resident CTAs/warps per SM (instantaneous at the boundary)."""
+
+    name = "occupancy"
+
+    def __init__(self, gpu: "GPU") -> None:
+        self._gpu = gpu
+
+    def sample(self, cycle: int, elapsed: int) -> dict[str, float]:
+        sms = self._gpu.sms
+        num = len(sms)
+        return {
+            "resident_ctas": sum(sm.used_slots for sm in sms) / num,
+            "resident_warps": sum(sm.used_warps for sm in sms) / num,
+        }
+
+
+class L1Probe:
+    """Aggregate L1 windowed miss rate and MSHR occupancy."""
+
+    name = "l1"
+
+    def __init__(self, gpu: "GPU") -> None:
+        self._gpu = gpu
+        self._last = self._snapshot()
+
+    def _snapshot(self) -> dict[str, int]:
+        totals = {"accesses": 0, "misses": 0, "merges": 0}
+        for sm in self._gpu.sms:
+            snap = sm.l1.telemetry_snapshot()
+            totals["accesses"] += snap["accesses"]
+            totals["misses"] += snap["misses"]
+            totals["merges"] += snap["merges"]
+        return totals
+
+    def sample(self, cycle: int, elapsed: int) -> dict[str, float]:
+        rate, self._last = _window_miss_rate(self._snapshot(), self._last)
+        sms = self._gpu.sms
+        mshr = sum(sm.l1.outstanding_misses for sm in sms) / len(sms)
+        return {"l1_miss_rate": rate, "l1_mshr": mshr}
+
+
+class L2Probe:
+    """Shared L2 windowed miss rate, MSHR occupancy, and queue pressure."""
+
+    name = "l2"
+
+    def __init__(self, gpu: "GPU") -> None:
+        self._mem = gpu.mem
+        self._last = self._snapshot()
+
+    def _snapshot(self) -> dict[str, int]:
+        snap = self._mem.telemetry_snapshot()
+        return {"accesses": snap["accesses"], "misses": snap["misses"],
+                "merges": snap["merges"]}
+
+    def sample(self, cycle: int, elapsed: int) -> dict[str, float]:
+        snap = self._mem.telemetry_snapshot()
+        rate, self._last = _window_miss_rate(
+            {"accesses": snap["accesses"], "misses": snap["misses"],
+             "merges": snap["merges"]}, self._last)
+        return {"l2_miss_rate": rate,
+                "l2_mshr": float(snap["mshr_occupancy"]),
+                "l2_queued": float(snap["queued_requests"])}
+
+
+class DRAMProbe:
+    """DRAM data-bus utilization over the window (all channels)."""
+
+    name = "dram"
+
+    def __init__(self, gpu: "GPU") -> None:
+        self._dram = gpu.mem.dram
+        self._last_busy = self._dram.telemetry_snapshot()["bus_busy_cycles"]
+
+    def sample(self, cycle: int, elapsed: int) -> dict[str, float]:
+        snap = self._dram.telemetry_snapshot()
+        busy = snap["bus_busy_cycles"]
+        util = (busy - self._last_busy) / (elapsed * snap["channels"])
+        self._last_busy = busy
+        return {"dram_bus_util": util}
+
+
+class StallMixProbe:
+    """Instantaneous warp-state mix over all resident warps.
+
+    Fractions sum to ~1 while any warp is resident; all-zero windows mean
+    the machine was empty at the boundary (e.g. between kernel waves).
+    """
+
+    name = "stall-mix"
+
+    _COLUMNS = ("stall_ready", "stall_alu", "stall_mem", "stall_barrier")
+
+    def __init__(self, gpu: "GPU") -> None:
+        self._gpu = gpu
+
+    def sample(self, cycle: int, elapsed: int) -> dict[str, float]:
+        totals = [0, 0, 0, 0]
+        for sm in self._gpu.sms:
+            counts = sm.warp_state_counts()
+            for i in range(4):
+                totals[i] += counts[i]
+        live = sum(totals)
+        if not live:
+            return dict.fromkeys(self._COLUMNS, 0.0)
+        return {name: totals[i] / live
+                for i, name in enumerate(self._COLUMNS)}
+
+
+def default_probes(gpu: "GPU") -> list:
+    """The standard probe set installed by ``TelemetryHub.attach``."""
+    return [IssueProbe(gpu), OccupancyProbe(gpu), L1Probe(gpu),
+            L2Probe(gpu), DRAMProbe(gpu), StallMixProbe(gpu)]

@@ -1,0 +1,91 @@
+"""Windowed time-series container produced by the telemetry hub.
+
+A :class:`TimelineResult` is the machine's behaviour over time, sampled at
+fixed window boundaries: one row per window holding the machine-level
+metric columns (per-window IPC, cache miss rates, MSHR occupancy, DRAM bus
+utilization, warp stall-state mix, ...) plus the per-SM resident-CTA
+vector.  It is pure data — no simulator imports — so it can ride inside
+``RunResult.meta`` (see the meta encoding contract in
+:mod:`repro.sim.stats`), cross process boundaries, and round-trip the
+persistent result cache losslessly: ``from_dict(to_dict(t)) == t`` holds
+field for field, which the cache and engine equality guarantees rely on.
+
+All values are JSON-native (ints, floats, lists, dicts keyed by str);
+tuples are deliberately avoided so a JSON round trip preserves equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class TimelineResult:
+    """One run's windowed metric series.
+
+    ``cycles[i]`` is the *end* boundary of window ``i`` (the window covers
+    ``(cycles[i-1], cycles[i]]``; the first window starts at the run's
+    start cycle).  The final window may be shorter than ``window`` — it is
+    flushed at run completion.
+    """
+
+    window: int
+    cycles: list[int] = field(default_factory=list)
+    columns: dict[str, list[float]] = field(default_factory=dict)
+    ctas_per_sm: list[list[int]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+    def __bool__(self) -> bool:
+        return bool(self.cycles)
+
+    def series(self, name: str) -> list[float]:
+        """One metric column, by name (see ``column_names``)."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(f"no timeline column {name!r}; available: "
+                           f"{sorted(self.columns)}") from None
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self.columns)
+
+    def row(self, index: int) -> dict[str, float]:
+        """All metric values of one window."""
+        return {name: values[index] for name, values in self.columns.items()}
+
+    # ------------------------------------------------------------------ #
+    def to_csv(self) -> str:
+        """Render as CSV: one row per window, ``cycle`` first."""
+        names = list(self.columns)
+        lines = [",".join(["cycle"] + names)]
+        for i, cycle in enumerate(self.cycles):
+            cells = [str(cycle)]
+            cells += [f"{self.columns[name][i]:.6g}" for name in names]
+            lines.append(",".join(cells))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # serialisation (RunResult.meta <-> persistent cache <-> workers)
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible rendering; inverse of :meth:`from_dict`."""
+        return {
+            "window": self.window,
+            "cycles": list(self.cycles),
+            "columns": {name: list(values)
+                        for name, values in self.columns.items()},
+            "ctas_per_sm": [list(row) for row in self.ctas_per_sm],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TimelineResult":
+        return cls(
+            window=data["window"],
+            cycles=list(data["cycles"]),
+            columns={name: list(values)
+                     for name, values in data["columns"].items()},
+            ctas_per_sm=[list(row) for row in data["ctas_per_sm"]],
+        )

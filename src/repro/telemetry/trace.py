@@ -1,0 +1,145 @@
+"""Trace exporters: JSONL and Chrome ``trace_event`` format.
+
+The structured trace (:class:`~repro.telemetry.hub.TraceEvent` records, or
+their plain-dict form as stored in ``RunResult.meta["trace"]``) exports two
+ways:
+
+* **JSONL** — one JSON object per line, in emission order; trivially
+  greppable and streamable.
+* **Chrome trace** — a ``{"traceEvents": [...]}`` document loadable in
+  chrome://tracing (or https://ui.perfetto.dev).  CTA dispatch/complete
+  pairs become duration (``"X"``) slices laid out per SM row, everything
+  else becomes instant (``"i"``) events, and an optional
+  :class:`~repro.telemetry.timeline.TimelineResult` contributes counter
+  (``"C"``) tracks (IPC, occupancy, miss rates) so the windowed series
+  render as graphs above the slices.  Timestamps are simulator cycles,
+  reported in the trace's microsecond field — absolute units are arbitrary,
+  relative layout is what matters.
+
+Schema (JSONL)::
+
+    {"kind": "<layer>.<what>", "cycle": <int>, "payload": {...}}
+
+Kinds currently emitted: ``run.start``, ``run.end``, ``kernel.start``,
+``kernel.done``, ``cta.dispatch``, ``cta.complete``, ``lcs.monitor``,
+``lcs.decision``, ``bcs.block``, ``cke.phase``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from .timeline import TimelineResult
+
+#: Counter columns promoted to chrome counter tracks (in display order).
+_COUNTER_COLUMNS = ("ipc", "resident_ctas", "l1_miss_rate", "l2_miss_rate",
+                    "dram_bus_util")
+
+
+def _as_dict(event: Any) -> dict[str, Any]:
+    """Accept TraceEvent objects or their plain-dict form."""
+    if isinstance(event, Mapping):
+        return {"kind": event["kind"], "cycle": event["cycle"],
+                "payload": dict(event.get("payload", {}))}
+    return event.to_dict()
+
+
+def to_jsonl(events: Iterable[Any]) -> str:
+    """One JSON object per line, in emission order."""
+    return "\n".join(json.dumps(_as_dict(event), sort_keys=True)
+                     for event in events)
+
+
+def chrome_trace(events: Iterable[Any], *,
+                 timeline: TimelineResult | None = None,
+                 pid: int = 0, label: str = "repro") -> dict[str, Any]:
+    """Build a chrome://tracing document from one run's events.
+
+    CTA lifetimes (dispatch→complete, keyed by kernel+CTA id) become
+    duration slices with ``tid`` = SM id; unmatched dispatches (a run that
+    errored out) fall back to zero-duration slices.
+    """
+    records: list[dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": label},
+    }]
+    open_ctas: dict[tuple[str, int], dict[str, Any]] = {}
+    for event in events:
+        data = _as_dict(event)
+        kind, cycle, payload = data["kind"], data["cycle"], data["payload"]
+        if kind == "cta.dispatch":
+            open_ctas[(payload["kernel"], payload["cta"])] = data
+            continue
+        if kind == "cta.complete":
+            start = open_ctas.pop((payload["kernel"], payload["cta"]), None)
+            begin = start["cycle"] if start is not None else cycle
+            args = dict(start["payload"]) if start is not None else {}
+            args.update(payload)
+            records.append({
+                "name": f"{payload['kernel']}/cta{payload['cta']}",
+                "cat": "cta", "ph": "X", "ts": begin,
+                "dur": max(cycle - begin, 0), "pid": pid,
+                "tid": payload["sm"], "args": args,
+            })
+            continue
+        records.append({
+            "name": kind, "cat": kind.partition(".")[0], "ph": "i",
+            "ts": cycle, "pid": pid, "tid": payload.get("sm", 0),
+            "s": "g", "args": payload,
+        })
+    for key, data in open_ctas.items():   # never completed (error paths)
+        payload = data["payload"]
+        records.append({
+            "name": f"{payload['kernel']}/cta{payload['cta']}",
+            "cat": "cta", "ph": "X", "ts": data["cycle"], "dur": 0,
+            "pid": pid, "tid": payload.get("sm", 0), "args": payload,
+        })
+    if timeline is not None:
+        for column in _COUNTER_COLUMNS:
+            if column not in timeline.columns:
+                continue
+            series = timeline.columns[column]
+            for boundary, value in zip(timeline.cycles, series):
+                records.append({
+                    "name": column, "ph": "C",
+                    "ts": boundary - timeline.window, "pid": pid,
+                    "args": {column: value},
+                })
+    return {"traceEvents": records, "displayTimeUnit": "ms",
+            "otherData": {"source": "repro.telemetry",
+                          "time_unit": "cycles"}}
+
+
+def merge_chrome_traces(
+        named: Sequence[tuple[str, Iterable[Any], TimelineResult | None]],
+) -> dict[str, Any]:
+    """Merge several runs into one document, one ``pid`` lane per run.
+
+    ``named`` is a sequence of ``(label, events, timeline_or_None)``.
+    """
+    merged: list[dict[str, Any]] = []
+    for pid, (label, events, timeline) in enumerate(named):
+        doc = chrome_trace(events, timeline=timeline, pid=pid, label=label)
+        merged.extend(doc["traceEvents"])
+    return {"traceEvents": merged, "displayTimeUnit": "ms",
+            "otherData": {"source": "repro.telemetry",
+                          "time_unit": "cycles"}}
+
+
+def write_trace(path: str | Path, events: Iterable[Any], *,
+                timeline: TimelineResult | None = None) -> Path:
+    """Write a trace file; format chosen by suffix.
+
+    ``.jsonl`` → JSONL; anything else (``.json``, ``.trace``) → Chrome
+    trace_event JSON.
+    """
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        payload = to_jsonl(events) + "\n"
+    else:
+        payload = json.dumps(chrome_trace(events, timeline=timeline,
+                                          label=path.stem))
+    path.write_text(payload, encoding="utf-8")
+    return path

@@ -27,7 +27,7 @@ versions of the exact same code paths) and ``seed``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable
 
 from ..sim.isa import Instruction
 from ..sim.kernel import Kernel

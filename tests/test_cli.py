@@ -65,3 +65,20 @@ def test_chart_flag(capsys):
 
 def test_chart_flag_ignores_missing_column(capsys):
     assert main(["e12", "--scale", "0.02", "--chart", "nonexistent"]) == 0
+
+
+def test_timeline_and_trace_export(tmp_path, monkeypatch, capsys):
+    import json
+
+    monkeypatch.chdir(tmp_path)
+    assert main(["e5", "--scale", "0.02", "--timeline", "500",
+                 "--output", "out", "--trace", "e5.json"]) == 0
+    err = capsys.readouterr().err
+    assert "timelines:" in err and "trace:" in err
+    csvs = sorted((tmp_path / "out").glob("*.timeline.csv"))
+    assert csvs
+    header = csvs[0].read_text().splitlines()[0].split(",")
+    assert header[0] == "cycle" and "ipc" in header
+    doc = json.loads((tmp_path / "e5.json").read_text())
+    assert doc["traceEvents"]
+    assert len({r["pid"] for r in doc["traceEvents"]}) >= 2

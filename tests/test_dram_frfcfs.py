@@ -1,6 +1,5 @@
 """Deeper FR-FCFS scheduler tests: window bounds, fairness floor, load."""
 
-import pytest
 
 from repro.mem.dram import DRAMModel, SCAN_WINDOW
 from repro.sim.config import GPUConfig

@@ -1,7 +1,6 @@
 """Edge-case tests across the scheduling policies: degenerate grids, extreme
 limits, policy interactions the main suites don't reach."""
 
-import pytest
 
 from repro.core.bcs import BCSScheduler
 from repro.core.cke import MixedCKE, SequentialCKE, SMKEvenCKE, SpatialCKE

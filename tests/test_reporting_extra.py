@@ -1,5 +1,8 @@
 """Additional reporting/experiment-context behaviours."""
 
+import math
+import random
+
 import pytest
 
 from repro.harness.experiments import ExperimentContext
@@ -68,3 +71,36 @@ class TestTableExtras:
 
     def test_geomean_of_identity_is_one(self):
         assert geomean([1.0] * 10) == pytest.approx(1.0)
+
+    def test_geomean_is_order_independent(self):
+        rng = random.Random(7)
+        values = [rng.uniform(0.3, 3.0) for _ in range(200)]
+        shuffled = list(values)
+        rng.shuffle(shuffled)
+        assert geomean(values) == geomean(shuffled)
+        assert geomean(values) == pytest.approx(
+            math.exp(math.fsum(math.log(v) for v in values) / len(values)))
+
+
+class TestChartReference:
+    @staticmethod
+    def _table(*values):
+        table = Table("t", ["name", "speedup"])
+        for i, value in enumerate(values):
+            table.add_row(f"r{i}", value)
+        return table
+
+    def test_reference_above_peak_clamps_with_note(self):
+        chart = self._table(0.5, 0.8).render_chart("speedup", reference=1.0)
+        assert "|" in chart
+        assert "clamped" in chart
+        assert "1.000" in chart
+
+    def test_reference_within_peak_has_no_note(self):
+        chart = self._table(0.5, 1.5).render_chart("speedup", reference=1.0)
+        assert "|" in chart
+        assert "clamped" not in chart
+
+    def test_no_reference_no_marker(self):
+        chart = self._table(0.5, 1.5).render_chart("speedup", reference=None)
+        assert "|" not in chart

@@ -61,8 +61,36 @@ def test_timeline_output(tmp_path, capsys):
     assert main(["kmeans", "--scale", "0.05", "--timeline", str(csv),
                  "--timeline-period", "200"]) == 0
     lines = csv.read_text().splitlines()
-    assert lines[0] == "cycle,mean_ctas_per_sm,mean_warps_per_sm,ipc"
+    header = lines[0].split(",")
+    assert header[0] == "cycle"
+    assert {"ipc", "resident_ctas", "l1_miss_rate",
+            "dram_bus_util"} <= set(header)
     assert len(lines) > 1
+
+
+def test_timeline_window_to_stdout(capsys):
+    assert main(["kmeans", "--scale", "0.05", "--timeline", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "cycle,ipc" in out
+    assert "timeline (" in out
+
+
+def test_trace_output_chrome_and_jsonl(tmp_path, capsys):
+    import json
+
+    chrome = tmp_path / "trace.json"
+    assert main(["kmeans", "--scale", "0.05", "--policy", "lcs",
+                 "--trace", str(chrome)]) == 0
+    doc = json.loads(chrome.read_text())
+    assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+    assert any(e["name"] == "lcs.decision" for e in doc["traceEvents"])
+
+    jsonl = tmp_path / "trace.jsonl"
+    assert main(["kmeans", "--scale", "0.05", "--trace", str(jsonl)]) == 0
+    records = [json.loads(line)
+               for line in jsonl.read_text().splitlines()]
+    assert records[0]["kind"] == "run.start"
+    assert records[-1]["kind"] == "run.end"
 
 
 def test_trace_file_input(tmp_path, capsys):

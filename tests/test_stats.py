@@ -74,5 +74,24 @@ class TestRunResult:
 
     def test_summary_mentions_components(self):
         text = self.make().summary()
-        for needle in ("IPC", "L1", "L2", "DRAM", "kernel k"):
+        for needle in ("IPC", "L1", "L2", "DRAM", "kernel k", "stalls:",
+                       "CTA limits:"):
             assert needle in text
+
+    def test_summary_stall_breakdown_values(self):
+        result = self.make()
+        ks = result.kernel("k")
+        ks.ready_wait, ks.alu_wait, ks.mem_wait, ks.barrier_wait = 1, 1, 2, 0
+        text = result.summary()
+        assert "ready=0.25" in text and "mem=0.50" in text
+
+    def test_summary_cta_limits_forms(self):
+        result = self.make()
+        result.cta_limits = {0: None, 1: None}
+        assert "occupancy-bound on all 2 SMs" in result.summary()
+        result.cta_limits = {0: 3, 1: 3}
+        assert "3 CTAs/SM on all 2 SMs" in result.summary()
+        result.cta_limits = {0: 2, 1: None}
+        assert "SM0=2 SM1=occ" in result.summary()
+        result.cta_limits = {}
+        assert "none recorded" in result.summary()

@@ -3,7 +3,7 @@
 from repro.core.cta_schedulers import RoundRobinCTAScheduler
 from repro.sim.config import GPUConfig
 from repro.sim.gpu import GPU
-from repro.sim.warp import MemRequest, WarpState
+from repro.sim.warp import MemRequest
 
 from helpers import make_test_kernel
 
