@@ -3,7 +3,7 @@
 PY      ?= python
 PYTEST  = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test lint bench bench-smoke bench-engine clean-cache
+.PHONY: test lint bench bench-smoke bench-engine fault-smoke clean-cache
 
 test:            ## tier-1 test suite
 	$(PYTEST) -q
@@ -24,6 +24,26 @@ bench-smoke:     ## quick engine sanity: serial vs parallel vs warm cache
 
 bench-engine:    ## engine benchmarks at the default scale
 	$(PYTEST) benchmarks/bench_engine.py --benchmark-only
+
+EXP = PYTHONPATH=src $(PY) -m repro.harness.cli
+
+fault-smoke:     ## resilience drill: injected failure + pool-crash recovery
+	@out=$$($(EXP) e5 e12 --scale 0.02 --no-cache --retries 0 \
+		--faults flaky:0 2>&1); \
+	if [ $$? -eq 0 ]; then \
+		echo "fault-smoke: injected failure should exit nonzero"; exit 1; \
+	fi; \
+	echo "$$out" | grep -q "Failure summary" \
+		|| { echo "fault-smoke: per-job failure summary missing"; exit 1; }; \
+	echo "$$out" | grep -q "E12a" \
+		|| { echo "fault-smoke: partial results missing"; exit 1; }; \
+	out=$$($(EXP) e5 --scale 0.02 --no-cache --jobs 2 --faults kill:0 2>&1) \
+		|| { echo "fault-smoke: crash-recovery run failed"; \
+		     echo "$$out"; exit 1; }; \
+	echo "$$out" | grep -q "recovered by retry" \
+		|| { echo "fault-smoke: killed worker was not retried"; exit 1; }; \
+	echo "fault-smoke: ok (failure reported + partial results kept;" \
+	     "killed worker recovered)"
 
 clean-cache:     ## purge the persistent result cache
 	PYTHONPATH=src $(PY) -m repro.harness.cli --clear-cache

@@ -6,7 +6,9 @@ is written to a temporary file in the same directory and ``os.replace``'d
 into place — so concurrent workers (or concurrent ``repro-exp``
 invocations) can never observe a half-written entry.  A corrupted or
 unreadable entry is treated as a miss and silently recomputed, never a
-crash.
+crash; an *unwritable* cache (disk full, read-only directory) degrades the
+same way — :meth:`ResultCache.put` warns once, counts a ``write_errors``
+stat and the batch keeps running un-cached.
 
 The cache key is :meth:`repro.harness.jobs.SimJob.fingerprint`, which
 includes the :data:`~repro.harness.jobs.SIM_VERSION` salt; bumping the salt
@@ -24,6 +26,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any
 
@@ -44,10 +47,12 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.write_errors = 0
+        self._warned_unwritable = False
 
     def __repr__(self) -> str:
         return (f"ResultCache({str(self.root)!r}, hits={self.hits}, "
-                f"misses={self.misses})")
+                f"misses={self.misses}, write_errors={self.write_errors})")
 
     # ------------------------------------------------------------------ #
     def path_for(self, fingerprint: str) -> Path:
@@ -70,41 +75,69 @@ class ResultCache:
         self.hits += 1
         return result
 
-    def put(self, fingerprint: str, result: RunResult) -> None:
-        """Store a result atomically (tmp file + rename)."""
-        self.root.mkdir(parents=True, exist_ok=True)
+    def put(self, fingerprint: str, result: RunResult) -> bool:
+        """Store a result atomically (tmp file + rename).
+
+        Returns True on success.  Storage failures (disk full, read-only
+        cache directory, quota) degrade gracefully: the first one warns,
+        every one counts a :attr:`write_errors`, and the caller keeps
+        running un-cached — a broken cache must never crash a batch.
+        """
         entry: dict[str, Any] = {
             "format": _ENTRY_FORMAT,
             "fingerprint": fingerprint,
             "result": result.to_dict(),
         }
         payload = json.dumps(entry, separators=(",", ":"))
-        fd, tmp_name = tempfile.mkstemp(dir=self.root, prefix=".tmp-",
-                                        suffix=".json")
+        tmp_name = None
         try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=self.root, prefix=".tmp-",
+                                            suffix=".json")
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(payload)
             os.replace(tmp_name, self.path_for(fingerprint))
+        except OSError as error:
+            self._note_write_error(error)
+            self._discard_tmp(tmp_name)
+            return False
         except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
+            self._discard_tmp(tmp_name)
             raise
+        return True
+
+    def _note_write_error(self, error: OSError) -> None:
+        self.write_errors += 1
+        if not self._warned_unwritable:
+            self._warned_unwritable = True
+            warnings.warn(
+                f"result cache {self.root} is not writable "
+                f"({type(error).__name__}: {error}); continuing un-cached",
+                RuntimeWarning, stacklevel=3)
+
+    @staticmethod
+    def _discard_tmp(tmp_name: str | None) -> None:
+        if tmp_name is None:
+            return
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
+        # Stray .tmp-* files (a worker killed mid-write) are not entries.
         if not self.root.is_dir():
             return 0
-        return sum(1 for _ in self.root.glob("*.json"))
+        return sum(1 for path in self.root.glob("*.json")
+                   if not path.name.startswith(".tmp-"))
 
     def clear(self) -> int:
         """Delete every entry (and stray temp file); return the count."""
         if not self.root.is_dir():
             return 0
         removed = 0
-        for path in list(self.root.glob("*.json")) \
-                + list(self.root.glob(".tmp-*")):
+        for path in {*self.root.glob("*.json"), *self.root.glob(".tmp-*")}:
             try:
                 path.unlink()
                 removed += 1

@@ -15,6 +15,17 @@ Usage::
     repro-exp e1 --timeline --output out/
                                   # + one windowed-telemetry CSV per run
     repro-exp e1 --trace e1.json  # merged chrome://tracing document
+    repro-exp all --jobs 8 --retries 3 --timeout 600
+                                  # resilient batch: transient worker
+                                  # failures retried, runaway jobs become
+                                  # typed timeouts, completed results are
+                                  # cached even when siblings fail
+    repro-exp e3 --fail-fast      # stop at the first failure instead
+
+Failures never discard completed work: every finished simulation is cached
+as it arrives, failing experiments are reported (per-job failure summary
+table + exit status 1) and the remaining experiments still run unless
+``--fail-fast`` is given.  See docs/ROBUSTNESS.md for the failure model.
 """
 
 from __future__ import annotations
@@ -28,9 +39,12 @@ from typing import Sequence
 
 from ..workloads.patterns import DEFAULT_SEED
 from .cache import DEFAULT_CACHE_DIR, ResultCache
-from .engine import default_workers
+from .engine import (DEFAULT_RETRIES, JobExecutionError, default_workers)
 from .experiments import (EXPERIMENTS, ExperimentContext, e12_benchmark_table,
                           e12_config_table)
+from .faults import FaultPlan, FaultSpecError
+from .jobs import JobError
+from .reporting import Table
 
 ALL_IDS = tuple(EXPERIMENTS) + ("e12",)
 
@@ -72,7 +86,43 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
     parser.add_argument("--clear-cache", action="store_true",
                         help="purge the persistent result cache, then run "
                              "any requested experiments")
+    parser.add_argument("--retries", type=int, default=DEFAULT_RETRIES,
+                        metavar="N",
+                        help="retries per job for transient failures "
+                             "(broken pool, killed worker, OSError; "
+                             f"default {DEFAULT_RETRIES}); deterministic "
+                             "simulation errors are never retried")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job wall-clock deadline; an overrunning "
+                             "job becomes a typed timeout outcome instead "
+                             "of hanging the batch (default: none)")
+    parser.add_argument("--fail-fast", dest="fail_fast", action="store_true",
+                        help="stop at the first failed experiment/job "
+                             "(default: keep going, report all failures at "
+                             "the end)")
+    parser.add_argument("--keep-going", dest="fail_fast",
+                        action="store_false",
+                        help="run every experiment even after failures "
+                             "(the default; negates --fail-fast)")
+    parser.add_argument("--faults", metavar="SPEC",
+                        help="inject deterministic faults for testing, "
+                             "e.g. 'fail:0,kill:2,delay:1:5' (also read "
+                             "from $REPRO_FAULTS; see docs/ROBUSTNESS.md)")
+    parser.set_defaults(fail_fast=False)
     return parser.parse_args(argv)
+
+
+def _failure_table(failures) -> Table:
+    """The per-job failure summary printed after a degraded batch."""
+    table = Table("Failure summary (per-job outcomes)",
+                  ["job", "fingerprint", "status", "attempts", "error"])
+    for outcome in failures:
+        error = (outcome.error or "").splitlines()
+        table.add_row(outcome.index, outcome.fingerprint[:12], outcome.status,
+                      outcome.attempts, error[0][:72] if error else "-")
+    table.add_note("completed jobs were cached; rerun to resume from them")
+    return table
 
 
 def _describe(exp_id: str) -> str:
@@ -106,7 +156,7 @@ def _write_telemetry(ctx: ExperimentContext,
         named = [(label, result.meta.get("trace") or [],
                   result.meta.get("timeline"))
                  for label, result in runs]
-        doc = merge_chrome_traces(named)
+        doc = merge_chrome_traces(named, engine_events=ctx.engine_events())
         Path(args.trace).write_text(json.dumps(doc))
         print(f"[trace: {len(runs)} run(s) merged -> {args.trace}]",
               file=sys.stderr)
@@ -137,20 +187,51 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.jobs < 0:
         print(f"--jobs must be >= 0, got {args.jobs}", file=sys.stderr)
         return 2
+    if args.retries < 0:
+        print(f"--retries must be >= 0, got {args.retries}", file=sys.stderr)
+        return 2
+    if args.timeout is not None and args.timeout < 0:
+        print(f"--timeout must be >= 0, got {args.timeout}", file=sys.stderr)
+        return 2
+    try:
+        faults = (FaultPlan.parse(args.faults) if args.faults
+                  else FaultPlan.from_env())
+    except FaultSpecError as error:
+        print(f"bad fault spec: {error}", file=sys.stderr)
+        return 2
     workers = args.jobs if args.jobs else default_workers()
     cache = None if args.no_cache else ResultCache()
 
     ctx = ExperimentContext(scale=args.scale, seed=args.seed,
                             jobs=workers, cache=cache,
                             timeline_window=args.timeline,
-                            trace=bool(args.trace))
+                            trace=bool(args.trace),
+                            retries=args.retries, timeout=args.timeout,
+                            fail_fast=args.fail_fast, faults=faults)
     total_started = time.perf_counter()
+    failed_experiments: list[str] = []
     for exp_id in requested:
         started = time.perf_counter()
-        if exp_id == "e12":
-            tables = [e12_config_table(ctx), e12_benchmark_table(ctx)]
-        else:
-            tables = [EXPERIMENTS[exp_id](ctx)]
+        try:
+            if exp_id == "e12":
+                tables = [e12_config_table(ctx), e12_benchmark_table(ctx)]
+            else:
+                tables = [EXPERIMENTS[exp_id](ctx)]
+        except (JobExecutionError, JobError) as error:
+            # One experiment's failure never discards the rest: completed
+            # sibling results are already cached, the remaining experiments
+            # still run (unless --fail-fast), and the per-job outcomes are
+            # summarised below.
+            elapsed = time.perf_counter() - started
+            failed_experiments.append(exp_id)
+            print(f"[{exp_id} FAILED after {elapsed:.1f}s: {error}]",
+                  file=sys.stderr)
+            worker_tb = getattr(error, "worker_traceback", None)
+            if worker_tb:
+                print(worker_tb.rstrip(), file=sys.stderr)
+            if args.fail_fast:
+                break
+            continue
         elapsed = time.perf_counter() - started
         for index, table in enumerate(tables):
             print(table.to_csv() if args.csv else table.render())
@@ -167,14 +248,27 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"[{exp_id} finished in {elapsed:.1f}s]", file=sys.stderr)
     if args.timeline is not None or args.trace:
         _write_telemetry(ctx, args)
+    failures = ctx.failure_outcomes()
+    if failures:
+        print(_failure_table(failures).render())
+        print()
     total = time.perf_counter() - total_started
     summary = (f"[total: {total:.1f}s for {len(requested)} experiment(s), "
                f"jobs={workers}")
+    retried = sum(report.retried for report in ctx.reports)
+    if retried:
+        summary += f"; {retried} job(s) recovered by retry"
+    if failures:
+        summary += f"; {len(failures)} job(s) without a result"
+    if failed_experiments:
+        summary += f"; FAILED: {', '.join(failed_experiments)}"
     if cache is not None:
         summary += (f"; cache: {cache.hits} hit(s), {cache.misses} miss(es) "
                     f"-> {DEFAULT_CACHE_DIR}/")
+        if cache.write_errors:
+            summary += f", {cache.write_errors} write error(s)"
     print(summary + "]", file=sys.stderr)
-    return 0
+    return 1 if (failed_experiments or failures) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

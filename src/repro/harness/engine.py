@@ -1,37 +1,74 @@
 """Batch execution engine: fan independent simulations out across cores.
 
-:func:`run_jobs` takes declarative :class:`~repro.harness.jobs.SimJob`
-descriptions and returns their :class:`~repro.sim.stats.RunResult`\\ s in
-input order.  Results are memoised on disk through an optional
-:class:`~repro.harness.cache.ResultCache`; only cache misses are executed.
+:func:`run_batch` takes declarative :class:`~repro.harness.jobs.SimJob`
+descriptions and returns a :class:`BatchReport` with one
+:class:`JobOutcome` per job, in input order.  Results are memoised on disk
+through an optional :class:`~repro.harness.cache.ResultCache`; only cache
+misses are executed.  :func:`run_jobs` is the historical list-of-results
+wrapper on top of it.
 
 Execution strategy:
 
 * ``workers <= 1`` (or a single pending job): run inline in this process —
   no IPC, no pickling, identical to calling ``job.execute()`` directly.
-* ``workers > 1``: a ``concurrent.futures.ProcessPoolExecutor`` with a
-  chunking heuristic (several jobs per IPC round-trip) so many tiny runs
-  don't drown in process-pool overhead.  If the platform cannot spawn a
-  process pool (restricted environments, missing ``fork``/semaphores), the
-  engine silently falls back to the serial path — results are identical by
-  construction, only wall-clock differs.
+* ``workers > 1``: a ``concurrent.futures.ProcessPoolExecutor`` driven by
+  per-job ``submit()`` calls (at most ``workers`` in flight at a time), so
+  each job fails, retries and times out independently.  If the platform
+  cannot spawn a process pool (restricted environments, missing
+  ``fork``/semaphores), the engine silently falls back to the serial path —
+  results are identical by construction, only wall-clock differs.
 
-Worker exceptions are re-raised in the parent as
-:class:`JobExecutionError`, tagged with the failing job's fingerprint and
-carrying the worker traceback text.
+Resilience model (see ``docs/ROBUSTNESS.md``):
+
+* **Fault isolation** — one bad job never discards the rest of the batch:
+  every completed result is recorded (and cached) as it arrives, and the
+  batch always runs to completion unless ``fail_fast`` is set.
+* **Retry with backoff** — failures are classified *transient* (a broken
+  process pool, a killed worker, ``OSError``/``MemoryError``) or
+  *deterministic* (simulation exceptions).  Transients are retried up to
+  ``retries`` times with exponential backoff; a broken pool is respawned
+  transparently and only the in-flight jobs are re-dispatched.
+* **Deadlines** — ``timeout`` seconds per job, enforced twice: a
+  cooperative wall-clock guard inside ``GPU.run`` makes the worker itself
+  raise :class:`~repro.sim.gpu.SimulationTimeout`, and the parent keeps a
+  backstop (timeout + grace) that abandons a stuck worker's pool and
+  re-dispatches the other in-flight jobs.  A timed-out job is a typed
+  ``"timeout"`` outcome, never a hang.
+* **Fault injection** — a :class:`~repro.harness.faults.FaultPlan` drops
+  deterministic failures, transient failures, worker kills, delays and
+  cache corruption onto chosen jobs so every path above is testable.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Iterable, Sequence
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
 
+from ..sim.gpu import SimulationTimeout
 from ..sim.stats import RunResult
 from .cache import ResultCache
+from .faults import FaultPlan
 from .jobs import SimJob
 
 #: ``progress(done, total)`` is invoked after every completed job.
 ProgressFn = Callable[[int, int], None]
+
+#: Default number of *retries* per job (attempts = retries + 1) for
+#: transient failures; deterministic failures are never retried.
+DEFAULT_RETRIES = 2
+
+#: First-retry backoff in seconds; doubles per subsequent attempt.
+DEFAULT_BACKOFF = 0.25
+
+#: Exceptions a worker classifies as transient (environment, not the job).
+TRANSIENT_EXCEPTIONS = (OSError, EOFError, MemoryError)
+
+#: Poll interval while waiting on in-flight futures (also bounds how often
+#: the parent's deadline backstop is evaluated).
+_WAIT_TICK = 0.1
 
 
 class JobExecutionError(RuntimeError):
@@ -44,85 +81,533 @@ class JobExecutionError(RuntimeError):
         self.worker_traceback = worker_traceback
 
 
+class BatchError(RuntimeError):
+    """Asked for a complete result list, but some jobs did not finish."""
+
+    def __init__(self, report: "BatchReport") -> None:
+        failures = report.failures()
+        first = failures[0]
+        super().__init__(
+            f"{len(failures)} of {len(report.outcomes)} job(s) did not "
+            f"produce a result (first: job {first.index} "
+            f"[{first.fingerprint[:12]}] {first.status}: {first.error})")
+        self.report = report
+
+
 def default_workers() -> int:
     """The CLI default for ``--jobs``: one worker per available core."""
     return os.cpu_count() or 1
 
 
-def _chunksize(pending: int, workers: int) -> int:
-    """Jobs per IPC round-trip: aim for ~4 chunks per worker so the pool
-    stays load-balanced without paying one round-trip per tiny job."""
-    return max(1, pending // (workers * 4))
+# --------------------------------------------------------------------------- #
+# outcomes and reports
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class JobOutcome:
+    """What happened to one job of a batch.
+
+    ``status`` is one of:
+
+    * ``"ok"`` — executed (possibly after retries) and produced a result
+    * ``"cached"`` — replayed from the persistent result cache
+    * ``"failed"`` — a deterministic failure, or retries exhausted
+    * ``"timeout"`` — exceeded the per-job deadline (typed, never a hang)
+    * ``"skipped"`` — not attempted because ``fail_fast`` stopped the batch
+    """
+
+    index: int
+    fingerprint: str
+    status: str = "skipped"
+    result: RunResult | None = None
+    attempts: int = 0
+    error: str | None = None
+    worker_traceback: str | None = None
+    duration: float = 0.0
+
+    @property
+    def retried(self) -> bool:
+        """Whether this job needed more than one attempt."""
+        return self.attempts > 1
 
 
-def _execute_tagged(job: SimJob):
-    """Worker entry point: never raises, returns a tagged outcome."""
+@dataclass
+class BatchReport:
+    """Structured record of one :func:`run_batch` invocation.
+
+    ``outcomes`` is in input order, one entry per job.  ``events`` is the
+    engine's own trace (retries, timeouts, pool respawns, cache write
+    errors) as plain dicts ``{"kind", "t", "payload"}`` with ``t`` in
+    seconds since the batch started — exportable next to the simulators'
+    cycle-domain traces (see ``repro.telemetry.trace``).
+    """
+
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    events: list[dict[str, Any]] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def count(self, status: str) -> int:
+        return sum(1 for outcome in self.outcomes
+                   if outcome.status == status)
+
+    @property
+    def retried(self) -> int:
+        """Jobs that needed more than one attempt."""
+        return sum(1 for outcome in self.outcomes if outcome.retried)
+
+    def failures(self) -> list[JobOutcome]:
+        """Outcomes without a result (failed, timed out or skipped)."""
+        return [outcome for outcome in self.outcomes
+                if outcome.result is None]
+
+    def first_failure(self) -> JobOutcome | None:
+        failures = self.failures()
+        return failures[0] if failures else None
+
+    def results(self) -> list[RunResult]:
+        """All results in input order; raises :class:`BatchError` if any
+        job failed (every completed result is already cached by then)."""
+        if self.failures():
+            raise BatchError(self)
+        return [outcome.result for outcome in self.outcomes]
+
+    def summary_line(self) -> str:
+        """One-line digest for CLI footers."""
+        parts = [f"{self.count('ok') + self.count('cached')} ok"]
+        for status in ("failed", "timeout", "skipped"):
+            if self.count(status):
+                parts.append(f"{self.count(status)} {status}")
+        if self.retried:
+            parts.append(f"{self.retried} retried")
+        return ", ".join(parts)
+
+
+# --------------------------------------------------------------------------- #
+# worker entry point
+# --------------------------------------------------------------------------- #
+
+def _execute_tagged(index: int, job: SimJob, faults: FaultPlan | None,
+                    wall_timeout: float | None, inline: bool = False):
+    """Worker entry point: never raises, returns a tagged outcome.
+
+    Tags: ``("ok", index, result)``, ``("timeout", index, message)`` or
+    ``("err", index, message, traceback_text, transient)``.
+    """
     try:
-        return ("ok", job.execute())
+        if faults is not None:
+            faults.before_execute(index, inline=inline)
+        return ("ok", index, job.execute(wall_timeout=wall_timeout))
+    except SimulationTimeout as error:
+        return ("timeout", index, f"{type(error).__name__}: {error}")
+    except TRANSIENT_EXCEPTIONS as error:
+        import traceback
+        return ("err", index, f"{type(error).__name__}: {error}",
+                traceback.format_exc(), True)
     except Exception as error:   # noqa: BLE001 - transported to the parent
         import traceback
-        return ("err", job.fingerprint(),
-                f"{type(error).__name__}: {error}", traceback.format_exc())
+        return ("err", index, f"{type(error).__name__}: {error}",
+                traceback.format_exc(), False)
 
 
-def run_jobs(jobs: Iterable[SimJob], *, workers: int = 1,
-             cache: ResultCache | None = None,
-             progress: ProgressFn | None = None) -> list[RunResult]:
-    """Execute jobs (parallel, cached) and return results in input order."""
+# --------------------------------------------------------------------------- #
+# batch state shared by the inline and pool paths
+# --------------------------------------------------------------------------- #
+
+class _BatchState:
+    """Outcome recording, caching and engine-event bookkeeping."""
+
+    def __init__(self, jobs: list[SimJob], fingerprints: list[str],
+                 cache: ResultCache | None, faults: FaultPlan | None,
+                 progress: ProgressFn | None) -> None:
+        self.jobs = jobs
+        self.cache = cache
+        self.faults = faults
+        self.progress = progress
+        self.started = time.monotonic()
+        self.outcomes = [JobOutcome(index=i, fingerprint=fp)
+                         for i, fp in enumerate(fingerprints)]
+        self.events: list[dict[str, Any]] = []
+        self.done = 0
+
+    def event(self, kind: str, **payload: Any) -> None:
+        self.events.append({"kind": kind,
+                            "t": time.monotonic() - self.started,
+                            "payload": payload})
+
+    def _advance(self) -> None:
+        self.done += 1
+        if self.progress is not None:
+            self.progress(self.done, len(self.jobs))
+
+    # ------------------------------------------------------------------ #
+    def record_cached(self, index: int, result: RunResult) -> None:
+        outcome = self.outcomes[index]
+        outcome.status = "cached"
+        outcome.result = result
+        self._advance()
+
+    def record_ok(self, index: int, result: RunResult, attempts: int,
+                  duration: float) -> None:
+        outcome = self.outcomes[index]
+        outcome.status = "ok"
+        outcome.result = result
+        outcome.attempts = attempts
+        outcome.duration = duration
+        if self.cache is not None:
+            if not self.cache.put(outcome.fingerprint, result):
+                self.event("cache.write_error", job=index,
+                           fingerprint=outcome.fingerprint[:12])
+            elif self.faults is not None and self.faults.corrupt_cache(index):
+                # Injected corruption: scribble over the entry just written
+                # so the next read exercises the miss-not-crash path.
+                self.cache.path_for(outcome.fingerprint).write_text(
+                    "{corrupted", encoding="utf-8")
+                self.event("cache.corrupted", job=index)
+        if attempts > 1:
+            self.event("job.recovered", job=index, attempts=attempts)
+        self._advance()
+
+    def record_failure(self, index: int, message: str, traceback_text: str | None,
+                       attempts: int, duration: float) -> None:
+        outcome = self.outcomes[index]
+        outcome.status = "failed"
+        outcome.error = message
+        outcome.worker_traceback = traceback_text
+        outcome.attempts = attempts
+        outcome.duration = duration
+        self.event("job.failed", job=index, attempts=attempts, error=message)
+        self._advance()
+
+    def record_timeout(self, index: int, message: str, attempts: int,
+                       duration: float) -> None:
+        outcome = self.outcomes[index]
+        outcome.status = "timeout"
+        outcome.error = message
+        outcome.attempts = attempts
+        outcome.duration = duration
+        self.event("job.timeout", job=index, attempts=attempts, error=message)
+        self._advance()
+
+    def record_skipped(self, index: int) -> None:
+        outcome = self.outcomes[index]
+        outcome.status = "skipped"
+        outcome.error = "skipped: fail-fast stopped the batch"
+        self._advance()
+
+    def retry_delay(self, index: int, attempts: int, backoff: float,
+                    reason: str) -> float:
+        delay = backoff * (2 ** (attempts - 1))
+        self.event("job.retry", job=index, attempt=attempts + 1,
+                   delay=round(delay, 3), reason=reason)
+        return delay
+
+
+# --------------------------------------------------------------------------- #
+# public API
+# --------------------------------------------------------------------------- #
+
+def run_batch(jobs: Iterable[SimJob], *, workers: int = 1,
+              cache: ResultCache | None = None,
+              progress: ProgressFn | None = None,
+              retries: int = DEFAULT_RETRIES,
+              timeout: float | None = None,
+              fail_fast: bool = False,
+              faults: FaultPlan | None = None,
+              backoff: float = DEFAULT_BACKOFF,
+              grace: float | None = None) -> BatchReport:
+    """Execute jobs (parallel, cached, fault-isolated); return the report.
+
+    Never raises for a job failure: each job's fate is a
+    :class:`JobOutcome` and every completed result is cached as it
+    arrives.  ``fail_fast=True`` stops dispatching new jobs after the
+    first failure (already-running jobs still complete and are recorded;
+    undispatched jobs become ``"skipped"``).
+
+    ``timeout`` is the per-job wall-clock deadline in seconds; ``grace``
+    is how long past it the parent waits for the worker's own cooperative
+    :class:`~repro.sim.gpu.SimulationTimeout` before abandoning the pool
+    (default ``max(2, timeout/2)``).
+    """
     jobs = list(jobs)
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if timeout is not None and timeout < 0:
+        raise ValueError(f"timeout must be >= 0, got {timeout}")
     fingerprints = [job.fingerprint() for job in jobs]
-    results: list[RunResult | None] = [None] * len(jobs)
+    state = _BatchState(jobs, fingerprints, cache, faults, progress)
+    state.event("batch.start", jobs=len(jobs), workers=workers,
+                retries=retries, timeout=timeout)
 
     pending: list[int] = []
     for index, fingerprint in enumerate(fingerprints):
         cached = cache.get(fingerprint) if cache is not None else None
         if cached is not None:
-            results[index] = cached
+            state.record_cached(index, cached)
         else:
             pending.append(index)
 
-    done = len(jobs) - len(pending)
-    if progress is not None and done:
-        progress(done, len(jobs))
+    if pending:
+        remaining = pending
+        if workers > 1 and len(pending) > 1:
+            remaining = _run_pool(state, pending, workers=workers,
+                                  retries=retries, timeout=timeout,
+                                  fail_fast=fail_fast, backoff=backoff,
+                                  grace=grace)
+        if remaining:
+            _run_inline(state, remaining, retries=retries, timeout=timeout,
+                        fail_fast=fail_fast, backoff=backoff)
 
-    if not pending:
-        return results   # type: ignore[return-value]
-
-    outcomes = None
-    if workers > 1 and len(pending) > 1:
-        outcomes = _run_pool([jobs[i] for i in pending], workers)
-    if outcomes is None:
-        outcomes = (_execute_tagged(jobs[i]) for i in pending)
-
-    for index, outcome in zip(pending, outcomes):
-        if outcome[0] == "err":
-            _, fingerprint, message, worker_tb = outcome
-            raise JobExecutionError(fingerprint, message, worker_tb)
-        result = outcome[1]
-        results[index] = result
-        if cache is not None:
-            cache.put(fingerprints[index], result)
-        done += 1
-        if progress is not None:
-            progress(done, len(jobs))
-    return results   # type: ignore[return-value]
+    report = BatchReport(outcomes=state.outcomes, events=state.events,
+                         elapsed=time.monotonic() - state.started)
+    state.event("batch.end", summary=report.summary_line())
+    return report
 
 
-def _run_pool(jobs: Sequence[SimJob], workers: int):
-    """Map jobs over a process pool; None if no pool can be created."""
+def run_jobs(jobs: Iterable[SimJob], *, workers: int = 1,
+             cache: ResultCache | None = None,
+             progress: ProgressFn | None = None,
+             retries: int = DEFAULT_RETRIES,
+             timeout: float | None = None,
+             faults: FaultPlan | None = None) -> list[RunResult]:
+    """Execute jobs and return results in input order.
+
+    The raising wrapper over :func:`run_batch`: if any job fails, a
+    :class:`JobExecutionError` for the first failure is raised — but only
+    after the *whole* batch has run and every completed result has been
+    recorded and cached (an early failure never discards later successes).
+    """
+    report = run_batch(jobs, workers=workers, cache=cache, progress=progress,
+                       retries=retries, timeout=timeout, faults=faults)
+    failure = report.first_failure()
+    if failure is not None:
+        raise JobExecutionError(failure.fingerprint,
+                                failure.error or failure.status,
+                                failure.worker_traceback)
+    return [outcome.result for outcome in report.outcomes]
+
+
+# --------------------------------------------------------------------------- #
+# inline execution (serial; also the no-multiprocessing fallback)
+# --------------------------------------------------------------------------- #
+
+def _run_inline(state: _BatchState, pending: list[int], *, retries: int,
+                timeout: float | None, fail_fast: bool,
+                backoff: float) -> None:
+    stopped = False
+    for index in pending:
+        if stopped:
+            state.record_skipped(index)
+            continue
+        attempts = 0
+        started = time.monotonic()
+        while True:
+            attempts += 1
+            outcome = _execute_tagged(index, state.jobs[index], state.faults,
+                                      timeout, True)
+            duration = time.monotonic() - started
+            tag = outcome[0]
+            if tag == "ok":
+                state.record_ok(index, outcome[2], attempts, duration)
+                break
+            if tag == "timeout":
+                state.record_timeout(index, outcome[2], attempts, duration)
+                stopped = stopped or fail_fast
+                break
+            _, _, message, traceback_text, transient = outcome
+            if transient and attempts <= retries:
+                time.sleep(state.retry_delay(index, attempts, backoff,
+                                             "transient"))
+                continue
+            state.record_failure(index, message, traceback_text, attempts,
+                                 duration)
+            stopped = stopped or fail_fast
+            break
+
+
+# --------------------------------------------------------------------------- #
+# pool execution (submit-based futures, bounded in-flight)
+# --------------------------------------------------------------------------- #
+
+def _make_pool(workers: int):
     try:
         from concurrent.futures import ProcessPoolExecutor
-        pool = ProcessPoolExecutor(max_workers=min(workers, len(jobs)))
-    except (ImportError, NotImplementedError, OSError, PermissionError):
-        return None   # no usable multiprocessing: inline fallback
-    try:
-        with pool:
-            # list() inside the ``with`` so worker crashes surface here.
-            return list(pool.map(_execute_tagged, jobs,
-                                 chunksize=_chunksize(len(jobs), workers)))
-    except (OSError, PermissionError, RuntimeError):
-        # The pool died before producing results (e.g. sandboxed fork);
-        # fall back to inline execution.
+        return ProcessPoolExecutor(max_workers=workers)
+    except (ImportError, NotImplementedError, OSError, PermissionError,
+            RuntimeError):
         return None
+
+
+def _run_pool(state: _BatchState, pending: list[int], *, workers: int,
+              retries: int, timeout: float | None, fail_fast: bool,
+              backoff: float, grace: float | None) -> list[int]:
+    """Drive the pending jobs through a process pool.
+
+    Returns the indices that still need to run (non-empty only when no
+    pool could be created or a respawn failed — the caller then degrades
+    to inline execution, preserving the engine's old fallback contract).
+    """
+    from concurrent.futures import FIRST_COMPLETED, wait
+    from concurrent.futures.process import BrokenProcessPool
+
+    max_workers = min(workers, len(pending))
+    pool = _make_pool(max_workers)
+    if pool is None:
+        return pending
+    if grace is None:
+        grace = max(2.0, timeout / 2) if timeout else 2.0
+
+    queue: deque[tuple[int, float]] = deque((i, 0.0) for i in pending)
+    attempts = {index: 0 for index in pending}
+    inflight: dict[Any, tuple[int, float]] = {}
+    stopped = False
+
+    def pop_ready(now: float) -> int | None:
+        """Next index whose backoff delay has elapsed (queue order kept)."""
+        for _ in range(len(queue)):
+            index, not_before = queue.popleft()
+            if not_before <= now:
+                return index
+            queue.append((index, not_before))
+        return None
+
+    def requeue(index: int, not_before: float) -> None:
+        queue.append((index, not_before))
+
+    def respawn(reason: str) -> bool:
+        """Replace a dead/abandoned pool; False degrades to inline."""
+        nonlocal pool
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:   # noqa: BLE001 - the pool is already broken
+            pass
+        state.event("pool.respawn", reason=reason,
+                    inflight=len(inflight) + len(queue))
+        pool = _make_pool(max_workers)
+        return pool is not None
+
+    def fail_transient(index: int, message: str, reason: str) -> None:
+        """A transient, non-job fault (crash/abandonment): retry or fail."""
+        if attempts[index] <= retries:
+            delay = state.retry_delay(index, attempts[index], backoff, reason)
+            requeue(index, time.monotonic() + delay)
+        else:
+            state.record_failure(index, message, None, attempts[index], 0.0)
+
+    while queue or inflight:
+        now = time.monotonic()
+        # Keep at most ``max_workers`` futures outstanding so a submitted
+        # job starts (almost) immediately — that's what makes the
+        # submit-time stamp a usable deadline reference.
+        while not stopped and pool is not None \
+                and len(inflight) < max_workers:
+            index = pop_ready(now)
+            if index is None:
+                break
+            attempts[index] += 1
+            try:
+                future = pool.submit(_execute_tagged, index,
+                                     state.jobs[index], state.faults,
+                                     timeout, False)
+            except (BrokenProcessPool, RuntimeError):
+                attempts[index] -= 1
+                requeue(index, now)
+                if not respawn("submit-failed"):
+                    break
+                continue
+            inflight[future] = (index, now)
+
+        if not inflight:
+            if stopped or pool is None:
+                break
+            if queue:   # every queued job is waiting out its backoff
+                next_ready = min(nb for _, nb in queue)
+                time.sleep(max(0.0, min(next_ready - time.monotonic(),
+                                        _WAIT_TICK)))
+                continue
+            break
+
+        done, _ = wait(set(inflight), timeout=_WAIT_TICK,
+                       return_when=FIRST_COMPLETED)
+
+        if not done and timeout is not None:
+            # Parent-side backstop: the worker's cooperative guard should
+            # have fired by ``timeout``; past timeout + grace the worker is
+            # wedged (a sleep, a native loop) — abandon the pool, mark the
+            # job timed out and re-dispatch the other in-flight jobs
+            # without charging them an attempt.
+            now = time.monotonic()
+            overdue = [(future, index, submitted)
+                       for future, (index, submitted) in inflight.items()
+                       if now - submitted > timeout + grace]
+            if overdue:
+                for future, index, submitted in overdue:
+                    inflight.pop(future)
+                    state.record_timeout(
+                        index, f"exceeded --timeout {timeout:g}s "
+                        f"(parent backstop after "
+                        f"{now - submitted:.1f}s)",
+                        attempts[index], now - submitted)
+                    stopped = stopped or fail_fast
+                for future, (index, _) in list(inflight.items()):
+                    inflight.pop(future)
+                    attempts[index] -= 1   # not this job's fault
+                    requeue(index, now)
+                if not respawn("stuck-worker"):
+                    break
+            continue
+
+        for future in done:
+            index, submitted = inflight.pop(future)
+            duration = time.monotonic() - submitted
+            try:
+                outcome = future.result()
+            except BrokenProcessPool as error:
+                # A worker died (OOM-kill, os._exit): the executor fails
+                # *every* in-flight future.  Treat them all as transient.
+                crashed = [index] + [i for i, _ in inflight.values()]
+                inflight.clear()
+                for crashed_index in crashed:
+                    fail_transient(crashed_index,
+                                   f"worker crashed: {error}", "pool-broken")
+                # A failed respawn leaves ``pool`` as None; the loop then
+                # exits and the caller degrades to inline execution.
+                respawn("worker-crashed")
+                break
+            except Exception as error:   # noqa: BLE001 - e.g. unpicklable
+                state.record_failure(index, f"{type(error).__name__}: "
+                                     f"{error}", None, attempts[index],
+                                     duration)
+                stopped = stopped or fail_fast
+                continue
+
+            tag = outcome[0]
+            if tag == "ok":
+                state.record_ok(index, outcome[2], attempts[index], duration)
+            elif tag == "timeout":
+                state.record_timeout(index, outcome[2], attempts[index],
+                                     duration)
+                stopped = stopped or fail_fast
+            else:
+                _, _, message, traceback_text, transient = outcome
+                if transient and attempts[index] <= retries:
+                    delay = state.retry_delay(index, attempts[index],
+                                              backoff, "transient")
+                    requeue(index, time.monotonic() + delay)
+                else:
+                    state.record_failure(index, message, traceback_text,
+                                         attempts[index], duration)
+                    stopped = stopped or fail_fast
+
+    if stopped:
+        for index, _ in queue:
+            state.record_skipped(index)
+        queue.clear()
+    leftovers = [index for index, _ in queue]
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return leftovers

@@ -25,7 +25,9 @@ from ..workloads.programs import memory_intensity
 from ..workloads.suite import (CKE_PAIRS, LCS_SET, LOCALITY_SET,
                                MOTIVATION_SET, SUITE, make_kernel)
 from .cache import ResultCache
-from .engine import run_jobs
+from .engine import (DEFAULT_RETRIES, BatchReport, JobExecutionError,
+                     JobOutcome, run_batch, run_jobs)
+from .faults import FaultPlan
 from .jobs import SimJob
 from .metrics import cke_metrics
 from .reporting import Table, geomean, speedup
@@ -62,7 +64,19 @@ class ExperimentContext:
     # but never the simulated statistics.
     timeline_window: int | None = None
     trace: bool = False
+    # Resilience knobs forwarded to every engine batch (see
+    # docs/ROBUSTNESS.md): transient-failure retries, the per-job
+    # wall-clock deadline, whether the first failure stops the batch, and
+    # an optional deterministic fault-injection plan.
+    retries: int = DEFAULT_RETRIES
+    timeout: float | None = None
+    fail_fast: bool = False
+    faults: FaultPlan | None = field(default=None, repr=False)
+    # Engine reports accumulate here, one per prefetch batch; sub-contexts
+    # share the parent's list so a CLI failure summary sees everything.
+    reports: list[BatchReport] = field(default_factory=list, repr=False)
     _cache: dict[tuple, RunResult] = field(default_factory=dict, repr=False)
+    _failed: dict[tuple, JobOutcome] = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------ #
     def kernel(self, name: str, scale_mult: float = 1.0) -> Kernel:
@@ -73,12 +87,17 @@ class ExperimentContext:
         return self.kernel(name).max_ctas_per_sm(self.config)
 
     def subcontext(self, config: GPUConfig) -> "ExperimentContext":
-        """A context on different hardware sharing scale/seed/jobs/cache."""
+        """A context on different hardware sharing scale/seed/jobs/cache
+        (and the resilience knobs; ``reports`` is shared, not copied, so
+        sub-context failures surface in the parent's summary)."""
         return ExperimentContext(scale=self.scale, seed=self.seed,
                                  config=config, jobs=self.jobs,
                                  cache=self.cache,
                                  timeline_window=self.timeline_window,
-                                 trace=self.trace)
+                                 trace=self.trace,
+                                 retries=self.retries, timeout=self.timeout,
+                                 fail_fast=self.fail_fast,
+                                 faults=self.faults, reports=self.reports)
 
     # ------------------------------------------------------------------ #
     def job(self, names: str | Sequence[str], *,
@@ -104,6 +123,13 @@ class ExperimentContext:
 
         Drivers call this with every run they are about to consume; the
         subsequent :meth:`run` calls are then pure memo lookups.
+
+        Failures are isolated per job: successful results are memoised
+        (and cached) regardless of what happened to their batch-mates,
+        failed jobs are remembered so :meth:`run` raises a
+        :class:`~repro.harness.engine.JobExecutionError` for exactly the
+        affected parameter combinations.  With ``fail_fast`` set the first
+        failure raises here instead.
         """
         batch: list[SimJob] = []
         seen: set[tuple] = set()
@@ -120,9 +146,22 @@ class ExperimentContext:
             batch.append(job)
         if not batch:
             return
-        for job, result in zip(batch, run_jobs(batch, workers=self.jobs,
-                                               cache=self.cache)):
-            self._cache[self._memo_key(job)] = result
+        report = run_batch(batch, workers=self.jobs, cache=self.cache,
+                           retries=self.retries, timeout=self.timeout,
+                           fail_fast=self.fail_fast, faults=self.faults)
+        self.reports.append(report)
+        for job, outcome in zip(batch, report.outcomes):
+            key = self._memo_key(job)
+            if outcome.result is not None:
+                self._cache[key] = outcome.result
+            else:
+                self._failed[key] = outcome
+        if self.fail_fast:
+            failure = report.first_failure()
+            if failure is not None:
+                raise JobExecutionError(failure.fingerprint,
+                                        failure.error or failure.status,
+                                        failure.worker_traceback)
 
     # ------------------------------------------------------------------ #
     def run(self, names: str | Sequence[str], *,
@@ -136,7 +175,15 @@ class ExperimentContext:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        result = run_jobs([job], cache=self.cache)[0]
+        failed = self._failed.get(key)
+        if failed is not None:
+            # The batch already tried (and retried) this combination; raise
+            # the recorded outcome instead of re-simulating a known failure.
+            raise JobExecutionError(failed.fingerprint,
+                                    failed.error or failed.status,
+                                    failed.worker_traceback)
+        result = run_jobs([job], cache=self.cache, retries=self.retries,
+                          timeout=self.timeout, faults=self.faults)[0]
         self._cache[key] = result
         return result
 
@@ -185,6 +232,18 @@ class ExperimentContext:
         out.sort(key=lambda pair: pair[0])
         return out
 
+    # ------------------------------------------------------------------ #
+    def failure_outcomes(self) -> list[JobOutcome]:
+        """Every failed/timed-out/skipped outcome across all batches run
+        through this context (including shared-report sub-contexts)."""
+        return [outcome for report in self.reports
+                for outcome in report.outcomes if outcome.result is None]
+
+    def engine_events(self) -> list[dict]:
+        """The engine's own trace events (retries, timeouts, respawns)
+        across all batches, in batch order."""
+        return [event for report in self.reports for event in report.events]
+
 
 def prefetch_contexts(
         items: Iterable[tuple[ExperimentContext, SimJob]]) -> None:
@@ -206,11 +265,24 @@ def prefetch_contexts(
     if not pending:
         return
     workers = max(ctx.jobs for ctx, _ in pending)
-    cache = pending[0][0].cache
-    results = run_jobs([job for _, job in pending], workers=workers,
-                       cache=cache)
-    for (ctx, job), result in zip(pending, results):
-        ctx._cache[ExperimentContext._memo_key(job)] = result
+    lead = pending[0][0]
+    report = run_batch([job for _, job in pending], workers=workers,
+                       cache=lead.cache, retries=lead.retries,
+                       timeout=lead.timeout, fail_fast=lead.fail_fast,
+                       faults=lead.faults)
+    lead.reports.append(report)
+    for (ctx, job), outcome in zip(pending, report.outcomes):
+        key = ExperimentContext._memo_key(job)
+        if outcome.result is not None:
+            ctx._cache[key] = outcome.result
+        else:
+            ctx._failed[key] = outcome
+    if lead.fail_fast:
+        failure = report.first_failure()
+        if failure is not None:
+            raise JobExecutionError(failure.fingerprint,
+                                    failure.error or failure.status,
+                                    failure.worker_traceback)
 
 
 # =========================================================================== #

@@ -1,0 +1,187 @@
+"""Deterministic fault injection for the batch engine.
+
+Every recovery path in :mod:`repro.harness.engine` — transient retry,
+pool-crash respawn, per-job deadlines, cache-corruption misses — is
+exercised by *injecting* the corresponding failure at a known point.  A
+:class:`FaultPlan` is a small, picklable schedule of faults keyed by the
+job's index within its batch, evaluated inside the worker (or the inline
+path) just before the job executes.
+
+Spec grammar (one or more comma/semicolon-separated entries)::
+
+    fail:K          job K raises InjectedFault on every attempt
+                    (a deterministic simulation bug: never retried)
+    flaky:K         job K raises InjectedTransientFault once, then runs
+                    (a transient worker error: retried and recovered)
+    kill:K          the worker running job K dies with os._exit once
+                    (an OOM-kill: the pool breaks and is respawned;
+                    inline execution degrades to a transient raise)
+    delay:K:S       job K sleeps S seconds before executing
+                    (a runaway job: trips the --timeout backstop)
+    corrupt:K       job K's cache entry is overwritten with garbage
+                    right after it is written (a torn/corrupted entry:
+                    the next read must miss, never crash)
+
+"once" semantics survive process boundaries through marker files in a
+shared state directory (``O_CREAT | O_EXCL`` — exactly one process wins),
+so a killed-and-retried job really does succeed on its second attempt.
+
+Plans come from three places: tests construct them directly, the CLIs
+accept ``--faults SPEC``, and :meth:`FaultPlan.from_env` reads the
+``REPRO_FAULTS`` environment variable (state directory override:
+``REPRO_FAULTS_STATE``) so CI can inject failures without new flags.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+
+#: Environment variables honoured by :meth:`FaultPlan.from_env`.
+ENV_SPEC = "REPRO_FAULTS"
+ENV_STATE = "REPRO_FAULTS_STATE"
+
+#: Exit status used by ``kill`` faults (visible in worker-crash logs).
+KILL_EXIT_CODE = 86
+
+_ACTIONS = ("fail", "flaky", "kill", "delay", "corrupt")
+
+
+class FaultSpecError(ValueError):
+    """A malformed fault-injection spec string."""
+
+
+class InjectedFault(RuntimeError):
+    """A deterministic injected failure (never retried)."""
+
+
+class InjectedTransientFault(OSError):
+    """A transient injected failure (classified as retryable)."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault: what to do, to which job, with what argument."""
+
+    action: str
+    index: int
+    arg: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise FaultSpecError(f"unknown fault action {self.action!r}; "
+                                 f"available: {', '.join(_ACTIONS)}")
+        if self.index < 0:
+            raise FaultSpecError(f"fault index must be >= 0, got {self.index}")
+        if self.action == "delay" and (self.arg is None or self.arg < 0):
+            raise FaultSpecError("delay faults need a non-negative duration: "
+                                 "delay:K:SECONDS")
+
+
+class FaultPlan:
+    """A picklable schedule of injected faults, shared with workers.
+
+    The plan travels to worker processes by pickle; the *fired-once* state
+    lives in ``state_dir`` marker files so it is shared across processes
+    and across pool respawns.
+    """
+
+    def __init__(self, faults: list[Fault] | tuple[Fault, ...],
+                 state_dir: str | None = None) -> None:
+        self.faults = tuple(faults)
+        if state_dir is None:
+            state_dir = tempfile.mkdtemp(prefix="repro-faults-")
+        self.state_dir = state_dir
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{f.action}:{f.index}" for f in self.faults)
+        return f"FaultPlan([{parts}])"
+
+    # ------------------------------------------------------------------ #
+    # construction
+    @classmethod
+    def parse(cls, spec: str, state_dir: str | None = None) -> "FaultPlan":
+        """Build a plan from a spec string (see module docstring)."""
+        faults = []
+        for entry in spec.replace(";", ",").split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            parts = entry.split(":")
+            if len(parts) not in (2, 3):
+                raise FaultSpecError(
+                    f"bad fault entry {entry!r}; expected ACTION:INDEX or "
+                    f"ACTION:INDEX:ARG")
+            action = parts[0]
+            try:
+                index = int(parts[1])
+            except ValueError:
+                raise FaultSpecError(
+                    f"bad fault index in {entry!r}: {parts[1]!r}") from None
+            arg = None
+            if len(parts) == 3:
+                try:
+                    arg = float(parts[2])
+                except ValueError:
+                    raise FaultSpecError(
+                        f"bad fault argument in {entry!r}: "
+                        f"{parts[2]!r}") from None
+            faults.append(Fault(action=action, index=index, arg=arg))
+        if not faults:
+            raise FaultSpecError(f"empty fault spec {spec!r}")
+        return cls(faults, state_dir=state_dir)
+
+    @classmethod
+    def from_env(cls, environ=os.environ) -> "FaultPlan | None":
+        """The plan described by ``REPRO_FAULTS``, or None when unset."""
+        spec = environ.get(ENV_SPEC, "").strip()
+        if not spec:
+            return None
+        return cls.parse(spec, state_dir=environ.get(ENV_STATE) or None)
+
+    # ------------------------------------------------------------------ #
+    # firing
+    def _fire_once(self, tag: str) -> bool:
+        """True exactly once per tag, across every participating process."""
+        os.makedirs(self.state_dir, exist_ok=True)
+        marker = os.path.join(self.state_dir, f"fired-{tag}")
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def before_execute(self, index: int, *, inline: bool = False) -> None:
+        """Apply job-K faults; called right before job K executes.
+
+        ``inline=True`` means the job runs in the batch's own process, so a
+        ``kill`` fault degrades to a transient raise instead of taking the
+        whole batch down with it.
+        """
+        for fault in self.faults:
+            if fault.index != index:
+                continue
+            if fault.action == "delay":
+                time.sleep(fault.arg or 0.0)
+            elif fault.action == "fail":
+                raise InjectedFault(f"injected deterministic failure "
+                                    f"(job {index})")
+            elif fault.action == "flaky":
+                if self._fire_once(f"flaky-{index}"):
+                    raise InjectedTransientFault(
+                        f"injected transient failure (job {index})")
+            elif fault.action == "kill":
+                if self._fire_once(f"kill-{index}"):
+                    if inline:
+                        raise InjectedTransientFault(
+                            f"injected worker crash (job {index}, inline)")
+                    os._exit(KILL_EXIT_CODE)
+
+    def corrupt_cache(self, index: int) -> bool:
+        """True (once) if job K's cache entry should be corrupted."""
+        return any(fault.action == "corrupt" and fault.index == index
+                   and self._fire_once(f"corrupt-{index}")
+                   for fault in self.faults)

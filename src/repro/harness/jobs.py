@@ -248,8 +248,15 @@ class SimJob:
         return [make_kernel(name, scale=self.scale * mult, seed=self.seed)
                 for name, mult in zip(self.names, self.scale_mults)]
 
-    def execute(self) -> "RunResult":
-        """Construct kernels + policy and run the simulation."""
+    def execute(self, *, wall_timeout: float | None = None) -> "RunResult":
+        """Construct kernels + policy and run the simulation.
+
+        ``wall_timeout`` (seconds) arms the cooperative deadline guard in
+        ``GPU.run``: a run exceeding it raises a typed
+        :class:`~repro.sim.gpu.SimulationTimeout` instead of hanging its
+        worker.  It never joins the fingerprint — a result is the same
+        result however patient the caller was.
+        """
         from .runner import simulate   # local import: runner imports nothing
         kernels = self.build_kernels()
         scheduler = build_policy(self.policy, kernels)
@@ -262,4 +269,5 @@ class SimJob:
         return simulate(kernels, config=self.config,
                         warp_scheduler=warp_scheduler,
                         cta_scheduler=scheduler,
-                        telemetry=telemetry)
+                        telemetry=telemetry,
+                        wall_timeout=wall_timeout)

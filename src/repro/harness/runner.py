@@ -21,7 +21,8 @@ def simulate(kernels: Kernel | Sequence[Kernel], *,
              config: GPUConfig | None = None,
              warp_scheduler="gto",
              cta_scheduler: CTAScheduler | None = None,
-             telemetry: TelemetryHub | None = None) -> RunResult:
+             telemetry: TelemetryHub | None = None,
+             wall_timeout: float | None = None) -> RunResult:
     """Run kernels to completion and return the collected statistics.
 
     Parameters
@@ -47,6 +48,11 @@ def simulate(kernels: Kernel | Sequence[Kernel], *,
         trace in ``result.meta["trace"]`` (a list of plain dicts).  Neither
         perturbs the simulated statistics.  Hubs are single-use, like
         policy objects.
+    wall_timeout:
+        Optional wall-clock budget in seconds: a run that exceeds it
+        raises a typed :class:`~repro.sim.gpu.SimulationTimeout` instead
+        of running (or hanging) indefinitely.  The guard never perturbs
+        the statistics of runs that finish in time.
     """
     if isinstance(kernels, Kernel):
         kernels = [kernels]
@@ -64,7 +70,7 @@ def simulate(kernels: Kernel | Sequence[Kernel], *,
 
     gpu = GPU(config=config, warp_scheduler=warp_scheduler,
               telemetry=telemetry)
-    gpu.run(cta_scheduler)
+    gpu.run(cta_scheduler, wall_timeout=wall_timeout)
 
     l1_total = CacheStats()
     for sm in gpu.sms:

@@ -39,7 +39,7 @@ from ..core.dyncta import DynCTAScheduler
 from ..core.lcs import LCSScheduler
 from ..core.warp_schedulers import available_warp_schedulers, swl_factory
 from ..sim.config import GPUConfig
-from ..sim.gpu import GPU
+from ..sim.gpu import GPU, SimulationTimeout
 from ..sim.kernel import Kernel
 from ..sim.stats import RunResult
 from ..telemetry.hub import TelemetryHub
@@ -48,7 +48,8 @@ from ..workloads.patterns import DEFAULT_SEED
 from ..workloads.suite import SUITE, make_kernel
 from ..workloads.tracefile import load_kernel_trace
 from .cache import DEFAULT_CACHE_DIR, ResultCache
-from .engine import run_jobs
+from .engine import DEFAULT_RETRIES, JobExecutionError, run_jobs
+from .faults import FaultPlan, FaultSpecError
 from .jobs import SimJob
 
 CONFIGS = ("fermi", "kepler", "small")
@@ -95,6 +96,15 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the persistent result cache "
                              f"({DEFAULT_CACHE_DIR}/)")
+    parser.add_argument("--retries", type=int, default=DEFAULT_RETRIES,
+                        metavar="N",
+                        help="retries for transient failures on the engine "
+                             f"path (default {DEFAULT_RETRIES})")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock deadline for the run; an overrun "
+                             "exits with a typed timeout error instead of "
+                             "hanging (default: none)")
     return parser.parse_args(argv)
 
 
@@ -218,8 +228,20 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if use_engine:
         cache = None if args.no_cache else ResultCache()
-        result = run_jobs([job], workers=max(args.jobs, 1),
-                          cache=cache)[0]
+        try:
+            faults = FaultPlan.from_env()
+        except FaultSpecError as error:
+            print(f"bad fault spec: {error}", file=sys.stderr)
+            return 2
+        try:
+            result = run_jobs([job], workers=max(args.jobs, 1), cache=cache,
+                              retries=max(args.retries, 0),
+                              timeout=args.timeout, faults=faults)[0]
+        except JobExecutionError as error:
+            print(f"error: {error}", file=sys.stderr)
+            if error.worker_traceback:
+                print(error.worker_traceback.rstrip(), file=sys.stderr)
+            return 1
         if cache is not None:
             state = "hit" if cache.hits else "miss"
             print(f"[cache {state}: {job.fingerprint()[:12]} in "
@@ -242,7 +264,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     hub = TelemetryHub(window=window, trace=bool(args.trace))
 
     gpu = GPU(config=config, warp_scheduler=warp, telemetry=hub)
-    gpu.run(policy)
+    try:
+        gpu.run(policy, wall_timeout=args.timeout)
+    except SimulationTimeout as error:
+        print(f"error: simulation timed out ({error})", file=sys.stderr)
+        return 1
 
     # Assemble the same summary simulate() would give.
     from ..sim.stats import CacheStats

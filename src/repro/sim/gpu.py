@@ -8,6 +8,7 @@ condition is exactly "no state transition can happen before that event").
 
 from __future__ import annotations
 
+from time import monotonic as _monotonic
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from ..core.warp_schedulers import WarpScheduler, warp_scheduler_factory
@@ -33,7 +34,8 @@ class SimulationDeadlock(SimulationError):
 
 
 class SimulationTimeout(SimulationError):
-    """The run exceeded ``GPUConfig.max_cycles``."""
+    """The run exceeded its budget: ``GPUConfig.max_cycles`` or the
+    wall-clock deadline of ``GPU.run(..., wall_timeout=...)``."""
 
 
 class KernelRun:
@@ -163,7 +165,8 @@ class GPU:
 
     # ------------------------------------------------------------------ #
     def run(self, cta_scheduler: "CTAScheduler", *,
-            cycle_accurate: bool = False) -> None:
+            cycle_accurate: bool = False,
+            wall_timeout: float | None = None) -> None:
         """Execute until every launched kernel completes.
 
         ``cycle_accurate=True`` disables the event fast-forward and ticks
@@ -172,11 +175,20 @@ class GPU:
         exists so the test suite can *prove* that equivalence, and as a
         debugging aid.
 
+        ``wall_timeout`` is a cooperative wall-clock budget in seconds: a
+        run that exceeds it raises a typed :class:`SimulationTimeout` from
+        the loop top instead of hanging its caller (the batch engine's
+        per-job ``--timeout`` rides on this).  The check never perturbs
+        results — it only decides whether the run is *allowed to finish* —
+        and costs one ``is not None`` test per iteration when disabled.
+
         Telemetry never rides the event queue (extra queue entries would
         change fast-forward jumps and the drain's final cycle): windowed
         sampling runs a dedicated loop variant selected *once* per run, so
         a GPU without a hub executes the exact pre-telemetry loop.
         """
+        deadline = (None if wall_timeout is None
+                    else _monotonic() + wall_timeout)
         hub = self.telemetry
         if hub is not None:
             # Before bind(): policy on_bound hooks emit trace events
@@ -185,9 +197,10 @@ class GPU:
         self.cta_scheduler = cta_scheduler
         cta_scheduler.bind(self)
         if hub is not None and hub.window is not None:
-            cycle = self._loop_windowed(cta_scheduler, cycle_accurate, hub)
+            cycle = self._loop_windowed(cta_scheduler, cycle_accurate, hub,
+                                        deadline)
         else:
-            cycle = self._loop(cta_scheduler, cycle_accurate)
+            cycle = self._loop(cta_scheduler, cycle_accurate, deadline)
         # All CTAs have completed; drain in-flight memory traffic (pending
         # write-throughs and late fills) so the memory-system statistics are
         # complete.  The clock advances with the drain: a kernel is not done
@@ -201,14 +214,19 @@ class GPU:
         if hub is not None:
             hub.on_run_end(cycle)
 
-    def _loop(self, cta_scheduler: "CTAScheduler",
-              cycle_accurate: bool) -> int:
+    def _loop(self, cta_scheduler: "CTAScheduler", cycle_accurate: bool,
+              deadline: float | None = None) -> int:
         """The telemetry-free run loop (the pre-telemetry hot path)."""
         events = self.events
         sms = self.sms
         max_cycles = self.config.max_cycles
         cycle = self.cycle
         while not cta_scheduler.done:
+            if deadline is not None and _monotonic() >= deadline:
+                self.cycle = cycle
+                raise SimulationTimeout(
+                    f"wall-clock timeout at cycle {cycle}; "
+                    f"runs={self.runs!r}")
             events.run_due(cycle)
             cta_scheduler.fill(cycle)
             active = False
@@ -241,7 +259,8 @@ class GPU:
         return cycle
 
     def _loop_windowed(self, cta_scheduler: "CTAScheduler",
-                       cycle_accurate: bool, hub: "TelemetryHub") -> int:
+                       cycle_accurate: bool, hub: "TelemetryHub",
+                       deadline: float | None = None) -> int:
         """:meth:`_loop` plus window-boundary sampling.
 
         The boundary check sits at the *top* of the iteration, before
@@ -259,6 +278,11 @@ class GPU:
         window = hub.window
         boundary = (cycle // window + 1) * window
         while not cta_scheduler.done:
+            if deadline is not None and _monotonic() >= deadline:
+                self.cycle = cycle
+                raise SimulationTimeout(
+                    f"wall-clock timeout at cycle {cycle}; "
+                    f"runs={self.runs!r}")
             while cycle >= boundary:
                 hub.close_window(boundary)
                 boundary += window

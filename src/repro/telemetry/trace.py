@@ -114,15 +114,34 @@ def chrome_trace(events: Iterable[Any], *,
 
 def merge_chrome_traces(
         named: Sequence[tuple[str, Iterable[Any], TimelineResult | None]],
+        *, engine_events: Iterable[Mapping[str, Any]] | None = None,
 ) -> dict[str, Any]:
     """Merge several runs into one document, one ``pid`` lane per run.
 
     ``named`` is a sequence of ``(label, events, timeline_or_None)``.
+
+    ``engine_events`` optionally adds the batch engine's resilience trace
+    (``job.retry``, ``job.timeout``, ``job.failed``, ``pool.respawn``,
+    ``cache.write_error`` — see ``BatchReport.events``) as one extra lane.
+    Those records carry wall-clock seconds, not cycles, so the lane has
+    its own time base; what matters is the ordering of recovery actions.
     """
     merged: list[dict[str, Any]] = []
     for pid, (label, events, timeline) in enumerate(named):
         doc = chrome_trace(events, timeline=timeline, pid=pid, label=label)
         merged.extend(doc["traceEvents"])
+    engine_records = list(engine_events or ())
+    if engine_records:
+        engine_pid = len(named)
+        merged.append({"name": "process_name", "ph": "M", "pid": engine_pid,
+                       "tid": 0, "args": {"name": "engine (wall-clock)"}})
+        for event in engine_records:
+            merged.append({
+                "name": event["kind"], "cat": "engine", "ph": "i",
+                "ts": float(event.get("t", 0.0)) * 1e6,   # s -> us
+                "pid": engine_pid, "tid": 0, "s": "g",
+                "args": dict(event.get("payload", {})),
+            })
     return {"traceEvents": merged, "displayTimeUnit": "ms",
             "otherData": {"source": "repro.telemetry",
                           "time_unit": "cycles"}}

@@ -82,3 +82,48 @@ def test_timeline_and_trace_export(tmp_path, monkeypatch, capsys):
     doc = json.loads((tmp_path / "e5.json").read_text())
     assert doc["traceEvents"]
     assert len({r["pid"] for r in doc["traceEvents"]}) >= 2
+
+
+def test_bad_fault_spec_is_usage_error(capsys):
+    assert main(["e5", "--faults", "explode:0"]) == 2
+    assert "bad fault spec" in capsys.readouterr().err
+
+
+def test_negative_retries_and_timeout_rejected(capsys):
+    assert main(["e5", "--retries", "-1"]) == 2
+    assert main(["e5", "--timeout", "-3"]) == 2
+
+
+def test_injected_failure_reports_and_exits_nonzero(capsys):
+    assert main(["e5", "--scale", "0.02", "--no-cache", "--retries", "0",
+                 "--faults", "flaky:0"]) == 1
+    captured = capsys.readouterr()
+    assert "FAILED" in captured.err
+    assert "Failure summary" in captured.out
+    assert "InjectedTransientFault" in captured.out
+
+
+def test_keep_going_yields_partial_results_after_failure(capsys):
+    # flaky:0 fires exactly once (during e5), so e12 still completes:
+    # the run reports e5's failure but ships e12's tables and exits 1.
+    assert main(["e5", "e12", "--scale", "0.02", "--no-cache",
+                 "--retries", "0", "--faults", "flaky:0"]) == 1
+    captured = capsys.readouterr()
+    assert "E12a" in captured.out and "E12b" in captured.out
+    assert "FAILED: e5" in captured.err
+
+
+def test_fail_fast_stops_at_first_failure(capsys):
+    assert main(["e5", "e12", "--scale", "0.02", "--no-cache",
+                 "--retries", "0", "--fail-fast",
+                 "--faults", "flaky:0"]) == 1
+    captured = capsys.readouterr()
+    assert "E12a" not in captured.out     # never ran
+
+
+def test_worker_kill_recovered_by_retry(capsys):
+    assert main(["e5", "--scale", "0.02", "--no-cache", "--jobs", "2",
+                 "--faults", "kill:0"]) == 0
+    captured = capsys.readouterr()
+    assert "E5" in captured.out
+    assert "recovered by retry" in captured.err

@@ -7,11 +7,12 @@ stat, CTA limit and meta entry (including the LCS decision object).
 """
 
 import json
+import warnings
 
 import pytest
 
 from repro.harness.cache import ResultCache
-from repro.harness.engine import JobExecutionError, run_jobs
+from repro.harness.engine import JobExecutionError, run_batch, run_jobs
 from repro.harness.jobs import SimJob
 from repro.harness.reporting import Table
 from repro.sim.config import GPUConfig
@@ -132,6 +133,47 @@ class TestCache:
         cache.path_for(job.fingerprint()).write_text("garbage")
         again = run_jobs([job], cache=cache)[0]
         assert again == first
+
+    def test_stray_tmp_files_ignored_and_cleared(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = SimJob(names=("kmeans",), scale=0.05, config=SMALL)
+        cache.put(job.fingerprint(), job.execute())
+        # A worker killed mid-write leaves a .tmp-* file behind; it must
+        # not count as an entry, not break reads, and clear() removes it.
+        stray = cache.root / ".tmp-dead12.json"
+        stray.write_text("{ half an entr")
+        assert len(cache) == 1
+        assert cache.get(job.fingerprint()) is not None
+        assert cache.clear() == 2
+        assert not stray.exists()
+
+    def test_unwritable_cache_degrades_gracefully(self, tmp_path):
+        # A regular file where the cache root should be makes mkdir raise
+        # (chmod tricks do not work for root, which runs this suite).
+        root = tmp_path / "cache"
+        root.write_text("not a directory")
+        cache = ResultCache(root)
+        job = SimJob(names=("kmeans",), scale=0.05, config=SMALL)
+        result = job.execute()
+        with pytest.warns(RuntimeWarning, match="not writable"):
+            assert cache.put(job.fingerprint(), result) is False
+        # Only the first failure warns; every failure counts.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.put(job.fingerprint(), result) is False
+        assert cache.write_errors == 2
+        assert "write_errors=2" in repr(cache)
+
+    def test_batch_survives_unwritable_cache(self, tmp_path):
+        root = tmp_path / "cache"
+        root.write_text("not a directory")
+        cache = ResultCache(root)
+        job = SimJob(names=("kmeans",), scale=0.05, config=SMALL)
+        with pytest.warns(RuntimeWarning):
+            report = run_batch([job], cache=cache)
+        assert report.outcomes[0].status == "ok"   # un-cached, not failed
+        assert cache.write_errors == 1
+        assert "cache.write_error" in [e["kind"] for e in report.events]
 
     def test_len_and_clear(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")

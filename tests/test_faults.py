@@ -1,0 +1,234 @@
+"""Tests for the engine's resilience paths, driven by fault injection.
+
+Every recovery behaviour the engine promises — fault isolation, transient
+retry, pool-crash respawn, per-job deadlines, cache-corruption misses — is
+exercised here by injecting the corresponding failure at a known point
+with :class:`repro.harness.faults.FaultPlan`.
+"""
+
+import pytest
+
+from repro.harness.cache import ResultCache
+from repro.harness.engine import (BatchError, JobExecutionError, run_batch,
+                                  run_jobs)
+from repro.harness.faults import (Fault, FaultPlan, FaultSpecError,
+                                  InjectedFault, InjectedTransientFault)
+from repro.harness.jobs import SimJob
+from repro.sim.config import GPUConfig
+
+SMALL = GPUConfig.small()
+
+
+def _job(scale=0.05, **kwargs):
+    return SimJob(names=("kmeans",), scale=scale, config=SMALL, **kwargs)
+
+
+def _jobs(n):
+    """n distinct small jobs (distinct scales -> distinct fingerprints)."""
+    return [_job(scale=0.05 + 0.01 * i) for i in range(n)]
+
+
+def _plan(spec, tmp_path):
+    return FaultPlan.parse(spec, state_dir=str(tmp_path / "fault-state"))
+
+
+# --------------------------------------------------------------------------- #
+# spec parsing
+# --------------------------------------------------------------------------- #
+
+class TestFaultPlanParsing:
+    def test_parse_all_actions(self, tmp_path):
+        plan = _plan("fail:0, flaky:1;kill:2,delay:3:1.5,corrupt:4", tmp_path)
+        assert [f.action for f in plan.faults] == [
+            "fail", "flaky", "kill", "delay", "corrupt"]
+        assert [f.index for f in plan.faults] == [0, 1, 2, 3, 4]
+        assert plan.faults[3].arg == 1.5
+
+    @pytest.mark.parametrize("spec", [
+        "", "   ", "explode:0", "fail", "fail:x", "fail:-1",
+        "delay:0", "delay:0:soon", "fail:0:1:2",
+    ])
+    def test_bad_specs_rejected(self, spec, tmp_path):
+        with pytest.raises(FaultSpecError):
+            _plan(spec, tmp_path)
+
+    def test_from_env_unset_is_none(self):
+        assert FaultPlan.from_env(environ={}) is None
+
+    def test_from_env_reads_spec_and_state_dir(self, tmp_path):
+        plan = FaultPlan.from_env(environ={
+            "REPRO_FAULTS": "flaky:2",
+            "REPRO_FAULTS_STATE": str(tmp_path / "state")})
+        assert plan.faults == (Fault("flaky", 2),)
+        assert plan.state_dir == str(tmp_path / "state")
+
+    def test_fire_once_is_once_per_tag(self, tmp_path):
+        plan = _plan("flaky:0", tmp_path)
+        assert plan._fire_once("x") is True
+        assert plan._fire_once("x") is False
+        assert plan._fire_once("y") is True
+
+    def test_before_execute_raises_typed_exceptions(self, tmp_path):
+        plan = _plan("fail:0,flaky:1", tmp_path)
+        with pytest.raises(InjectedFault):
+            plan.before_execute(0)
+        with pytest.raises(InjectedTransientFault):
+            plan.before_execute(1)
+        plan.before_execute(1)   # flaky fires once, then passes
+
+
+# --------------------------------------------------------------------------- #
+# fault isolation + retry (inline path)
+# --------------------------------------------------------------------------- #
+
+class TestIsolationAndRetry:
+    def test_deterministic_failure_isolated_and_never_retried(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = _jobs(3)
+        report = run_batch(jobs, cache=cache,
+                           faults=_plan("fail:1", tmp_path))
+        assert [o.status for o in report.outcomes] == ["ok", "failed", "ok"]
+        assert report.outcomes[1].attempts == 1   # deterministic: no retry
+        assert "InjectedFault" in report.outcomes[1].error
+        assert "injected deterministic failure" \
+            in report.outcomes[1].worker_traceback
+        # Satellite (b): the siblings' results were cached before anything
+        # surfaced the failure.
+        assert cache.get(jobs[0].fingerprint()) is not None
+        assert cache.get(jobs[2].fingerprint()) is not None
+
+    def test_flaky_job_recovers_by_retry(self, tmp_path):
+        report = run_batch(_jobs(2), faults=_plan("flaky:1", tmp_path))
+        assert [o.status for o in report.outcomes] == ["ok", "ok"]
+        flaky = report.outcomes[1]
+        assert flaky.attempts == 2 and flaky.retried
+        assert report.retried == 1
+        kinds = [e["kind"] for e in report.events]
+        assert "job.retry" in kinds and "job.recovered" in kinds
+
+    def test_retries_zero_turns_flaky_into_failure(self, tmp_path):
+        report = run_batch(_jobs(1), retries=0,
+                           faults=_plan("flaky:0", tmp_path))
+        outcome = report.outcomes[0]
+        assert outcome.status == "failed" and outcome.attempts == 1
+        assert "InjectedTransientFault" in outcome.error
+
+    def test_inline_kill_degrades_to_transient_and_recovers(self, tmp_path):
+        report = run_batch(_jobs(1), faults=_plan("kill:0", tmp_path))
+        outcome = report.outcomes[0]
+        assert outcome.status == "ok" and outcome.attempts == 2
+
+    def test_run_jobs_raises_only_after_whole_batch_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = _jobs(3)
+        with pytest.raises(JobExecutionError) as excinfo:
+            run_jobs(jobs, cache=cache, faults=_plan("fail:0", tmp_path))
+        assert excinfo.value.fingerprint == jobs[0].fingerprint()
+        # Jobs 1 and 2 ran to completion and were cached despite job 0
+        # failing first (the old engine lost them).
+        assert cache.get(jobs[1].fingerprint()) is not None
+        assert cache.get(jobs[2].fingerprint()) is not None
+
+    def test_faulty_results_match_clean_run(self, tmp_path):
+        clean = run_batch(_jobs(2)).results()
+        shaky = run_batch(_jobs(2), faults=_plan("flaky:0", tmp_path))
+        assert shaky.results() == clean   # recovery never perturbs results
+
+    def test_fail_fast_skips_the_rest(self, tmp_path):
+        report = run_batch(_jobs(3), fail_fast=True,
+                           faults=_plan("fail:0", tmp_path))
+        assert [o.status for o in report.outcomes] == \
+            ["failed", "skipped", "skipped"]
+        with pytest.raises(BatchError):
+            report.results()
+
+    def test_batch_report_counts_and_summary(self, tmp_path):
+        report = run_batch(_jobs(3), faults=_plan("fail:1,flaky:2", tmp_path))
+        assert report.count("ok") == 2 and report.count("failed") == 1
+        assert len(report.failures()) == 1
+        assert report.first_failure().index == 1
+        line = report.summary_line()
+        assert "2 ok" in line and "1 failed" in line and "1 retried" in line
+
+
+# --------------------------------------------------------------------------- #
+# pool-crash recovery (the acceptance criterion)
+# --------------------------------------------------------------------------- #
+
+class TestPoolCrashRecovery:
+    def test_killed_worker_recovered_with_siblings_intact(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = _jobs(4)
+        report = run_batch(jobs, workers=2, cache=cache,
+                           faults=_plan("kill:1", tmp_path))
+        # The batch still yields a complete report: every job has a result,
+        # the killed job was re-dispatched after the pool respawn.
+        assert [o.status for o in report.outcomes] == ["ok"] * 4
+        assert report.retried >= 1
+        kinds = [e["kind"] for e in report.events]
+        assert "pool.respawn" in kinds and "job.recovered" in kinds
+        for job in jobs:
+            assert cache.get(job.fingerprint()) is not None
+        assert report.results() == run_batch(jobs).results()
+
+    def test_killed_worker_without_retries_fails_cleanly(self, tmp_path):
+        report = run_batch(_jobs(3), workers=2, retries=0,
+                           faults=_plan("kill:0", tmp_path))
+        # No retries allowed: the crash becomes per-job failures (the
+        # victim plus whoever shared the broken pool), never a hang or an
+        # engine crash — and untouched jobs still complete.
+        assert report.count("failed") >= 1
+        assert report.count("ok") + report.count("failed") == 3
+        for outcome in report.outcomes:
+            if outcome.status == "failed":
+                assert "worker crashed" in outcome.error
+
+
+# --------------------------------------------------------------------------- #
+# deadlines
+# --------------------------------------------------------------------------- #
+
+class TestDeadlines:
+    def test_cooperative_timeout_is_a_typed_outcome(self, tmp_path):
+        report = run_batch(_jobs(2), timeout=0.0)
+        for outcome in report.outcomes:
+            assert outcome.status == "timeout"
+            assert outcome.attempts == 1   # timeouts are never retried
+            assert "SimulationTimeout" in outcome.error
+        assert "job.timeout" in [e["kind"] for e in report.events]
+
+    def test_run_jobs_surfaces_timeout_as_typed_error(self):
+        with pytest.raises(JobExecutionError) as excinfo:
+            run_jobs(_jobs(1), timeout=0.0)
+        assert "SimulationTimeout" in str(excinfo.value)
+
+    def test_parent_backstop_catches_wedged_worker(self, tmp_path):
+        # delay:0:5 wedges job 0 *before* the cooperative guard arms, so
+        # only the parent's timeout+grace backstop can reclaim it.  Job 1
+        # is unaffected and completes normally.
+        report = run_batch(_jobs(2), workers=2, timeout=1.0, grace=0.3,
+                           faults=_plan("delay:0:5", tmp_path))
+        assert report.outcomes[0].status == "timeout"
+        assert "backstop" in report.outcomes[0].error
+        assert report.outcomes[1].status == "ok"
+        assert "pool.respawn" in [e["kind"] for e in report.events]
+
+
+# --------------------------------------------------------------------------- #
+# cache corruption injection
+# --------------------------------------------------------------------------- #
+
+class TestCacheCorruption:
+    def test_corrupted_entry_misses_then_recomputes(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = _jobs(1)
+        first = run_batch(jobs, cache=cache,
+                          faults=_plan("corrupt:0", tmp_path))
+        assert first.outcomes[0].status == "ok"
+        assert "cache.corrupted" in [e["kind"] for e in first.events]
+        # The scribbled entry is a miss, not a crash...
+        assert cache.get(jobs[0].fingerprint()) is None
+        # ...and a faultless re-run recomputes the identical result.
+        again = run_batch(jobs, cache=cache)
+        assert again.outcomes[0].status == "ok"
+        assert again.results() == first.results()

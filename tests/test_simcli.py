@@ -98,3 +98,28 @@ def test_trace_file_input(tmp_path, capsys):
     save_kernel_trace(make_kernel("kmeans", scale=0.02), path)
     assert main([str(path), "--policy", "lcs"]) == 0
     assert "kmeans" in capsys.readouterr().out
+
+
+def test_engine_timeout_is_typed_error(capsys):
+    assert main(["kmeans", "--scale", "0.05", "--no-cache",
+                 "--timeout", "0"]) == 1
+    assert "SimulationTimeout" in capsys.readouterr().err
+
+
+def test_live_path_timeout_is_typed_error(capsys):
+    assert main(["kmeans", "--scale", "0.05", "--timeline", "500",
+                 "--timeout", "0"]) == 1
+    assert "timed out" in capsys.readouterr().err
+
+
+def test_env_fault_injection_fails_run(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_FAULTS", "fail:0")
+    assert main(["kmeans", "--scale", "0.05", "--no-cache"]) == 1
+    err = capsys.readouterr().err
+    assert "InjectedFault" in err
+
+
+def test_env_fault_bad_spec_is_usage_error(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_FAULTS", "explode:0")
+    assert main(["kmeans", "--scale", "0.05", "--no-cache"]) == 2
+    assert "bad fault spec" in capsys.readouterr().err
