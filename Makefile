@@ -3,7 +3,8 @@
 PY      ?= python
 PYTEST  = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test lint bench bench-smoke bench-engine fault-smoke clean-cache
+.PHONY: test lint bench bench-smoke bench-engine fault-smoke resume-smoke \
+	clean-cache
 
 test:            ## tier-1 test suite
 	$(PYTEST) -q
@@ -44,6 +45,32 @@ fault-smoke:     ## resilience drill: injected failure + pool-crash recovery
 		|| { echo "fault-smoke: killed worker was not retried"; exit 1; }; \
 	echo "fault-smoke: ok (failure reported + partial results kept;" \
 	     "killed worker recovered)"
+
+SIM = PYTHONPATH=src $(PY) -m repro.harness.simcli
+
+resume-smoke:    ## checkpoint/resume drill: mid-run kill, resume, sanitize
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	ref=$$($(SIM) kmeans --scale 0.05 --policy lcs --no-cache \
+		| grep '^cycles=') \
+		|| { echo "resume-smoke: reference run failed"; exit 1; }; \
+	out=$$($(SIM) kmeans --scale 0.05 --policy lcs --no-cache \
+		--checkpoint-interval 500 --checkpoint-dir "$$tmp/ckpt" \
+		--faults kill-at:0:1500 2>&1) \
+		|| { echo "resume-smoke: kill-resume run failed"; \
+		     echo "$$out"; exit 1; }; \
+	echo "$$out" | grep -q "resumed from cycle" \
+		|| { echo "resume-smoke: run did not resume from checkpoint"; \
+		     echo "$$out"; exit 1; }; \
+	echo "$$out" | grep -qF "$$ref" \
+		|| { echo "resume-smoke: resumed stats differ from reference"; \
+		     echo "expected: $$ref"; echo "$$out"; exit 1; }; \
+	if $(SIM) kmeans --scale 0.05 --policy lcs --no-cache --sanitize \
+		--faults corrupt:0:1500 >/dev/null 2>&1; then \
+		echo "resume-smoke: sanitizer missed injected corruption"; \
+		exit 1; \
+	fi; \
+	echo "resume-smoke: ok (killed run resumed bitwise-identical;" \
+	     "sanitizer caught injected corruption)"
 
 clean-cache:     ## purge the persistent result cache
 	PYTHONPATH=src $(PY) -m repro.harness.cli --clear-cache

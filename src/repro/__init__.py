@@ -22,11 +22,12 @@ from .core import (BCSScheduler, CTAScheduler, DynCTAScheduler,
                    SpatialCKE, StaticLimitCTAScheduler,
                    available_warp_schedulers, decide_n_star,
                    sweep_static_limits)
-from .harness import (CKEMetrics, cke_metrics, compare_runs, simulate,
-                      validate_run)
-from .sim import (GPU, GPUConfig, Instruction, Kernel, KernelResourceError,
+from .harness import (CheckpointPlan, CheckpointStore, CKEMetrics,
+                      cke_metrics, compare_runs, simulate, validate_run)
+from .sim import (GPU, GPUConfig, Instruction, InvariantSanitizer,
+                  InvariantViolation, Kernel, KernelResourceError,
                   Op, RunResult, SimulationDeadlock, SimulationError,
-                  SimulationTimeout, TimelineSampler)
+                  SimulationTimeout, Snapshot, TimelineSampler)
 from .workloads import (SUITE, BenchmarkInfo, TraceBuilder,
                         load_kernel_trace, make_kernel, save_kernel_trace,
                         suite_names)
@@ -45,5 +46,7 @@ __all__ = [
     "Instruction", "Kernel", "KernelResourceError", "Op", "RunResult",
     "SimulationDeadlock", "SimulationError", "SimulationTimeout", "SUITE",
     "BenchmarkInfo", "TraceBuilder", "make_kernel", "suite_names",
+    "CheckpointPlan", "CheckpointStore", "InvariantSanitizer",
+    "InvariantViolation", "Snapshot",
     "__version__",
 ]

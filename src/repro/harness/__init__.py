@@ -1,18 +1,21 @@
 """Experiment harness: runner, batch engine, experiment drivers, reporting."""
 
 from .cache import ResultCache
+from .checkpoints import CheckpointPlan, CheckpointStore
 from .compare import compare_runs, stall_shift
 from .engine import (BatchError, BatchReport, JobExecutionError, JobOutcome,
                      run_batch, run_jobs)
-from .faults import FaultPlan, FaultSpecError
+from .faults import FaultPlan, FaultSpecError, RunSaboteur
 from .jobs import JobError, SimJob
 from .metrics import CKEMetrics, cke_metrics
 from .runner import simulate
 from .sweeps import config_sweep, occupancy_position
 from .validate import RunValidationError, validate_run
 
-__all__ = ["BatchError", "BatchReport", "CKEMetrics", "cke_metrics",
+__all__ = ["BatchError", "BatchReport", "CheckpointPlan", "CheckpointStore",
+           "CKEMetrics", "cke_metrics",
            "compare_runs", "stall_shift", "config_sweep", "FaultPlan",
            "FaultSpecError", "JobError", "JobExecutionError", "JobOutcome",
            "occupancy_position", "ResultCache", "run_batch", "run_jobs",
-           "RunValidationError", "simulate", "SimJob", "validate_run"]
+           "RunSaboteur", "RunValidationError", "simulate", "SimJob",
+           "validate_run"]

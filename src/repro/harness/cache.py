@@ -17,8 +17,13 @@ invalidates every old entry without touching the files.
 Rich meta payloads (the ``timeline``/``trace`` riders collected by
 :mod:`repro.telemetry`) round-trip through the same JSON entry; their
 decode runs inside the same try block as everything else, so an entry with
-a mangled timeline or trace is a silent miss and gets recomputed, never a
-crash.
+a mangled timeline or trace is a miss and gets recomputed, never a crash.
+
+A *corrupt* entry (the file exists but does not decode) is additionally
+**quarantined**: renamed to ``<fingerprint>.corrupt`` — deleted outright
+if even the rename fails — and counted in ``corrupt_entries``, so a bad
+entry is reported once in the batch summary instead of silently
+re-missing on every future run.
 """
 
 from __future__ import annotations
@@ -48,32 +53,56 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.write_errors = 0
+        self.corrupt_entries = 0
         self._warned_unwritable = False
 
     def __repr__(self) -> str:
         return (f"ResultCache({str(self.root)!r}, hits={self.hits}, "
-                f"misses={self.misses}, write_errors={self.write_errors})")
+                f"misses={self.misses}, write_errors={self.write_errors}, "
+                f"corrupt_entries={self.corrupt_entries})")
 
     # ------------------------------------------------------------------ #
     def path_for(self, fingerprint: str) -> Path:
         return self.root / f"{fingerprint}.json"
 
     def get(self, fingerprint: str) -> RunResult | None:
-        """The cached result, or None (counting a miss) if absent/corrupt."""
+        """The cached result, or None (counting a miss) if absent/corrupt.
+
+        An entry that exists but fails to decode — bad JSON, a truncated
+        write from a killed process, a schema change — is quarantined to
+        ``<fingerprint>.corrupt`` and counted in :attr:`corrupt_entries`
+        before the miss is returned.
+        """
         path = self.path_for(fingerprint)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
+                raw = handle.read()
+        except OSError:
+            # Missing or unreadable file: an ordinary miss.
+            self.misses += 1
+            return None
+        try:
+            entry = json.loads(raw)
             if entry.get("format") != _ENTRY_FORMAT:
                 raise ValueError(f"unknown entry format in {path}")
             result = RunResult.from_dict(entry["result"])
-        except (OSError, ValueError, KeyError, TypeError):
-            # Missing file, bad JSON, truncated write from a killed process,
-            # or a schema change: all are treated as a miss.
+        except (ValueError, KeyError, TypeError, AttributeError):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return result
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so it is reported, not re-read."""
+        self.corrupt_entries += 1
+        try:
+            path.rename(path.with_suffix(".corrupt"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def put(self, fingerprint: str, result: RunResult) -> bool:
         """Store a result atomically (tmp file + rename).
@@ -133,11 +162,12 @@ class ResultCache:
                    if not path.name.startswith(".tmp-"))
 
     def clear(self) -> int:
-        """Delete every entry (and stray temp file); return the count."""
+        """Delete every entry (plus quarantined/temp files); return count."""
         if not self.root.is_dir():
             return 0
         removed = 0
-        for path in {*self.root.glob("*.json"), *self.root.glob(".tmp-*")}:
+        for path in {*self.root.glob("*.json"), *self.root.glob("*.corrupt"),
+                     *self.root.glob(".tmp-*")}:
             try:
                 path.unlink()
                 removed += 1

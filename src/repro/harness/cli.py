@@ -21,11 +21,18 @@ Usage::
                                   # typed timeouts, completed results are
                                   # cached even when siblings fail
     repro-exp e3 --fail-fast      # stop at the first failure instead
+    repro-exp all --checkpoint-interval 50000 --timeout 600
+                                  # long runs snapshot every 50k cycles;
+                                  # a crashed or timed-out job resumes
+                                  # from its newest checkpoint on retry
+                                  # (and on the next invocation)
+    repro-exp e3 --sanitize       # check live-state invariants in-flight
 
 Failures never discard completed work: every finished simulation is cached
 as it arrives, failing experiments are reported (per-job failure summary
 table + exit status 1) and the remaining experiments still run unless
-``--fail-fast`` is given.  See docs/ROBUSTNESS.md for the failure model.
+``--fail-fast`` is given.  See docs/ROBUSTNESS.md for the failure model,
+the checkpoint format and the sanitizer's invariant families.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from typing import Sequence
 
 from ..workloads.patterns import DEFAULT_SEED
 from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .checkpoints import DEFAULT_CHECKPOINT_DIR, CheckpointPlan
 from .engine import (DEFAULT_RETRIES, JobExecutionError, default_workers)
 from .experiments import (EXPERIMENTS, ExperimentContext, e12_benchmark_table,
                           e12_config_table)
@@ -109,18 +117,55 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
                         help="inject deterministic faults for testing, "
                              "e.g. 'fail:0,kill:2,delay:1:5' (also read "
                              "from $REPRO_FAULTS; see docs/ROBUSTNESS.md)")
+    parser.add_argument("--sanitize", action="store_true", default=None,
+                        help="check live-state invariants (CTA/resource "
+                             "conservation, cache/MSHR balance, "
+                             "monotonicity) at window boundaries during "
+                             "every run; violations are deterministic "
+                             "failures (also read from $REPRO_SANITIZE)")
+    parser.add_argument("--checkpoint-interval", type=int, default=None,
+                        metavar="CYCLES",
+                        help="snapshot every simulation every CYCLES "
+                             "simulated cycles; crashed/timed-out jobs "
+                             "then resume from their newest checkpoint "
+                             "on retry and on the next invocation "
+                             "(default: off)")
+    parser.add_argument("--checkpoint-dir", default=DEFAULT_CHECKPOINT_DIR,
+                        metavar="DIR",
+                        help="checkpoint store directory (default "
+                             f"{DEFAULT_CHECKPOINT_DIR}/)")
     parser.set_defaults(fail_fast=False)
     return parser.parse_args(argv)
+
+
+def _describe_progress(outcome) -> str:
+    """How far a timed-out job got, and whether a checkpoint survives."""
+    progress = outcome.progress
+    if not progress or progress.get("cycle") is None:
+        return "-"
+    cycle = progress["cycle"]
+    text = f"cycle {cycle}"
+    max_cycles = progress.get("max_cycles")
+    if max_cycles:
+        text += f" ({100.0 * cycle / max_cycles:.1f}% of max)"
+    saved = progress.get("checkpoint_cycle")
+    if saved is not None:
+        text += f", checkpoint @ {saved}"
+    else:
+        text += ", no checkpoint"
+    return text
 
 
 def _failure_table(failures) -> Table:
     """The per-job failure summary printed after a degraded batch."""
     table = Table("Failure summary (per-job outcomes)",
-                  ["job", "fingerprint", "status", "attempts", "error"])
+                  ["job", "fingerprint", "status", "attempts", "progress",
+                   "error"])
     for outcome in failures:
         error = (outcome.error or "").splitlines()
         table.add_row(outcome.index, outcome.fingerprint[:12], outcome.status,
-                      outcome.attempts, error[0][:72] if error else "-")
+                      outcome.attempts, _describe_progress(outcome),
+                      error[0][:72] if error else "-")
     table.add_note("completed jobs were cached; rerun to resume from them")
     return table
 
@@ -199,6 +244,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     except FaultSpecError as error:
         print(f"bad fault spec: {error}", file=sys.stderr)
         return 2
+    checkpoints = None
+    if args.checkpoint_interval is not None:
+        if args.checkpoint_interval < 1:
+            print(f"--checkpoint-interval must be >= 1 cycle, got "
+                  f"{args.checkpoint_interval}", file=sys.stderr)
+            return 2
+        checkpoints = CheckpointPlan(interval=args.checkpoint_interval,
+                                     root=args.checkpoint_dir)
     workers = args.jobs if args.jobs else default_workers()
     cache = None if args.no_cache else ResultCache()
 
@@ -207,7 +260,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                             timeline_window=args.timeline,
                             trace=bool(args.trace),
                             retries=args.retries, timeout=args.timeout,
-                            fail_fast=args.fail_fast, faults=faults)
+                            fail_fast=args.fail_fast, faults=faults,
+                            sanitize=args.sanitize, checkpoints=checkpoints)
     total_started = time.perf_counter()
     failed_experiments: list[str] = []
     for exp_id in requested:
@@ -262,11 +316,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         summary += f"; {len(failures)} job(s) without a result"
     if failed_experiments:
         summary += f"; FAILED: {', '.join(failed_experiments)}"
+    resumed = sum(1 for report in ctx.reports
+                  for outcome in report.outcomes
+                  if outcome.resumed_from is not None)
+    if resumed:
+        summary += f"; {resumed} job(s) resumed from checkpoint"
     if cache is not None:
         summary += (f"; cache: {cache.hits} hit(s), {cache.misses} miss(es) "
                     f"-> {DEFAULT_CACHE_DIR}/")
         if cache.write_errors:
             summary += f", {cache.write_errors} write error(s)"
+        if cache.corrupt_entries:
+            summary += (f", {cache.corrupt_entries} corrupt entr"
+                        f"{'y' if cache.corrupt_entries == 1 else 'ies'} "
+                        f"quarantined")
     print(summary + "]", file=sys.stderr)
     return 1 if (failed_experiments or failures) else 0
 

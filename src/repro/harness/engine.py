@@ -35,8 +35,23 @@ Resilience model (see ``docs/ROBUSTNESS.md``):
   re-dispatches the other in-flight jobs.  A timed-out job is a typed
   ``"timeout"`` outcome, never a hang.
 * **Fault injection** — a :class:`~repro.harness.faults.FaultPlan` drops
-  deterministic failures, transient failures, worker kills, delays and
-  cache corruption onto chosen jobs so every path above is testable.
+  deterministic failures, transient failures, worker kills (including
+  mid-run, cycle-addressed kills), delays, cache corruption and live-state
+  corruption onto chosen jobs so every path above is testable.
+* **Checkpoint/resume** — with a
+  :class:`~repro.harness.checkpoints.CheckpointPlan`, every attempt
+  snapshots its simulation periodically into a fingerprint-keyed store
+  and starts by resuming from the newest stored snapshot.  A worker crash
+  or cooperative timeout therefore costs at most one checkpoint interval
+  of simulated progress on retry, and a timed-out job is re-dispatched
+  (``"timeout-resume"``) as long as each attempt checkpointed *past* its
+  predecessor — guaranteed forward progress, still bounded by
+  ``retries``.  Resumed attempts produce bitwise-identical statistics to
+  uninterrupted ones (property-tested in ``tests/test_checkpoint.py``);
+  checkpoints are discarded once their job completes.
+* **Sanitizing** — ``sanitize=True`` arms the in-flight invariant checker
+  (:mod:`repro.sim.invariants`) in every attempt; violations are
+  deterministic failures (retrying would re-corrupt identically).
 """
 
 from __future__ import annotations
@@ -50,6 +65,7 @@ from typing import Any, Callable, Iterable
 from ..sim.gpu import SimulationTimeout
 from ..sim.stats import RunResult
 from .cache import ResultCache
+from .checkpoints import CheckpointPlan
 from .faults import FaultPlan
 from .jobs import SimJob
 
@@ -124,6 +140,13 @@ class JobOutcome:
     error: str | None = None
     worker_traceback: str | None = None
     duration: float = 0.0
+    #: Cycle the winning attempt resumed from (None = ran from cycle 0).
+    resumed_from: int | None = None
+    #: For ``"timeout"`` outcomes: how far the run got before the deadline
+    #: (``{"cycle", "max_cycles", "kind", "checkpoint_cycle",
+    #: "resumed_from"}``), so the failure table can report partial
+    #: progress and checkpoint availability instead of a bare error.
+    progress: dict[str, Any] | None = None
 
     @property
     def retried(self) -> bool:
@@ -190,18 +213,45 @@ class BatchReport:
 # --------------------------------------------------------------------------- #
 
 def _execute_tagged(index: int, job: SimJob, faults: FaultPlan | None,
-                    wall_timeout: float | None, inline: bool = False):
+                    wall_timeout: float | None, inline: bool = False,
+                    sanitize: bool | None = None,
+                    checkpoints: CheckpointPlan | None = None):
     """Worker entry point: never raises, returns a tagged outcome.
 
-    Tags: ``("ok", index, result)``, ``("timeout", index, message)`` or
-    ``("err", index, message, traceback_text, transient)``.
+    Tags: ``("ok", index, result, meta)``, ``("timeout", index, message,
+    progress)`` or ``("err", index, message, traceback_text, transient)``.
+    ``meta`` carries ``{"resumed_from": cycle | None}``; ``progress``
+    carries ``{"cycle", "max_cycles", "kind", "checkpoint_cycle",
+    "resumed_from"}`` so the parent can report partial progress and decide
+    whether a resume-retry can make headway.
+
+    With a checkpoint plan, every attempt first looks for the newest valid
+    snapshot under this job's fingerprint and resumes it — so a retried
+    (or re-invoked) job continues where the previous attempt's last
+    checkpoint left off instead of starting over.
     """
+    resumed_from = None
     try:
+        resume_from = None
+        if checkpoints is not None:
+            resume_from = checkpoints.store().newest(job.fingerprint())
+            if resume_from is not None:
+                resumed_from = resume_from.cycle
+        saboteur = (faults.run_saboteur(index, inline=inline)
+                    if faults is not None else None)
         if faults is not None:
             faults.before_execute(index, inline=inline)
-        return ("ok", index, job.execute(wall_timeout=wall_timeout))
+        result = job.execute(wall_timeout=wall_timeout, sanitize=sanitize,
+                             checkpoint=checkpoints, resume_from=resume_from,
+                             saboteur=saboteur)
+        return ("ok", index, result, {"resumed_from": resumed_from})
     except SimulationTimeout as error:
-        return ("timeout", index, f"{type(error).__name__}: {error}")
+        progress = {"cycle": error.cycle, "max_cycles": error.max_cycles,
+                    "kind": error.kind,
+                    "checkpoint_cycle": error.checkpoint_cycle,
+                    "resumed_from": resumed_from}
+        return ("timeout", index, f"{type(error).__name__}: {error}",
+                progress)
     except TRANSIENT_EXCEPTIONS as error:
         import traceback
         return ("err", index, f"{type(error).__name__}: {error}",
@@ -221,11 +271,17 @@ class _BatchState:
 
     def __init__(self, jobs: list[SimJob], fingerprints: list[str],
                  cache: ResultCache | None, faults: FaultPlan | None,
-                 progress: ProgressFn | None) -> None:
+                 progress: ProgressFn | None,
+                 sanitize: bool | None = None,
+                 checkpoints: CheckpointPlan | None = None) -> None:
         self.jobs = jobs
         self.cache = cache
         self.faults = faults
         self.progress = progress
+        self.sanitize = sanitize
+        self.checkpoints = checkpoints
+        self.checkpoint_store = (checkpoints.store()
+                                 if checkpoints is not None else None)
         self.started = time.monotonic()
         self.outcomes = [JobOutcome(index=i, fingerprint=fp)
                          for i, fp in enumerate(fingerprints)]
@@ -250,12 +306,20 @@ class _BatchState:
         self._advance()
 
     def record_ok(self, index: int, result: RunResult, attempts: int,
-                  duration: float) -> None:
+                  duration: float, meta: dict[str, Any] | None = None) -> None:
         outcome = self.outcomes[index]
         outcome.status = "ok"
         outcome.result = result
         outcome.attempts = attempts
         outcome.duration = duration
+        resumed = (meta or {}).get("resumed_from")
+        if resumed is not None:
+            outcome.resumed_from = resumed
+            self.event("job.resumed", job=index, cycle=resumed)
+        if self.checkpoint_store is not None:
+            # The job is done (and about to be cached): its checkpoints
+            # have served their purpose.
+            self.checkpoint_store.discard(outcome.fingerprint)
         if self.cache is not None:
             if not self.cache.put(outcome.fingerprint, result):
                 self.event("cache.write_error", job=index,
@@ -282,13 +346,16 @@ class _BatchState:
         self._advance()
 
     def record_timeout(self, index: int, message: str, attempts: int,
-                       duration: float) -> None:
+                       duration: float,
+                       progress: dict[str, Any] | None = None) -> None:
         outcome = self.outcomes[index]
         outcome.status = "timeout"
         outcome.error = message
         outcome.attempts = attempts
         outcome.duration = duration
-        self.event("job.timeout", job=index, attempts=attempts, error=message)
+        outcome.progress = progress
+        self.event("job.timeout", job=index, attempts=attempts, error=message,
+                   progress=progress)
         self._advance()
 
     def record_skipped(self, index: int) -> None:
@@ -304,6 +371,25 @@ class _BatchState:
                    delay=round(delay, 3), reason=reason)
         return delay
 
+    def can_resume_timeout(self, progress: dict[str, Any] | None) -> bool:
+        """Is a resume-retry of this cooperative timeout worthwhile?
+
+        Only when checkpointing is on, the deadline was the *wall-clock*
+        guard (a ``max-cycles`` overrun is deterministic: resuming would
+        overrun again), and this attempt checkpointed strictly past the
+        snapshot it started from — so every retry makes forward progress
+        and the attempt bound is an upper limit, not a treadmill.
+        """
+        if self.checkpoints is None or not progress:
+            return False
+        if progress.get("kind") != "wall":
+            return False
+        saved = progress.get("checkpoint_cycle")
+        if saved is None:
+            return False
+        resumed = progress.get("resumed_from")
+        return saved > (resumed if resumed is not None else -1)
+
 
 # --------------------------------------------------------------------------- #
 # public API
@@ -317,7 +403,9 @@ def run_batch(jobs: Iterable[SimJob], *, workers: int = 1,
               fail_fast: bool = False,
               faults: FaultPlan | None = None,
               backoff: float = DEFAULT_BACKOFF,
-              grace: float | None = None) -> BatchReport:
+              grace: float | None = None,
+              sanitize: bool | None = None,
+              checkpoints: CheckpointPlan | None = None) -> BatchReport:
     """Execute jobs (parallel, cached, fault-isolated); return the report.
 
     Never raises for a job failure: each job's fate is a
@@ -330,6 +418,13 @@ def run_batch(jobs: Iterable[SimJob], *, workers: int = 1,
     is how long past it the parent waits for the worker's own cooperative
     :class:`~repro.sim.gpu.SimulationTimeout` before abandoning the pool
     (default ``max(2, timeout/2)``).
+
+    ``sanitize`` arms the in-flight invariant sanitizer in every job;
+    ``checkpoints`` (a :class:`~repro.harness.checkpoints.CheckpointPlan`)
+    makes every attempt periodically snapshot its simulation and start by
+    resuming the newest stored snapshot, turning worker crashes and
+    cooperative timeouts into at-most-one-interval losses (see the module
+    docstring's resilience model).  Neither changes any result.
     """
     jobs = list(jobs)
     if workers < 1:
@@ -339,9 +434,13 @@ def run_batch(jobs: Iterable[SimJob], *, workers: int = 1,
     if timeout is not None and timeout < 0:
         raise ValueError(f"timeout must be >= 0, got {timeout}")
     fingerprints = [job.fingerprint() for job in jobs]
-    state = _BatchState(jobs, fingerprints, cache, faults, progress)
+    state = _BatchState(jobs, fingerprints, cache, faults, progress,
+                        sanitize, checkpoints)
     state.event("batch.start", jobs=len(jobs), workers=workers,
-                retries=retries, timeout=timeout)
+                retries=retries, timeout=timeout,
+                sanitize=bool(sanitize),
+                checkpoint_interval=(checkpoints.interval
+                                     if checkpoints is not None else None))
 
     pending: list[int] = []
     for index, fingerprint in enumerate(fingerprints):
@@ -373,7 +472,9 @@ def run_jobs(jobs: Iterable[SimJob], *, workers: int = 1,
              progress: ProgressFn | None = None,
              retries: int = DEFAULT_RETRIES,
              timeout: float | None = None,
-             faults: FaultPlan | None = None) -> list[RunResult]:
+             faults: FaultPlan | None = None,
+             sanitize: bool | None = None,
+             checkpoints: CheckpointPlan | None = None) -> list[RunResult]:
     """Execute jobs and return results in input order.
 
     The raising wrapper over :func:`run_batch`: if any job fails, a
@@ -382,7 +483,8 @@ def run_jobs(jobs: Iterable[SimJob], *, workers: int = 1,
     recorded and cached (an early failure never discards later successes).
     """
     report = run_batch(jobs, workers=workers, cache=cache, progress=progress,
-                       retries=retries, timeout=timeout, faults=faults)
+                       retries=retries, timeout=timeout, faults=faults,
+                       sanitize=sanitize, checkpoints=checkpoints)
     failure = report.first_failure()
     if failure is not None:
         raise JobExecutionError(failure.fingerprint,
@@ -408,14 +510,22 @@ def _run_inline(state: _BatchState, pending: list[int], *, retries: int,
         while True:
             attempts += 1
             outcome = _execute_tagged(index, state.jobs[index], state.faults,
-                                      timeout, True)
+                                      timeout, True, state.sanitize,
+                                      state.checkpoints)
             duration = time.monotonic() - started
             tag = outcome[0]
             if tag == "ok":
-                state.record_ok(index, outcome[2], attempts, duration)
+                state.record_ok(index, outcome[2], attempts, duration,
+                                outcome[3] if len(outcome) > 3 else None)
                 break
             if tag == "timeout":
-                state.record_timeout(index, outcome[2], attempts, duration)
+                progress = outcome[3] if len(outcome) > 3 else None
+                if state.can_resume_timeout(progress) and attempts <= retries:
+                    time.sleep(state.retry_delay(index, attempts, backoff,
+                                                 "timeout-resume"))
+                    continue
+                state.record_timeout(index, outcome[2], attempts, duration,
+                                     progress)
                 stopped = stopped or fail_fast
                 break
             _, _, message, traceback_text, transient = outcome
@@ -512,7 +622,8 @@ def _run_pool(state: _BatchState, pending: list[int], *, workers: int,
             try:
                 future = pool.submit(_execute_tagged, index,
                                      state.jobs[index], state.faults,
-                                     timeout, False)
+                                     timeout, False, state.sanitize,
+                                     state.checkpoints)
             except (BrokenProcessPool, RuntimeError):
                 attempts[index] -= 1
                 requeue(index, now)
@@ -587,11 +698,19 @@ def _run_pool(state: _BatchState, pending: list[int], *, workers: int,
 
             tag = outcome[0]
             if tag == "ok":
-                state.record_ok(index, outcome[2], attempts[index], duration)
+                state.record_ok(index, outcome[2], attempts[index], duration,
+                                outcome[3] if len(outcome) > 3 else None)
             elif tag == "timeout":
-                state.record_timeout(index, outcome[2], attempts[index],
-                                     duration)
-                stopped = stopped or fail_fast
+                progress = outcome[3] if len(outcome) > 3 else None
+                if state.can_resume_timeout(progress) \
+                        and attempts[index] <= retries:
+                    delay = state.retry_delay(index, attempts[index],
+                                              backoff, "timeout-resume")
+                    requeue(index, time.monotonic() + delay)
+                else:
+                    state.record_timeout(index, outcome[2], attempts[index],
+                                         duration, progress)
+                    stopped = stopped or fail_fast
             else:
                 _, _, message, traceback_text, transient = outcome
                 if transient and attempts[index] <= retries:

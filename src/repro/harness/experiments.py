@@ -25,6 +25,7 @@ from ..workloads.programs import memory_intensity
 from ..workloads.suite import (CKE_PAIRS, LCS_SET, LOCALITY_SET,
                                MOTIVATION_SET, SUITE, make_kernel)
 from .cache import ResultCache
+from .checkpoints import CheckpointPlan
 from .engine import (DEFAULT_RETRIES, BatchReport, JobExecutionError,
                      JobOutcome, run_batch, run_jobs)
 from .faults import FaultPlan
@@ -72,6 +73,10 @@ class ExperimentContext:
     timeout: float | None = None
     fail_fast: bool = False
     faults: FaultPlan | None = field(default=None, repr=False)
+    # Robustness riders: the in-flight invariant sanitizer and the
+    # checkpoint/resume plan.  Neither changes results or fingerprints.
+    sanitize: bool | None = None
+    checkpoints: CheckpointPlan | None = None
     # Engine reports accumulate here, one per prefetch batch; sub-contexts
     # share the parent's list so a CLI failure summary sees everything.
     reports: list[BatchReport] = field(default_factory=list, repr=False)
@@ -97,7 +102,9 @@ class ExperimentContext:
                                  trace=self.trace,
                                  retries=self.retries, timeout=self.timeout,
                                  fail_fast=self.fail_fast,
-                                 faults=self.faults, reports=self.reports)
+                                 faults=self.faults, sanitize=self.sanitize,
+                                 checkpoints=self.checkpoints,
+                                 reports=self.reports)
 
     # ------------------------------------------------------------------ #
     def job(self, names: str | Sequence[str], *,
@@ -148,7 +155,9 @@ class ExperimentContext:
             return
         report = run_batch(batch, workers=self.jobs, cache=self.cache,
                            retries=self.retries, timeout=self.timeout,
-                           fail_fast=self.fail_fast, faults=self.faults)
+                           fail_fast=self.fail_fast, faults=self.faults,
+                           sanitize=self.sanitize,
+                           checkpoints=self.checkpoints)
         self.reports.append(report)
         for job, outcome in zip(batch, report.outcomes):
             key = self._memo_key(job)
@@ -183,7 +192,9 @@ class ExperimentContext:
                                     failed.error or failed.status,
                                     failed.worker_traceback)
         result = run_jobs([job], cache=self.cache, retries=self.retries,
-                          timeout=self.timeout, faults=self.faults)[0]
+                          timeout=self.timeout, faults=self.faults,
+                          sanitize=self.sanitize,
+                          checkpoints=self.checkpoints)[0]
         self._cache[key] = result
         return result
 
@@ -269,7 +280,8 @@ def prefetch_contexts(
     report = run_batch([job for _, job in pending], workers=workers,
                        cache=lead.cache, retries=lead.retries,
                        timeout=lead.timeout, fail_fast=lead.fail_fast,
-                       faults=lead.faults)
+                       faults=lead.faults, sanitize=lead.sanitize,
+                       checkpoints=lead.checkpoints)
     lead.reports.append(report)
     for (ctx, job), outcome in zip(pending, report.outcomes):
         key = ExperimentContext._memo_key(job)

@@ -16,11 +16,19 @@ Spec grammar (one or more comma/semicolon-separated entries)::
     kill:K          the worker running job K dies with os._exit once
                     (an OOM-kill: the pool breaks and is respawned;
                     inline execution degrades to a transient raise)
+    kill-at:K:C     the worker running job K dies with os._exit once,
+                    *mid-run* at simulated cycle C (a crash with work in
+                    flight: resume-from-checkpoint territory; inline
+                    execution degrades to a transient raise)
     delay:K:S       job K sleeps S seconds before executing
                     (a runaway job: trips the --timeout backstop)
     corrupt:K       job K's cache entry is overwritten with garbage
                     right after it is written (a torn/corrupted entry:
-                    the next read must miss, never crash)
+                    the next read must quarantine + miss, never crash)
+    corrupt:K:C     job K's *live simulation state* is corrupted once at
+                    simulated cycle C (a bookkeeping bug: --sanitize must
+                    catch it at the next window boundary; without the
+                    sanitizer the run silently completes wrong)
 
 "once" semantics survive process boundaries through marker files in a
 shared state directory (``O_CREAT | O_EXCL`` — exactly one process wins),
@@ -46,7 +54,7 @@ ENV_STATE = "REPRO_FAULTS_STATE"
 #: Exit status used by ``kill`` faults (visible in worker-crash logs).
 KILL_EXIT_CODE = 86
 
-_ACTIONS = ("fail", "flaky", "kill", "delay", "corrupt")
+_ACTIONS = ("fail", "flaky", "kill", "kill-at", "delay", "corrupt")
 
 
 class FaultSpecError(ValueError):
@@ -78,6 +86,12 @@ class Fault:
         if self.action == "delay" and (self.arg is None or self.arg < 0):
             raise FaultSpecError("delay faults need a non-negative duration: "
                                  "delay:K:SECONDS")
+        if self.action == "kill-at" and (self.arg is None or self.arg < 0):
+            raise FaultSpecError("kill-at faults need a target cycle: "
+                                 "kill-at:K:CYCLE")
+        if self.action == "corrupt" and self.arg is not None and self.arg < 0:
+            raise FaultSpecError("in-flight corrupt faults need a "
+                                 "non-negative cycle: corrupt:K:CYCLE")
 
 
 class FaultPlan:
@@ -181,7 +195,65 @@ class FaultPlan:
                     os._exit(KILL_EXIT_CODE)
 
     def corrupt_cache(self, index: int) -> bool:
-        """True (once) if job K's cache entry should be corrupted."""
-        return any(fault.action == "corrupt" and fault.index == index
+        """True (once) if job K's cache entry should be corrupted.
+
+        Only the two-argument ``corrupt:K`` form targets the cache; the
+        three-argument ``corrupt:K:CYCLE`` form corrupts live simulation
+        state instead (see :meth:`run_saboteur`).
+        """
+        return any(fault.action == "corrupt" and fault.arg is None
+                   and fault.index == index
                    and self._fire_once(f"corrupt-{index}")
                    for fault in self.faults)
+
+    def run_saboteur(self, index: int, *,
+                     inline: bool = False) -> "RunSaboteur | None":
+        """The mid-run saboteur for job K, or None if no fault targets it.
+
+        Covers the cycle-addressed faults (``kill-at:K:CYCLE`` and
+        ``corrupt:K:CYCLE``); the returned object plugs into
+        ``GPU.run(..., saboteur=)`` via ``simulate()``.  When several
+        cycle-addressed faults name the same job, the earliest wins.
+        """
+        candidates = [fault for fault in self.faults
+                      if fault.index == index and fault.arg is not None
+                      and fault.action in ("kill-at", "corrupt")]
+        if not candidates:
+            return None
+        fault = min(candidates, key=lambda f: f.arg)
+        return RunSaboteur(plan=self, fault=fault, inline=inline)
+
+
+class RunSaboteur:
+    """Fires one cycle-addressed fault from inside the simulation loop.
+
+    The loop's service check calls :meth:`fire` at the first boundary at
+    or after :attr:`at`; "once" semantics ride the plan's shared marker
+    files, so a killed-and-resumed attempt does not die again.
+    """
+
+    def __init__(self, plan: FaultPlan, fault: Fault,
+                 inline: bool = False) -> None:
+        self.plan = plan
+        self.fault = fault
+        self.inline = inline
+        self.at = int(fault.arg or 0)
+        self.done = False
+
+    def fire(self, gpu, cycle: int) -> None:
+        self.done = True
+        fault = self.fault
+        tag = f"{fault.action}-{fault.index}-at-{self.at}"
+        if not self.plan._fire_once(tag):
+            return
+        if fault.action == "kill-at":
+            if self.inline:
+                raise InjectedTransientFault(
+                    f"injected mid-run worker crash (job {fault.index}, "
+                    f"cycle {cycle}, inline)")
+            os._exit(KILL_EXIT_CODE)
+        elif fault.action == "corrupt":
+            # Desynchronize one occupancy counter from the resident-CTA
+            # list: harmless to completion, poisonous to statistics, and
+            # exactly what the sanitizer's sm-accounting check watches.
+            gpu.sms[0].used_slots += 1

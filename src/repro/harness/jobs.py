@@ -46,7 +46,9 @@ from ..workloads.patterns import DEFAULT_SEED
 from ..workloads.suite import SUITE, make_kernel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.checkpoint import Snapshot
     from ..sim.stats import RunResult
+    from .checkpoints import CheckpointPlan
 
 #: Fingerprint salt.  Bump on any change that alters simulation results so
 #: stale cache entries under ``.repro-cache/`` are recomputed, not reused.
@@ -248,17 +250,42 @@ class SimJob:
         return [make_kernel(name, scale=self.scale * mult, seed=self.seed)
                 for name, mult in zip(self.names, self.scale_mults)]
 
-    def execute(self, *, wall_timeout: float | None = None) -> "RunResult":
+    def execute(self, *, wall_timeout: float | None = None,
+                sanitize: bool | None = None,
+                checkpoint: "CheckpointPlan | None" = None,
+                resume_from: "Snapshot | None" = None,
+                saboteur=None) -> "RunResult":
         """Construct kernels + policy and run the simulation.
 
         ``wall_timeout`` (seconds) arms the cooperative deadline guard in
         ``GPU.run``: a run exceeding it raises a typed
         :class:`~repro.sim.gpu.SimulationTimeout` instead of hanging its
-        worker.  It never joins the fingerprint — a result is the same
-        result however patient the caller was.
+        worker.  ``sanitize`` arms the in-flight invariant sanitizer;
+        ``checkpoint`` (a :class:`~repro.harness.checkpoints.CheckpointPlan`)
+        snapshots the run into the plan's store, keyed by this job's
+        fingerprint; ``resume_from`` continues a previous attempt from a
+        stored snapshot instead of cycle zero.  None of these joins the
+        fingerprint — a result is the same result however patient (or
+        paranoid, or interrupted) the caller was, which is exactly the
+        property the resume tests assert.
         """
         from .runner import simulate   # local import: runner imports nothing
         kernels = self.build_kernels()
+        recorder = None
+        if checkpoint is not None:
+            from ..sim.checkpoint import CheckpointRecorder
+            store = checkpoint.store()
+            fingerprint = self.fingerprint()
+            recorder = CheckpointRecorder(
+                checkpoint.interval,
+                lambda snapshot: store.put(fingerprint, snapshot))
+        if resume_from is not None:
+            # The snapshot carries the policy, warp scheduler and telemetry
+            # hub mid-state; only fresh kernels (and the riders) go in.
+            return simulate(kernels, config=self.config,
+                            wall_timeout=wall_timeout, sanitize=sanitize,
+                            checkpoint=recorder, resume_from=resume_from,
+                            saboteur=saboteur)
         scheduler = build_policy(self.policy, kernels)
         warp_scheduler = build_warp_scheduler(self.warp)
         telemetry = None
@@ -270,4 +297,7 @@ class SimJob:
                         warp_scheduler=warp_scheduler,
                         cta_scheduler=scheduler,
                         telemetry=telemetry,
-                        wall_timeout=wall_timeout)
+                        wall_timeout=wall_timeout,
+                        sanitize=sanitize,
+                        checkpoint=recorder,
+                        saboteur=saboteur)

@@ -7,11 +7,15 @@ example and test goes through this function.
 
 from __future__ import annotations
 
+import os
 from typing import Sequence
 
 from ..core.cta_schedulers import CTAScheduler, RoundRobinCTAScheduler
+from ..sim.checkpoint import CheckpointRecorder, Snapshot
 from ..sim.config import GPUConfig
 from ..sim.gpu import GPU
+from ..sim.invariants import (DEFAULT_SANITIZE_INTERVAL, ENV_SANITIZE,
+                              InvariantSanitizer)
 from ..sim.kernel import Kernel
 from ..sim.stats import CacheStats, RunResult
 from ..telemetry.hub import TelemetryHub
@@ -22,7 +26,12 @@ def simulate(kernels: Kernel | Sequence[Kernel], *,
              warp_scheduler="gto",
              cta_scheduler: CTAScheduler | None = None,
              telemetry: TelemetryHub | None = None,
-             wall_timeout: float | None = None) -> RunResult:
+             wall_timeout: float | None = None,
+             sanitize: bool | None = None,
+             sanitize_interval: int | None = None,
+             checkpoint: CheckpointRecorder | None = None,
+             resume_from: Snapshot | None = None,
+             saboteur=None) -> RunResult:
     """Run kernels to completion and return the collected statistics.
 
     Parameters
@@ -53,24 +62,71 @@ def simulate(kernels: Kernel | Sequence[Kernel], *,
         raises a typed :class:`~repro.sim.gpu.SimulationTimeout` instead
         of running (or hanging) indefinitely.  The guard never perturbs
         the statistics of runs that finish in time.
+    sanitize:
+        Arm the in-flight invariant sanitizer
+        (:mod:`repro.sim.invariants`): conservation laws are checked every
+        ``sanitize_interval`` cycles (default
+        :data:`~repro.sim.invariants.DEFAULT_SANITIZE_INTERVAL`) and a
+        violation raises a typed ``InvariantViolation``.  ``None`` (the
+        default) defers to the ``REPRO_SANITIZE`` environment variable so
+        CI can sanitize whole suites.  A clean sanitized run is
+        bitwise-identical to an unsanitized one (checks read state only).
+    checkpoint:
+        A :class:`~repro.sim.checkpoint.CheckpointRecorder`: the whole
+        machine state is snapshotted every ``checkpoint.interval`` cycles
+        (and on a cooperative timeout) into the recorder's sink.
+    resume_from:
+        A :class:`~repro.sim.checkpoint.Snapshot` to continue instead of
+        starting at cycle zero.  ``kernels`` must be rebuilt from the same
+        job description that produced the snapshot; ``cta_scheduler``,
+        ``config``, ``warp_scheduler`` and ``telemetry`` are taken from
+        the snapshot itself and must not be passed.  The resumed run's
+        final statistics are bitwise-identical to an uninterrupted run.
+    saboteur:
+        Fault-injection hook (``FaultPlan.run_saboteur``) that kills or
+        corrupts the run at a chosen cycle; test/drill use only.
     """
     if isinstance(kernels, Kernel):
         kernels = [kernels]
     kernels = list(kernels)
-    if cta_scheduler is None:
-        cta_scheduler = RoundRobinCTAScheduler(kernels)
-    elif cta_scheduler.gpu is not None:
-        raise ValueError("cta_scheduler was already used in a previous run; "
-                         "create a fresh policy object per simulate() call")
+    if resume_from is not None:
+        if cta_scheduler is not None or telemetry is not None:
+            raise ValueError("resume_from restores the snapshotted "
+                             "scheduler and telemetry hub; do not pass "
+                             "cta_scheduler/telemetry as well")
+        gpu = resume_from.restore(kernels)
+        if config is not None and config != gpu.config:
+            raise ValueError("resume_from snapshot was taken under a "
+                             "different hardware configuration")
+        config = gpu.config
+        cta_scheduler = gpu.cta_scheduler
+        telemetry = gpu.telemetry
     else:
-        scheduled = {id(k) for k in cta_scheduler.kernels}
-        if scheduled != {id(k) for k in kernels}:
-            raise ValueError("cta_scheduler was built for different kernels")
-    config = config if config is not None else GPUConfig()
+        if cta_scheduler is None:
+            cta_scheduler = RoundRobinCTAScheduler(kernels)
+        elif cta_scheduler.gpu is not None:
+            raise ValueError("cta_scheduler was already used in a previous "
+                             "run; create a fresh policy object per "
+                             "simulate() call")
+        else:
+            scheduled = {id(k) for k in cta_scheduler.kernels}
+            if scheduled != {id(k) for k in kernels}:
+                raise ValueError("cta_scheduler was built for different "
+                                 "kernels")
+        config = config if config is not None else GPUConfig()
+        gpu = GPU(config=config, warp_scheduler=warp_scheduler,
+                  telemetry=telemetry)
 
-    gpu = GPU(config=config, warp_scheduler=warp_scheduler,
-              telemetry=telemetry)
-    gpu.run(cta_scheduler, wall_timeout=wall_timeout)
+    if sanitize is None:
+        sanitize = bool(os.environ.get(ENV_SANITIZE, "").strip())
+    sanitizer = None
+    if sanitize:
+        sanitizer = InvariantSanitizer(
+            interval=sanitize_interval or DEFAULT_SANITIZE_INTERVAL)
+    gpu.run(None if resume_from is not None else cta_scheduler,
+            wall_timeout=wall_timeout, sanitizer=sanitizer,
+            checkpoint=checkpoint, saboteur=saboteur,
+            resume_from=resume_from)
 
     l1_total = CacheStats()
     for sm in gpu.sms:

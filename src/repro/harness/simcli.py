@@ -15,18 +15,24 @@ Examples::
     repro-sim kmeans --policy lcs --timeline 500       # window=500, stdout
     repro-sim kmeans --policy lcs --trace out.json     # chrome://tracing
     repro-sim kmeans --trace out.jsonl                 # JSONL event log
+    repro-sim kmeans --sanitize                        # in-flight invariants
+    repro-sim kmeans --checkpoint-interval 5000        # crash-safe; rerun
+                                                       # resumes after a kill
 
 Suite-benchmark runs without ``--timeline``/``--trace`` are described as
 declarative jobs and executed through the batch engine, so they share the
 persistent result cache with ``repro-exp`` (a repeated invocation replays
 the stored statistics instead of re-simulating; disable with
-``--no-cache``).  Kernel trace files and telemetry collection use the live
-in-process objects and always simulate directly.
+``--no-cache``) and the engine's resilience features — retries, typed
+timeouts, checkpoint/resume (``docs/ROBUSTNESS.md``).  Kernel trace files
+and telemetry collection use the live in-process objects and always
+simulate directly (``--sanitize`` still applies; checkpointing does not).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -47,8 +53,11 @@ from ..telemetry.trace import write_trace
 from ..workloads.patterns import DEFAULT_SEED
 from ..workloads.suite import SUITE, make_kernel
 from ..workloads.tracefile import load_kernel_trace
+from ..sim.invariants import (DEFAULT_SANITIZE_INTERVAL, ENV_SANITIZE,
+                              InvariantSanitizer)
 from .cache import DEFAULT_CACHE_DIR, ResultCache
-from .engine import DEFAULT_RETRIES, JobExecutionError, run_jobs
+from .checkpoints import DEFAULT_CHECKPOINT_DIR, CheckpointPlan
+from .engine import DEFAULT_RETRIES, run_batch
 from .faults import FaultPlan, FaultSpecError
 from .jobs import SimJob
 
@@ -105,6 +114,26 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
                         help="wall-clock deadline for the run; an overrun "
                              "exits with a typed timeout error instead of "
                              "hanging (default: none)")
+    parser.add_argument("--sanitize", action="store_true", default=None,
+                        help="check live-state invariants at window "
+                             "boundaries during the run; a violation is a "
+                             "typed InvariantViolation error (also read "
+                             "from $REPRO_SANITIZE)")
+    parser.add_argument("--checkpoint-interval", type=int, default=None,
+                        metavar="CYCLES",
+                        help="snapshot the simulation every CYCLES cycles "
+                             "(engine path only); an interrupted run "
+                             "resumes from its newest checkpoint on the "
+                             "next invocation (default: off)")
+    parser.add_argument("--checkpoint-dir", default=DEFAULT_CHECKPOINT_DIR,
+                        metavar="DIR",
+                        help="checkpoint store directory (default "
+                             f"{DEFAULT_CHECKPOINT_DIR}/)")
+    parser.add_argument("--faults", metavar="SPEC",
+                        help="inject deterministic faults for testing, "
+                             "e.g. 'kill-at:0:5000' or 'corrupt:0:5000' "
+                             "(also read from $REPRO_FAULTS; see "
+                             "docs/ROBUSTNESS.md)")
     return parser.parse_args(argv)
 
 
@@ -229,24 +258,45 @@ def main(argv: Sequence[str] | None = None) -> int:
     if use_engine:
         cache = None if args.no_cache else ResultCache()
         try:
-            faults = FaultPlan.from_env()
+            faults = (FaultPlan.parse(args.faults) if args.faults
+                      else FaultPlan.from_env())
         except FaultSpecError as error:
             print(f"bad fault spec: {error}", file=sys.stderr)
             return 2
-        try:
-            result = run_jobs([job], workers=max(args.jobs, 1), cache=cache,
-                              retries=max(args.retries, 0),
-                              timeout=args.timeout, faults=faults)[0]
-        except JobExecutionError as error:
-            print(f"error: {error}", file=sys.stderr)
-            if error.worker_traceback:
-                print(error.worker_traceback.rstrip(), file=sys.stderr)
+        checkpoints = None
+        if args.checkpoint_interval is not None:
+            if args.checkpoint_interval < 1:
+                print(f"--checkpoint-interval must be >= 1 cycle, got "
+                      f"{args.checkpoint_interval}", file=sys.stderr)
+                return 2
+            checkpoints = CheckpointPlan(interval=args.checkpoint_interval,
+                                         root=args.checkpoint_dir)
+        report = run_batch([job], workers=max(args.jobs, 1), cache=cache,
+                           retries=max(args.retries, 0),
+                           timeout=args.timeout, faults=faults,
+                           sanitize=args.sanitize, checkpoints=checkpoints)
+        outcome = report.outcomes[0]
+        if outcome.result is None:
+            print(f"error: job {outcome.fingerprint[:12]} "
+                  f"{outcome.status}: {outcome.error}", file=sys.stderr)
+            if outcome.worker_traceback:
+                print(outcome.worker_traceback.rstrip(), file=sys.stderr)
+            if outcome.status == "timeout" and checkpoints is not None \
+                    and outcome.progress \
+                    and outcome.progress.get("checkpoint_cycle") is not None:
+                print(f"[checkpoint @ cycle "
+                      f"{outcome.progress['checkpoint_cycle']} saved in "
+                      f"{args.checkpoint_dir}/; rerun to resume]",
+                      file=sys.stderr)
             return 1
+        if outcome.resumed_from is not None:
+            print(f"[resumed from cycle {outcome.resumed_from}]",
+                  file=sys.stderr)
         if cache is not None:
             state = "hit" if cache.hits else "miss"
             print(f"[cache {state}: {job.fingerprint()[:12]} in "
                   f"{DEFAULT_CACHE_DIR}/]", file=sys.stderr)
-        _print_result(result, kernel.name, job.policy[0])
+        _print_result(outcome.result, kernel.name, job.policy[0])
         return 0
 
     # Telemetry configuration for the live path: `--timeline 500` (all
@@ -263,9 +313,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             timeline_dest = args.timeline
     hub = TelemetryHub(window=window, trace=bool(args.trace))
 
+    sanitize = args.sanitize
+    if sanitize is None:
+        sanitize = bool(os.environ.get(ENV_SANITIZE, "").strip())
+    sanitizer = (InvariantSanitizer(interval=DEFAULT_SANITIZE_INTERVAL)
+                 if sanitize else None)
     gpu = GPU(config=config, warp_scheduler=warp, telemetry=hub)
     try:
-        gpu.run(policy, wall_timeout=args.timeout)
+        gpu.run(policy, wall_timeout=args.timeout, sanitizer=sanitizer)
     except SimulationTimeout as error:
         print(f"error: simulation timed out ({error})", file=sys.stderr)
         return 1

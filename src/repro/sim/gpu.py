@@ -35,7 +35,101 @@ class SimulationDeadlock(SimulationError):
 
 class SimulationTimeout(SimulationError):
     """The run exceeded its budget: ``GPUConfig.max_cycles`` or the
-    wall-clock deadline of ``GPU.run(..., wall_timeout=...)``."""
+    wall-clock deadline of ``GPU.run(..., wall_timeout=...)``.
+
+    Carries structured partial-progress fields so callers (the batch
+    engine's failure table, checkpoint-aware retries) can report how far
+    the run got instead of just the message string:
+
+    * ``cycle`` — the simulated cycle the run was interrupted at;
+    * ``max_cycles`` — the configured cycle budget;
+    * ``kind`` — ``"wall"`` (wall-clock deadline; resumable) or
+      ``"max-cycles"`` (simulated-cycle budget; resuming cannot help);
+    * ``checkpoint_cycle`` — newest durably-saved checkpoint, or None.
+    """
+
+    def __init__(self, message: str, *, cycle: int | None = None,
+                 max_cycles: int | None = None, kind: str = "wall",
+                 checkpoint_cycle: int | None = None) -> None:
+        super().__init__(message)
+        self.cycle = cycle
+        self.max_cycles = max_cycles
+        self.kind = kind
+        self.checkpoint_cycle = checkpoint_cycle
+
+
+class _RunService:
+    """Coordinates the optional per-run riders of the simulation loop:
+    the invariant sanitizer, the checkpoint recorder and the fault
+    saboteur.  ``next_cycle`` is the earliest cycle any rider wants; the
+    loops test one local against it per iteration, so disabled riders
+    cost nothing and enabled ones fire only at their boundaries.
+
+    Boundaries are recomputed from the current cycle with the same
+    ``(cycle // interval + 1) * interval`` formula on every call, so a
+    resumed run services at exactly the cycles the uninterrupted run
+    would have — and since the sanitizer only reads state and the
+    recorder only copies it, neither can perturb results even if the
+    boundaries differed (only the saboteur mutates, by design)."""
+
+    __slots__ = ("sanitizer", "checkpoint", "saboteur", "_next_check",
+                 "_next_save", "next_cycle")
+
+    def __init__(self, sanitizer, checkpoint, saboteur, cycle: int) -> None:
+        self.sanitizer = sanitizer
+        self.checkpoint = checkpoint
+        self.saboteur = saboteur
+        self._next_check = (self._boundary(cycle, sanitizer.interval)
+                            if sanitizer is not None else None)
+        self._next_save = (self._boundary(cycle, checkpoint.interval)
+                           if checkpoint is not None else None)
+        self.next_cycle: int | None = None
+        self._recompute()
+
+    @staticmethod
+    def _boundary(cycle: int, interval: int) -> int:
+        return (cycle // interval + 1) * interval
+
+    def _recompute(self) -> None:
+        pending = [at for at in (self._next_check, self._next_save)
+                   if at is not None]
+        saboteur = self.saboteur
+        if saboteur is not None and not saboteur.done:
+            pending.append(saboteur.at)
+        self.next_cycle = min(pending) if pending else None
+
+    def service(self, gpu: "GPU", cycle: int) -> int | None:
+        """Fire every due rider; returns the next service cycle.
+
+        Order matters: the saboteur first (an injected crash loses the
+        checkpoint it would have gotten this boundary, like a real one),
+        then the sanitizer (so injected corruption is caught *before* it
+        can be checkpointed), then the recorder.
+        """
+        saboteur = self.saboteur
+        if saboteur is not None and not saboteur.done \
+                and cycle >= saboteur.at:
+            saboteur.fire(gpu, cycle)
+        if self._next_check is not None and cycle >= self._next_check:
+            self.sanitizer.check(gpu, cycle)
+            self._next_check = self._boundary(cycle, self.sanitizer.interval)
+        if self._next_save is not None and cycle >= self._next_save:
+            self.checkpoint.save(gpu, cycle)
+            self._next_save = self._boundary(cycle, self.checkpoint.interval)
+        self._recompute()
+        return self.next_cycle
+
+    def on_timeout(self, gpu: "GPU", cycle: int) -> int | None:
+        """Final cooperative-timeout checkpoint; newest saved cycle."""
+        if self.checkpoint is None:
+            return None
+        return self.checkpoint.save(gpu, cycle)
+
+    @property
+    def checkpoint_cycle(self) -> int | None:
+        if self.checkpoint is None:
+            return None
+        return self.checkpoint.last_saved
 
 
 class KernelRun:
@@ -164,9 +258,11 @@ class GPU:
             self.cta_scheduler.on_cta_complete(sm, cta, now)
 
     # ------------------------------------------------------------------ #
-    def run(self, cta_scheduler: "CTAScheduler", *,
+    def run(self, cta_scheduler: "CTAScheduler | None" = None, *,
             cycle_accurate: bool = False,
-            wall_timeout: float | None = None) -> None:
+            wall_timeout: float | None = None,
+            sanitizer=None, checkpoint=None, saboteur=None,
+            resume_from=None) -> None:
         """Execute until every launched kernel completes.
 
         ``cycle_accurate=True`` disables the event fast-forward and ticks
@@ -182,6 +278,23 @@ class GPU:
         results — it only decides whether the run is *allowed to finish* —
         and costs one ``is not None`` test per iteration when disabled.
 
+        ``sanitizer`` (an :class:`~repro.sim.invariants.InvariantSanitizer`)
+        checks live-state conservation laws at its interval boundaries;
+        ``checkpoint`` (a :class:`~repro.sim.checkpoint.CheckpointRecorder`)
+        snapshots the whole machine at its own interval and once more on a
+        cooperative wall-clock timeout; ``saboteur`` is the fault
+        injector's mid-run hook (kill/corrupt at a chosen cycle).  All
+        three ride one loop-top service check costing a single comparison
+        per iteration, and none is stored on the GPU — snapshots never
+        capture the machinery that takes them.
+
+        ``resume_from`` continues a run restored by
+        :meth:`~repro.sim.checkpoint.Snapshot.restore`: ``self`` must be
+        the GPU that restore() returned, ``cta_scheduler`` must be None
+        (the restored scheduler is already bound), and launch/bind/
+        telemetry-start are skipped — the loop picks up at the captured
+        cycle as if the interruption never happened.
+
         Telemetry never rides the event queue (extra queue entries would
         change fast-forward jumps and the drain's final cycle): windowed
         sampling runs a dedicated loop variant selected *once* per run, so
@@ -190,17 +303,40 @@ class GPU:
         deadline = (None if wall_timeout is None
                     else _monotonic() + wall_timeout)
         hub = self.telemetry
-        if hub is not None:
-            # Before bind(): policy on_bound hooks emit trace events
-            # (lcs.monitor, cke.phase) that must follow run.start.
-            hub.on_run_start(self.cycle)
-        self.cta_scheduler = cta_scheduler
-        cta_scheduler.bind(self)
+        if resume_from is not None:
+            if cta_scheduler is not None:
+                raise SimulationError(
+                    "resume_from resumes the snapshotted scheduler; "
+                    "do not pass cta_scheduler as well")
+            cta_scheduler = self.cta_scheduler
+            if cta_scheduler is None or self.cycle != resume_from.cycle:
+                raise SimulationError(
+                    "resume_from requires the GPU object returned by "
+                    "Snapshot.restore() for that same snapshot")
+            # No on_run_start/bind: the restored hub already holds the
+            # run.start event and window position, the restored scheduler
+            # is mid-flight.
+        else:
+            if cta_scheduler is None:
+                raise SimulationError("a CTA scheduler is required "
+                                      "(or resume_from= a snapshot)")
+            if hub is not None:
+                # Before bind(): policy on_bound hooks emit trace events
+                # (lcs.monitor, cke.phase) that must follow run.start.
+                hub.on_run_start(self.cycle)
+            self.cta_scheduler = cta_scheduler
+            cta_scheduler.bind(self)
+        service = None
+        if sanitizer is not None or checkpoint is not None \
+                or saboteur is not None:
+            service = _RunService(sanitizer, checkpoint, saboteur,
+                                  self.cycle)
         if hub is not None and hub.window is not None:
             cycle = self._loop_windowed(cta_scheduler, cycle_accurate, hub,
-                                        deadline)
+                                        deadline, service)
         else:
-            cycle = self._loop(cta_scheduler, cycle_accurate, deadline)
+            cycle = self._loop(cta_scheduler, cycle_accurate, deadline,
+                               service)
         # All CTAs have completed; drain in-flight memory traffic (pending
         # write-throughs and late fills) so the memory-system statistics are
         # complete.  The clock advances with the drain: a kernel is not done
@@ -215,18 +351,27 @@ class GPU:
             hub.on_run_end(cycle)
 
     def _loop(self, cta_scheduler: "CTAScheduler", cycle_accurate: bool,
-              deadline: float | None = None) -> int:
+              deadline: float | None = None,
+              service: "_RunService | None" = None) -> int:
         """The telemetry-free run loop (the pre-telemetry hot path)."""
         events = self.events
         sms = self.sms
         max_cycles = self.config.max_cycles
         cycle = self.cycle
+        service_at = service.next_cycle if service is not None else None
         while not cta_scheduler.done:
             if deadline is not None and _monotonic() >= deadline:
                 self.cycle = cycle
+                saved = (service.on_timeout(self, cycle)
+                         if service is not None else None)
                 raise SimulationTimeout(
                     f"wall-clock timeout at cycle {cycle}; "
-                    f"runs={self.runs!r}")
+                    f"runs={self.runs!r}",
+                    cycle=cycle, max_cycles=max_cycles, kind="wall",
+                    checkpoint_cycle=saved)
+            if service_at is not None and cycle >= service_at:
+                self.cycle = cycle
+                service_at = service.service(self, cycle)
             events.run_due(cycle)
             cta_scheduler.fill(cycle)
             active = False
@@ -255,12 +400,16 @@ class GPU:
             if cycle > max_cycles:
                 self.cycle = cycle
                 raise SimulationTimeout(
-                    f"exceeded max_cycles={max_cycles}; runs={self.runs!r}")
+                    f"exceeded max_cycles={max_cycles}; runs={self.runs!r}",
+                    cycle=cycle, max_cycles=max_cycles, kind="max-cycles",
+                    checkpoint_cycle=(service.checkpoint_cycle
+                                      if service is not None else None))
         return cycle
 
     def _loop_windowed(self, cta_scheduler: "CTAScheduler",
                        cycle_accurate: bool, hub: "TelemetryHub",
-                       deadline: float | None = None) -> int:
+                       deadline: float | None = None,
+                       service: "_RunService | None" = None) -> int:
         """:meth:`_loop` plus window-boundary sampling.
 
         The boundary check sits at the *top* of the iteration, before
@@ -270,6 +419,12 @@ class GPU:
         the jump origin and the boundary (that is the fast-forward
         invariant), and events *at* the boundary fire after the sample in
         both modes.  Sampling reads state only; results are untouched.
+
+        Window closes precede the timeout raise and the service check, so
+        at any snapshot point every boundary <= cycle has been sampled —
+        that makes the resume-time recomputation of ``boundary`` land on
+        exactly the next unclosed window (no double-sampled or skipped
+        windows across a checkpoint/restore).
         """
         events = self.events
         sms = self.sms
@@ -277,15 +432,23 @@ class GPU:
         cycle = self.cycle
         window = hub.window
         boundary = (cycle // window + 1) * window
+        service_at = service.next_cycle if service is not None else None
         while not cta_scheduler.done:
-            if deadline is not None and _monotonic() >= deadline:
-                self.cycle = cycle
-                raise SimulationTimeout(
-                    f"wall-clock timeout at cycle {cycle}; "
-                    f"runs={self.runs!r}")
             while cycle >= boundary:
                 hub.close_window(boundary)
                 boundary += window
+            if deadline is not None and _monotonic() >= deadline:
+                self.cycle = cycle
+                saved = (service.on_timeout(self, cycle)
+                         if service is not None else None)
+                raise SimulationTimeout(
+                    f"wall-clock timeout at cycle {cycle}; "
+                    f"runs={self.runs!r}",
+                    cycle=cycle, max_cycles=max_cycles, kind="wall",
+                    checkpoint_cycle=saved)
+            if service_at is not None and cycle >= service_at:
+                self.cycle = cycle
+                service_at = service.service(self, cycle)
             events.run_due(cycle)
             cta_scheduler.fill(cycle)
             active = False
@@ -310,7 +473,10 @@ class GPU:
             if cycle > max_cycles:
                 self.cycle = cycle
                 raise SimulationTimeout(
-                    f"exceeded max_cycles={max_cycles}; runs={self.runs!r}")
+                    f"exceeded max_cycles={max_cycles}; runs={self.runs!r}",
+                    cycle=cycle, max_cycles=max_cycles, kind="max-cycles",
+                    checkpoint_cycle=(service.checkpoint_cycle
+                                      if service is not None else None))
         return cycle
 
     # ------------------------------------------------------------------ #

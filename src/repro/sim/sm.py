@@ -36,6 +36,31 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .gpu import GPU, KernelRun
 
 
+class _PrefetchSentinel:
+    """The MSHR-waiter marker for prefetch requests.
+
+    Checked with ``is`` throughout the memory path, so it must survive
+    pickling (checkpoint snapshots) as the *same* object: ``__reduce__``
+    resolves back to the module-level singleton instead of creating a new
+    instance in the restoring process.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<PREFETCH>"
+
+    def __reduce__(self):
+        return (_prefetch_sentinel, ())
+
+
+def _prefetch_sentinel() -> "_PrefetchSentinel":
+    return PREFETCH
+
+
+PREFETCH = _PrefetchSentinel()
+
+
 class SM:
     __slots__ = ("gpu", "sm_id", "config", "l1", "schedulers", "ldst",
                  "ldst_blocked", "gate_blocked", "num_ready", "issued",
@@ -46,8 +71,9 @@ class SM:
                  "_l1_hit_latency")
 
     #: Sentinel registered as the MSHR waiter of a prefetch request; fills
-    #: install the line but wake nobody.
-    PREFETCH = object()
+    #: install the line but wake nobody.  A module-level singleton (not a
+    #: bare ``object()``) so identity survives checkpoint snapshots.
+    PREFETCH = PREFETCH
 
     def __init__(self, gpu: "GPU", sm_id: int, config: GPUConfig,
                  scheduler_factory: Callable[[], "object"]) -> None:

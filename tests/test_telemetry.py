@@ -336,14 +336,22 @@ def test_corrupt_cache_entry_is_a_miss(tmp_path):
     job = SimJob(names=("kmeans",), scale=SCALE, config=SMALL,
                  timeline_window=500)
     cache = ResultCache(tmp_path / "cache")
-    cache.put(job.fingerprint(), job.execute())
+    result = job.execute()
+    cache.put(job.fingerprint(), result)
     path = cache.path_for(job.fingerprint())
 
     entry = json.loads(path.read_text())
     entry["result"]["meta"]["timeline"] = {"__timeline__": {"mangled": 1}}
     path.write_text(json.dumps(entry))
     assert cache.get(job.fingerprint()) is None
+    # The mangled entry was quarantined, not left to re-miss forever.
+    assert cache.corrupt_entries == 1
+    assert not path.exists()
+    assert path.with_suffix(".corrupt").exists()
 
-    path.write_text(path.read_text()[: len(path.read_text()) // 2])
+    cache.put(job.fingerprint(), result)
+    raw = path.read_text()
+    path.write_text(raw[: len(raw) // 2])
     assert cache.get(job.fingerprint()) is None
     assert cache.misses == 2
+    assert cache.corrupt_entries == 2
