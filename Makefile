@@ -4,7 +4,7 @@ PY      ?= python
 PYTEST  = PYTHONPATH=src $(PY) -m pytest
 
 .PHONY: test lint bench bench-smoke bench-engine fault-smoke resume-smoke \
-	clean-cache
+	clean-cache clean-state verify-smoke verify-full goldens
 
 test:            ## tier-1 test suite
 	$(PYTEST) -q
@@ -74,3 +74,18 @@ resume-smoke:    ## checkpoint/resume drill: mid-run kill, resume, sanitize
 
 clean-cache:     ## purge the persistent result cache
 	PYTHONPATH=src $(PY) -m repro.harness.cli --clear-cache
+
+clean-state:     ## purge cache + checkpoints + golden-store strays in one shot
+	PYTHONPATH=src $(PY) -m repro.harness.cli --clean-state
+
+VERIFY = PYTHONPATH=src $(PY) -m repro.verify.cli
+
+verify-smoke:    ## correctness gate: smoke golden matrix + refmodel + 25 fuzz cases
+	$(VERIFY) all --tier smoke --cases 25 --jobs 4 --report-dir .repro-verify
+
+verify-full:     ## nightly-depth gate: full golden matrix + refmodel + 500 fuzz cases
+	$(VERIFY) all --tier full --cases 500 --jobs 4 --report-dir .repro-verify
+
+goldens:         ## re-baseline both golden tiers (after an INTENTIONAL model change)
+	$(VERIFY) golden --tier smoke --update --jobs 4
+	$(VERIFY) golden --tier full --update --jobs 4

@@ -1,0 +1,61 @@
+"""Verification-layer benchmarks: what the correctness armor costs.
+
+Like ``bench_engine.py`` these measure the harness, not the model: the
+reference pipeline's slowdown over the tuned hot path (it is allowed to
+be slow — that is its point — but a runaway factor would make the
+nightly cross-check matrix impractical), the golden smoke gate
+end-to-end, and a short fuzz campaign.  Each round also re-asserts the
+layer's core contract so a timing run doubles as a correctness run.
+
+Scale with ``REPRO_BENCH_SCALE`` like the experiment benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.harness.jobs import SimJob
+from repro.sim.config import GPUConfig
+from repro.verify.fuzzer import run_fuzz
+from repro.verify.golden import (GoldenStore, golden_matrix, verify_goldens)
+from repro.verify.refmodel import cross_check, reference_simulate
+
+VERIFY_SCALE = 0.1 * float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+SMALL = GPUConfig.small()
+
+
+def _job() -> SimJob:
+    return SimJob(names=("kmeans",), scale=VERIFY_SCALE, warp="gto",
+                  policy=("lcs",), config=SMALL)
+
+
+def test_reference_model_overhead(benchmark):
+    job = _job()
+    tuned = job.execute()
+    reference = benchmark.pedantic(lambda: reference_simulate(_job()),
+                                   rounds=1, iterations=1)
+    assert reference.to_dict() == tuned.to_dict()   # bitwise agreement
+
+
+def test_refmodel_cross_check_cell(benchmark):
+    result = benchmark.pedantic(lambda: cross_check(_job(), window=200),
+                                rounds=1, iterations=1)
+    assert not result.diverged, result.summary()
+
+
+def test_golden_smoke_gate(benchmark, tmp_path):
+    cells = golden_matrix("smoke")
+    store = GoldenStore(tmp_path / "goldens")
+    baseline = verify_goldens(cells, store, update=True)
+    assert baseline.ok
+
+    report = benchmark.pedantic(lambda: verify_goldens(cells, store),
+                                rounds=1, iterations=1)
+    assert report.ok, report.summary()
+
+
+def test_fuzz_campaign(benchmark):
+    report = benchmark.pedantic(lambda: run_fuzz(20140219, 5),
+                                rounds=1, iterations=1)
+    assert report.ok
+    assert report.cases == 5

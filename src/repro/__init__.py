@@ -28,6 +28,8 @@ from .sim import (GPU, GPUConfig, Instruction, InvariantSanitizer,
                   InvariantViolation, Kernel, KernelResourceError,
                   Op, RunResult, SimulationDeadlock, SimulationError,
                   SimulationTimeout, Snapshot, TimelineSampler)
+from .verify import (FuzzCase, GoldenStore, cross_check, golden_matrix,
+                     run_fuzz, verify_goldens)
 from .workloads import (SUITE, BenchmarkInfo, TraceBuilder,
                         load_kernel_trace, make_kernel, save_kernel_trace,
                         suite_names)
@@ -48,5 +50,7 @@ __all__ = [
     "BenchmarkInfo", "TraceBuilder", "make_kernel", "suite_names",
     "CheckpointPlan", "CheckpointStore", "InvariantSanitizer",
     "InvariantViolation", "Snapshot",
+    "FuzzCase", "GoldenStore", "cross_check", "golden_matrix", "run_fuzz",
+    "verify_goldens",
     "__version__",
 ]

@@ -138,9 +138,15 @@ class CheckpointStore:
         return None
 
     def discard(self, fingerprint: str) -> int:
-        """Drop every checkpoint for a finished job; return the count."""
+        """Drop every checkpoint for a finished job; return the count.
+
+        Quarantined ``*.corrupt`` files for the same fingerprint are
+        removed too — once the job has completed they hold no forensic
+        value and would otherwise accumulate forever (``clear`` was the
+        only thing that ever deleted them).
+        """
         removed = 0
-        for path in self._entries(fingerprint):
+        for path in self._entries(fingerprint) + self._strays(fingerprint):
             try:
                 path.unlink()
                 removed += 1
@@ -148,11 +154,22 @@ class CheckpointStore:
                 pass
         return removed
 
+    def corrupt_strays(self) -> list[Path]:
+        """Every quarantined ``*.corrupt`` file currently in the store."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.corrupt"))
+
     # ------------------------------------------------------------------ #
     def _entries(self, fingerprint: str) -> list[Path]:
         if not self.root.is_dir():
             return []
         return list(self.root.glob(f"{fingerprint}.*.ckpt"))
+
+    def _strays(self, fingerprint: str) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return list(self.root.glob(f"{fingerprint}.*.corrupt"))
 
     def _load(self, path: Path, fingerprint: str) -> Snapshot | None:
         try:
@@ -189,7 +206,13 @@ class CheckpointStore:
                 pass
 
     def _prune(self, fingerprint: str) -> None:
-        stale = sorted(self._entries(fingerprint))[:-KEEP_PER_JOB]
+        # Keep the newest KEEP_PER_JOB *valid* checkpoints.  Quarantined
+        # ``*.corrupt`` files must never count toward the keep margin —
+        # the runner-up exists precisely as insurance against a corrupt
+        # newest, so letting a quarantine displace it would defeat it.
+        entries = [path for path in self._entries(fingerprint)
+                   if path.suffix == ".ckpt"]
+        stale = sorted(entries)[:-KEEP_PER_JOB]
         for path in stale:
             try:
                 path.unlink()

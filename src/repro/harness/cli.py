@@ -46,7 +46,8 @@ from typing import Sequence
 
 from ..workloads.patterns import DEFAULT_SEED
 from .cache import DEFAULT_CACHE_DIR, ResultCache
-from .checkpoints import DEFAULT_CHECKPOINT_DIR, CheckpointPlan
+from .checkpoints import (DEFAULT_CHECKPOINT_DIR, CheckpointPlan,
+                          CheckpointStore)
 from .engine import (DEFAULT_RETRIES, JobExecutionError, default_workers)
 from .experiments import (EXPERIMENTS, ExperimentContext, e12_benchmark_table,
                           e12_config_table)
@@ -93,7 +94,14 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
                              f"({DEFAULT_CACHE_DIR}/)")
     parser.add_argument("--clear-cache", action="store_true",
                         help="purge the persistent result cache, then run "
-                             "any requested experiments")
+                             "any requested experiments (warns if "
+                             "checkpoints remain; see --clean-state)")
+    parser.add_argument("--clean-state", action="store_true",
+                        help="purge every on-disk state store in one shot: "
+                             f"result cache ({DEFAULT_CACHE_DIR}/), "
+                             "checkpoints (--checkpoint-dir) and "
+                             "golden-store .tmp-* strays; then run any "
+                             "requested experiments")
     parser.add_argument("--retries", type=int, default=DEFAULT_RETRIES,
                         metavar="N",
                         help="retries per job for transient failures "
@@ -213,9 +221,32 @@ def main(argv: Sequence[str] | None = None) -> int:
         for exp_id in ALL_IDS:
             print(f"{exp_id:>4}  {_describe(exp_id)}")
         return 0
-    if args.clear_cache:
+    if args.clean_state:
         removed = ResultCache().clear()
         print(f"[cache cleared: {removed} entries]", file=sys.stderr)
+        ckpts = CheckpointStore(args.checkpoint_dir).clear()
+        print(f"[checkpoints cleared: {ckpts} file(s) "
+              f"from {args.checkpoint_dir}/]", file=sys.stderr)
+        from ..verify.golden import DEFAULT_GOLDEN_ROOT, GoldenStore
+        strays = 0
+        if DEFAULT_GOLDEN_ROOT.is_dir():
+            for tier_dir in sorted(DEFAULT_GOLDEN_ROOT.iterdir()):
+                if tier_dir.is_dir():
+                    strays += GoldenStore(tier_dir).clear_strays()
+        print(f"[golden-store strays cleared: {strays} file(s)]",
+              file=sys.stderr)
+        if not args.experiments:
+            return 0
+    elif args.clear_cache:
+        removed = ResultCache().clear()
+        print(f"[cache cleared: {removed} entries]", file=sys.stderr)
+        leftover = CheckpointStore(args.checkpoint_dir)
+        stale = len(leftover) + len(leftover.corrupt_strays())
+        if stale:
+            print(f"[warning: {stale} checkpoint file(s) remain in "
+                  f"{args.checkpoint_dir}/ — cached results are gone but "
+                  f"their checkpoints are not; use --clean-state or "
+                  f"'make clean-state' to drop both]", file=sys.stderr)
         if not args.experiments:
             return 0
     if not args.experiments:
@@ -321,6 +352,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                   if outcome.resumed_from is not None)
     if resumed:
         summary += f"; {resumed} job(s) resumed from checkpoint"
+    ckpt_corrupt = sum(report.checkpoint_corrupt for report in ctx.reports)
+    if ckpt_corrupt:
+        summary += (f"; {ckpt_corrupt} corrupt checkpoint(s) quarantined "
+                    f"-> {args.checkpoint_dir}/")
     if cache is not None:
         summary += (f"; cache: {cache.hits} hit(s), {cache.misses} miss(es) "
                     f"-> {DEFAULT_CACHE_DIR}/")

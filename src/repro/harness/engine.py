@@ -168,6 +168,9 @@ class BatchReport:
     outcomes: list[JobOutcome] = field(default_factory=list)
     events: list[dict[str, Any]] = field(default_factory=list)
     elapsed: float = 0.0
+    #: Corrupt checkpoint files quarantined by workers during this batch
+    #: (worker-process counts, threaded back via the tagged outcomes).
+    checkpoint_corrupt: int = 0
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -205,6 +208,9 @@ class BatchReport:
                 parts.append(f"{self.count(status)} {status}")
         if self.retried:
             parts.append(f"{self.retried} retried")
+        if self.checkpoint_corrupt:
+            parts.append(f"{self.checkpoint_corrupt} corrupt checkpoint(s) "
+                         f"quarantined")
         return ", ".join(parts)
 
 
@@ -231,10 +237,15 @@ def _execute_tagged(index: int, job: SimJob, faults: FaultPlan | None,
     checkpoint left off instead of starting over.
     """
     resumed_from = None
+    ckpt_corrupt = 0
     try:
         resume_from = None
         if checkpoints is not None:
-            resume_from = checkpoints.store().newest(job.fingerprint())
+            store = checkpoints.store()
+            resume_from = store.newest(job.fingerprint())
+            # Quarantines happen in *this* process; the count must ride
+            # the tagged outcome or the parent footer never sees it.
+            ckpt_corrupt = store.corrupt_entries
             if resume_from is not None:
                 resumed_from = resume_from.cycle
         saboteur = (faults.run_saboteur(index, inline=inline)
@@ -244,12 +255,14 @@ def _execute_tagged(index: int, job: SimJob, faults: FaultPlan | None,
         result = job.execute(wall_timeout=wall_timeout, sanitize=sanitize,
                              checkpoint=checkpoints, resume_from=resume_from,
                              saboteur=saboteur)
-        return ("ok", index, result, {"resumed_from": resumed_from})
+        return ("ok", index, result, {"resumed_from": resumed_from,
+                                      "checkpoint_corrupt": ckpt_corrupt})
     except SimulationTimeout as error:
         progress = {"cycle": error.cycle, "max_cycles": error.max_cycles,
                     "kind": error.kind,
                     "checkpoint_cycle": error.checkpoint_cycle,
-                    "resumed_from": resumed_from}
+                    "resumed_from": resumed_from,
+                    "checkpoint_corrupt": ckpt_corrupt}
         return ("timeout", index, f"{type(error).__name__}: {error}",
                 progress)
     except TRANSIENT_EXCEPTIONS as error:
@@ -287,6 +300,13 @@ class _BatchState:
                          for i, fp in enumerate(fingerprints)]
         self.events: list[dict[str, Any]] = []
         self.done = 0
+        self.checkpoint_corrupt = 0
+
+    def note_checkpoint_corrupt(self, index: int, count: int) -> None:
+        """Accumulate worker-side quarantine counts into the batch."""
+        if count:
+            self.checkpoint_corrupt += count
+            self.event("checkpoint.corrupt", job=index, count=count)
 
     def event(self, kind: str, **payload: Any) -> None:
         self.events.append({"kind": kind,
@@ -316,6 +336,8 @@ class _BatchState:
         if resumed is not None:
             outcome.resumed_from = resumed
             self.event("job.resumed", job=index, cycle=resumed)
+        self.note_checkpoint_corrupt(
+            index, int((meta or {}).get("checkpoint_corrupt") or 0))
         if self.checkpoint_store is not None:
             # The job is done (and about to be cached): its checkpoints
             # have served their purpose.
@@ -356,6 +378,8 @@ class _BatchState:
         outcome.progress = progress
         self.event("job.timeout", job=index, attempts=attempts, error=message,
                    progress=progress)
+        self.note_checkpoint_corrupt(
+            index, int((progress or {}).get("checkpoint_corrupt") or 0))
         self._advance()
 
     def record_skipped(self, index: int) -> None:
@@ -462,7 +486,8 @@ def run_batch(jobs: Iterable[SimJob], *, workers: int = 1,
                         fail_fast=fail_fast, backoff=backoff)
 
     report = BatchReport(outcomes=state.outcomes, events=state.events,
-                         elapsed=time.monotonic() - state.started)
+                         elapsed=time.monotonic() - state.started,
+                         checkpoint_corrupt=state.checkpoint_corrupt)
     state.event("batch.end", summary=report.summary_line())
     return report
 

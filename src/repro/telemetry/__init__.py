@@ -16,7 +16,8 @@ schema and the chrome://tracing workflow.
 
 from .hub import Probe, TelemetryError, TelemetryHub, TraceEvent
 from .timeline import TimelineResult
-from .trace import chrome_trace, merge_chrome_traces, to_jsonl, write_trace
+from .trace import (chrome_trace, drift_lane, merge_chrome_traces,
+                    to_jsonl, write_trace)
 
 __all__ = [
     "Probe",
@@ -25,6 +26,7 @@ __all__ = [
     "TimelineResult",
     "TraceEvent",
     "chrome_trace",
+    "drift_lane",
     "merge_chrome_traces",
     "to_jsonl",
     "write_trace",

@@ -115,6 +115,7 @@ def chrome_trace(events: Iterable[Any], *,
 def merge_chrome_traces(
         named: Sequence[tuple[str, Iterable[Any], TimelineResult | None]],
         *, engine_events: Iterable[Mapping[str, Any]] | None = None,
+        drift_records: Iterable[Mapping[str, Any]] | None = None,
 ) -> dict[str, Any]:
     """Merge several runs into one document, one ``pid`` lane per run.
 
@@ -125,14 +126,21 @@ def merge_chrome_traces(
     ``cache.write_error`` — see ``BatchReport.events``) as one extra lane.
     Those records carry wall-clock seconds, not cycles, so the lane has
     its own time base; what matters is the ordering of recovery actions.
+
+    ``drift_records`` optionally adds a verification lane (see
+    :func:`drift_lane`): golden drift, refmodel divergences and fuzz
+    violations rendered as instant events, refmodel ones at their first
+    divergent cycle.
     """
     merged: list[dict[str, Any]] = []
     for pid, (label, events, timeline) in enumerate(named):
         doc = chrome_trace(events, timeline=timeline, pid=pid, label=label)
         merged.extend(doc["traceEvents"])
+    next_pid = len(named)
     engine_records = list(engine_events or ())
     if engine_records:
-        engine_pid = len(named)
+        engine_pid = next_pid
+        next_pid += 1
         merged.append({"name": "process_name", "ph": "M", "pid": engine_pid,
                        "tid": 0, "args": {"name": "engine (wall-clock)"}})
         for event in engine_records:
@@ -142,9 +150,57 @@ def merge_chrome_traces(
                 "pid": engine_pid, "tid": 0, "s": "g",
                 "args": dict(event.get("payload", {})),
             })
+    drift = list(drift_records or ())
+    if drift:
+        merged.extend(drift_lane(drift, pid=next_pid))
     return {"traceEvents": merged, "displayTimeUnit": "ms",
             "otherData": {"source": "repro.telemetry",
                           "time_unit": "cycles"}}
+
+
+def drift_lane(records: Iterable[Mapping[str, Any]],
+               *, pid: int = 0) -> list[dict[str, Any]]:
+    """Render verification failures as one chrome-trace lane.
+
+    ``records`` are the JSONL failure dicts produced by the
+    ``repro.verify`` layers (``kind`` of ``golden``, ``refmodel`` or
+    ``fuzz``; see ``repro.verify.artifacts``).  Refmodel divergences land
+    at their first divergent cycle so they line up against the counter
+    tracks and CTA slices of the same run; golden drift and fuzz
+    violations have no single cycle and sit at the origin.  Use with
+    :func:`merge_chrome_traces` to overlay the drift lane on a telemetry
+    trace of the diverging run.
+    """
+    events: list[dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": "verify (drift)"},
+    }]
+    for record in records:
+        kind = record.get("kind", "unknown")
+        if kind == "header":
+            continue
+        if kind == "golden":
+            name = f"drift:{record.get('label', '?')}"
+            ts, args = 0, {"lanes": record.get("lanes", []),
+                           "status": record.get("status"),
+                           "diffs": record.get("diffs", {})}
+        elif kind == "refmodel":
+            name = f"diverged:{record.get('label', '?')}"
+            ts = int(record.get("window_cycle") or 0)
+            args = {"first_window": record.get("first_window"),
+                    "window_diffs": record.get("window_diffs", []),
+                    "stat_diffs": record.get("stat_diffs", [])}
+        elif kind == "fuzz":
+            name = f"violation:{record.get('invariant', '?')}"
+            ts, args = 0, {"seed": record.get("seed"),
+                           "detail": record.get("detail"),
+                           "shrunk": record.get("shrunk")}
+        else:
+            name, ts, args = f"verify:{kind}", 0, dict(record)
+        events.append({"name": name, "cat": "verify", "ph": "i",
+                       "ts": ts, "pid": pid, "tid": 0, "s": "p",
+                       "args": args})
+    return events
 
 
 def write_trace(path: str | Path, events: Iterable[Any], *,

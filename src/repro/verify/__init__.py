@@ -1,0 +1,45 @@
+"""Correctness armor for the simulator: three independent layers.
+
+1. :mod:`~repro.verify.golden` — a fingerprint-keyed, digest-verified
+   **golden-result store** with a pinned (kernel x CTA scheduler x warp
+   scheduler x config) matrix; the drift gate every perf PR must pass.
+2. :mod:`~repro.verify.refmodel` — a deliberately unoptimized
+   **differential reference model** of the issue/select hot path,
+   cross-checked cycle-window-by-window against the tuned simulator.
+3. :mod:`~repro.verify.fuzzer` — a seeded **metamorphic + property
+   fuzzer** with shrinking, asserting semantic invariants over hundreds
+   of generated kernel/config cases.
+
+Entry point: the ``repro-verify`` CLI (:mod:`~repro.verify.cli`).
+Failures from every layer render to JSONL triage artifacts
+(:mod:`~repro.verify.artifacts`).
+"""
+
+from .artifacts import (ARTIFACT_VERSION, DEFAULT_REPORT_DIR,
+                        read_failure_artifact, write_failure_artifact)
+from .fuzzer import (INVARIANTS, FuzzCase, FuzzError, FuzzFailure,
+                     FuzzReport, case_seeds, check_case, check_invariant,
+                     run_fuzz, shrink)
+from .golden import (DEFAULT_GOLDEN_ROOT, DRIFT_LANES, CellVerdict,
+                     GoldenCell, GoldenError, GoldenReport, GoldenStore,
+                     canonical_json, canonical_result, classify_drift,
+                     diff_paths, golden_matrix, result_digest, split_lanes,
+                     verify_goldens)
+from .refmodel import (DEFAULT_WINDOW, REF_SUPPORTED, CrossCheckResult,
+                       RefModelError, compare_runs, cross_check,
+                       crosscheck_matrix, reference_run,
+                       reference_simulate)
+
+__all__ = [
+    "ARTIFACT_VERSION", "DEFAULT_GOLDEN_ROOT", "DEFAULT_REPORT_DIR",
+    "DEFAULT_WINDOW", "DRIFT_LANES", "INVARIANTS", "REF_SUPPORTED",
+    "CellVerdict", "CrossCheckResult", "FuzzCase", "FuzzError",
+    "FuzzFailure", "FuzzReport", "GoldenCell", "GoldenError",
+    "GoldenReport", "GoldenStore", "RefModelError",
+    "canonical_json", "canonical_result", "case_seeds", "check_case",
+    "check_invariant",
+    "classify_drift", "compare_runs", "cross_check", "crosscheck_matrix",
+    "diff_paths", "golden_matrix", "read_failure_artifact",
+    "reference_run", "reference_simulate", "result_digest", "run_fuzz",
+    "shrink", "split_lanes", "verify_goldens", "write_failure_artifact",
+]

@@ -1,0 +1,96 @@
+"""CheckpointStore pruning/quarantine accounting and its batch reporting.
+
+Companion to ``tests/test_checkpoint.py`` (which covers resume
+semantics): these tests pin the bookkeeping contract — quarantined
+``*.corrupt`` files never count toward the keep-2 margin, are cleaned up
+with their job, and worker-side quarantine counts reach the parent's
+batch report (and so the ``repro-exp`` footer).
+"""
+
+from repro.harness.checkpoints import (KEEP_PER_JOB, CheckpointPlan,
+                                       CheckpointStore)
+from repro.harness.engine import run_batch
+from repro.harness.jobs import SimJob
+from repro.sim.checkpoint import CHECKPOINT_VERSION, Snapshot
+from repro.sim.config import GPUConfig
+
+SMALL = GPUConfig.small()
+FP = "f" * 16   # fingerprint stand-in
+
+
+def _snap(cycle):
+    """A store-valid snapshot; the store never unpickles the payload, so
+    fabricated bytes exercise the file bookkeeping without a real run."""
+    return Snapshot(version=CHECKPOINT_VERSION, cycle=cycle,
+                    kernels=("kmeans",), payload=b"\x00" * 64)
+
+
+class TestPruneExcludesQuarantine:
+    def test_keep2_counts_only_valid_checkpoints(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for cycle in (1000, 2000):
+            assert store.put(FP, _snap(cycle))
+        # Quarantine the newest, as a digest failure would.
+        newest = store.path_for(FP, 2000)
+        newest.rename(newest.with_suffix(".corrupt"))
+        # A new checkpoint arrives: the runner-up (1000) must survive —
+        # only .ckpt files count toward KEEP_PER_JOB.
+        assert store.put(FP, _snap(3000))
+        kept = sorted(p.name for p in tmp_path.glob(f"{FP}.*.ckpt"))
+        assert len(kept) == KEEP_PER_JOB
+        assert any("000000001000" in name for name in kept)
+        assert (tmp_path / f"{FP}.000000002000.corrupt").exists()
+
+    def test_newest_skips_and_quarantines_corrupt(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.put(FP, _snap(1000))
+        assert store.put(FP, _snap(2000))
+        store.path_for(FP, 2000).write_bytes(b"scribbled over")
+        recovered = store.newest(FP)
+        assert recovered is not None and recovered.cycle == 1000
+        assert store.corrupt_entries == 1
+        assert len(store.corrupt_strays()) == 1
+
+
+class TestDiscardRemovesStrays:
+    def test_discard_drops_corrupt_files_too(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.put(FP, _snap(1000))
+        assert store.put(FP, _snap(2000))
+        store.path_for(FP, 2000).write_bytes(b"junk")
+        store.newest(FP)   # quarantines 2000
+        removed = store.discard(FP)
+        assert removed == 2   # the valid .ckpt + the .corrupt stray
+        assert not list(tmp_path.iterdir())
+
+    def test_discard_leaves_other_jobs_alone(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        other = "a" * 16
+        assert store.put(FP, _snap(1000))
+        assert store.put(other, _snap(1000))
+        store.discard(FP)
+        assert store.newest(other) is not None
+
+
+class TestBatchReporting:
+    def test_worker_quarantine_count_reaches_report(self, tmp_path):
+        job = SimJob(names=("kmeans",), scale=0.05, config=SMALL)
+        plan = CheckpointPlan(interval=10_000, root=str(tmp_path))
+        store = plan.store()
+        # Plant a corrupt "checkpoint" under this job's fingerprint: the
+        # worker's resume probe will quarantine it.
+        store.root.mkdir(parents=True, exist_ok=True)
+        store.path_for(job.fingerprint(), 500).write_bytes(b"garbage")
+
+        report = run_batch([job], cache=None, checkpoints=plan)
+        assert report.count("ok") == 1
+        assert report.checkpoint_corrupt == 1
+        assert "1 corrupt checkpoint(s) quarantined" in report.summary_line()
+        assert any(e["kind"] == "checkpoint.corrupt" for e in report.events)
+
+    def test_clean_run_reports_zero(self, tmp_path):
+        job = SimJob(names=("kmeans",), scale=0.05, config=SMALL)
+        plan = CheckpointPlan(interval=10_000, root=str(tmp_path))
+        report = run_batch([job], cache=None, checkpoints=plan)
+        assert report.checkpoint_corrupt == 0
+        assert "quarantined" not in report.summary_line()
