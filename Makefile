@@ -3,8 +3,9 @@
 PY      ?= python
 PYTEST  = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test lint bench bench-smoke bench-engine fault-smoke resume-smoke \
-	clean-cache clean-state verify-smoke verify-full goldens
+.PHONY: test lint bench bench-smoke bench-engine bench-core \
+	bench-core-check fault-smoke resume-smoke clean-cache clean-state \
+	verify-smoke verify-full goldens
 
 test:            ## tier-1 test suite
 	$(PYTEST) -q
@@ -25,6 +26,13 @@ bench-smoke:     ## quick engine sanity: serial vs parallel vs warm cache
 
 bench-engine:    ## engine benchmarks at the default scale
 	$(PYTEST) benchmarks/bench_engine.py --benchmark-only
+
+bench-core:      ## re-baseline BENCH_core.json: object vs vector wall-clock
+	PYTHONPATH=src $(PY) benchmarks/bench_core.py --out BENCH_core.json
+
+bench-core-check: ## assert backend parity + no >20% speedup regression
+	PYTHONPATH=src $(PY) benchmarks/bench_core.py --repeats 2 \
+		--check BENCH_core.json
 
 EXP = PYTHONPATH=src $(PY) -m repro.harness.cli
 

@@ -40,6 +40,8 @@ class BCSScheduler(CTAScheduler):
 
     name = "bcs"
 
+    __slots__ = ("block_size", "limit_per_sm", "blocks_dispatched")
+
     def __init__(self, kernel: Kernel | Sequence[Kernel], *,
                  block_size: int = DEFAULT_BLOCK_SIZE,
                  limit_per_sm: int | None = None) -> None:

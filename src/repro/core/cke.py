@@ -41,6 +41,8 @@ class SequentialCKE(CTAScheduler):
 
     name = "sequential"
 
+    __slots__ = ()
+
     def eligible_runs(self) -> Iterable["KernelRun"]:
         for run in self.runs:
             if not run.done:
@@ -54,6 +56,8 @@ class SpatialCKE(CTAScheduler):
     """Partition SMs between kernels (no core ever runs two kernels)."""
 
     name = "spatial"
+
+    __slots__ = ("_shares", "_sm_owner")
 
     def __init__(self, kernels: Sequence[Kernel],
                  shares: Sequence[int] | None = None) -> None:
@@ -99,6 +103,8 @@ class SMKEvenCKE(CTAScheduler):
 
     name = "smk-even"
 
+    __slots__ = ()
+
     def __init__(self, kernels: Sequence[Kernel]) -> None:
         super().__init__(kernels)
         if len(self.kernels) < 2:
@@ -128,6 +134,9 @@ class MixedCKE(CTAScheduler):
     """
 
     name = "mixed"
+
+    __slots__ = ("primary_index", "monitor_sm", "monitor",
+                 "_mixed_emitted", "_drain_emitted")
 
     def __init__(self, kernels: Sequence[Kernel], *, primary: int = 0,
                  rule: str = "tail", param: float | None = None,

@@ -30,6 +30,8 @@ class LCSBCSScheduler(BCSScheduler):
 
     name = "lcs+bcs"
 
+    __slots__ = ("monitor",)
+
     def __init__(self, kernel: Kernel | Sequence[Kernel], *,
                  block_size: int = DEFAULT_BLOCK_SIZE,
                  rule: str = "tail", param: float | None = None,

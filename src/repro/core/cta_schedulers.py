@@ -34,6 +34,8 @@ class CTAScheduler:
 
     name = "rr"
 
+    __slots__ = ("kernels", "gpu", "runs", "_rr_ptr", "_need_fill")
+
     def __init__(self, kernels: Kernel | Sequence[Kernel]) -> None:
         if isinstance(kernels, Kernel):
             kernels = [kernels]
@@ -114,6 +116,8 @@ class RoundRobinCTAScheduler(CTAScheduler):
 
     name = "rr"
 
+    __slots__ = ()
+
 
 class DepthFirstCTAScheduler(CTAScheduler):
     """Fill one SM to its limit before moving to the next.
@@ -127,6 +131,8 @@ class DepthFirstCTAScheduler(CTAScheduler):
     """
 
     name = "depth-first"
+
+    __slots__ = ()
 
     def _fill_run(self, run: "KernelRun", now: int) -> None:
         for sm in self.gpu.sms:
@@ -146,6 +152,8 @@ class StaticLimitCTAScheduler(CTAScheduler):
     """
 
     name = "static"
+
+    __slots__ = ("_limits",)
 
     def __init__(self, kernels: Kernel | Sequence[Kernel],
                  limit_per_sm: int | dict[str, int]) -> None:

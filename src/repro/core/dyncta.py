@@ -58,6 +58,9 @@ class DynCTAScheduler(CTAScheduler):
 
     name = "dyncta"
 
+    __slots__ = ("window", "high_water", "low_water", "_quota",
+                 "adjustments")
+
     def __init__(self, kernel: Kernel | Sequence[Kernel], *,
                  window: int = DEFAULT_WINDOW,
                  high_water: float = HIGH_MEM_STALL,
@@ -99,12 +102,13 @@ class DynCTAScheduler(CTAScheduler):
         self._schedule_sample(now)
 
     def _adjust(self, sm: "SM", run: "KernelRun", now: int) -> None:
-        resident = [warp for cta in sm.active_ctas for warp in cta.warps
-                    if not warp.done]
+        # Backend-neutral sampling view (the vector core keeps warp state
+        # in columns; walking cta.warps directly would read stale state).
+        resident = sm.resident_warp_states()
         if not resident:
             return
-        mem_stalled = sum(1 for warp in resident
-                          if warp.state == WarpState.WAIT_MEM)
+        mem_stalled = sum(1 for state in resident
+                          if state == WarpState.WAIT_MEM)
         stall_fraction = mem_stalled / len(resident)
         old = self._quota[sm.sm_id]
         new = old

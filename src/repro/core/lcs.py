@@ -168,7 +168,7 @@ def decide_n_star(issue_counts: Sequence[int], occupancy: int, *,
     return decide_n_star_threshold(issue_counts, param, occupancy)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LCSDecision:
     """Everything the monitoring phase learned (kept for E2/E4 reporting)."""
 
@@ -206,6 +206,9 @@ class LCSDecision:
 
 class LCSMonitor:
     """Reusable monitoring/decision logic (shared with mixed CKE)."""
+
+    __slots__ = ("rule", "param", "util_guard", "barrier_guard",
+                 "monitor_sm", "decision")
 
     def __init__(self, *, rule: str = "tail", param: float | None = None,
                  util_guard: float = DEFAULT_UTIL_GUARD,
@@ -291,6 +294,8 @@ class LCSScheduler(CTAScheduler):
     """Lazy CTA scheduling for a single kernel."""
 
     name = "lcs"
+
+    __slots__ = ("monitor",)
 
     def __init__(self, kernel: Kernel | Sequence[Kernel], *,
                  rule: str = "tail", param: float | None = None,

@@ -54,6 +54,7 @@ from .experiments import (EXPERIMENTS, ExperimentContext, e12_benchmark_table,
 from .faults import FaultPlan, FaultSpecError
 from .jobs import JobError
 from .reporting import Table
+from .validate import VALID_BACKENDS
 
 ALL_IDS = tuple(EXPERIMENTS) + ("e12",)
 
@@ -142,6 +143,14 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
                         metavar="DIR",
                         help="checkpoint store directory (default "
                              f"{DEFAULT_CHECKPOINT_DIR}/)")
+    parser.add_argument("--backend", default="object",
+                        choices=VALID_BACKENDS,
+                        help="simulator core for every job: 'object' "
+                             "(reference) or 'vector' (array-oriented, "
+                             "bitwise-identical, faster); jobs using warp "
+                             "schedulers the vector core lacks (two-level, "
+                             "swl) fall back to the object core "
+                             "(default object)")
     parser.set_defaults(fail_fast=False)
     return parser.parse_args(argv)
 
@@ -286,13 +295,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     workers = args.jobs if args.jobs else default_workers()
     cache = None if args.no_cache else ResultCache()
 
+    if args.backend == "vector" and checkpoints is not None:
+        print("error: the vector backend does not support "
+              "checkpoint/resume; drop --checkpoint-interval or use "
+              "--backend object", file=sys.stderr)
+        return 2
     ctx = ExperimentContext(scale=args.scale, seed=args.seed,
                             jobs=workers, cache=cache,
                             timeline_window=args.timeline,
                             trace=bool(args.trace),
                             retries=args.retries, timeout=args.timeout,
                             fail_fast=args.fail_fast, faults=faults,
-                            sanitize=args.sanitize, checkpoints=checkpoints)
+                            sanitize=args.sanitize, checkpoints=checkpoints,
+                            backend=args.backend)
     total_started = time.perf_counter()
     failed_experiments: list[str] = []
     for exp_id in requested:

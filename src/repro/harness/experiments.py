@@ -19,6 +19,7 @@ from typing import Any, Iterable, Sequence
 
 from ..sim.config import GPUConfig
 from ..sim.kernel import Kernel
+from ..sim.vector import vector_supported
 from ..sim.stats import RunResult
 from ..workloads.patterns import DEFAULT_SEED
 from ..workloads.programs import memory_intensity
@@ -77,6 +78,10 @@ class ExperimentContext:
     # checkpoint/resume plan.  Neither changes results or fingerprints.
     sanitize: bool | None = None
     checkpoints: CheckpointPlan | None = None
+    # Simulator core for every job this context builds ('object' or
+    # 'vector').  Not fingerprint-relevant: the backends are
+    # bitwise-identical by contract, so tables are too.
+    backend: str = "object"
     # Engine reports accumulate here, one per prefetch batch; sub-contexts
     # share the parent's list so a CLI failure summary sees everything.
     reports: list[BatchReport] = field(default_factory=list, repr=False)
@@ -104,6 +109,7 @@ class ExperimentContext:
                                  fail_fast=self.fail_fast,
                                  faults=self.faults, sanitize=self.sanitize,
                                  checkpoints=self.checkpoints,
+                                 backend=self.backend,
                                  reports=self.reports)
 
     # ------------------------------------------------------------------ #
@@ -114,12 +120,19 @@ class ExperimentContext:
         """The declarative job for one :meth:`run` parameter combination."""
         if isinstance(names, str):
             names = (names,)
+        backend = self.backend
+        if backend == "vector" and not vector_supported(warp):
+            # Experiments sweep warp schedulers the vector core does not
+            # implement (two-level, swl); those cells run on the object
+            # core.  Results are bitwise-identical either way, so the
+            # tables are unaffected.
+            backend = "object"
         return SimJob(names=tuple(names), scale=self.scale, seed=self.seed,
                       scale_mults=(tuple(scale_mults)
                                    if scale_mults is not None else None),
                       warp=warp, policy=policy, config=self.config,
                       timeline_window=self.timeline_window,
-                      trace=self.trace)
+                      trace=self.trace, backend=backend)
 
     @staticmethod
     def _memo_key(job: SimJob) -> tuple:

@@ -44,6 +44,7 @@ from ..sim.config import GPUConfig
 from ..sim.kernel import Kernel
 from ..workloads.patterns import DEFAULT_SEED
 from ..workloads.suite import SUITE, make_kernel
+from .validate import validate_backend
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.checkpoint import Snapshot
@@ -192,6 +193,11 @@ class SimJob:
     # entries) while telemetry-bearing results are cached separately.
     timeline_window: int | None = None
     trace: bool = False
+    # Which simulator core executes the job.  Never part of the
+    # fingerprint: the backends are bitwise-identical by contract
+    # (enforced by repro-verify's backend-parity layer), so a cached
+    # result is valid whichever core produced it.
+    backend: str = "object"
 
     def __post_init__(self) -> None:
         names = ((self.names,) if isinstance(self.names, str)
@@ -214,6 +220,10 @@ class SimJob:
         policy = validate_policy(tuple(self.policy))
         if self.timeline_window is not None and self.timeline_window < 1:
             raise JobError("timeline_window must be >= 1 (or None)")
+        try:
+            validate_backend(self.backend)
+        except ValueError as exc:
+            raise JobError(str(exc)) from None
         object.__setattr__(self, "names", names)
         object.__setattr__(self, "scale_mults", mults)
         object.__setattr__(self, "warp", warp)
@@ -282,6 +292,7 @@ class SimJob:
         if resume_from is not None:
             # The snapshot carries the policy, warp scheduler and telemetry
             # hub mid-state; only fresh kernels (and the riders) go in.
+            # (Snapshots are object-core state, so backend stays implicit.)
             return simulate(kernels, config=self.config,
                             wall_timeout=wall_timeout, sanitize=sanitize,
                             checkpoint=recorder, resume_from=resume_from,
@@ -300,4 +311,5 @@ class SimJob:
                         wall_timeout=wall_timeout,
                         sanitize=sanitize,
                         checkpoint=recorder,
-                        saboteur=saboteur)
+                        saboteur=saboteur,
+                        backend=self.backend)

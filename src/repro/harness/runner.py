@@ -19,6 +19,7 @@ from ..sim.invariants import (DEFAULT_SANITIZE_INTERVAL, ENV_SANITIZE,
 from ..sim.kernel import Kernel
 from ..sim.stats import CacheStats, RunResult
 from ..telemetry.hub import TelemetryHub
+from .validate import validate_backend
 
 
 def simulate(kernels: Kernel | Sequence[Kernel], *,
@@ -31,7 +32,8 @@ def simulate(kernels: Kernel | Sequence[Kernel], *,
              sanitize_interval: int | None = None,
              checkpoint: CheckpointRecorder | None = None,
              resume_from: Snapshot | None = None,
-             saboteur=None) -> RunResult:
+             saboteur=None,
+             backend: str = "object") -> RunResult:
     """Run kernels to completion and return the collected statistics.
 
     Parameters
@@ -85,11 +87,21 @@ def simulate(kernels: Kernel | Sequence[Kernel], *,
     saboteur:
         Fault-injection hook (``FaultPlan.run_saboteur``) that kills or
         corrupts the run at a chosen cycle; test/drill use only.
+    backend:
+        ``'object'`` (default) — the per-object reference core; or
+        ``'vector'`` — the array-oriented core (:mod:`repro.sim.vector`),
+        bitwise-identical results at a fraction of the wall clock.  The
+        vector core supports the named ``lrr``/``gto``/``baws`` warp
+        schedulers and no checkpoint/resume/fault-injection riders.
     """
+    validate_backend(backend)
     if isinstance(kernels, Kernel):
         kernels = [kernels]
     kernels = list(kernels)
     if resume_from is not None:
+        if backend != "object":
+            raise ValueError("resume_from restores an object-core GPU; "
+                             "use backend='object'")
         if cta_scheduler is not None or telemetry is not None:
             raise ValueError("resume_from restores the snapshotted "
                              "scheduler and telemetry hub; do not pass "
@@ -114,8 +126,17 @@ def simulate(kernels: Kernel | Sequence[Kernel], *,
                 raise ValueError("cta_scheduler was built for different "
                                  "kernels")
         config = config if config is not None else GPUConfig()
-        gpu = GPU(config=config, warp_scheduler=warp_scheduler,
-                  telemetry=telemetry)
+        if backend == "vector":
+            if checkpoint is not None or saboteur is not None:
+                raise ValueError(
+                    "the vector backend does not support checkpoint "
+                    "recording or fault injection; use backend='object'")
+            from ..sim.vector import VectorGPU
+            gpu = VectorGPU(config=config, warp_scheduler=warp_scheduler,
+                            telemetry=telemetry)
+        else:
+            gpu = GPU(config=config, warp_scheduler=warp_scheduler,
+                      telemetry=telemetry)
 
     if sanitize is None:
         sanitize = bool(os.environ.get(ENV_SANITIZE, "").strip())

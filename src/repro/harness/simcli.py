@@ -47,6 +47,7 @@ from ..core.warp_schedulers import available_warp_schedulers, swl_factory
 from ..sim.config import GPUConfig
 from ..sim.gpu import GPU, SimulationTimeout
 from ..sim.kernel import Kernel
+from ..sim.vector import VECTOR_WARP_SCHEDULERS, vector_supported
 from ..sim.stats import RunResult
 from ..telemetry.hub import TelemetryHub
 from ..telemetry.trace import write_trace
@@ -60,6 +61,7 @@ from .checkpoints import DEFAULT_CHECKPOINT_DIR, CheckpointPlan
 from .engine import DEFAULT_RETRIES, run_batch
 from .faults import FaultPlan, FaultSpecError
 from .jobs import SimJob
+from .validate import VALID_BACKENDS
 
 CONFIGS = ("fermi", "kepler", "small")
 POLICIES = ("rr", "static:N", "lcs", "bcs[:B]", "lcs+bcs[:B]", "dyncta")
@@ -86,6 +88,13 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
     parser.add_argument("--policy", default="rr",
                         help=f"CTA policy: {', '.join(POLICIES)} "
                              "(default rr)")
+    parser.add_argument("--backend", default="object",
+                        choices=VALID_BACKENDS,
+                        help="simulator core: 'object' (per-object "
+                             "reference) or 'vector' (array-oriented, "
+                             "bitwise-identical results, faster; named "
+                             "lrr/gto/baws warp schedulers only; default "
+                             "object)")
     parser.add_argument("--timeline", metavar="CSV", nargs="?", const="-",
                         help="write the windowed telemetry timeline as CSV "
                              "to FILE ('-' or no value = stdout; an "
@@ -235,12 +244,24 @@ def main(argv: Sequence[str] | None = None) -> int:
                   and not args.trace)
     try:
         config = _make_config(args.config)
+        if args.backend == "vector" and args.checkpoint_interval is not None:
+            print("error: the vector backend does not support "
+                  "checkpoint/resume; drop --checkpoint-interval or use "
+                  "--backend object", file=sys.stderr)
+            return 2
+        if args.backend == "vector" \
+                and not vector_supported(_warp_descriptor(args.warp)):
+            print(f"error: warp scheduler {args.warp!r} is not supported "
+                  "by the vector backend (supported: "
+                  f"{', '.join(sorted(VECTOR_WARP_SCHEDULERS))}); use "
+                  "--backend object", file=sys.stderr)
+            return 2
         if use_engine:
             job = SimJob(names=(args.kernel,), scale=args.scale,
                          seed=args.seed,
                          warp=_warp_descriptor(args.warp),
                          policy=_policy_descriptor(args.policy),
-                         config=config)
+                         config=config, backend=args.backend)
             kernel = job.build_kernels()[0]
         else:
             kernel = _load_kernel(args.kernel, args.scale, args.seed)
@@ -253,7 +274,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     occupancy = kernel.max_ctas_per_sm(config)
     print(f"kernel {kernel.name}: {kernel.num_ctas} CTAs x "
           f"{kernel.warps_per_cta} warps, occupancy {occupancy} CTAs/SM, "
-          f"config {args.config}, warp {args.warp}, policy {args.policy}\n")
+          f"config {args.config}, warp {args.warp}, policy {args.policy}, "
+          f"backend {args.backend}\n")
 
     if use_engine:
         cache = None if args.no_cache else ResultCache()
@@ -318,7 +340,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         sanitize = bool(os.environ.get(ENV_SANITIZE, "").strip())
     sanitizer = (InvariantSanitizer(interval=DEFAULT_SANITIZE_INTERVAL)
                  if sanitize else None)
-    gpu = GPU(config=config, warp_scheduler=warp, telemetry=hub)
+    if args.backend == "vector":
+        from ..sim.vector import VectorBackendError, VectorGPU
+        try:
+            gpu = VectorGPU(config=config, warp_scheduler=warp,
+                            telemetry=hub)
+        except VectorBackendError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    else:
+        gpu = GPU(config=config, warp_scheduler=warp, telemetry=hub)
     try:
         gpu.run(policy, wall_timeout=args.timeout, sanitizer=sanitizer)
     except SimulationTimeout as error:

@@ -10,9 +10,27 @@ from __future__ import annotations
 
 from ..sim.stats import RunResult
 
+#: Simulator cores selectable via ``--backend`` / ``SimJob.backend``.
+#: ``object`` is the per-object reference core; ``vector`` the
+#: array-oriented core (see :mod:`repro.sim.vector`).
+VALID_BACKENDS = ("object", "vector")
+
 
 class RunValidationError(AssertionError):
     """A RunResult violated a simulator invariant."""
+
+
+def validate_backend(backend: str) -> str:
+    """Check a backend name; returns it unchanged.
+
+    Raises ``ValueError`` with the accepted names — callers (SimJob,
+    the CLIs) surface this directly, so keep it actionable.
+    """
+    if backend not in VALID_BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose one of "
+            f"{'/'.join(VALID_BACKENDS)}")
+    return backend
 
 
 def _check(condition: bool, message: str) -> None:

@@ -111,3 +111,52 @@ def validate_program(program: Sequence[Instruction]) -> None:
     for inst in program[:-1]:
         if inst.op is Op.EXIT:
             raise ValueError("EXIT may only appear as the final instruction")
+
+
+# Column traces -------------------------------------------------------------
+
+#: Build-protocol flag: while true, a column-capable trace builder
+#: (``repro.workloads.programs.TraceBuilder``) returns a
+#: :class:`ColumnProgram` from ``build()`` instead of materialising
+#: ``Instruction`` objects.  Toggled only by
+#: :meth:`repro.sim.kernel.Kernel.build_warp_columns` around the builder
+#: call; the simulator is single-threaded per process, so a plain module
+#: flag (reset in a ``finally``) is race-free.
+_COLUMN_MODE = False
+
+
+class ColumnProgram:
+    """Column (structure-of-arrays) form of a validated warp trace.
+
+    The vector backend's per-warp representation: one ``bytes`` of opcode
+    values plus parallel latency/line tuples, indexable by pc.  Carries
+    exactly the fields the timing model reads — building one skips every
+    ``Instruction`` allocation and per-instruction validation, which is a
+    measurable share of short-run wall clock.
+    """
+
+    __slots__ = ("ops", "lat", "lines")
+
+    def __init__(self, ops: bytes, lat: tuple, lines: tuple) -> None:
+        self.ops = ops
+        self.lat = lat
+        self.lines = lines
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:
+        return f"ColumnProgram({len(self.ops)} instructions)"
+
+
+def program_columns(program: Sequence[Instruction]) -> ColumnProgram:
+    """Column form of an ``Instruction`` sequence.
+
+    The fallback for program builders that are not column-capable (replay
+    kernels, hand-written builders): the instructions are materialised as
+    usual and converted.  ``program`` must already be validated.
+    """
+    return ColumnProgram(
+        bytes(inst.op for inst in program),
+        tuple(inst.latency for inst in program),
+        tuple(inst.lines for inst in program))

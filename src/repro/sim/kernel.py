@@ -14,8 +14,9 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from . import isa as _isa
 from .config import GPUConfig
-from .isa import Instruction, validate_program
+from .isa import ColumnProgram, Instruction, program_columns, validate_program
 
 ProgramBuilder = Callable[[int, int], Sequence[Instruction]]
 
@@ -61,6 +62,31 @@ class Kernel:
         program = list(self._builder(cta_id, warp_idx))
         validate_program(program)
         return program
+
+    def build_warp_columns(self, cta_id: int, warp_idx: int) -> ColumnProgram:
+        """Column form of one warp's trace (the vector backend's input).
+
+        A column-capable builder (``TraceBuilder``) skips ``Instruction``
+        materialisation entirely; any other builder falls back to the
+        normal build-and-validate path followed by a conversion, so
+        replay kernels and custom builders work unchanged.  Both paths
+        encode the same (op, latency, lines) rows — the cores therefore
+        execute the identical trace either way.
+        """
+        if not 0 <= cta_id < self.num_ctas:
+            raise ValueError(f"cta_id {cta_id} out of range")
+        if not 0 <= warp_idx < self.warps_per_cta:
+            raise ValueError(f"warp_idx {warp_idx} out of range")
+        _isa._COLUMN_MODE = True
+        try:
+            program = self._builder(cta_id, warp_idx)
+        finally:
+            _isa._COLUMN_MODE = False
+        if type(program) is ColumnProgram:
+            return program
+        program = list(program)
+        validate_program(program)
+        return program_columns(program)
 
     # ------------------------------------------------------------------ #
     def regs_per_cta(self, config: GPUConfig) -> int:

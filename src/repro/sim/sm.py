@@ -391,6 +391,18 @@ class SM:
     def ctas_of(self, kernel_id: int) -> list[CTA]:
         return [cta for cta in self.active_ctas if cta.run.kernel_id == kernel_id]
 
+    def resident_warp_states(self) -> list[WarpState]:
+        """States of every non-DONE warp of the resident CTAs.
+
+        The read-only sampling view DynCTA-style policies use (a policy
+        that walked ``cta.warps`` directly would see stale state on the
+        vector backend, which keeps warp state in columns and writes the
+        ``Warp`` objects back only at CTA completion).  Order is
+        unspecified; callers aggregate.
+        """
+        return [warp.state for cta in self.active_ctas
+                for warp in cta.warps if not warp.done]
+
     # ------------------------------------------------------------------ #
     # Telemetry probe interface (read-only; see repro.telemetry.probes).
     def warp_state_counts(self) -> tuple[int, int, int, int]:

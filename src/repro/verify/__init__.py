@@ -1,12 +1,15 @@
-"""Correctness armor for the simulator: three independent layers.
+"""Correctness armor for the simulator: four independent layers.
 
 1. :mod:`~repro.verify.golden` — a fingerprint-keyed, digest-verified
    **golden-result store** with a pinned (kernel x CTA scheduler x warp
    scheduler x config) matrix; the drift gate every perf PR must pass.
-2. :mod:`~repro.verify.refmodel` — a deliberately unoptimized
+2. :mod:`~repro.verify.backends` — a **backend-parity sweep** running the
+   vector-capable cells of the same matrix on both simulator cores
+   (object and vector) and diffing bitwise.
+3. :mod:`~repro.verify.refmodel` — a deliberately unoptimized
    **differential reference model** of the issue/select hot path,
    cross-checked cycle-window-by-window against the tuned simulator.
-3. :mod:`~repro.verify.fuzzer` — a seeded **metamorphic + property
+4. :mod:`~repro.verify.fuzzer` — a seeded **metamorphic + property
    fuzzer** with shrinking, asserting semantic invariants over hundreds
    of generated kernel/config cases.
 
@@ -17,6 +20,8 @@ Failures from every layer render to JSONL triage artifacts
 
 from .artifacts import (ARTIFACT_VERSION, DEFAULT_REPORT_DIR,
                         read_failure_artifact, write_failure_artifact)
+from .backends import (ParityReport, ParityVerdict, parity_matrix,
+                       verify_backends)
 from .fuzzer import (INVARIANTS, FuzzCase, FuzzError, FuzzFailure,
                      FuzzReport, case_seeds, check_case, check_invariant,
                      run_fuzz, shrink)
@@ -35,11 +40,14 @@ __all__ = [
     "DEFAULT_WINDOW", "DRIFT_LANES", "INVARIANTS", "REF_SUPPORTED",
     "CellVerdict", "CrossCheckResult", "FuzzCase", "FuzzError",
     "FuzzFailure", "FuzzReport", "GoldenCell", "GoldenError",
-    "GoldenReport", "GoldenStore", "RefModelError",
+    "GoldenReport", "GoldenStore", "ParityReport", "ParityVerdict",
+    "RefModelError",
     "canonical_json", "canonical_result", "case_seeds", "check_case",
     "check_invariant",
     "classify_drift", "compare_runs", "cross_check", "crosscheck_matrix",
-    "diff_paths", "golden_matrix", "read_failure_artifact",
+    "diff_paths", "golden_matrix", "parity_matrix",
+    "read_failure_artifact",
     "reference_run", "reference_simulate", "result_digest", "run_fuzz",
-    "shrink", "split_lanes", "verify_goldens", "write_failure_artifact",
+    "shrink", "split_lanes", "verify_backends", "verify_goldens",
+    "write_failure_artifact",
 ]

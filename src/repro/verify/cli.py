@@ -1,11 +1,15 @@
 """``repro-verify`` — the correctness gate for the simulator.
 
-Four subcommands, one per verification layer plus a combined gate:
+Five subcommands, one per verification layer plus a combined gate:
 
 ``repro-verify golden``
     Re-run the pinned golden matrix (cache-bypassing) and diff every
     cell bitwise against ``goldens/<tier>/``.  ``--update`` re-baselines
     after an intentional model change.
+``repro-verify backend``
+    Run the vector-capable golden cells on both simulator backends
+    (object and vector) and diff the two results bitwise — the parity
+    contract of :mod:`repro.sim.vector`.
 ``repro-verify refmodel``
     Cross-check the tuned simulator against the unoptimized differential
     reference model, window-by-window, over the pinned cross-check suite.
@@ -13,7 +17,7 @@ Four subcommands, one per verification layer plus a combined gate:
     Run N seeded metamorphic/property fuzz cases; failures are shrunk to
     minimal cases.
 ``repro-verify all``
-    All three layers; the exit code is the OR of their verdicts.
+    All four layers; the exit code is the OR of their verdicts.
 
 Exit codes: 0 — everything verified; 1 — at least one drift, divergence
 or invariant violation (details on stdout, JSONL artifact via
@@ -29,6 +33,7 @@ from pathlib import Path
 from typing import Any, Sequence
 
 from .artifacts import DEFAULT_REPORT_DIR, write_failure_artifact
+from .backends import ParityReport, parity_matrix, verify_backends
 from .fuzzer import FuzzReport, run_fuzz
 from .golden import (DEFAULT_GOLDEN_ROOT, GoldenReport, GoldenStore,
                      golden_matrix, verify_goldens)
@@ -64,6 +69,18 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
                         help="worker processes for the matrix re-run")
     golden.add_argument("--report", metavar="FILE", default=None,
                         help="write failing cells as a JSONL artifact")
+
+    backend = sub.add_parser(
+        "backend", help="run vector-capable cells on both simulator "
+                        "backends and diff bitwise")
+    backend.add_argument("--tier", choices=("smoke", "full"),
+                         default="smoke",
+                         help="which pinned matrix to sweep "
+                              "(default: smoke)")
+    backend.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                         help="worker processes for the sweep")
+    backend.add_argument("--report", metavar="FILE", default=None,
+                         help="write disagreeing cells as a JSONL artifact")
 
     refmodel = sub.add_parser(
         "refmodel", help="cross-check the tuned simulator against the "
@@ -153,6 +170,33 @@ def _run_golden(tier: str, store_path: str | None, *, update: bool,
     return report, records
 
 
+def _run_backend(tier: str, *, jobs: int, report_path: str | None
+                 ) -> tuple[ParityReport, list[dict[str, Any]]]:
+    cells = parity_matrix(tier)
+    print(f"backend: {len(cells)} vector-capable cell(s), object vs "
+          "vector, bitwise (cache bypassed)")
+    report = verify_backends(cells, workers=jobs, progress=_progress)
+    records = [v.to_record() for v in report.failures()]
+    print(report.summary_line())
+    for verdict in report.failures():
+        lanes = ",".join(verdict.lanes) or "-"
+        detail = verdict.error or ""
+        for lane, entries in verdict.diffs.items():
+            head = "; ".join(f"{p}: {a!r} != {b!r}"
+                             for p, a, b in entries[:3])
+            more = (f" (+{len(entries) - 3} more)"
+                    if len(entries) > 3 else "")
+            detail += f"\n      [{lane}] {head}{more}"
+        print(f"  PARITY {verdict.label} [{verdict.status}; lanes: {lanes}]"
+              f" {detail}")
+    if report_path and records:
+        n = write_failure_artifact(
+            report_path, records, command="repro-verify backend",
+            context={"tier": tier})
+        print(f"  wrote {n} failure record(s) to {report_path}")
+    return report, records
+
+
 def _run_refmodel(window: int, report_path: str | None
                   ) -> tuple[list[CrossCheckResult], list[dict[str, Any]]]:
     jobs = crosscheck_matrix()
@@ -205,6 +249,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         report, _ = _run_golden(args.tier, args.store, update=args.update,
                                 jobs=args.jobs, report_path=args.report)
         return 0 if report.ok else 1
+    if args.command == "backend":
+        report, _ = _run_backend(args.tier, jobs=args.jobs,
+                                 report_path=args.report)
+        return 0 if report.ok else 1
     if args.command == "refmodel":
         if args.window < 1:
             print("error: --window must be >= 1", file=sys.stderr)
@@ -229,6 +277,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         args.tier, args.store, update=False, jobs=args.jobs,
         report_path=str(report_dir / "golden-failures.jsonl"))
     print()
+    parity_report, parity_records = _run_backend(
+        args.tier, jobs=args.jobs,
+        report_path=str(report_dir / "backend-failures.jsonl"))
+    print()
     crosschecks, refmodel_records = _run_refmodel(
         args.window, str(report_dir / "refmodel-failures.jsonl"))
     print()
@@ -236,7 +288,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         args.seed, args.cases, shrink=True,
         report_path=str(report_dir / "fuzz-failures.jsonl"))
     print()
-    all_records = golden_records + refmodel_records + fuzz_records
+    all_records = (golden_records + parity_records + refmodel_records
+                   + fuzz_records)
     if all_records:
         # A chrome://tracing overlay of every failure; refmodel events
         # land at their first divergent cycle (see telemetry.drift_lane).
@@ -249,6 +302,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"drift lane trace: {trace_path}")
     verdicts = {
         "golden": golden_report.ok,
+        "backend": parity_report.ok,
         "refmodel": not any(r.diverged for r in crosschecks),
         "fuzz": fuzz_report.ok,
     }

@@ -12,6 +12,8 @@ Invariants (:data:`INVARIANTS`):
 ``determinism``
     Running the identical case twice yields bitwise-identical results
     (the contract the result cache, the engine and the goldens rely on).
+    Checked on both simulator backends (vector when the case's warp
+    scheduler supports it).
 ``rename``
     Renaming the kernel changes nothing but the name: no scheduling or
     memory decision may key on the kernel's *name*.  (Exact for fuzz
@@ -42,6 +44,13 @@ Invariants (:data:`INVARIANTS`):
     covers exactly (:data:`~repro.verify.refmodel.REF_SUPPORTED`), the
     tuned and reference models agree window-by-window (see
     :mod:`repro.verify.refmodel`).
+``backend``
+    For cases whose warp scheduler the vector backend supports
+    (:data:`~repro.sim.vector.VECTOR_WARP_SCHEDULERS`), the object and
+    vector cores produce bitwise-identical results — statistics,
+    windowed timeline and trace alike (the contract
+    :mod:`repro.verify.backends` sweeps over the pinned matrix,
+    extended here to generated kernels).
 
 Determinism contract of the fuzzer itself: ``run_fuzz(seed, n)`` draws
 the same ``n`` cases for the same ``seed`` on every invocation, so a CI
@@ -63,6 +72,7 @@ from ..sim.config import GPUConfig
 from ..sim.isa import Instruction, Op
 from ..sim.kernel import Kernel
 from ..sim.stats import RunResult
+from ..sim.vector import vector_supported
 from ..telemetry.hub import TelemetryHub
 from .golden import diff_paths
 from .refmodel import REF_SUPPORTED, compare_runs, reference_run
@@ -227,7 +237,7 @@ class FuzzCase:
     def run(self, *, name: str | None = None,
             relabel: Callable[[int], int] | None = None,
             timeline_window: int | None = None, trace: bool = False,
-            sanitize: bool = False) -> RunResult:
+            sanitize: bool = False, backend: str = "object") -> RunResult:
         """Execute this case once (fresh kernel, policy and hub)."""
         kernel = self.build_kernel(name=name, relabel=relabel)
         scheduler = build_policy(self.policy, [kernel])
@@ -237,7 +247,7 @@ class FuzzCase:
         return simulate(kernel, config=self.config(),
                         warp_scheduler=self.warp, cta_scheduler=scheduler,
                         telemetry=telemetry, sanitize=sanitize,
-                        wall_timeout=CASE_WALL_TIMEOUT)
+                        wall_timeout=CASE_WALL_TIMEOUT, backend=backend)
 
     def repro_snippet(self, invariant: str) -> str:
         parts = ", ".join(f"{key}={value!r}"
@@ -281,6 +291,33 @@ def _check_determinism(case: FuzzCase) -> str | None:
     diffs = diff_paths(first, second)
     if diffs:
         return _diff_detail(diffs, "two identical runs differ")
+    if vector_supported(case.warp):
+        v_first = case.run(trace=True, timeline_window=CASE_WINDOW,
+                           backend="vector").to_dict()
+        v_second = case.run(trace=True, timeline_window=CASE_WINDOW,
+                            backend="vector").to_dict()
+        diffs = diff_paths(v_first, v_second)
+        if diffs:
+            return _diff_detail(diffs,
+                                "two identical vector-backend runs differ")
+    return None
+
+
+def _check_backend(case: FuzzCase) -> str | None:
+    """The vector core reproduces the object core bitwise (when it can).
+
+    Runs carry the timeline and trace riders so all three drift lanes
+    (stats, timeline, telemetry) are compared, exactly like the pinned
+    ``repro-verify backend`` sweep but over generated cases.
+    """
+    if not vector_supported(case.warp):
+        return None
+    obj = case.run(trace=True, timeline_window=CASE_WINDOW).to_dict()
+    vec = case.run(trace=True, timeline_window=CASE_WINDOW,
+                   backend="vector").to_dict()
+    diffs = diff_paths(obj, vec)
+    if diffs:
+        return _diff_detail(diffs, "object/vector backends disagree")
     return None
 
 
@@ -392,6 +429,7 @@ INVARIANTS: dict[str, Callable[[FuzzCase], str | None]] = {
     "sanitize": _check_sanitize,
     "validity": _check_validity,
     "refmodel": _check_refmodel,
+    "backend": _check_backend,
 }
 
 

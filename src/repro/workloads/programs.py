@@ -1,15 +1,33 @@
 """Trace builder: composes per-warp instruction lists.
 
 ``TraceBuilder`` is a tiny fluent helper the benchmark factories use to
-assemble warp programs; it enforces the ISA's well-formedness rules (single
-trailing EXIT) via :func:`repro.sim.isa.validate_program` at build time.
+assemble warp programs; it enforces the ISA's well-formedness rules (the
+same checks ``Instruction`` and :func:`repro.sim.isa.validate_program`
+apply) as the rows are appended, which makes two build outputs possible
+from one accumulation:
+
+* the classic ``list[Instruction]`` (with non-memory instructions
+  *interned* — ``Instruction`` is a frozen value type, so the thousands
+  of identical ALU/EXIT objects a suite kernel used to allocate per warp
+  collapse into shared singletons);
+* a :class:`repro.sim.isa.ColumnProgram` when the build runs under
+  ``Kernel.build_warp_columns`` (the vector backend's path), skipping
+  ``Instruction`` materialisation entirely.
+
+Both encode the identical (op, latency, lines) rows, so the simulator
+cores execute the same trace either way.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from ..sim.isa import Instruction, Op, validate_program
+from ..sim import isa as _isa
+from ..sim.isa import ColumnProgram, Instruction, Op
+
+#: Interned non-memory instructions, keyed by ``(op, latency)``.  Bounded
+#: in practice by the handful of distinct latencies the factories use.
+_NONMEM_CACHE: dict[tuple[Op, int], Instruction] = {}
 
 
 class TraceBuilder:
@@ -20,27 +38,47 @@ class TraceBuilder:
             raise ValueError("latencies must be >= 1")
         self._alu_latency = alu_latency
         self._shared_latency = shared_latency
-        self._program: list[Instruction] = []
+        self._ops: list[Op] = []
+        self._lat: list[int] = []
+        self._lines: list[tuple[int, ...]] = []
         self._built = False
+        self._columns = _isa._COLUMN_MODE
 
     # ------------------------------------------------------------------ #
     def alu(self, count: int = 1, latency: int | None = None) -> "TraceBuilder":
         latency = latency if latency is not None else self._alu_latency
-        inst = Instruction(Op.ALU, latency=latency)
-        self._program.extend([inst] * count)
+        if latency < 1:
+            raise ValueError("latency must be >= 1")
+        self._ops.extend((Op.ALU,) * count)
+        self._lat.extend((latency,) * count)
+        self._lines.extend(((),) * count)
         return self
 
     def shared(self, count: int = 1, latency: int | None = None) -> "TraceBuilder":
         latency = latency if latency is not None else self._shared_latency
-        inst = Instruction(Op.SHARED, latency=latency)
-        self._program.extend([inst] * count)
+        if latency < 1:
+            raise ValueError("latency must be >= 1")
+        self._ops.extend((Op.SHARED,) * count)
+        self._lat.extend((latency,) * count)
+        self._lines.extend(((),) * count)
+        return self
+
+    def _memory(self, op: Op, lines: int | Iterable[int]) -> "TraceBuilder":
+        if isinstance(lines, int):
+            lines = (lines,)
+        else:
+            lines = tuple(lines)
+        if not lines:
+            raise ValueError(f"{op.name} instruction needs at least one line")
+        if len(set(lines)) != len(lines):
+            raise ValueError("memory instruction lines must be distinct (coalesced)")
+        self._ops.append(op)
+        self._lat.append(1)
+        self._lines.append(lines)
         return self
 
     def load(self, lines: int | Iterable[int]) -> "TraceBuilder":
-        if isinstance(lines, int):
-            lines = (lines,)
-        self._program.append(Instruction(Op.LD_GLOBAL, lines=tuple(lines)))
-        return self
+        return self._memory(Op.LD_GLOBAL, lines)
 
     def load_strided(self, base_byte: int, stride_elems: int, *,
                      lanes: int = 32, elem_size: int = 4) -> "TraceBuilder":
@@ -55,8 +93,7 @@ class TraceBuilder:
         from ..mem.coalescer import warp_access
         lines = warp_access(base_byte, stride_elems, lanes=lanes,
                             elem_size=elem_size)
-        self._program.append(Instruction(Op.LD_GLOBAL, lines=lines))
-        return self
+        return self._memory(Op.LD_GLOBAL, lines)
 
     def load_each(self, lines: Iterable[int],
                   alu_between: int = 0) -> "TraceBuilder":
@@ -68,27 +105,51 @@ class TraceBuilder:
         return self
 
     def store(self, lines: int | Iterable[int]) -> "TraceBuilder":
-        if isinstance(lines, int):
-            lines = (lines,)
-        self._program.append(Instruction(Op.ST_GLOBAL, lines=tuple(lines)))
-        return self
+        return self._memory(Op.ST_GLOBAL, lines)
 
     def barrier(self) -> "TraceBuilder":
-        self._program.append(Instruction(Op.BARRIER))
+        self._ops.append(Op.BARRIER)
+        self._lat.append(1)
+        self._lines.append(())
         return self
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._program)
+        return len(self._ops)
 
-    def build(self) -> list[Instruction]:
-        """Append EXIT, validate, and return the finished program."""
+    def build(self) -> "list[Instruction] | ColumnProgram":
+        """Append EXIT and return the finished program.
+
+        Well-formedness is enforced as rows are appended (the fluent API
+        cannot express an interior EXIT), so the output always satisfies
+        :func:`repro.sim.isa.validate_program` — which
+        ``Kernel.build_warp_program`` re-checks independently.
+        """
         if self._built:
             raise RuntimeError("TraceBuilder.build() may only be called once")
         self._built = True
-        self._program.append(Instruction(Op.EXIT))
-        validate_program(self._program)
-        return self._program
+        ops = self._ops
+        lat = self._lat
+        all_lines = self._lines
+        ops.append(Op.EXIT)
+        lat.append(1)
+        all_lines.append(())
+        if self._columns:
+            return ColumnProgram(bytes(ops), tuple(lat), tuple(all_lines))
+        cache = _NONMEM_CACHE
+        program: list[Instruction] = []
+        append = program.append
+        for op, latency, lines in zip(ops, lat, all_lines):
+            if lines:
+                append(Instruction(op, latency, lines))
+            else:
+                key = (op, latency)
+                inst = cache.get(key)
+                if inst is None:
+                    inst = Instruction(op, latency=latency)
+                    cache[key] = inst
+                append(inst)
+        return program
 
 
 def instruction_mix(program: Sequence[Instruction]) -> dict[str, int]:

@@ -5,6 +5,10 @@ fully deterministic, so any diff here means the model's behaviour changed.
 If the change is intentional (a model fix or recalibration), update the
 goldens AND regenerate the full-scale tables in EXPERIMENTS.md — the two
 must move together.
+
+Parametrized over both simulator backends: the vector core is contracted
+to reproduce the object core bitwise, so it must hit the exact same
+goldens (the default ``gto`` warp scheduler is vector-supported).
 """
 
 import pytest
@@ -21,14 +25,16 @@ GOLDEN = {
 }
 
 
+@pytest.mark.parametrize("backend", ["object", "vector"])
 @pytest.mark.parametrize("key", sorted(GOLDEN))
-def test_golden_run(key):
+def test_golden_run(key, backend):
     name, scale = key
-    result = simulate(make_kernel(name, scale=scale), config=GPUConfig())
+    result = simulate(make_kernel(name, scale=scale), config=GPUConfig(),
+                      backend=backend)
     expected = GOLDEN[key]
     measured = (result.cycles, result.instructions, result.l1.misses,
                 result.dram.reads)
     assert measured == expected, (
-        f"{name}@{scale}: measured {measured}, golden {expected} — if this "
-        "model change is intentional, update GOLDEN and re-baseline "
-        "EXPERIMENTS.md")
+        f"{name}@{scale} [{backend}]: measured {measured}, golden "
+        f"{expected} — if this model change is intentional, update GOLDEN "
+        "and re-baseline EXPERIMENTS.md")
