@@ -4,8 +4,8 @@ PY      ?= python
 PYTEST  = PYTHONPATH=src $(PY) -m pytest
 
 .PHONY: test lint bench bench-smoke bench-engine bench-core \
-	bench-core-check fault-smoke resume-smoke clean-cache clean-state \
-	verify-smoke verify-full goldens
+	bench-core-check fault-smoke resume-smoke design-smoke clean-cache \
+	clean-state verify-smoke verify-full goldens table-goldens
 
 test:            ## tier-1 test suite
 	$(PYTEST) -q
@@ -79,6 +79,35 @@ resume-smoke:    ## checkpoint/resume drill: mid-run kill, resume, sanitize
 	fi; \
 	echo "resume-smoke: ok (killed run resumed bitwise-identical;" \
 	     "sanitizer caught injected corruption)"
+
+design-smoke:    ## design layer drill: compile all E-designs + campaign resume
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	PYTHONPATH=src $(PY) -c "from repro.design import DesignEnv; \
+	from repro.harness.experiments import EXPERIMENT_DESIGNS; \
+	env = DesignEnv(scale=0.02); \
+	cells = sum(len(b().compile(env)) for b in EXPERIMENT_DESIGNS.values()); \
+	print(f'{len(EXPERIMENT_DESIGNS)} designs compiled, {cells} cells')" \
+		|| { echo "design-smoke: E-driver design compilation failed"; \
+		     exit 1; }; \
+	out=$$($(EXP) --design examples/lcs_threshold.toml \
+		--campaign-dir "$$tmp/camp" --no-cache 2>&1) \
+		|| { echo "design-smoke: campaign run failed"; \
+		     echo "$$out"; exit 1; }; \
+	echo "$$out" | grep -q "7 dispatched" \
+		|| { echo "design-smoke: expected 7 dispatched cells"; \
+		     echo "$$out"; exit 1; }; \
+	out=$$($(EXP) --design examples/lcs_threshold.toml \
+		--campaign-dir "$$tmp/camp" --no-cache 2>&1) \
+		|| { echo "design-smoke: campaign resume failed"; \
+		     echo "$$out"; exit 1; }; \
+	echo "$$out" | grep -q "0 dispatched, 7 already done" \
+		|| { echo "design-smoke: resume should skip done cells"; \
+		     echo "$$out"; exit 1; }; \
+	echo "design-smoke: ok (all E-designs compile; campaign resumed" \
+	     "without re-dispatching)"
+
+table-goldens:   ## regenerate goldens/tables/*.csv after intended changes
+	PYTHONPATH=src $(PY) -m repro.verify.tables --update
 
 clean-cache:     ## purge the persistent result cache
 	PYTHONPATH=src $(PY) -m repro.harness.cli --clear-cache

@@ -15,6 +15,8 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
+from .design import (Campaign, Design, DesignEnv, Factor, load_design,
+                     parse_design, serialize_design)
 from .core import (BCSScheduler, CTAScheduler, DynCTAScheduler,
                    LCSBCSScheduler, LCSDecision,
                    LCSScheduler, MixedCKE, OracleResult,
@@ -52,5 +54,7 @@ __all__ = [
     "InvariantViolation", "Snapshot",
     "FuzzCase", "GoldenStore", "cross_check", "golden_matrix", "run_fuzz",
     "verify_goldens",
+    "Campaign", "Design", "DesignEnv", "Factor", "load_design",
+    "parse_design", "serialize_design",
     "__version__",
 ]

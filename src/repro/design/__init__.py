@@ -1,0 +1,27 @@
+"""Declarative experiment designs (ROADMAP item 2).
+
+Experiments are *data*: a :class:`Design` declares a factorial space
+(crossed/nested/derived :class:`Factor`\\ s, exclusion filters, orderings,
+per-cell :class:`Override`\\ s), :meth:`Design.compile` lowers it
+deterministically to :class:`~repro.harness.jobs.SimJob`\\ s under a
+:class:`DesignEnv`, and a :class:`Campaign` gives the sweep a persistent,
+resumable on-disk manifest.  Design files (TOML/JSON) round-trip through
+:func:`parse_design`/:func:`serialize_design` with identical compiled
+fingerprints.  See docs/DESIGNS.md.
+"""
+
+from .campaign import (DEFAULT_CAMPAIGN_ROOT, Campaign, CampaignCell,
+                       CampaignError, CampaignReport)
+from .design import (RESERVED, Block, CompiledCell, Design, DesignError,
+                     Factor, Override)
+from .env import DesignEnv, build_job
+from .files import (ENV_KEYS, NONE_SENTINEL, design_payload, load_design,
+                    parse_design, serialize_design)
+
+__all__ = [
+    "DEFAULT_CAMPAIGN_ROOT", "ENV_KEYS", "NONE_SENTINEL", "RESERVED",
+    "Block", "Campaign", "CampaignCell", "CampaignError", "CampaignReport",
+    "CompiledCell", "Design", "DesignEnv", "DesignError", "Factor",
+    "Override", "build_job", "design_payload", "load_design",
+    "parse_design", "serialize_design",
+]

@@ -1,0 +1,231 @@
+"""Persistent, resumable campaigns: a design sweep that survives ^C.
+
+A :class:`Campaign` is one compiled design plus an on-disk *manifest*
+(``.repro-campaigns/<name>-<digest12>/manifest.json``): the design digest,
+the compile environment, and one record per cell — label, job payload,
+fingerprint, status and headline numbers.  The digest is part of the
+directory name, so re-running the same design file (or the same in-code
+design) against the same environment lands on the same manifest and
+resumes, while *any* change to factors, filters, overrides, ordering or
+environment starts a fresh campaign next door.
+
+Resume semantics (the contract ``make design-smoke`` drills):
+
+* Cells already ``done`` in the manifest are not re-dispatched at all.
+* Cells that finished in an interrupted batch are in the result cache
+  (the engine caches each result as it arrives), so re-dispatching them
+  replays from disk — status flips to ``done`` without simulating.
+* Nothing about the design needs re-declaring: jobs are rebuilt from
+  their manifest payloads, not from the design object.
+
+Manifests are written atomically (tmp + rename) after every batch, so a
+crash mid-campaign never corrupts the record of completed cells.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..harness.cache import ResultCache
+from ..harness.checkpoints import CheckpointPlan
+from ..harness.engine import DEFAULT_RETRIES, BatchReport, run_batch
+from ..harness.faults import FaultPlan
+from ..harness.jobs import SimJob
+from .design import CompiledCell, Design, DesignError
+from .env import DesignEnv
+
+#: Where campaign manifests live by default (git-ignorable, like the
+#: result cache and checkpoint store).
+DEFAULT_CAMPAIGN_ROOT = ".repro-campaigns"
+
+#: On-disk manifest format version.
+_MANIFEST_FORMAT = 1
+
+_MANIFEST = "manifest.json"
+
+
+class CampaignError(RuntimeError):
+    """A campaign manifest is unusable (corrupt, wrong format)."""
+
+
+@dataclass
+class CampaignCell:
+    """One design cell's persistent execution record."""
+
+    index: int
+    label: str
+    fingerprint: str
+    job: dict                      # SimJob.to_payload rendering
+    status: str = "pending"        # pending | done | failed
+    cycles: int | None = None
+    ipc: float | None = None
+    error: str | None = None
+
+    def to_record(self) -> dict[str, Any]:
+        return {"index": self.index, "label": self.label,
+                "fingerprint": self.fingerprint, "job": self.job,
+                "status": self.status, "cycles": self.cycles,
+                "ipc": self.ipc, "error": self.error}
+
+    @classmethod
+    def from_record(cls, data: dict) -> "CampaignCell":
+        return cls(index=data["index"], label=data["label"],
+                   fingerprint=data["fingerprint"], job=data["job"],
+                   status=data.get("status", "pending"),
+                   cycles=data.get("cycles"), ipc=data.get("ipc"),
+                   error=data.get("error"))
+
+
+@dataclass
+class CampaignReport:
+    """What one :meth:`Campaign.run` call did."""
+
+    executed: int = 0              # cells dispatched this run
+    resumed: int = 0               # cells already done in the manifest
+    failed: int = 0
+    batch: BatchReport | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0
+
+
+@dataclass
+class Campaign:
+    """A compiled design bound to its on-disk manifest."""
+
+    name: str
+    digest: str
+    path: Path
+    env: DesignEnv
+    cells: list[CampaignCell] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def open(cls, design: Design, env: DesignEnv | None = None, *,
+             root: str | Path = DEFAULT_CAMPAIGN_ROOT) -> "Campaign":
+        """Compile ``design`` under ``env`` and bind the manifest.
+
+        A manifest from a previous (possibly interrupted) run of the same
+        design+environment is loaded — per-cell statuses and all; any
+        other design lands in its own directory.
+        """
+        env = env if env is not None else DesignEnv()
+        compiled = design.compile(env)
+        if not compiled:
+            raise DesignError(f"design {design.name!r} compiled to zero "
+                              f"cells; nothing to run")
+        digest = design.digest(env)
+        path = Path(root) / f"{design.name}-{digest[:12]}"
+        manifest = path / _MANIFEST
+        if manifest.is_file():
+            campaign = cls.load(path)
+            if campaign.digest != digest:   # pragma: no cover - paranoia
+                raise CampaignError(
+                    f"manifest at {path} records digest "
+                    f"{campaign.digest[:12]}, expected {digest[:12]}")
+            return campaign
+        cells = [CampaignCell(index=cc.index, label=cc.label,
+                              fingerprint=cc.job.fingerprint(),
+                              job=cc.job.to_payload())
+                 for cc in compiled]
+        campaign = cls(name=design.name, digest=digest, path=path,
+                       env=env, cells=cells)
+        campaign.save()
+        return campaign
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Campaign":
+        path = Path(path)
+        try:
+            data = json.loads((path / _MANIFEST).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise CampaignError(f"unreadable campaign manifest under "
+                                f"{path}: {error}") from None
+        if data.get("format") != _MANIFEST_FORMAT:
+            raise CampaignError(f"campaign manifest format "
+                                f"{data.get('format')!r} not supported")
+        return cls(name=data["name"], digest=data["digest"], path=path,
+                   env=DesignEnv.from_payload(data["env"]),
+                   cells=[CampaignCell.from_record(r)
+                          for r in data["cells"]])
+
+    # ------------------------------------------------------------------ #
+    def save(self) -> None:
+        """Atomic manifest write (tmp + rename, like the result cache)."""
+        self.path.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": _MANIFEST_FORMAT,
+            "name": self.name,
+            "digest": self.digest,
+            "env": self.env.to_payload(),
+            "written": time.time(),
+            "cells": [cell.to_record() for cell in self.cells],
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.path, prefix=".tmp-manifest-")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=1)
+            os.replace(tmp, self.path / _MANIFEST)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------ #
+    def pending(self) -> list[CampaignCell]:
+        """Cells still owed a result (``failed`` cells are retried)."""
+        return [cell for cell in self.cells if cell.status != "done"]
+
+    def counts(self) -> dict[str, int]:
+        out = {"pending": 0, "done": 0, "failed": 0}
+        for cell in self.cells:
+            out[cell.status] = out.get(cell.status, 0) + 1
+        return out
+
+    def run(self, *, workers: int = 1, cache: ResultCache | None = None,
+            retries: int = DEFAULT_RETRIES, timeout: float | None = None,
+            fail_fast: bool = False, faults: FaultPlan | None = None,
+            sanitize: bool | None = None,
+            checkpoints: CheckpointPlan | None = None,
+            progress=None) -> CampaignReport:
+        """Execute every non-``done`` cell as one engine batch.
+
+        The manifest is re-saved after the batch, so the next invocation
+        resumes from exactly what completed — and mid-batch interrupts
+        still resume cheaply, because the engine caches each result the
+        moment it arrives.
+        """
+        todo = self.pending()
+        report = CampaignReport(resumed=len(self.cells) - len(todo))
+        if not todo:
+            return report
+        jobs = [SimJob.from_payload(cell.job) for cell in todo]
+        batch = run_batch(jobs, workers=workers, cache=cache,
+                          retries=retries, timeout=timeout,
+                          fail_fast=fail_fast, faults=faults,
+                          sanitize=sanitize, checkpoints=checkpoints,
+                          progress=progress)
+        report.batch = batch
+        report.executed = len(todo)
+        for cell, outcome in zip(todo, batch.outcomes):
+            if outcome.result is not None:
+                cell.status = "done"
+                cell.cycles = outcome.result.cycles
+                cell.ipc = outcome.result.ipc
+                cell.error = None
+            else:
+                cell.status = "failed"
+                error = outcome.error or outcome.status
+                cell.error = error.splitlines()[0][:200] if error else None
+                report.failed += 1
+        self.save()
+        return report

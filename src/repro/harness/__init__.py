@@ -9,7 +9,7 @@ from .faults import FaultPlan, FaultSpecError, RunSaboteur
 from .jobs import JobError, SimJob
 from .metrics import CKEMetrics, cke_metrics
 from .runner import simulate
-from .sweeps import config_sweep, occupancy_position
+from .sweeps import config_sweep, occupancy_position, sweep_design
 from .validate import RunValidationError, validate_run
 
 __all__ = ["BatchError", "BatchReport", "CheckpointPlan", "CheckpointStore",

@@ -27,6 +27,15 @@ Usage::
                                   # from its newest checkpoint on retry
                                   # (and on the next invocation)
     repro-exp e3 --sanitize       # check live-state invariants in-flight
+    repro-exp --design sweep.toml # run a design file as a resumable
+                                  # campaign (.repro-campaigns/ manifest;
+                                  # re-invoking resumes where it stopped)
+
+Requesting several experiments plans them as one deduplicated batch: the
+designs behind the requested ids are compiled up front, cells with
+identical job fingerprints (shared baselines, revisited static sweeps)
+collapse, and the whole union runs as a single engine batch before the
+drivers assemble their tables.
 
 Failures never discard completed work: every finished simulation is cached
 as it arrives, failing experiments are reported (per-job failure summary
@@ -44,13 +53,16 @@ import time
 from pathlib import Path
 from typing import Sequence
 
+from ..design import (DEFAULT_CAMPAIGN_ROOT, Campaign, CampaignError,
+                      DesignEnv, DesignError, load_design)
 from ..workloads.patterns import DEFAULT_SEED
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .checkpoints import (DEFAULT_CHECKPOINT_DIR, CheckpointPlan,
                           CheckpointStore)
 from .engine import (DEFAULT_RETRIES, JobExecutionError, default_workers)
-from .experiments import (EXPERIMENTS, ExperimentContext, e12_benchmark_table,
-                          e12_config_table)
+from .experiments import (EXPERIMENT_DESIGNS, EXPERIMENTS, ExperimentContext,
+                          design_cell_counts, e12_benchmark_table,
+                          e12_config_table, plan_experiments)
 from .faults import FaultPlan, FaultSpecError
 from .jobs import JobError
 from .reporting import Table
@@ -66,7 +78,16 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
     parser.add_argument("experiments", nargs="*",
                         help=f"experiment ids ({', '.join(ALL_IDS)}) or 'all'")
     parser.add_argument("--list", action="store_true",
-                        help="list experiments with one-line descriptions")
+                        help="list experiments with their design cell "
+                             "counts (at --scale) and one-line descriptions")
+    parser.add_argument("--design", metavar="FILE",
+                        help="run a TOML/JSON design file as a resumable "
+                             "campaign instead of built-in experiments "
+                             "(see docs/DESIGNS.md)")
+    parser.add_argument("--campaign-dir", default=DEFAULT_CAMPAIGN_ROOT,
+                        metavar="DIR",
+                        help="campaign manifest root for --design "
+                             f"(default {DEFAULT_CAMPAIGN_ROOT}/)")
     parser.add_argument("--output", metavar="DIR",
                         help="also write each table as CSV into DIR")
     parser.add_argument("--scale", type=float, default=0.4,
@@ -224,11 +245,77 @@ def _write_telemetry(ctx: ExperimentContext,
               file=sys.stderr)
 
 
+def _run_design_campaign(args: argparse.Namespace, workers: int,
+                         cache: ResultCache | None, faults,
+                         checkpoints: CheckpointPlan | None) -> int:
+    """``repro-exp --design FILE``: run a design file as a campaign.
+
+    The campaign manifest (``<campaign-dir>/<name>-<digest12>/``) makes
+    the run resumable: re-invoking with the same file and environment
+    skips ``done`` cells entirely and replays interrupted cells from the
+    result cache.
+    """
+    try:
+        design, env_overrides = load_design(args.design)
+    except OSError as error:
+        print(f"cannot read design file {args.design}: {error}",
+              file=sys.stderr)
+        return 2
+    except DesignError as error:
+        print(f"bad design file {args.design}: {error}", file=sys.stderr)
+        return 2
+    env_kwargs: dict = {"scale": args.scale, "seed": args.seed,
+                        "backend": args.backend,
+                        "timeline_window": args.timeline,
+                        "trace": bool(args.trace)}
+    env_kwargs.update(env_overrides)
+    env = DesignEnv(**env_kwargs)
+    try:
+        campaign = Campaign.open(design, env, root=args.campaign_dir)
+    except (CampaignError, DesignError, JobError) as error:
+        print(f"cannot open campaign for {args.design}: {error}",
+              file=sys.stderr)
+        return 2
+    counts = campaign.counts()
+    print(f"[campaign {campaign.path.name}: {len(campaign.cells)} cell(s); "
+          f"{counts['done']} done, {counts['pending']} pending, "
+          f"{counts['failed']} failed]", file=sys.stderr)
+    try:
+        report = campaign.run(workers=workers, cache=cache,
+                              retries=args.retries, timeout=args.timeout,
+                              fail_fast=args.fail_fast, faults=faults,
+                              sanitize=args.sanitize,
+                              checkpoints=checkpoints)
+    except JobExecutionError as error:
+        print(f"[campaign FAILED: {error}]", file=sys.stderr)
+        return 1
+    table = Table(f"design {campaign.name} ({campaign.digest[:12]})",
+                  ["cell", "status", "cycles", "ipc"])
+    for cell in campaign.cells:
+        table.add_row(cell.label, cell.status,
+                      cell.cycles if cell.cycles is not None else "-",
+                      cell.ipc if cell.ipc is not None else "-")
+    print(table.to_csv() if args.csv else table.render())
+    print()
+    if args.output:
+        out_dir = Path(args.output)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{campaign.name}.csv").write_text(table.to_csv() + "\n")
+    print(f"[campaign: {report.executed} dispatched, "
+          f"{report.resumed} already done, {report.failed} failed "
+          f"-> {campaign.path}/]", file=sys.stderr)
+    return 1 if report.failed else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _parse_args(argv)
     if args.list:
+        counts = design_cell_counts(DesignEnv(scale=args.scale,
+                                              seed=args.seed))
         for exp_id in ALL_IDS:
-            print(f"{exp_id:>4}  {_describe(exp_id)}")
+            cells = (f"{counts[exp_id]:>3} cells"
+                     if exp_id in EXPERIMENT_DESIGNS else "   -     ")
+            print(f"{exp_id:>4}  {cells}  {_describe(exp_id)}")
         return 0
     if args.clean_state:
         removed = ResultCache().clear()
@@ -258,7 +345,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                   f"'make clean-state' to drop both]", file=sys.stderr)
         if not args.experiments:
             return 0
-    if not args.experiments:
+    if args.design and args.experiments:
+        print("--design runs a design file; pass either experiment ids or "
+              "--design, not both", file=sys.stderr)
+        return 2
+    if not args.experiments and not args.design:
         print("no experiments requested (try --list)", file=sys.stderr)
         return 2
     requested = list(args.experiments)
@@ -300,6 +391,9 @@ def main(argv: Sequence[str] | None = None) -> int:
               "checkpoint/resume; drop --checkpoint-interval or use "
               "--backend object", file=sys.stderr)
         return 2
+    if args.design:
+        return _run_design_campaign(args, workers, cache, faults,
+                                    checkpoints)
     ctx = ExperimentContext(scale=args.scale, seed=args.seed,
                             jobs=workers, cache=cache,
                             timeline_window=args.timeline,
@@ -309,6 +403,25 @@ def main(argv: Sequence[str] | None = None) -> int:
                             sanitize=args.sanitize, checkpoints=checkpoints,
                             backend=args.backend)
     total_started = time.perf_counter()
+    # Plan phase: several experiments in one invocation run as a single
+    # deduplicated engine batch (their designs share baselines and whole
+    # sweeps), so each simulation executes at most once per invocation and
+    # parallelism spans experiment boundaries.
+    design_ids = [e for e in requested if e in EXPERIMENT_DESIGNS]
+    if len(design_ids) > 1:
+        plan_started = time.perf_counter()
+        try:
+            planned = plan_experiments(ctx, design_ids)
+        except (JobExecutionError, JobError) as error:
+            # --fail-fast stops the shared batch early; the failure is
+            # recorded in the context, so the first driver that consumes
+            # it reports the experiment below and ends the loop.
+            print(f"[plan: batch stopped early: {error}]", file=sys.stderr)
+        else:
+            print(f"[plan: {planned} unique job(s) across "
+                  f"{len(design_ids)} design(s) in "
+                  f"{time.perf_counter() - plan_started:.1f}s]",
+                  file=sys.stderr)
     failed_experiments: list[str] = []
     for exp_id in requested:
         started = time.perf_counter()

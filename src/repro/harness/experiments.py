@@ -1,10 +1,25 @@
-"""Experiment drivers — one per reconstructed figure/table (E1..E12).
+"""Experiment drivers — one per reconstructed figure/table (E1..E22).
+
+Every driver is now two declarative halves:
+
+* a **design** (``design_eNN``): the experiment's factorial space —
+  crossed/nested/derived :class:`~repro.design.Factor`\\ s compiled to
+  :class:`SimJob`\\ s by the :mod:`repro.design` layer.  Designs are data:
+  the CLI counts their cells for ``--list``, :func:`plan_experiments`
+  merges them across experiments into one deduplicated engine batch, and
+  campaigns (``repro-exp --design``) run file-borne designs through the
+  identical machinery;
+* a **table assembly** (``eNN_*``): reads the memoised results back and
+  lays out the rows the paper would plot.  Byte-identical to the
+  pre-design-layer tables (asserted by ``tests/test_table_goldens.py``).
 
 Each ``eNN_*`` function takes an :class:`ExperimentContext` and returns a
-:class:`~repro.harness.reporting.Table` whose rows are the series the paper
-would plot.  The context memoises simulation runs, so experiments that share
-configurations (e.g. E3's baseline and E4's oracle sweep) pay for each
-simulation once.
+:class:`~repro.harness.reporting.Table`.  The context memoises simulation
+runs, so experiments that share configurations (e.g. E3's baseline and
+E4's oracle sweep) pay for each simulation once — and a shared
+fingerprint *pool* extends that guarantee across hardware sub-contexts,
+so identical cells declared by several experiments in one invocation run
+exactly once.
 
 Scale convention: ``ExperimentContext(scale=...)`` scales every kernel's
 grid; 1.0 is the full evaluation size (~4 waves of CTAs per kernel),
@@ -14,12 +29,13 @@ by the test suite and the quick benchmark mode).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable, Sequence
 
+from ..design import CompiledCell, Design, DesignEnv, Factor
+from ..design.env import build_job
 from ..sim.config import GPUConfig
 from ..sim.kernel import Kernel
-from ..sim.vector import vector_supported
 from ..sim.stats import RunResult
 from ..workloads.patterns import DEFAULT_SEED
 from ..workloads.programs import memory_intensity
@@ -49,10 +65,17 @@ class ExperimentContext:
 
     ``jobs`` and ``cache`` plug the context into the batch engine
     (:mod:`repro.harness.engine`): experiment drivers *declare* their runs
-    up front with :meth:`prefetch`, the engine executes the cache misses —
-    across ``jobs`` worker processes when ``jobs > 1`` — and :meth:`run`
-    then assembles tables entirely from the in-memory memo.  Results are
-    bit-identical to serial, uncached execution by construction.
+    up front — as :class:`~repro.design.Design` objects via
+    :meth:`prefetch_design`, or as raw job lists via :meth:`prefetch` —
+    the engine executes the cache misses across ``jobs`` worker processes
+    when ``jobs > 1``, and :meth:`run` then assembles tables entirely from
+    the in-memory memo.  Results are bit-identical to serial, uncached
+    execution by construction.
+
+    Hardware sub-contexts (:meth:`for_config`) share the parent's
+    fingerprint pool, reports list and sub-context registry, so a cell
+    two experiments both declare — even under different contexts of the
+    same invocation — simulates once.
     """
 
     scale: float = 0.4
@@ -85,6 +108,14 @@ class ExperimentContext:
     # Engine reports accumulate here, one per prefetch batch; sub-contexts
     # share the parent's list so a CLI failure summary sees everything.
     reports: list[BatchReport] = field(default_factory=list, repr=False)
+    # Cross-context result pool (fingerprint -> result) and the
+    # per-hardware sub-context registry.  Both are shared *by reference*
+    # with every sub-context: a job two contexts would both run — the
+    # gto x rr baseline a dozen experiments share, say — simulates once
+    # per invocation, wherever it was declared first.
+    _pool: dict[str, RunResult] = field(default_factory=dict, repr=False)
+    _subcontexts: dict[GPUConfig, "ExperimentContext"] = \
+        field(default_factory=dict, repr=False)
     _cache: dict[tuple, RunResult] = field(default_factory=dict, repr=False)
     _failed: dict[tuple, JobOutcome] = field(default_factory=dict, repr=False)
 
@@ -97,42 +128,55 @@ class ExperimentContext:
         return self.kernel(name).max_ctas_per_sm(self.config)
 
     def subcontext(self, config: GPUConfig) -> "ExperimentContext":
-        """A context on different hardware sharing scale/seed/jobs/cache
-        (and the resilience knobs; ``reports`` is shared, not copied, so
-        sub-context failures surface in the parent's summary)."""
-        return ExperimentContext(scale=self.scale, seed=self.seed,
-                                 config=config, jobs=self.jobs,
-                                 cache=self.cache,
-                                 timeline_window=self.timeline_window,
-                                 trace=self.trace,
-                                 retries=self.retries, timeout=self.timeout,
-                                 fail_fast=self.fail_fast,
-                                 faults=self.faults, sanitize=self.sanitize,
-                                 checkpoints=self.checkpoints,
-                                 backend=self.backend,
-                                 reports=self.reports)
+        """A context on different hardware sharing every other setting.
+
+        Built with :func:`dataclasses.replace`, so a field added to the
+        context tomorrow is forwarded automatically — only the per-config
+        run memos reset (their keys deliberately omit the hardware).  The
+        ``reports`` list, fingerprint pool and sub-context registry are
+        shared by reference, not copied, so sub-context failures surface
+        in the parent's summary and shared cells never run twice.
+        """
+        return replace(self, config=config, _cache={}, _failed={})
+
+    def for_config(self, config: GPUConfig) -> "ExperimentContext":
+        """The memoised sub-context for ``config`` (self when equal).
+
+        Two experiments asking for the same hardware variant in one
+        invocation get the *same* sub-context — and therefore share its
+        run memo — instead of each building a private one.
+        """
+        if config == self.config:
+            return self
+        sub = self._subcontexts.get(config)
+        if sub is None:
+            sub = self.subcontext(config)
+            self._subcontexts[config] = sub
+        return sub
 
     # ------------------------------------------------------------------ #
     def job(self, names: str | Sequence[str], *,
             warp: str | tuple = "gto",
             policy: tuple = ("rr",),
             scale_mults: Sequence[float] | None = None) -> SimJob:
-        """The declarative job for one :meth:`run` parameter combination."""
-        if isinstance(names, str):
-            names = (names,)
-        backend = self.backend
-        if backend == "vector" and not vector_supported(warp):
-            # Experiments sweep warp schedulers the vector core does not
-            # implement (two-level, swl); those cells run on the object
-            # core.  Results are bitwise-identical either way, so the
-            # tables are unaffected.
-            backend = "object"
-        return SimJob(names=tuple(names), scale=self.scale, seed=self.seed,
-                      scale_mults=(tuple(scale_mults)
-                                   if scale_mults is not None else None),
-                      warp=warp, policy=policy, config=self.config,
-                      timeline_window=self.timeline_window,
-                      trace=self.trace, backend=backend)
+        """The declarative job for one :meth:`run` parameter combination.
+
+        Delegates to :func:`repro.design.build_job` — the single job
+        construction path shared with the design compiler — so a design
+        cell and a hand-built run can never drift apart (vector-backend
+        fallback included).
+        """
+        return build_job(names=names, scale=self.scale, seed=self.seed,
+                         config=self.config, warp=warp, policy=policy,
+                         scale_mults=scale_mults,
+                         timeline_window=self.timeline_window,
+                         trace=self.trace, backend=self.backend)
+
+    def design_env(self) -> DesignEnv:
+        """This context's settings as a design-compile environment."""
+        return DesignEnv(scale=self.scale, seed=self.seed, config=self.config,
+                         timeline_window=self.timeline_window,
+                         trace=self.trace, backend=self.backend)
 
     @staticmethod
     def _memo_key(job: SimJob) -> tuple:
@@ -142,7 +186,10 @@ class ExperimentContext:
         """Execute not-yet-memoised jobs as one batch (parallel + cached).
 
         Drivers call this with every run they are about to consume; the
-        subsequent :meth:`run` calls are then pure memo lookups.
+        subsequent :meth:`run` calls are then pure memo lookups.  Jobs
+        whose fingerprint is already in the shared pool (declared by an
+        earlier experiment of this invocation) are filed from the pool
+        without touching the engine.
 
         Failures are isolated per job: successful results are memoised
         (and cached) regardless of what happened to their batch-mates,
@@ -151,7 +198,7 @@ class ExperimentContext:
         affected parameter combinations.  With ``fail_fast`` set the first
         failure raises here instead.
         """
-        batch: list[SimJob] = []
+        batch: list[tuple[SimJob, str]] = []
         seen: set[tuple] = set()
         for job in jobs:
             if job.scale != self.scale or job.seed != self.seed \
@@ -162,20 +209,27 @@ class ExperimentContext:
             key = self._memo_key(job)
             if key in self._cache or key in seen:
                 continue
+            fingerprint = job.fingerprint()
+            pooled = self._pool.get(fingerprint)
+            if pooled is not None:
+                self._cache[key] = pooled
+                continue
             seen.add(key)
-            batch.append(job)
+            batch.append((job, fingerprint))
         if not batch:
             return
-        report = run_batch(batch, workers=self.jobs, cache=self.cache,
+        report = run_batch([job for job, _ in batch], workers=self.jobs,
+                           cache=self.cache,
                            retries=self.retries, timeout=self.timeout,
                            fail_fast=self.fail_fast, faults=self.faults,
                            sanitize=self.sanitize,
                            checkpoints=self.checkpoints)
         self.reports.append(report)
-        for job, outcome in zip(batch, report.outcomes):
+        for (job, fingerprint), outcome in zip(batch, report.outcomes):
             key = self._memo_key(job)
             if outcome.result is not None:
                 self._cache[key] = outcome.result
+                self._pool[fingerprint] = outcome.result
             else:
                 self._failed[key] = outcome
         if self.fail_fast:
@@ -184,6 +238,19 @@ class ExperimentContext:
                 raise JobExecutionError(failure.fingerprint,
                                         failure.error or failure.status,
                                         failure.worker_traceback)
+
+    def prefetch_design(self, design: Design) -> list[CompiledCell]:
+        """Compile a design under this context and batch-execute it.
+
+        Cells carrying their own hardware (a ``config`` factor) are routed
+        to the matching :meth:`for_config` sub-context; everything runs as
+        one engine batch.  Returns the compiled cells (drivers usually
+        ignore them and read results back via :meth:`run`).
+        """
+        compiled = design.compile(self.design_env())
+        prefetch_contexts((self.for_config(cc.job.config), cc.job)
+                          for cc in compiled)
+        return compiled
 
     # ------------------------------------------------------------------ #
     def run(self, names: str | Sequence[str], *,
@@ -204,11 +271,17 @@ class ExperimentContext:
             raise JobExecutionError(failed.fingerprint,
                                     failed.error or failed.status,
                                     failed.worker_traceback)
+        fingerprint = job.fingerprint()
+        pooled = self._pool.get(fingerprint)
+        if pooled is not None:
+            self._cache[key] = pooled
+            return pooled
         result = run_jobs([job], cache=self.cache, retries=self.retries,
                           timeout=self.timeout, faults=self.faults,
                           sanitize=self.sanitize,
                           checkpoints=self.checkpoints)[0]
         self._cache[key] = result
+        self._pool[fingerprint] = result
         return result
 
     # ------------------------------------------------------------------ #
@@ -273,33 +346,42 @@ def prefetch_contexts(
         items: Iterable[tuple[ExperimentContext, SimJob]]) -> None:
     """Batch-execute jobs that belong to *several* contexts.
 
-    The sub-context experiments (E19/E20/E22) vary the hardware
-    configuration, so their runs live in different contexts; this executes
-    all their pending jobs as one engine batch and files each result in
-    the owning context's memo.
+    Designs with hardware factors (E19/E20/E22) compile to jobs on
+    different configurations, so their runs live in different contexts;
+    this executes all their pending jobs as one engine batch and files
+    each result in the owning context's memo — consulting and feeding the
+    shared fingerprint pool, so a cell that already ran anywhere in this
+    invocation is never dispatched again.
     """
-    pending: list[tuple[ExperimentContext, SimJob]] = []
+    pending: list[tuple[ExperimentContext, SimJob, str]] = []
     seen: set[tuple] = set()
     for ctx, job in items:
-        key = (id(ctx), ExperimentContext._memo_key(job))
-        if key in seen or ExperimentContext._memo_key(job) in ctx._cache:
+        memo_key = ExperimentContext._memo_key(job)
+        key = (id(ctx), memo_key)
+        if key in seen or memo_key in ctx._cache:
+            continue
+        fingerprint = job.fingerprint()
+        pooled = ctx._pool.get(fingerprint)
+        if pooled is not None:
+            ctx._cache[memo_key] = pooled
             continue
         seen.add(key)
-        pending.append((ctx, job))
+        pending.append((ctx, job, fingerprint))
     if not pending:
         return
-    workers = max(ctx.jobs for ctx, _ in pending)
+    workers = max(ctx.jobs for ctx, _, _ in pending)
     lead = pending[0][0]
-    report = run_batch([job for _, job in pending], workers=workers,
+    report = run_batch([job for _, job, _ in pending], workers=workers,
                        cache=lead.cache, retries=lead.retries,
                        timeout=lead.timeout, fail_fast=lead.fail_fast,
                        faults=lead.faults, sanitize=lead.sanitize,
                        checkpoints=lead.checkpoints)
     lead.reports.append(report)
-    for (ctx, job), outcome in zip(pending, report.outcomes):
+    for (ctx, job, fingerprint), outcome in zip(pending, report.outcomes):
         key = ExperimentContext._memo_key(job)
         if outcome.result is not None:
             ctx._cache[key] = outcome.result
+            ctx._pool[fingerprint] = outcome.result
         else:
             ctx._failed[key] = outcome
     if lead.fail_fast:
@@ -311,15 +393,69 @@ def prefetch_contexts(
 
 
 # =========================================================================== #
+# design vocabulary shared by the E-driver declarations
+# =========================================================================== #
+
+def _bench_factor(benchmarks: Sequence[str]) -> Factor:
+    return Factor.crossed("bench", tuple(benchmarks))
+
+
+def _policy_factor(*policies: tuple) -> Factor:
+    return Factor.crossed("policy", tuple(policies))
+
+
+def _variant_factors(*variants: tuple[str, tuple]) -> list[Factor]:
+    """A (warp, policy) combination factor, split by derivation."""
+    return [
+        Factor.crossed("variant", tuple(variants)),
+        Factor.derived("warp", lambda cell, env: cell["variant"][0]),
+        Factor.derived("policy", lambda cell, env: cell["variant"][1]),
+    ]
+
+
+def static_sweep_design(benchmarks: Sequence[str], *,
+                        warp: str = "gto") -> Design:
+    """bench x (limit nested in occupancy) -> ('static', limit) jobs.
+
+    The canonical nested factor: the limit range depends on the
+    benchmark's occupancy under the compile environment's scale and
+    hardware, so the design stays correct at every ``--scale``.
+    """
+    return Design(
+        "static-sweep",
+        factors=[
+            _bench_factor(benchmarks),
+            Factor.crossed("warp", (warp,)),
+            Factor.nested("limit", lambda cell, env: range(
+                1, env.occupancy(cell["bench"]) + 1)),
+            Factor.derived("policy",
+                           lambda cell, env: ("static", cell["limit"])),
+        ])
+
+
+def baseline_design(benchmarks: Sequence[str], *,
+                    warp: str = "gto") -> Design:
+    """The max-occupancy GTO baseline every speedup normalizes to."""
+    return Design("baseline", factors=[
+        _bench_factor(benchmarks),
+        Factor.crossed("warp", (warp,)),
+        _policy_factor(("rr",)),
+    ])
+
+
+# =========================================================================== #
 # E1 — motivation: IPC vs CTAs per core
 # =========================================================================== #
+
+def design_e1(benchmarks: Sequence[str] = MOTIVATION_SET) -> Design:
+    return Design.chain("e1", static_sweep_design(benchmarks))
+
 
 def e1_occupancy_sweep(ctx: ExperimentContext,
                        benchmarks: Sequence[str] = MOTIVATION_SET) -> Table:
     """Normalized IPC against the per-core CTA limit (paper's motivation
     figure): memory-sensitive kernels peak *below* maximum occupancy."""
-    ctx.prefetch(job for name in benchmarks
-                 for job in ctx.static_sweep_jobs(name))
+    ctx.prefetch_design(design_e1(benchmarks))
     max_occ = max(ctx.occupancy(name) for name in benchmarks)
     columns = ["benchmark"] + [f"n={n}" for n in range(1, max_occ + 1)] \
         + ["best_n", "max_n"]
@@ -343,14 +479,21 @@ def e1_occupancy_sweep(ctx: ExperimentContext,
 # E2 — motivation: per-CTA issue counts under GTO
 # =========================================================================== #
 
+def design_e2(benchmarks: Sequence[str] = MOTIVATION_SET,
+              rule: str = LCS_RULE, param: float = LCS_PARAM) -> Design:
+    return Design("e2", factors=[
+        _bench_factor(benchmarks),
+        _policy_factor(("lcs", rule, param)),
+    ])
+
+
 def e2_issue_signature(ctx: ExperimentContext,
                        benchmarks: Sequence[str] = MOTIVATION_SET,
                        rule: str = LCS_RULE,
                        param: float = LCS_PARAM) -> Table:
     """The monitored core's per-CTA issued-instruction distribution at the
     end of the LCS monitoring period, normalized to the busiest CTA."""
-    ctx.prefetch(ctx.job(name, policy=("lcs", rule, param))
-                 for name in benchmarks)
+    ctx.prefetch_design(design_e2(benchmarks, rule, param))
     max_occ = max(ctx.occupancy(name) for name in benchmarks)
     columns = ["benchmark"] + [f"cta{r}" for r in range(1, max_occ + 1)] \
         + ["n_star"]
@@ -374,16 +517,22 @@ def e2_issue_signature(ctx: ExperimentContext,
 # E3 — headline: LCS speedup over the maximum-occupancy baseline
 # =========================================================================== #
 
+def design_e3(benchmarks: Sequence[str] = LCS_SET,
+              rule: str = LCS_RULE, param: float = LCS_PARAM) -> Design:
+    return Design.chain(
+        "e3",
+        baseline_design(benchmarks),
+        Design("e3-lcs", factors=[_bench_factor(benchmarks),
+                                  _policy_factor(("lcs", rule, param))]),
+        static_sweep_design(benchmarks))
+
+
 def e3_lcs_speedup(ctx: ExperimentContext,
                    benchmarks: Sequence[str] = LCS_SET,
                    rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
     """The headline figure: LCS speedup over the max-occupancy baseline,
     with the exhaustive static oracle alongside."""
-    ctx.prefetch([ctx.job(name) for name in benchmarks]
-                 + [ctx.job(name, policy=("lcs", rule, param))
-                    for name in benchmarks]
-                 + [job for name in benchmarks
-                    for job in ctx.static_sweep_jobs(name)])
+    ctx.prefetch_design(design_e3(benchmarks, rule, param))
     table = Table(
         "E3: LCS and oracle speedup over baseline (GTO, max occupancy)",
         ["benchmark", "base_ipc", "lcs_ipc", "oracle_ipc",
@@ -410,14 +559,20 @@ def e3_lcs_speedup(ctx: ExperimentContext,
 # E4 — LCS decision quality vs the exhaustive oracle
 # =========================================================================== #
 
+def design_e4(benchmarks: Sequence[str] = LCS_SET,
+              rule: str = LCS_RULE, param: float = LCS_PARAM) -> Design:
+    return Design.chain(
+        "e4",
+        Design("e4-lcs", factors=[_bench_factor(benchmarks),
+                                  _policy_factor(("lcs", rule, param))]),
+        static_sweep_design(benchmarks))
+
+
 def e4_lcs_vs_oracle(ctx: ExperimentContext,
                      benchmarks: Sequence[str] = LCS_SET,
                      rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
     """Decision quality: the online N* against the oracle's static best."""
-    ctx.prefetch([ctx.job(name, policy=("lcs", rule, param))
-                  for name in benchmarks]
-                 + [job for name in benchmarks
-                    for job in ctx.static_sweep_jobs(name)])
+    ctx.prefetch_design(design_e4(benchmarks, rule, param))
     table = Table(
         "E4: LCS-chosen CTA count vs oracle static best",
         ["benchmark", "occupancy", "n_lcs", "n_oracle",
@@ -437,12 +592,18 @@ def e4_lcs_vs_oracle(ctx: ExperimentContext,
 # E5 — warp-scheduler baseline: LRR vs GTO
 # =========================================================================== #
 
+def design_e5(benchmarks: Sequence[str] = LCS_SET) -> Design:
+    return Design("e5", factors=[
+        _bench_factor(benchmarks),
+        Factor.crossed("warp", ("lrr", "gto", "two-level")),
+        _policy_factor(("rr",)),
+    ])
+
+
 def e5_warp_schedulers(ctx: ExperimentContext,
                        benchmarks: Sequence[str] = LCS_SET) -> Table:
     """Warp-scheduler baselines: LRR vs GTO vs two-level round robin."""
-    ctx.prefetch(ctx.job(name, warp=warp)
-                 for name in benchmarks
-                 for warp in ("lrr", "gto", "two-level"))
+    ctx.prefetch_design(design_e5(benchmarks))
     table = Table(
         "E5: warp schedulers at max occupancy (speedup over LRR)",
         ["benchmark", "lrr_ipc", "gto_ipc", "twolevel_ipc",
@@ -466,21 +627,22 @@ def e5_warp_schedulers(ctx: ExperimentContext,
 # E6 — BCS and BCS+BAWS speedups
 # =========================================================================== #
 
-def _bcs_jobs(ctx: ExperimentContext, benchmarks: Sequence[str],
-              block_size: int) -> list[SimJob]:
-    """The (baseline, BCS, BCS+BAWS) runs E6 and E7 both consume."""
-    return [job for name in benchmarks for job in (
-        ctx.job(name),
-        ctx.job(name, policy=("bcs", block_size, None)),
-        ctx.job(name, warp="baws", policy=("bcs", block_size, None)),
-    )]
+def design_e6(benchmarks: Sequence[str] = LOCALITY_SET,
+              block_size: int = BCS_BLOCK) -> Design:
+    """The (baseline, BCS, BCS+BAWS) cells E6 and E7 both consume."""
+    return Design("e6", factors=[
+        _bench_factor(benchmarks),
+        *_variant_factors(("gto", ("rr",)),
+                          ("gto", ("bcs", block_size, None)),
+                          ("baws", ("bcs", block_size, None))),
+    ])
 
 
 def e6_bcs(ctx: ExperimentContext,
            benchmarks: Sequence[str] = LOCALITY_SET,
            block_size: int = BCS_BLOCK) -> Table:
     """BCS and BCS+BAWS speedups on the inter-CTA-locality kernels."""
-    ctx.prefetch(_bcs_jobs(ctx, benchmarks, block_size))
+    ctx.prefetch_design(design_e6(benchmarks, block_size))
     table = Table(
         "E6: BCS speedup over baseline (block = consecutive pair)",
         ["benchmark", "base_ipc", "bcs_gto", "bcs_baws"])
@@ -507,7 +669,7 @@ def e7_bcs_l1(ctx: ExperimentContext,
               benchmarks: Sequence[str] = LOCALITY_SET,
               block_size: int = BCS_BLOCK) -> Table:
     """L1 miss rates and MSHR merges under BCS (where the speedup is from)."""
-    ctx.prefetch(_bcs_jobs(ctx, benchmarks, block_size))
+    ctx.prefetch_design(design_e6(benchmarks, block_size))
     table = Table(
         "E7: L1 miss rate and MSHR merges under BCS",
         ["benchmark", "miss_base", "miss_bcs", "miss_baws",
@@ -526,16 +688,25 @@ def e7_bcs_l1(ctx: ExperimentContext,
 # E8 — concurrent kernel execution
 # =========================================================================== #
 
+def design_e8(pairs: Sequence[tuple[str, str, float]] = CKE_PAIRS,
+              rule: str = LCS_RULE, param: float = LCS_PARAM) -> Design:
+    return Design("e8", factors=[
+        Factor.crossed("pair", tuple(pairs)),
+        _policy_factor(("sequential",), ("spatial",), ("smk",),
+                       ("mixed", rule, param)),
+        Factor.derived("bench",
+                       lambda cell, env: tuple(cell["pair"][:2])),
+        Factor.derived("scale_mults",
+                       lambda cell, env: (1.0, cell["pair"][2])),
+    ])
+
+
 def e8_cke(ctx: ExperimentContext,
            pairs: Sequence[tuple[str, str, float]] = CKE_PAIRS,
            rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
     """Concurrent kernel execution: sequential vs spatial vs SMK-even vs
     the paper's LCS-guided mixed allocation."""
-    ctx.prefetch(ctx.job((mem_name, compute_name), policy=policy,
-                         scale_mults=(1.0, mult))
-                 for mem_name, compute_name, mult in pairs
-                 for policy in (("sequential",), ("spatial",), ("smk",),
-                                ("mixed", rule, param)))
+    ctx.prefetch_design(design_e8(pairs, rule, param))
     table = Table(
         "E8: concurrent kernel execution (speedup over sequential)",
         ["pair", "seq_cycles", "spatial", "smk_even", "mixed", "n_star"])
@@ -565,6 +736,21 @@ def e8_cke(ctx: ExperimentContext,
 # E9 — sensitivity: LCS issue-share threshold
 # =========================================================================== #
 
+def design_e9(benchmarks: Sequence[str] = LCS_SET,
+              variants: Sequence[tuple[str, float]] = (
+                  ("tail", 0.3), ("tail", 0.5), ("tail", 0.7),
+                  ("coverage", 0.9), ("threshold", 0.18))) -> Design:
+    return Design.chain(
+        "e9",
+        baseline_design(benchmarks),
+        Design("e9-variants", factors=[
+            _bench_factor(benchmarks),
+            Factor.crossed("rule_param", tuple(variants)),
+            Factor.derived("policy",
+                           lambda cell, env: ("lcs",) + cell["rule_param"]),
+        ]))
+
+
 def e9_lcs_threshold(ctx: ExperimentContext,
                      benchmarks: Sequence[str] = LCS_SET,
                      variants: Sequence[tuple[str, float]] = (
@@ -572,9 +758,7 @@ def e9_lcs_threshold(ctx: ExperimentContext,
                          ("coverage", 0.9), ("threshold", 0.18)),
                      ) -> Table:
     """Sensitivity of LCS to its decision rule and parameter."""
-    ctx.prefetch([ctx.job(name) for name in benchmarks]
-                 + [ctx.job(name, policy=("lcs", rule, param))
-                    for name in benchmarks for rule, param in variants])
+    ctx.prefetch_design(design_e9(benchmarks, variants))
     columns = ["benchmark"] + [f"{rule[:3]}={param}" for rule, param in variants]
     table = Table("E9: LCS speedup vs decision rule/parameter", columns)
     per_variant: dict[tuple[str, float], list[float]] = {v: [] for v in variants}
@@ -595,13 +779,25 @@ def e9_lcs_threshold(ctx: ExperimentContext,
 # E10 — sensitivity: BCS block size
 # =========================================================================== #
 
+def design_e10(benchmarks: Sequence[str] = LOCALITY_SET,
+               sizes: Sequence[int] = (1, 2, 4)) -> Design:
+    return Design.chain(
+        "e10",
+        baseline_design(benchmarks),
+        Design("e10-blocks", factors=[
+            _bench_factor(benchmarks),
+            Factor.crossed("warp", ("baws",)),
+            Factor.crossed("block", tuple(sizes)),
+            Factor.derived("policy",
+                           lambda cell, env: ("bcs", cell["block"], None)),
+        ]))
+
+
 def e10_block_size(ctx: ExperimentContext,
                    benchmarks: Sequence[str] = LOCALITY_SET,
                    sizes: Sequence[int] = (1, 2, 4)) -> Table:
     """Sensitivity of BCS+BAWS to the block size (pairs are the sweet spot)."""
-    ctx.prefetch([ctx.job(name) for name in benchmarks]
-                 + [ctx.job(name, warp="baws", policy=("bcs", b, None))
-                    for name in benchmarks for b in sizes])
+    ctx.prefetch_design(design_e10(benchmarks, sizes))
     columns = ["benchmark"] + [f"block={b}" for b in sizes]
     table = Table("E10: BCS+BAWS speedup vs block size", columns)
     per_size: dict[int, list[float]] = {b: [] for b in sizes}
@@ -622,18 +818,26 @@ def e10_block_size(ctx: ExperimentContext,
 # E11 — ablation: LCS needs a greedy warp scheduler
 # =========================================================================== #
 
+def design_e11(benchmarks: Sequence[str] = ("kmeans", "iindex",
+                                            "spmv", "streaming"),
+               rule: str = LCS_RULE, param: float = LCS_PARAM) -> Design:
+    return Design.chain(
+        "e11",
+        static_sweep_design(benchmarks),
+        Design("e11-matrix", factors=[
+            _bench_factor(benchmarks),
+            Factor.crossed("warp", ("gto", "lrr")),
+            _policy_factor(("rr",), ("lcs", rule, param)),
+        ]))
+
+
 def e11_lcs_needs_gto(ctx: ExperimentContext,
                       benchmarks: Sequence[str] = ("kmeans", "iindex",
                                                    "spmv", "streaming"),
                       rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
     """Run the LCS monitor under LRR: without greedy age priority the
     per-CTA issue counts flatten out and the decision degrades."""
-    ctx.prefetch([job for name in benchmarks
-                  for job in ctx.static_sweep_jobs(name)]
-                 + [ctx.job(name, warp=warp, policy=policy)
-                    for name in benchmarks
-                    for warp in ("gto", "lrr")
-                    for policy in (("rr",), ("lcs", rule, param))])
+    ctx.prefetch_design(design_e11(benchmarks, rule, param))
     table = Table(
         "E11: LCS decision under GTO vs LRR monitoring",
         ["benchmark", "n_oracle", "n_gto", "n_lrr",
@@ -703,12 +907,17 @@ def e12_benchmark_table(ctx: ExperimentContext) -> Table:
 
 
 # =========================================================================== #
-# registry
-# =========================================================================== #
-
-# =========================================================================== #
 # E13 — extension: LCS vs DynCTA-style continuous throttling
 # =========================================================================== #
+
+def design_e13(benchmarks: Sequence[str] = ("kmeans", "iindex", "streaming",
+                                            "spmv", "compute", "stencil"),
+               rule: str = LCS_RULE, param: float = LCS_PARAM) -> Design:
+    return Design("e13", factors=[
+        _bench_factor(benchmarks),
+        _policy_factor(("rr",), ("lcs", rule, param), ("dyncta",)),
+    ])
+
 
 def e13_lcs_vs_dyncta(ctx: ExperimentContext,
                       benchmarks: Sequence[str] = ("kmeans", "iindex",
@@ -717,9 +926,7 @@ def e13_lcs_vs_dyncta(ctx: ExperimentContext,
                       rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
     """Compare the paper's one-shot LCS against the prior continuous
     CTA-throttling approach (DynCTA-style, Kayiran et al. PACT'13)."""
-    ctx.prefetch(ctx.job(name, policy=policy)
-                 for name in benchmarks
-                 for policy in (("rr",), ("lcs", rule, param), ("dyncta",)))
+    ctx.prefetch_design(design_e13(benchmarks, rule, param))
     table = Table(
         "E13: LCS vs DynCTA-style throttling (speedup over baseline)",
         ["benchmark", "lcs", "dyncta", "lcs_n_star", "dyncta_final_quota"])
@@ -746,18 +953,38 @@ def e13_lcs_vs_dyncta(ctx: ExperimentContext,
 # E14 — extension: CKE fairness metrics (ANTT / STP)
 # =========================================================================== #
 
+def design_e14(pairs: Sequence[tuple[str, str, float]] = CKE_PAIRS[:3],
+               rule: str = LCS_RULE, param: float = LCS_PARAM) -> Design:
+    return Design.chain(
+        "e14",
+        # Each kernel alone (the ANTT/STP normalization runs): the memory
+        # kernel at its natural size, the compute kernel at the pair's
+        # multiplier.
+        Design("e14-alone", factors=[
+            Factor.crossed("pair", tuple(pairs)),
+            Factor.crossed("role", ("mem", "compute")),
+            Factor.derived("bench", lambda cell, env: (
+                cell["pair"][0] if cell["role"] == "mem"
+                else cell["pair"][1])),
+            Factor.derived("scale_mults", lambda cell, env: (
+                None if cell["role"] == "mem" else (cell["pair"][2],))),
+        ]),
+        Design("e14-shared", factors=[
+            Factor.crossed("pair", tuple(pairs)),
+            _policy_factor(("smk",), ("mixed", rule, param)),
+            Factor.derived("bench",
+                           lambda cell, env: tuple(cell["pair"][:2])),
+            Factor.derived("scale_mults",
+                           lambda cell, env: (1.0, cell["pair"][2])),
+        ]))
+
+
 def e14_cke_metrics(ctx: ExperimentContext,
                     pairs: Sequence[tuple[str, str, float]] = CKE_PAIRS[:3],
                     rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
     """Multiprogram metrics for the CKE policies: beyond total runtime,
     how fairly and how productively do the kernels share the machine?"""
-    ctx.prefetch([job for mem_name, compute_name, mult in pairs
-                  for job in (ctx.job(mem_name),
-                              ctx.job(compute_name, scale_mults=(mult,)))]
-                 + [ctx.job((mem_name, compute_name), policy=policy,
-                            scale_mults=(1.0, mult))
-                    for mem_name, compute_name, mult in pairs
-                    for policy in (("smk",), ("mixed", rule, param))])
+    ctx.prefetch_design(design_e14(pairs, rule, param))
     table = Table(
         "E14: CKE multiprogram metrics (ANTT lower / STP higher is better)",
         ["pair", "policy", "antt", "stp", "fairness"])
@@ -781,18 +1008,25 @@ def e14_cke_metrics(ctx: ExperimentContext,
 # E15 — extension: composing LCS with BCS
 # =========================================================================== #
 
+def design_e15(benchmarks: Sequence[str] = LOCALITY_SET,
+               block_size: int = BCS_BLOCK,
+               rule: str = LCS_RULE, param: float = LCS_PARAM) -> Design:
+    return Design("e15", factors=[
+        _bench_factor(benchmarks),
+        *_variant_factors(
+            ("gto", ("rr",)),
+            ("gto", ("lcs", rule, param)),
+            ("baws", ("bcs", block_size, None)),
+            ("baws", ("lcs+bcs", block_size, rule, param))),
+    ])
+
+
 def e15_lcs_plus_bcs(ctx: ExperimentContext,
                      benchmarks: Sequence[str] = LOCALITY_SET,
                      block_size: int = BCS_BLOCK,
                      rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
     """The paper's two mechanisms composed: block dispatch + lazy limit."""
-    ctx.prefetch(job for name in benchmarks for job in (
-        ctx.job(name),
-        ctx.job(name, policy=("lcs", rule, param)),
-        ctx.job(name, warp="baws", policy=("bcs", block_size, None)),
-        ctx.job(name, warp="baws",
-                policy=("lcs+bcs", block_size, rule, param)),
-    ))
+    ctx.prefetch_design(design_e15(benchmarks, block_size, rule, param))
     table = Table(
         "E15: LCS, BCS and LCS+BCS on the locality kernels "
         "(speedup over baseline)",
@@ -818,15 +1052,22 @@ def e15_lcs_plus_bcs(ctx: ExperimentContext,
 # E16 — analysis: warp-state breakdown under the baseline vs LCS
 # =========================================================================== #
 
+def design_e16(benchmarks: Sequence[str] = ("kmeans", "iindex",
+                                            "streaming", "compute"),
+               rule: str = LCS_RULE, param: float = LCS_PARAM) -> Design:
+    return Design("e16", factors=[
+        _bench_factor(benchmarks),
+        _policy_factor(("rr",), ("lcs", rule, param)),
+    ])
+
+
 def e16_stall_breakdown(ctx: ExperimentContext,
                         benchmarks: Sequence[str] = ("kmeans", "iindex",
                                                      "streaming", "compute"),
                         rule: str = LCS_RULE, param: float = LCS_PARAM) -> Table:
     """Why LCS helps: warp-time spent memory-stalled shrinks after
     throttling (the paper's resource-utilization argument made visible)."""
-    ctx.prefetch(ctx.job(name, policy=policy)
-                 for name in benchmarks
-                 for policy in (("rr",), ("lcs", rule, param)))
+    ctx.prefetch_design(design_e16(benchmarks, rule, param))
     table = Table(
         "E16: warp-state time breakdown, baseline vs LCS "
         "(fractions of total warp wait time)",
@@ -849,6 +1090,24 @@ def e16_stall_breakdown(ctx: ExperimentContext,
 # E17 — extension: warp-granularity (SWL) vs CTA-granularity (LCS) throttling
 # =========================================================================== #
 
+def design_e17(benchmarks: Sequence[str] = ("kmeans", "iindex", "bfs"),
+               warp_limits: Sequence[int] = (4, 8, 12, 16, 24),
+               rule: str = LCS_RULE, param: float = LCS_PARAM) -> Design:
+    return Design.chain(
+        "e17",
+        baseline_design(benchmarks),
+        Design("e17-swl", factors=[
+            _bench_factor(benchmarks),
+            Factor.crossed("limit", tuple(warp_limits)),
+            Factor.derived("warp", lambda cell, env: ("swl", cell["limit"])),
+            _policy_factor(("rr",)),
+        ]),
+        Design("e17-lcs", factors=[
+            _bench_factor(benchmarks),
+            _policy_factor(("lcs", rule, param)),
+        ]))
+
+
 def e17_swl_vs_lcs(ctx: ExperimentContext,
                    benchmarks: Sequence[str] = ("kmeans", "iindex", "bfs"),
                    warp_limits: Sequence[int] = (4, 8, 12, 16, 24),
@@ -856,11 +1115,7 @@ def e17_swl_vs_lcs(ctx: ExperimentContext,
     """Static warp limiting sweeps the throttle at warp granularity; LCS
     reaches comparable performance at CTA granularity with one online
     decision (the paper's granularity argument)."""
-    ctx.prefetch([ctx.job(name) for name in benchmarks]
-                 + [ctx.job(name, warp=("swl", k))
-                    for name in benchmarks for k in warp_limits]
-                 + [ctx.job(name, policy=("lcs", rule, param))
-                    for name in benchmarks])
+    ctx.prefetch_design(design_e17(benchmarks, warp_limits, rule, param))
     columns = (["benchmark"] + [f"swl={k}" for k in warp_limits]
                + ["best_swl", "lcs"])
     table = Table("E17: SWL (per-scheduler warp limit) vs LCS "
@@ -886,6 +1141,17 @@ def e17_swl_vs_lcs(ctx: ExperimentContext,
 # E18 — extension/limitation: phase-changing kernels
 # =========================================================================== #
 
+def design_e18(benchmark: str = "twophase",
+               rule: str = LCS_RULE, param: float = LCS_PARAM) -> Design:
+    return Design.chain(
+        "e18",
+        Design("e18-policies", factors=[
+            _bench_factor((benchmark,)),
+            _policy_factor(("rr",), ("lcs", rule, param), ("dyncta",)),
+        ]),
+        static_sweep_design((benchmark,)))
+
+
 def e18_phase_sensitivity(ctx: ExperimentContext,
                           benchmark: str = "twophase",
                           rule: str = LCS_RULE, param: float = LCS_PARAM,
@@ -893,10 +1159,7 @@ def e18_phase_sensitivity(ctx: ExperimentContext,
     """One-shot LCS decides during the first (cache-thrashing) phase and
     cannot revise when the kernel turns compute-bound; continuous schemes
     re-adapt.  An honest limitation study of the paper's mechanism."""
-    ctx.prefetch([ctx.job(benchmark, policy=policy)
-                  for policy in (("rr",), ("lcs", rule, param),
-                                 ("dyncta",))]
-                 + ctx.static_sweep_jobs(benchmark))
+    ctx.prefetch_design(design_e18(benchmark, rule, param))
     table = Table(
         "E18: phase-changing kernel — one-shot vs adaptive throttling",
         ["policy", "cycles", "speedup_vs_baseline", "final_limit"])
@@ -920,6 +1183,16 @@ def e18_phase_sensitivity(ctx: ExperimentContext,
 # E19 — robustness: a Kepler-class machine
 # =========================================================================== #
 
+def design_e19(benchmarks: Sequence[str] = ("kmeans", "iindex",
+                                            "stencil", "compute"),
+               rule: str = LCS_RULE, param: float = LCS_PARAM) -> Design:
+    return Design("e19", factors=[
+        Factor.crossed("config", (GPUConfig.kepler_class(),)),
+        _bench_factor(benchmarks),
+        _policy_factor(("rr",), ("lcs", rule, param)),
+    ])
+
+
 def e19_config_robustness(ctx: ExperimentContext,
                           benchmarks: Sequence[str] = ("kmeans", "iindex",
                                                        "stencil", "compute"),
@@ -928,11 +1201,8 @@ def e19_config_robustness(ctx: ExperimentContext,
     """Repeat the LCS and BCS headline comparisons on a Kepler-class
     configuration (13 fat cores, 16 CTA slots, 64 warps): the conclusions
     must not be artefacts of the Fermi-class default."""
-    kepler = GPUConfig.kepler_class()
-    kctx = ctx.subcontext(kepler)
-    kctx.prefetch(kctx.job(name, policy=policy)
-                  for name in benchmarks
-                  for policy in (("rr",), ("lcs", rule, param)))
+    ctx.prefetch_design(design_e19(benchmarks, rule, param))
+    kctx = ctx.for_config(GPUConfig.kepler_class())
     table = Table(
         "E19: LCS on a Kepler-class GPU (speedup over baseline)",
         ["benchmark", "occupancy", "n_lcs", "lcs_speedup"])
@@ -950,6 +1220,18 @@ def e19_config_robustness(ctx: ExperimentContext,
 # E20 — modelling ablation: L1 MSHR count
 # =========================================================================== #
 
+def design_e20(benchmarks: Sequence[str] = ("kmeans", "iindex"),
+               mshr_counts: Sequence[int] = (8, 16, 32, 64),
+               rule: str = LCS_RULE, param: float = LCS_PARAM) -> Design:
+    return Design("e20", factors=[
+        Factor.crossed("mshr", tuple(mshr_counts)),
+        _bench_factor(benchmarks),
+        _policy_factor(("rr",), ("lcs", rule, param)),
+        Factor.derived("config", lambda cell, env: {
+            "l1_mshr_entries": cell["mshr"]}),
+    ])
+
+
 def e20_mshr_sensitivity(ctx: ExperimentContext,
                          benchmarks: Sequence[str] = ("kmeans", "iindex"),
                          mshr_counts: Sequence[int] = (8, 16, 32, 64),
@@ -959,15 +1241,12 @@ def e20_mshr_sensitivity(ctx: ExperimentContext,
     over-subscription by themselves (small LCS win); many MSHRs let maximum
     occupancy flood the memory system (big LCS win).  Documents the key
     modelling choice of this reproduction (default 16)."""
+    ctx.prefetch_design(design_e20(benchmarks, mshr_counts, rule, param))
     table = Table(
         "E20: LCS speedup vs L1 MSHR entries",
         ["benchmark"] + [f"mshr={m}" for m in mshr_counts])
-    contexts = {m: ctx.subcontext(ctx.config.with_overrides(l1_mshr_entries=m))
+    contexts = {m: ctx.for_config(ctx.config.with_overrides(l1_mshr_entries=m))
                 for m in mshr_counts}
-    prefetch_contexts((kctx, kctx.job(name, policy=policy))
-                      for kctx in contexts.values()
-                      for name in benchmarks
-                      for policy in (("rr",), ("lcs", rule, param)))
     for name in benchmarks:
         cells: list[Any] = [name]
         for m in mshr_counts:
@@ -983,11 +1262,21 @@ def e20_mshr_sensitivity(ctx: ExperimentContext,
 # E21 — ablation: dispatch order (breadth-first vs depth-first vs BCS)
 # =========================================================================== #
 
+def design_e21(benchmarks: Sequence[str] = LOCALITY_SET) -> Design:
+    return Design("e21", factors=[
+        _bench_factor(benchmarks),
+        *_variant_factors(("gto", ("rr",)),
+                          ("gto", ("depth-first",)),
+                          ("baws", ("bcs", BCS_BLOCK, None))),
+    ])
+
+
 def e21_dispatch_order(ctx: ExperimentContext,
                        benchmarks: Sequence[str] = LOCALITY_SET) -> Table:
     """How much of BCS's win is initial placement?  Depth-first dispatch
     co-locates consecutive CTAs at fill time but lets the pairing decay as
     slots refill; BCS maintains it.  (Baseline round-robin never pairs.)"""
+    ctx.prefetch_design(design_e21(benchmarks))
     table = Table(
         "E21: CTA dispatch order on the locality kernels "
         "(speedup over round-robin)",
@@ -1010,6 +1299,24 @@ def e21_dispatch_order(ctx: ExperimentContext,
 # E22 — ablation: optional micro-architecture features
 # =========================================================================== #
 
+#: Feature label -> GPUConfig overrides (the E22 hardware variants).
+_E22_FEATURES: dict[str, dict] = {
+    "off": {},
+    "prefetch": {"l1_prefetch_next_line": True},
+    "store_coalescing": {"store_coalescing": True},
+}
+
+
+def design_e22(benchmarks: Sequence[str] = ("streaming", "kmeans",
+                                            "stencil", "histogram")) -> Design:
+    return Design("e22", factors=[
+        _bench_factor(benchmarks),
+        Factor.crossed("feature", tuple(_E22_FEATURES)),
+        Factor.derived("config",
+                       lambda cell, env: _E22_FEATURES[cell["feature"]]),
+    ])
+
+
 def e22_feature_ablation(ctx: ExperimentContext,
                          benchmarks: Sequence[str] = ("streaming", "kmeans",
                                                       "stencil", "histogram"),
@@ -1017,16 +1324,14 @@ def e22_feature_ablation(ctx: ExperimentContext,
     """Next-line prefetching and store write-combining, on vs off: neither
     feature is load-bearing for the paper's conclusions (they are off by
     default), but the ablation shows the model responds sensibly."""
+    ctx.prefetch_design(design_e22(benchmarks))
     table = Table(
         "E22: optional feature ablation (speedup over features-off)",
         ["benchmark", "prefetch", "store_coalescing", "prefetches",
          "stores_absorbed"])
-    pf_ctx = ctx.subcontext(
+    pf_ctx = ctx.for_config(
         ctx.config.with_overrides(l1_prefetch_next_line=True))
-    sc_ctx = ctx.subcontext(ctx.config.with_overrides(store_coalescing=True))
-    prefetch_contexts((kctx, kctx.job(name))
-                      for name in benchmarks
-                      for kctx in (ctx, pf_ctx, sc_ctx))
+    sc_ctx = ctx.for_config(ctx.config.with_overrides(store_coalescing=True))
     for name in benchmarks:
         base = ctx.run(name)
         prefetch = pf_ctx.run(name)
@@ -1038,6 +1343,10 @@ def e22_feature_ablation(ctx: ExperimentContext,
                       coalesce.l1.stores_coalesced)
     return table
 
+
+# =========================================================================== #
+# registries
+# =========================================================================== #
 
 EXPERIMENTS = {
     "e1": e1_occupancy_sweep,
@@ -1063,9 +1372,81 @@ EXPERIMENTS = {
     "e22": e22_feature_ablation,
 }
 
+#: Experiment id -> zero-argument-callable design builder.  E7 shares E6's
+#: design (it reads different columns of the same cells) and E12 has no
+#: simulations, so it has no design.
+EXPERIMENT_DESIGNS: dict[str, Callable[[], Design]] = {
+    "e1": design_e1,
+    "e2": design_e2,
+    "e3": design_e3,
+    "e4": design_e4,
+    "e5": design_e5,
+    "e6": design_e6,
+    "e7": design_e6,
+    "e8": design_e8,
+    "e9": design_e9,
+    "e10": design_e10,
+    "e11": design_e11,
+    "e13": design_e13,
+    "e14": design_e14,
+    "e15": design_e15,
+    "e16": design_e16,
+    "e17": design_e17,
+    "e18": design_e18,
+    "e19": design_e19,
+    "e20": design_e20,
+    "e21": design_e21,
+    "e22": design_e22,
+}
+
+
+def design_cell_counts(env: DesignEnv | None = None) -> dict[str, int]:
+    """Experiment id -> number of design cells under ``env`` (``--list``).
+
+    E12 (static tables) reports 0.  Counts come from the declarations
+    alone — nothing simulates.
+    """
+    env = env if env is not None else DesignEnv()
+    counts: dict[str, int] = {}
+    for exp_id, builder in EXPERIMENT_DESIGNS.items():
+        counts[exp_id] = len(builder().cells(env))
+    counts["e12"] = 0
+    return counts
+
+
+def plan_experiments(ctx: ExperimentContext,
+                     exp_ids: Sequence[str]) -> int:
+    """Prefetch the deduplicated union of several experiments' designs.
+
+    The cross-experiment dedup satellite: instead of one engine batch per
+    driver, compile every requested design up front, collapse cells with
+    identical job fingerprints (the gto x rr baselines E3/E5/E9/... all
+    share, the E6/E7 matrix, the static sweeps E1/E3/E4/E11 revisit) and
+    run the whole invocation as one maximally parallel batch.  The
+    drivers' own ``prefetch_design`` calls then find every cell memoised.
+
+    Returns the number of *unique* jobs planned (after dedup).
+    """
+    env = ctx.design_env()
+    pairs: list[tuple[ExperimentContext, SimJob]] = []
+    seen: set[str] = set()
+    for exp_id in exp_ids:
+        builder = EXPERIMENT_DESIGNS.get(exp_id)
+        if builder is None:
+            continue
+        for cc in builder().compile(env):
+            fingerprint = cc.job.fingerprint()
+            if fingerprint in seen:
+                continue
+            seen.add(fingerprint)
+            pairs.append((ctx.for_config(cc.job.config), cc.job))
+    if pairs:
+        prefetch_contexts(pairs)
+    return len(pairs)
+
 
 def run_experiment(name: str, ctx: ExperimentContext | None = None) -> Table:
-    """Run one experiment by id ('e1'..'e11'); E12 has two table functions."""
+    """Run one experiment by id ('e1'..'e22'); E12 has two table functions."""
     ctx = ctx if ctx is not None else ExperimentContext()
     if name == "e12":
         raise ValueError("e12 has two tables: use e12_config_table and "

@@ -255,6 +255,44 @@ class SimJob:
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------ #
+    def to_payload(self) -> dict:
+        """A JSON-compatible rendering; inverse of :meth:`from_payload`.
+
+        Campaign manifests (:mod:`repro.design.campaign`) persist jobs in
+        this form so an interrupted sweep resumes without re-declaring —
+        or even re-parsing — its design.
+        """
+        return {
+            "names": list(self.names),
+            "scale": self.scale,
+            "seed": self.seed,
+            "scale_mults": list(self.scale_mults),
+            "warp": (list(self.warp) if isinstance(self.warp, tuple)
+                     else self.warp),
+            "policy": list(self.policy),
+            "config": {f.name: getattr(self.config, f.name)
+                       for f in fields(self.config)},
+            "timeline_window": self.timeline_window,
+            "trace": self.trace,
+            "backend": self.backend,
+        }
+
+    @classmethod
+    def from_payload(cls, data: dict) -> "SimJob":
+        """Rebuild a job from :meth:`to_payload` output (validated)."""
+        warp = data.get("warp", "gto")
+        if isinstance(warp, list):
+            warp = tuple(warp)
+        return cls(names=tuple(data["names"]), scale=data["scale"],
+                   seed=data["seed"],
+                   scale_mults=tuple(data["scale_mults"]),
+                   warp=warp, policy=tuple(data["policy"]),
+                   config=GPUConfig(**data["config"]),
+                   timeline_window=data.get("timeline_window"),
+                   trace=bool(data.get("trace", False)),
+                   backend=data.get("backend", "object"))
+
+    # ------------------------------------------------------------------ #
     def build_kernels(self) -> list[Kernel]:
         """Fresh kernel instances (policies hold per-run state)."""
         return [make_kernel(name, scale=self.scale * mult, seed=self.seed)

@@ -9,24 +9,48 @@ exploring their own design spaces::
     table = config_sweep("kmeans", "l1_mshr_entries", [8, 16, 32],
                          policies={"base": ("rr",), "lcs": ("lcs",)})
 
-Every (value, policy) cell is described as a :class:`~repro.harness.jobs.
-SimJob` and executed by the batch engine, so invalid descriptors — an
-unknown ``warp_scheduler``, a malformed policy — fail up front with the
-engine's uniform :class:`~repro.harness.jobs.JobError` before any
-simulation runs, and the whole sweep fans out across ``jobs`` worker
-processes and memoises into ``cache``.
+The sweep is declared as a two-factor :class:`~repro.design.Design`
+(swept value x policy, with a derived hardware factor) and compiled by
+the design layer — the same lowering path as the E-drivers and design
+files — so invalid descriptors fail up front with the engine's uniform
+:class:`~repro.harness.jobs.JobError` before any simulation runs, and the
+whole sweep fans out across ``jobs`` worker processes and memoises into
+``cache``.
 """
 
 from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+# Submodule imports (not the package) keep this importable from either
+# direction of the repro.design <-> repro.harness package boundary.
+from ..design.design import Design, Factor
+from ..design.env import DesignEnv
 from ..sim.config import GPUConfig
 from ..workloads.patterns import DEFAULT_SEED
 from .cache import ResultCache
 from .engine import run_jobs
-from .jobs import KernelSpec, SimJob
+from .jobs import KernelSpec
 from .reporting import Table
+
+
+def sweep_design(benchmark: str, field: str, values: Sequence, *,
+                 policies: Mapping[str, tuple],
+                 warp_scheduler: str = "gto") -> Design:
+    """The declarative form of :func:`config_sweep`'s cell matrix.
+
+    ``value`` is the outer factor and ``policy`` the inner one, so the
+    compiled order matches the table layout (one row per value, one
+    column per policy).
+    """
+    return Design(f"sweep-{benchmark}-{field}", factors=[
+        Factor.crossed("value", tuple(values)),
+        Factor.crossed("bench", (benchmark,)),
+        Factor.crossed("warp", (warp_scheduler,)),
+        Factor.crossed("policy", tuple(policies.values())),
+        Factor.derived("config",
+                       lambda cell, env: {field: cell["value"]}),
+    ])
 
 
 def config_sweep(benchmark: str, field: str, values: Sequence,
@@ -50,14 +74,14 @@ def config_sweep(benchmark: str, field: str, values: Sequence,
     if not hasattr(base_config, field):
         raise ValueError(f"GPUConfig has no field {field!r}")
 
-    # Declare every cell up front: descriptor validation (benchmark name,
+    # Compile the design up front: descriptor validation (benchmark name,
     # warp scheduler, policy shape) happens here, before anything runs.
-    cells_jobs = [SimJob(names=(benchmark,), scale=scale, seed=seed,
-                         warp=warp_scheduler, policy=descriptor,
-                         config=base_config.with_overrides(**{field: value}))
-                  for value in values
-                  for descriptor in policies.values()]
-    results = iter(run_jobs(cells_jobs, workers=jobs, cache=cache))
+    design = sweep_design(benchmark, field, values, policies=policies,
+                          warp_scheduler=warp_scheduler)
+    env = DesignEnv(scale=scale, seed=seed, config=base_config)
+    compiled = design.compile(env)
+    results = iter(run_jobs([cc.job for cc in compiled],
+                            workers=jobs, cache=cache))
 
     columns = [field] + [f"{label}_ipc" for label in policies]
     if len(policies) > 1:

@@ -44,6 +44,12 @@ Invariants (:data:`INVARIANTS`):
     covers exactly (:data:`~repro.verify.refmodel.REF_SUPPORTED`), the
     tuned and reference models agree window-by-window (see
     :mod:`repro.verify.refmodel`).
+``design``
+    A design built from the case's (warp, policy) compiles to the same
+    labels and job fingerprints twice in a row, and — via the TOML
+    serializer — survives a serialize → parse → compile round trip with
+    identical fingerprints (the determinism contract campaigns and the
+    ``--design`` CLI path lean on).  Pure compilation: nothing simulates.
 ``backend``
     For cases whose warp scheduler the vector backend supports
     (:data:`~repro.sim.vector.VECTOR_WARP_SCHEDULERS`), the object and
@@ -421,6 +427,34 @@ def _check_refmodel(case: FuzzCase) -> str | None:
 
 
 #: name -> checker; a checker returns None (pass) or a failure detail.
+def _check_design(case: FuzzCase) -> str | None:
+    """Design compilation is deterministic and file-round-trip stable."""
+    from ..design import Design, DesignEnv, Factor, parse_design, \
+        serialize_design
+    design = Design(f"fuzz-{case.seed}", factors=[
+        Factor.crossed("bench", ("kmeans", "streaming")),
+        Factor.crossed("warp", (case.warp,)),
+        Factor.crossed("policy", (case.policy, ("rr",))),
+    ])
+    env_map = {"scale": 0.05, "seed": case.seed}
+    env = DesignEnv(**env_map)
+    first = [(cc.label, cc.job.fingerprint())
+             for cc in design.compile(env)]
+    second = [(cc.label, cc.job.fingerprint())
+              for cc in design.compile(env)]
+    if first != second:
+        return (f"design compiled differently twice under one env: "
+                f"{first} vs {second}")
+    parsed, env_overrides = parse_design(
+        serialize_design(design, env=env_map))
+    third = [(cc.label, cc.job.fingerprint())
+             for cc in parsed.compile(DesignEnv(**env_overrides))]
+    if first != third:
+        return (f"design file round trip changed the compiled jobs: "
+                f"{first} vs {third}")
+    return None
+
+
 INVARIANTS: dict[str, Callable[[FuzzCase], str | None]] = {
     "determinism": _check_determinism,
     "rename": _check_rename,
@@ -430,6 +464,7 @@ INVARIANTS: dict[str, Callable[[FuzzCase], str | None]] = {
     "validity": _check_validity,
     "refmodel": _check_refmodel,
     "backend": _check_backend,
+    "design": _check_design,
 }
 
 
