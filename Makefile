@@ -4,8 +4,9 @@ PY      ?= python
 PYTEST  = PYTHONPATH=src $(PY) -m pytest
 
 .PHONY: test lint bench bench-smoke bench-engine bench-core \
-	bench-core-check fault-smoke resume-smoke design-smoke clean-cache \
-	clean-state verify-smoke verify-full goldens table-goldens
+	bench-core-check fault-smoke resume-smoke design-smoke \
+	campaign-chaos-smoke clean-cache clean-state verify-smoke verify-full \
+	goldens table-goldens
 
 test:            ## tier-1 test suite
 	$(PYTEST) -q
@@ -105,6 +106,16 @@ design-smoke:    ## design layer drill: compile all E-designs + campaign resume
 		     echo "$$out"; exit 1; }; \
 	echo "design-smoke: ok (all E-designs compile; campaign resumed" \
 	     "without re-dispatching)"
+
+campaign-chaos-smoke: ## durable-campaign drill: kill/restart 2 shards until bitwise convergence
+	@rm -rf .repro-chaos; \
+	PYTHONPATH=src $(PY) -m repro.design.chaos examples/shard_demo.toml \
+		--shards 2 --min-kills 5 --seed 7 --root .repro-chaos \
+		|| { echo "campaign-chaos-smoke: drill failed; journals kept" \
+		     "under .repro-chaos/ for inspection"; exit 1; }; \
+	rm -rf .repro-chaos; \
+	echo "campaign-chaos-smoke: ok (killed workers reclaimed;" \
+	     "results bitwise-identical to the unfaulted run)"
 
 table-goldens:   ## regenerate goldens/tables/*.csv after intended changes
 	PYTHONPATH=src $(PY) -m repro.verify.tables --update

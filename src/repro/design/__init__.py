@@ -4,24 +4,37 @@ Experiments are *data*: a :class:`Design` declares a factorial space
 (crossed/nested/derived :class:`Factor`\\ s, exclusion filters, orderings,
 per-cell :class:`Override`\\ s), :meth:`Design.compile` lowers it
 deterministically to :class:`~repro.harness.jobs.SimJob`\\ s under a
-:class:`DesignEnv`, and a :class:`Campaign` gives the sweep a persistent,
-resumable on-disk manifest.  Design files (TOML/JSON) round-trip through
-:func:`parse_design`/:func:`serialize_design` with identical compiled
-fingerprints.  See docs/DESIGNS.md.
+:class:`DesignEnv`, and a :class:`Campaign` gives the sweep a durable,
+resumable, shardable on-disk store: static ``meta.json``, an append-only
+checksummed write-ahead journal (:mod:`repro.design.journal`) and
+lease-based cell claiming (:mod:`repro.design.leases`) so concurrent
+workers drain one campaign safely.  Design files (TOML/JSON) round-trip
+through :func:`parse_design`/:func:`serialize_design` with identical
+compiled fingerprints.  See docs/DESIGNS.md and docs/ROBUSTNESS.md.
 """
 
-from .campaign import (DEFAULT_CAMPAIGN_ROOT, Campaign, CampaignCell,
-                       CampaignError, CampaignReport)
+from .campaign import (DEFAULT_CAMPAIGN_ROOT, DEFAULT_COMPACT_EVERY,
+                       Campaign, CampaignCell, CampaignError, CampaignReport,
+                       default_worker_id)
 from .design import (RESERVED, Block, CompiledCell, Design, DesignError,
                      Factor, Override)
 from .env import DesignEnv, build_job
 from .files import (ENV_KEYS, NONE_SENTINEL, design_payload, load_design,
                     parse_design, serialize_design)
+from .journal import (JOURNAL_NAME, SNAPSHOT_NAME, Journal, JournalReplay,
+                      load_snapshot, record_crc, replay_journal,
+                      write_snapshot)
+from .leases import (DEFAULT_LEASE_TTL, CampaignState, CellState,
+                     claim_winner, claimable, fold_records)
 
 __all__ = [
-    "DEFAULT_CAMPAIGN_ROOT", "ENV_KEYS", "NONE_SENTINEL", "RESERVED",
+    "DEFAULT_CAMPAIGN_ROOT", "DEFAULT_COMPACT_EVERY", "DEFAULT_LEASE_TTL",
+    "ENV_KEYS", "JOURNAL_NAME", "NONE_SENTINEL", "RESERVED", "SNAPSHOT_NAME",
     "Block", "Campaign", "CampaignCell", "CampaignError", "CampaignReport",
-    "CompiledCell", "Design", "DesignEnv", "DesignError", "Factor",
-    "Override", "build_job", "design_payload", "load_design",
-    "parse_design", "serialize_design",
+    "CampaignState", "CellState", "CompiledCell", "Design", "DesignEnv",
+    "DesignError", "Factor", "Journal", "JournalReplay", "Override",
+    "build_job", "claim_winner", "claimable", "default_worker_id",
+    "design_payload", "fold_records", "load_design", "load_snapshot",
+    "parse_design", "record_crc", "replay_journal", "serialize_design",
+    "write_snapshot",
 ]

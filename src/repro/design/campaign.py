@@ -1,32 +1,46 @@
-"""Persistent, resumable campaigns: a design sweep that survives ^C.
+"""Durable, shardable campaigns: a design sweep that survives anything.
 
-A :class:`Campaign` is one compiled design plus an on-disk *manifest*
-(``.repro-campaigns/<name>-<digest12>/manifest.json``): the design digest,
-the compile environment, and one record per cell — label, job payload,
-fingerprint, status and headline numbers.  The digest is part of the
-directory name, so re-running the same design file (or the same in-code
-design) against the same environment lands on the same manifest and
-resumes, while *any* change to factors, filters, overrides, ordering or
-environment starts a fresh campaign next door.
+A :class:`Campaign` is one compiled design bound to an on-disk store
+(``.repro-campaigns/<name>-<digest12>/``) built for crash safety and
+concurrency:
 
-Resume semantics (the contract ``make design-smoke`` drills):
+* ``meta.json`` — what the campaign *is*: design digest, compile
+  environment, one static record per cell (label, job payload,
+  fingerprint).  Written atomically exactly once.
+* ``journal.jsonl`` — what *happened*: an append-only, checksummed
+  write-ahead journal (:mod:`repro.design.journal`) of ``claim`` /
+  ``heartbeat`` / ``release`` / ``done`` / ``failed`` / ``exhausted``
+  records.  Torn-tail and corrupt-record tolerant on replay; appends
+  interleave whole records, so N workers share one journal safely.
+* ``snapshot.json`` — periodic compaction: terminal cell states folded
+  from the journal, written atomically, after which the journal is
+  truncated.  Replay is always ``fold(snapshot) + fold(journal)`` and
+  the fold is idempotent, so a crash between the two steps is harmless.
 
-* Cells already ``done`` in the manifest are not re-dispatched at all.
-* Cells that finished in an interrupted batch are in the result cache
-  (the engine caches each result as it arrives), so re-dispatching them
-  replays from disk — status flips to ``done`` without simulating.
-* Nothing about the design needs re-declaring: jobs are rebuilt from
-  their manifest payloads, not from the design object.
+Cell claiming is lease-based (:mod:`repro.design.leases`): a worker
+appends a claim with its id and a TTL, heartbeats while it runs, and
+loses the lease if it goes silent — so ``repro-exp --design F --shard``
+processes on one host or several sharing a filesystem drain one campaign
+together, expired leases are reclaimed, and a double completion (two
+workers racing one cell) resolves deterministically by fingerprint with
+bitwise-identical results either way.
 
-Manifests are written atomically (tmp + rename) after every batch, so a
-crash mid-campaign never corrupts the record of completed cells.
+The digest is part of the directory name, so re-running the same design
+file against the same environment lands on the same store and resumes,
+while *any* change to factors, filters, overrides, ordering or
+environment starts a fresh campaign next door.  Pre-journal manifests
+(``manifest.json``, format 1) are migrated in place on open; unparseable
+ones are quarantined as ``.corrupt`` (mirroring the result cache) and
+the campaign restarts from the design, never crashes.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import socket
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -37,47 +51,66 @@ from ..harness.checkpoints import CheckpointPlan
 from ..harness.engine import DEFAULT_RETRIES, BatchReport, run_batch
 from ..harness.faults import FaultPlan
 from ..harness.jobs import SimJob
-from .design import CompiledCell, Design, DesignError
+from .design import Design, DesignError
 from .env import DesignEnv
+from .journal import (JOURNAL_NAME, Journal, load_snapshot, replay_journal,
+                      write_snapshot)
+from .leases import (DEFAULT_LEASE_TTL, DONE, EXHAUSTED, FAILED, PENDING,
+                     CampaignState, claim_winner, claimable, fold_records,
+                     newly_exhausted)
 
-#: Where campaign manifests live by default (git-ignorable, like the
+#: Where campaign stores live by default (git-ignorable, like the
 #: result cache and checkpoint store).
 DEFAULT_CAMPAIGN_ROOT = ".repro-campaigns"
 
-#: On-disk manifest format version.
-_MANIFEST_FORMAT = 1
+#: On-disk meta format version (format 1 was the rewrite-the-world
+#: ``manifest.json``; it is migrated on open).
+_META_FORMAT = 2
 
-_MANIFEST = "manifest.json"
+_META = "meta.json"
+_LEGACY_MANIFEST = "manifest.json"
+_COMPACT_LOCK = "compact.lock"
+
+#: Auto-compact once the journal accumulates this many records.
+DEFAULT_COMPACT_EVERY = 512
+
+#: A compact.lock older than this is a crashed compactor: break it.
+_LOCK_STALE_SECONDS = 60.0
 
 
 class CampaignError(RuntimeError):
-    """A campaign manifest is unusable (corrupt, wrong format)."""
+    """A campaign store is unusable (corrupt, wrong format, no meta)."""
+
+
+def default_worker_id() -> str:
+    """Host + pid: unique among workers sharing a filesystem."""
+    return f"{socket.gethostname()}-{os.getpid()}"
 
 
 @dataclass
 class CampaignCell:
-    """One design cell's persistent execution record."""
+    """One design cell: static identity plus its folded journal state."""
 
     index: int
     label: str
     fingerprint: str
     job: dict                      # SimJob.to_payload rendering
-    status: str = "pending"        # pending | done | failed
+    status: str = PENDING          # pending|claimed|done|failed|exhausted
+    attempts: int = 0
     cycles: int | None = None
     ipc: float | None = None
     error: str | None = None
 
     def to_record(self) -> dict[str, Any]:
+        """The static half only — dynamic state lives in the journal."""
         return {"index": self.index, "label": self.label,
-                "fingerprint": self.fingerprint, "job": self.job,
-                "status": self.status, "cycles": self.cycles,
-                "ipc": self.ipc, "error": self.error}
+                "fingerprint": self.fingerprint, "job": self.job}
 
     @classmethod
     def from_record(cls, data: dict) -> "CampaignCell":
         return cls(index=data["index"], label=data["label"],
                    fingerprint=data["fingerprint"], job=data["job"],
-                   status=data.get("status", "pending"),
+                   status=data.get("status", PENDING),
                    cycles=data.get("cycles"), ipc=data.get("ipc"),
                    error=data.get("error"))
 
@@ -87,34 +120,98 @@ class CampaignReport:
     """What one :meth:`Campaign.run` call did."""
 
     executed: int = 0              # cells dispatched this run
-    resumed: int = 0               # cells already done in the manifest
-    failed: int = 0
-    batch: BatchReport | None = None
+    resumed: int = 0               # cells already done at run start
+    failed: int = 0                # cells that ended failed (retryable)
+    exhausted: int = 0             # cells past --max-retries (terminal)
+    #: Cells another live worker beat us to (shard contention).
+    lease_conflicts: int = 0
+    #: Expired leases this worker reclaimed.
+    leases_reclaimed: int = 0
+    #: Done records beyond the first per cell (double completions).
+    duplicate_done: int = 0
+    journal_appends: int = 0
+    journal_append_errors: int = 0
+    batches: list[BatchReport] = field(default_factory=list)
+    #: Wall-clock offset of each batch's start (for the trace lane).
+    batch_offsets: list[float] = field(default_factory=list)
+    #: Campaign-level trace events ({"kind", "t", "payload"}) — journal,
+    #: lease and compaction activity in the engine's wall-clock lane.
+    events: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return self.failed == 0
+        return self.failed == 0 and self.exhausted == 0
+
+    @property
+    def batch(self) -> BatchReport | None:
+        """The last engine batch (None when nothing was dispatched)."""
+        return self.batches[-1] if self.batches else None
+
+    def engine_events(self) -> list[dict[str, Any]]:
+        """Campaign + batch events merged on one wall-clock time base."""
+        merged = list(self.events)
+        for offset, batch in zip(self.batch_offsets, self.batches):
+            merged.extend({**event, "t": event["t"] + offset}
+                          for event in batch.events)
+        merged.sort(key=lambda event: event["t"])
+        return merged
+
+    @property
+    def checkpoint_corrupt(self) -> int:
+        return sum(batch.checkpoint_corrupt for batch in self.batches)
+
+
+class _Heartbeat(threading.Thread):
+    """Appends heartbeat records while a batch runs (lease keep-alive)."""
+
+    def __init__(self, journal: Journal, interval: float) -> None:
+        super().__init__(name="campaign-heartbeat", daemon=True)
+        self.journal = journal
+        self.interval = interval
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval):
+            self.journal.heartbeat()
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=5.0)
 
 
 @dataclass
 class Campaign:
-    """A compiled design bound to its on-disk manifest."""
+    """A compiled design bound to its durable on-disk store."""
 
     name: str
     digest: str
     path: Path
     env: DesignEnv
     cells: list[CampaignCell] = field(default_factory=list)
+    #: The append handle of the most recent/current :meth:`run`.
+    journal: Journal | None = field(default=None, repr=False)
 
+    def __post_init__(self) -> None:
+        self._state: CampaignState | None = None
+        self._journal_records = 0
+        self._nonce = 0
+        #: Replay damage observed by the last refresh (reported once).
+        self.replay_corrupt = 0
+        self.replay_torn = False
+
+    # ------------------------------------------------------------------ #
+    # opening / loading
     # ------------------------------------------------------------------ #
     @classmethod
     def open(cls, design: Design, env: DesignEnv | None = None, *,
              root: str | Path = DEFAULT_CAMPAIGN_ROOT) -> "Campaign":
-        """Compile ``design`` under ``env`` and bind the manifest.
+        """Compile ``design`` under ``env`` and bind the on-disk store.
 
-        A manifest from a previous (possibly interrupted) run of the same
-        design+environment is loaded — per-cell statuses and all; any
-        other design lands in its own directory.
+        A store from a previous (possibly interrupted, possibly still
+        *running* elsewhere) campaign of the same design+environment is
+        loaded — journal state and all; any other design lands in its
+        own directory.  A corrupt meta file is quarantined and the store
+        rebuilt from the design; pre-journal manifests are migrated.
         """
         env = env if env is not None else DesignEnv()
         compiled = design.compile(env)
@@ -123,56 +220,99 @@ class Campaign:
                               f"cells; nothing to run")
         digest = design.digest(env)
         path = Path(root) / f"{design.name}-{digest[:12]}"
-        manifest = path / _MANIFEST
-        if manifest.is_file():
-            campaign = cls.load(path)
-            if campaign.digest != digest:   # pragma: no cover - paranoia
-                raise CampaignError(
-                    f"manifest at {path} records digest "
-                    f"{campaign.digest[:12]}, expected {digest[:12]}")
-            return campaign
+        _sweep_strays(path)
+        if (path / _META).is_file() or (path / _LEGACY_MANIFEST).is_file():
+            try:
+                campaign = cls.load(path)
+            except CampaignError:
+                # load() already quarantined the unparseable file; the
+                # design is in hand, so rebuild instead of raising.
+                campaign = None
+            if campaign is not None:
+                if campaign.digest != digest:   # pragma: no cover - paranoia
+                    raise CampaignError(
+                        f"store at {path} records digest "
+                        f"{campaign.digest[:12]}, expected {digest[:12]}")
+                return campaign
         cells = [CampaignCell(index=cc.index, label=cc.label,
                               fingerprint=cc.job.fingerprint(),
                               job=cc.job.to_payload())
                  for cc in compiled]
         campaign = cls(name=design.name, digest=digest, path=path,
                        env=env, cells=cells)
-        campaign.save()
+        campaign._write_meta()
+        campaign.refresh()
         return campaign
 
     @classmethod
     def load(cls, path: str | Path) -> "Campaign":
-        path = Path(path)
-        try:
-            data = json.loads((path / _MANIFEST).read_text())
-        except (OSError, json.JSONDecodeError) as error:
-            raise CampaignError(f"unreadable campaign manifest under "
-                                f"{path}: {error}") from None
-        if data.get("format") != _MANIFEST_FORMAT:
-            raise CampaignError(f"campaign manifest format "
-                                f"{data.get('format')!r} not supported")
-        return cls(name=data["name"], digest=data["digest"], path=path,
-                   env=DesignEnv.from_payload(data["env"]),
-                   cells=[CampaignCell.from_record(r)
-                          for r in data["cells"]])
+        """Bind an existing store (meta + journal replay).
 
-    # ------------------------------------------------------------------ #
-    def save(self) -> None:
-        """Atomic manifest write (tmp + rename, like the result cache)."""
+        Stray ``.tmp-*`` files (a process killed between write and
+        rename) are swept; an unparseable meta/manifest is quarantined
+        as ``.corrupt`` before :class:`CampaignError` is raised, so the
+        bad file can never wedge the store (``open()`` then rebuilds it
+        from the design).
+        """
+        path = Path(path)
+        _sweep_strays(path)
+        meta = path / _META
+        legacy = path / _LEGACY_MANIFEST
+        if meta.is_file():
+            data = _read_store_file(meta, expect_format=_META_FORMAT)
+            campaign = cls(name=data["name"], digest=data["digest"],
+                           path=path,
+                           env=DesignEnv.from_payload(data["env"]),
+                           cells=[CampaignCell.from_record(r)
+                                  for r in data["cells"]])
+        elif legacy.is_file():
+            campaign = cls._migrate_legacy(path, legacy)
+        else:
+            raise CampaignError(f"no campaign store under {path}")
+        campaign.refresh()
+        return campaign
+
+    @classmethod
+    def _migrate_legacy(cls, path: Path, legacy: Path) -> "Campaign":
+        """Lift a format-1 manifest into meta + journal records."""
+        data = _read_store_file(legacy, expect_format=1)
+        campaign = cls(name=data["name"], digest=data["digest"], path=path,
+                       env=DesignEnv.from_payload(data["env"]),
+                       cells=[CampaignCell.from_record(r)
+                              for r in data["cells"]])
+        campaign._write_meta()
+        journal = Journal(path / JOURNAL_NAME, worker="migration")
+        for cell in campaign.cells:
+            if cell.status == DONE:
+                journal.append("done", cell=cell.index,
+                               fingerprint=cell.fingerprint,
+                               cycles=cell.cycles, ipc=cell.ipc)
+            elif cell.status == FAILED:
+                journal.append("failed", cell=cell.index,
+                               fingerprint=cell.fingerprint,
+                               error=cell.error)
+        try:
+            legacy.rename(legacy.with_name(legacy.name + ".migrated"))
+        except OSError:
+            pass
+        return campaign
+
+    def _write_meta(self) -> None:
+        """Atomic one-time meta write (tmp + rename)."""
         self.path.mkdir(parents=True, exist_ok=True)
         payload = {
-            "format": _MANIFEST_FORMAT,
+            "format": _META_FORMAT,
             "name": self.name,
             "digest": self.digest,
             "env": self.env.to_payload(),
             "written": time.time(),
             "cells": [cell.to_record() for cell in self.cells],
         }
-        fd, tmp = tempfile.mkstemp(dir=self.path, prefix=".tmp-manifest-")
+        fd, tmp = tempfile.mkstemp(dir=self.path, prefix=".tmp-meta-")
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle, indent=1)
-            os.replace(tmp, self.path / _MANIFEST)
+            os.replace(tmp, self.path / _META)
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -181,51 +321,366 @@ class Campaign:
             raise
 
     # ------------------------------------------------------------------ #
+    # state
+    # ------------------------------------------------------------------ #
+    def refresh(self) -> CampaignState:
+        """Re-fold snapshot + journal (+ any unpersisted records) and
+        update every cell's status/attempts/result fields."""
+        replay = replay_journal(self.path / JOURNAL_NAME)
+        records = list(replay.records)
+        if self.journal is not None and self.journal.unpersisted:
+            records.extend(self.journal.unpersisted)
+        state = fold_records(
+            records, base=load_snapshot(self.path, self.digest),
+            fingerprints={cell.index: cell.fingerprint
+                          for cell in self.cells})
+        self._journal_records = len(replay.records)
+        self.replay_corrupt = replay.corrupt_records
+        self.replay_torn = replay.torn_tail
+        now = time.time()
+        for cell in self.cells:
+            folded = state.cells[cell.index]
+            cell.status = folded.display_status(state.beats, now)
+            cell.attempts = folded.attempts
+            cell.cycles = folded.cycles
+            cell.ipc = folded.ipc
+            cell.error = folded.error
+        self._state = state
+        return state
+
     def pending(self) -> list[CampaignCell]:
-        """Cells still owed a result (``failed`` cells are retried)."""
-        return [cell for cell in self.cells if cell.status != "done"]
+        """Cells still owed a result (failed cells retry; exhausted and
+        done cells do not)."""
+        return [cell for cell in self.cells
+                if cell.status not in (DONE, EXHAUSTED)]
 
     def counts(self) -> dict[str, int]:
-        out = {"pending": 0, "done": 0, "failed": 0}
+        out = {PENDING: 0, "claimed": 0, DONE: 0, FAILED: 0, EXHAUSTED: 0}
         for cell in self.cells:
             out[cell.status] = out.get(cell.status, 0) + 1
         return out
 
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
     def run(self, *, workers: int = 1, cache: ResultCache | None = None,
             retries: int = DEFAULT_RETRIES, timeout: float | None = None,
             fail_fast: bool = False, faults: FaultPlan | None = None,
             sanitize: bool | None = None,
             checkpoints: CheckpointPlan | None = None,
-            progress=None) -> CampaignReport:
-        """Execute every non-``done`` cell as one engine batch.
+            progress=None, worker_id: str | None = None,
+            lease_ttl: float = DEFAULT_LEASE_TTL,
+            max_retries: int | None = None, shard: bool = False,
+            claim_chunk: int | None = None,
+            compact_every: int = DEFAULT_COMPACT_EVERY) -> CampaignReport:
+        """Drain every claimable cell; return what this worker did.
 
-        The manifest is re-saved after the batch, so the next invocation
-        resumes from exactly what completed — and mid-batch interrupts
-        still resume cheaply, because the engine caches each result the
-        moment it arrives.
+        Claim/execute/journal in a loop: each iteration leases a set of
+        cells (everything claimable, or a chunk of ``claim_chunk`` in
+        ``shard`` mode so concurrent workers interleave), runs them as
+        one engine batch with heartbeats keeping the leases alive, and
+        journals each outcome the moment the engine records it.  A crash
+        at any point loses nothing: completed results are in the result
+        cache, journaled outcomes replay on the next invocation, and the
+        crashed worker's leases expire after ``lease_ttl`` seconds so
+        surviving (or restarted) workers reclaim its cells.
+
+        ``max_retries`` caps per-cell failures across invocations: a
+        cell failing ``max_retries + 1`` times is journaled
+        ``exhausted`` and never claimed again.  Within one invocation a
+        failed cell is not re-claimed (retry happens on resume, as the
+        manifest-era campaign did).
         """
-        todo = self.pending()
-        report = CampaignReport(resumed=len(self.cells) - len(todo))
-        if not todo:
-            return report
-        jobs = [SimJob.from_payload(cell.job) for cell in todo]
-        batch = run_batch(jobs, workers=workers, cache=cache,
-                          retries=retries, timeout=timeout,
-                          fail_fast=fail_fast, faults=faults,
-                          sanitize=sanitize, checkpoints=checkpoints,
-                          progress=progress)
-        report.batch = batch
-        report.executed = len(todo)
-        for cell, outcome in zip(todo, batch.outcomes):
-            if outcome.result is not None:
-                cell.status = "done"
-                cell.cycles = outcome.result.cycles
-                cell.ipc = outcome.result.ipc
-                cell.error = None
-            else:
-                cell.status = "failed"
-                error = outcome.error or outcome.status
-                cell.error = error.splitlines()[0][:200] if error else None
-                report.failed += 1
-        self.save()
+        worker_id = worker_id or default_worker_id()
+        journal = Journal(self.path / JOURNAL_NAME, worker=worker_id,
+                          faults=faults)
+        self.journal = journal
+        started = time.monotonic()
+        report = CampaignReport()
+
+        def event(kind: str, **payload: Any) -> None:
+            report.events.append({"kind": kind,
+                                  "t": time.monotonic() - started,
+                                  "payload": payload})
+
+        state = self.refresh()
+        if self.replay_corrupt or self.replay_torn:
+            event("journal.damage", corrupt=self.replay_corrupt,
+                  torn_tail=self.replay_torn)
+        report.resumed = sum(1 for cell in state.cells.values()
+                             if cell.status == DONE)
+        exhausted_before = {index for index, cell in state.cells.items()
+                            if cell.status == EXHAUSTED}
+        stall = faults is not None and faults.stall_heartbeats()
+        failed_this_run: set[int] = set()
+
+        while True:
+            if self._note_exhausted(journal, state, max_retries, event):
+                state = self.refresh()
+            now = time.time()
+            todo = claimable(state, now=now, worker=worker_id,
+                             max_retries=max_retries,
+                             exclude=failed_this_run)
+            if not todo:
+                break
+            if shard:
+                todo = todo[:max(claim_chunk or workers, 1)]
+            for index in todo:
+                if state.cells[index].claims:
+                    report.leases_reclaimed += 1
+                    event("lease.expired", cell=index,
+                          holder=state.cells[index].claims[0].get("worker"))
+            claimed = self._claim(journal, todo, worker_id, lease_ttl,
+                                  report, event)
+            if not claimed:
+                state = self.refresh()
+                continue
+
+            jobs = [SimJob.from_payload(self.cells[index].job)
+                    for index in claimed]
+            heart = None
+            if not stall:
+                heart = _Heartbeat(journal,
+                                   interval=max(lease_ttl / 3.0, 0.2))
+                heart.start()
+            elif faults is not None:
+                event("heartbeat.stalled", worker=worker_id)
+
+            def on_outcome(outcome, _cells=claimed):
+                index = _cells[outcome.index]
+                cell = self.cells[index]
+                if outcome.result is not None:
+                    journal.append("done", cell=index,
+                                   fingerprint=cell.fingerprint,
+                                   cycles=outcome.result.cycles,
+                                   ipc=outcome.result.ipc)
+                    event("cell.done", cell=index, status=outcome.status)
+                elif outcome.status == "skipped":
+                    journal.append("release", cell=index)
+                    event("lease.released", cell=index)
+                else:
+                    error = outcome.error or outcome.status
+                    journal.append(
+                        "failed", cell=index, fingerprint=cell.fingerprint,
+                        error=(error.splitlines()[0][:200] if error
+                               else None))
+                    event("cell.failed", cell=index, status=outcome.status)
+
+            offset = time.monotonic() - started
+            try:
+                batch = run_batch(jobs, workers=workers, cache=cache,
+                                  retries=retries, timeout=timeout,
+                                  fail_fast=fail_fast, faults=faults,
+                                  sanitize=sanitize, checkpoints=checkpoints,
+                                  progress=progress, on_outcome=on_outcome)
+            finally:
+                if heart is not None:
+                    heart.stop()
+            report.batches.append(batch)
+            report.batch_offsets.append(offset)
+            report.executed += len(claimed)
+            for outcome in batch.outcomes:
+                if outcome.result is None and outcome.status != "skipped":
+                    failed_this_run.add(claimed[outcome.index])
+            state = self.refresh()
+            if self._journal_records >= compact_every:
+                self.compact(event=event)
+                state = self.refresh()
+            if fail_fast and failed_this_run:
+                break
+
+        if self._note_exhausted(journal, state, max_retries, event):
+            pass
+        state = self.refresh()
+        if journal.append_errors:
+            # Degraded durability: the journal lost records (disk full,
+            # injected fail-append) — persist the folded state as a
+            # snapshot so the next invocation still resumes correctly.
+            ok = write_snapshot(self.path, self.digest,
+                                self._snapshot_payload(state))
+            event("campaign.snapshot_fallback", ok=ok,
+                  lost_appends=journal.append_errors)
+        newly = {index for index, cell in state.cells.items()
+                 if cell.status == EXHAUSTED} - exhausted_before
+        report.exhausted = sum(1 for cell in state.cells.values()
+                               if cell.status == EXHAUSTED)
+        report.failed = len(failed_this_run - newly)
+        report.duplicate_done = state.duplicate_done
+        report.journal_appends = journal.appends
+        report.journal_append_errors = journal.append_errors
         return report
+
+    # ------------------------------------------------------------------ #
+    def _claim(self, journal: Journal, indices: list[int], worker: str,
+               ttl: float, report: CampaignReport,
+               event) -> list[int]:
+        """Lease ``indices``; return the subset this worker won.
+
+        Claim-then-arbitrate: append a claim per cell, re-read the
+        journal, keep the cells where our claim is first in file order
+        among live ones, and release the rest.  With a degraded journal
+        (appends failing) arbitration is impossible — claim locally and
+        proceed, trading lease safety for completion (double execution
+        stays safe: results are deterministic and dedup'd by
+        fingerprint).
+        """
+        nonces: dict[int, str] = {}
+        persisted: dict[int, bool] = {}
+        for index in indices:
+            self._nonce += 1
+            nonce = f"{worker}#{self._nonce}"
+            nonces[index] = nonce
+            _, ok = journal.append("claim", cell=index,
+                                   fingerprint=self.cells[index].fingerprint,
+                                   nonce=nonce, ttl=ttl)
+            persisted[index] = ok
+        state = self.refresh()
+        now = time.time()
+        won: list[int] = []
+        for index in indices:
+            if not persisted[index]:
+                won.append(index)
+                continue
+            winner = claim_winner(state.cells[index], state.beats, now)
+            if winner is not None and winner.get("nonce") == nonces[index]:
+                won.append(index)
+                event("lease.claim", cell=index, ttl=ttl)
+            else:
+                journal.append("release", cell=index, nonce=nonces[index])
+                report.lease_conflicts += 1
+                event("lease.conflict", cell=index,
+                      winner=(winner or {}).get("worker"))
+        return won
+
+    def _note_exhausted(self, journal: Journal, state: CampaignState,
+                        max_retries: int | None, event) -> int:
+        """Journal cells whose retry budget ran out; return how many."""
+        exhausted = newly_exhausted(state, max_retries)
+        for index in exhausted:
+            journal.append("exhausted", cell=index,
+                           fingerprint=self.cells[index].fingerprint,
+                           attempts=state.cells[index].attempts)
+            event("cell.exhausted", cell=index,
+                  attempts=state.cells[index].attempts)
+        return len(exhausted)
+
+    # ------------------------------------------------------------------ #
+    # compaction
+    # ------------------------------------------------------------------ #
+    def _snapshot_payload(self, state: CampaignState) -> dict[int, dict]:
+        out: dict[int, dict] = {}
+        for index, cell in state.cells.items():
+            if cell.status == PENDING and cell.attempts == 0:
+                continue
+            entry: dict[str, Any] = {"status": cell.status}
+            if cell.status == DONE:
+                entry.update(cycles=cell.cycles, ipc=cell.ipc)
+            else:
+                entry.update(attempts=cell.attempts, error=cell.error)
+            out[index] = entry
+        return out
+
+    def compact(self, *, force: bool = False, event=None) -> bool:
+        """Fold the journal into ``snapshot.json`` and truncate it.
+
+        Safe only when nobody holds a live lease (claims are ephemeral
+        and not snapshotted), so the check is a precondition and a
+        ``compact.lock`` (O_EXCL, stale-broken) serializes concurrent
+        compactors.  A record appended between the locked re-read and
+        the truncation can only come from a lease-expired worker; losing
+        it costs an idempotent re-execution, never a wrong state.
+        Returns True when a compaction actually happened.
+        """
+        state = self.refresh()
+        now = time.time()
+        if not force:
+            for cell in state.cells.values():
+                if claim_winner(cell, state.beats, now) is not None:
+                    return False
+        if not self._take_compact_lock():
+            return False
+        try:
+            state = self.refresh()
+            records = self._journal_records
+            if not write_snapshot(self.path, self.digest,
+                                  self._snapshot_payload(state)):
+                return False
+            fd, tmp = tempfile.mkstemp(dir=self.path, prefix=".tmp-jnl-")
+            os.close(fd)
+            os.replace(tmp, self.path / JOURNAL_NAME)
+        except OSError:
+            return False
+        finally:
+            try:
+                os.unlink(self.path / _COMPACT_LOCK)
+            except OSError:
+                pass
+        if event is not None:
+            event("journal.compact", records=records,
+                  cells=len(self._snapshot_payload(state)))
+        return True
+
+    def _take_compact_lock(self) -> bool:
+        lock = self.path / _COMPACT_LOCK
+        for attempt in range(2):
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.write(fd, f"{default_worker_id()} {time.time()}\n"
+                         .encode())
+                os.close(fd)
+                return True
+            except FileExistsError:
+                try:
+                    stale = (time.time() - lock.stat().st_mtime
+                             > _LOCK_STALE_SECONDS)
+                except OSError:
+                    continue   # holder just released; retry once
+                if not stale:
+                    return False
+                try:
+                    os.unlink(lock)
+                except OSError:
+                    return False
+            except OSError:
+                return False
+        return False
+
+
+# --------------------------------------------------------------------------- #
+# store-file helpers
+# --------------------------------------------------------------------------- #
+
+def _sweep_strays(path: Path) -> int:
+    """Remove ``.tmp-*`` strays a killed process left behind."""
+    removed = 0
+    if not path.is_dir():
+        return removed
+    for stray in path.glob(".tmp-*"):
+        try:
+            stray.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
+def _read_store_file(path: Path, *, expect_format: int) -> dict:
+    """Parse a meta/manifest file; quarantine-and-raise when unusable."""
+    try:
+        data = json.loads(path.read_text())
+        if data.get("format") != expect_format:
+            raise ValueError(f"format {data.get('format')!r}, "
+                             f"expected {expect_format}")
+        if not isinstance(data.get("cells"), list):
+            raise ValueError("no cell list")
+        return data
+    except OSError as error:
+        raise CampaignError(f"unreadable campaign store file {path}: "
+                            f"{error}") from None
+    except (ValueError, KeyError, TypeError) as error:
+        try:
+            path.rename(path.with_name(path.name + ".corrupt"))
+        except OSError:
+            pass
+        raise CampaignError(f"corrupt campaign store file {path} "
+                            f"(quarantined as .corrupt): {error}") from None

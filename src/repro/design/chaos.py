@@ -1,0 +1,284 @@
+"""Campaign-level chaos testing: kill workers until the campaign proves
+itself.
+
+The durability claims in :mod:`repro.design.campaign` are only worth
+anything under fire, so this harness sets a real campaign on fire,
+repeatedly: it launches ``shards`` concurrent ``repro-exp --design FILE
+--shard`` worker *processes*, injects a ``kill-worker:K`` fault into
+each (the worker dies with :data:`~repro.harness.faults.KILL_EXIT_CODE`
+right after its K-th journal append, K drawn from a seeded RNG), then
+restarts them, round after round, until the campaign converges.  A final
+clean round (no faults) drains anything the last kills left behind.
+
+The drill then asserts the whole point:
+
+* **complete** — every cell is ``done``; none lost, none stuck;
+* **exactly once** — the journal holds exactly one counted ``done`` per
+  cell (duplicates from lease races are detected and reported);
+* **bitwise-equal** — the result table (label, cycles, ipc per cell) is
+  byte-for-byte identical to an unfaulted single-worker run of the same
+  design in a separate store with a separate cache.
+
+Run it directly (this is what ``make campaign-chaos-smoke`` does)::
+
+    python -m repro.design.chaos examples/shard_demo.toml \\
+        --shards 2 --min-kills 5 --seed 7 --root .repro-chaos
+
+Everything is deterministic given ``--seed``: the kill points, the
+worker ids, the round schedule.  Wall time is bounded by ``--max-rounds``
+and a per-worker subprocess timeout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from ..harness.cache import ResultCache
+from ..harness.faults import ENV_SPEC, ENV_STATE, KILL_EXIT_CODE
+from .campaign import Campaign
+from .env import DesignEnv
+from .files import load_design
+from .leases import DONE
+
+#: Where a chaos drill keeps its stores unless told otherwise.
+DEFAULT_CHAOS_ROOT = ".repro-chaos"
+
+#: Lease TTL used by the drill: short enough that a killed worker's
+#: leases expire between rounds (the production default of 30s would
+#: stall the whole drill waiting for reclaims).
+DEFAULT_CHAOS_TTL = 3.0
+
+#: Hard per-worker-process wall-clock bound (a wedged worker fails the
+#: drill instead of hanging it).
+WORKER_TIMEOUT = 180.0
+
+
+@dataclass
+class ChaosReport:
+    """What one chaos drill did and whether the campaign survived it."""
+
+    rounds: int = 0
+    launches: int = 0              # worker processes started (incl. clean)
+    kills: int = 0                 # workers that died at an injected point
+    converged: bool = False        # every cell done at the end
+    identical: bool = False        # result table == reference table
+    duplicate_done: int = 0        # journal double-completions (counted,
+    #                              # tolerated, reported)
+    counts: dict[str, int] = field(default_factory=dict)
+    mismatches: list[str] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.converged and self.identical
+
+    def summary_line(self) -> str:
+        verdict = "OK" if self.ok else "FAILED"
+        text = (f"chaos {verdict}: {self.rounds} round(s), "
+                f"{self.launches} worker launch(es), {self.kills} "
+                f"injected kill(s), counts={self.counts}")
+        if self.duplicate_done:
+            text += f", {self.duplicate_done} duplicate completion(s)"
+        if self.mismatches:
+            text += f"; first mismatch: {self.mismatches[0]}"
+        return text
+
+
+def _result_table(campaign: Campaign) -> str:
+    """The merged result table as a canonical string (the bitwise unit)."""
+    lines = [f"{cell.label},{cell.cycles},{cell.ipc!r}"
+             for cell in campaign.cells]
+    return "\n".join(lines)
+
+
+def _design_env(overrides: dict, scale: float) -> DesignEnv:
+    """The same environment the worker CLIs compute for this design."""
+    kwargs: dict = {"scale": scale}
+    kwargs.update(overrides)
+    return DesignEnv(**kwargs)
+
+
+def _spawn_worker(design_file: Path, workdir: Path, *, worker_id: str,
+                  lease_ttl: float, scale: float,
+                  faults: str | None, faults_state: Path | None,
+                  max_retries: int | None) -> subprocess.Popen:
+    command = [sys.executable, "-m", "repro.harness.cli",
+               "--design", str(design_file), "--shard",
+               "--campaign-dir", "camps", "--worker-id", worker_id,
+               "--lease-ttl", str(lease_ttl), "--scale", str(scale)]
+    if max_retries is not None:
+        command += ["--max-retries", str(max_retries)]
+    env = dict(os.environ)
+    src_dir = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop(ENV_SPEC, None)
+    env.pop(ENV_STATE, None)
+    if faults:
+        env[ENV_SPEC] = faults
+        env[ENV_STATE] = str(faults_state)
+    return subprocess.Popen(command, cwd=workdir, env=env,
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+
+
+def run_chaos(design_path: str | Path, *, shards: int = 2,
+              min_kills: int = 5, max_rounds: int = 12, seed: int = 7,
+              root: str | Path = DEFAULT_CHAOS_ROOT, scale: float = 0.1,
+              lease_ttl: float = DEFAULT_CHAOS_TTL,
+              max_retries: int | None = None,
+              kill_span: int = 4) -> ChaosReport:
+    """Run the kill/restart drill against ``design_path``.
+
+    Rounds of ``shards`` concurrent worker processes run until the
+    campaign converges and at least ``min_kills`` workers have been
+    killed at injected points.  Kill points are append ordinals in
+    ``[0, kill_span]`` from ``random.Random(seed)`` — low ordinals, so
+    workers die with cells genuinely in flight (ordinal 0 is the
+    harshest: killed right after persisting the first claim, before any
+    work).  Between rounds the
+    drill waits out ``lease_ttl`` so the dead workers' leases expire and
+    the next round exercises the reclaim path rather than spinning on
+    live-looking claims.
+    """
+    started = time.monotonic()
+    design_file = Path(design_path).resolve()
+    design, overrides = load_design(design_file)
+    env = _design_env(overrides, scale)
+    rng = random.Random(seed)
+    report = ChaosReport()
+
+    workdir = Path(root)
+    chaos_dir = workdir / "camps"
+    ref_dir = workdir / "reference"
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    # The ground truth: one unfaulted in-process worker, its own store,
+    # its own cache — shares nothing with the drill but the design.
+    reference = Campaign.open(design, env, root=ref_dir)
+    ref_report = reference.run(cache=ResultCache(workdir / "ref-cache"),
+                               worker_id="reference")
+    if not ref_report.ok:
+        report.mismatches.append("reference run itself failed; the design "
+                                 "is not chaos-drill material")
+        report.elapsed = time.monotonic() - started
+        return report
+    ref_table = _result_table(reference)
+
+    def launch_round(*, kill: bool) -> None:
+        procs = []
+        for shard in range(shards):
+            faults = None
+            state: Path | None = None
+            if kill:
+                ordinal = rng.randint(0, kill_span)
+                faults = f"kill-worker:{ordinal}"
+                state = (workdir
+                         / f"faults-r{report.rounds}-w{shard}")
+            procs.append(_spawn_worker(
+                design_file, workdir,
+                worker_id=f"chaos-r{report.rounds}-w{shard}",
+                lease_ttl=lease_ttl, scale=scale, faults=faults,
+                faults_state=state, max_retries=max_retries))
+            report.launches += 1
+        for proc in procs:
+            try:
+                code = proc.wait(timeout=WORKER_TIMEOUT)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+                report.mismatches.append("worker subprocess exceeded "
+                                         f"{WORKER_TIMEOUT:.0f}s")
+                continue
+            if code == KILL_EXIT_CODE:
+                report.kills += 1
+
+    def survivors_done() -> bool:
+        campaign = Campaign.open(design, env, root=chaos_dir)
+        report.counts = campaign.counts()
+        return all(cell.status == DONE for cell in campaign.cells)
+
+    converged = False
+    while report.rounds < max_rounds:
+        report.rounds += 1
+        launch_round(kill=True)
+        converged = survivors_done()
+        if converged and report.kills >= min_kills:
+            break
+        # Let the kills' leases expire so the next round reclaims
+        # instead of bouncing off live-looking claims.
+        time.sleep(lease_ttl)
+
+    # One clean round: whatever the last kills dropped, a fault-free
+    # worker must be able to finish — that is the resume contract.
+    launch_round(kill=False)
+    report.converged = survivors_done()
+
+    final = Campaign.open(design, env, root=chaos_dir)
+    state = final.refresh()
+    report.duplicate_done = state.duplicate_done
+    final_table = _result_table(final)
+    report.identical = final_table == ref_table
+    if report.converged and not report.identical:
+        for ref_line, got_line in zip(ref_table.splitlines(),
+                                      final_table.splitlines()):
+            if ref_line != got_line:
+                report.mismatches.append(f"expected {ref_line!r}, "
+                                         f"got {got_line!r}")
+                break
+    elif not report.converged:
+        stuck = [cell.label for cell in final.cells
+                 if cell.status != DONE]
+        report.mismatches.append(f"cells not done after "
+                                 f"{report.rounds} round(s) + clean "
+                                 f"round: {stuck}")
+    report.elapsed = time.monotonic() - started
+    return report
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.design.chaos",
+        description="Kill/restart chaos drill for durable campaigns.")
+    parser.add_argument("design", help="design file to drill (TOML/JSON)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="concurrent worker processes per round "
+                             "(default 2)")
+    parser.add_argument("--min-kills", type=int, default=5,
+                        help="keep drilling until this many workers died "
+                             "at injected points (default 5)")
+    parser.add_argument("--max-rounds", type=int, default=12,
+                        help="hard bound on kill/restart rounds "
+                             "(default 12)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="RNG seed for kill points (default 7)")
+    parser.add_argument("--root", default=DEFAULT_CHAOS_ROOT,
+                        help="working directory for the drill's stores "
+                             f"(default {DEFAULT_CHAOS_ROOT}/)")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="grid-size scale for the drilled design "
+                             "(default 0.1)")
+    parser.add_argument("--lease-ttl", type=float,
+                        default=DEFAULT_CHAOS_TTL,
+                        help="worker lease TTL in seconds "
+                             f"(default {DEFAULT_CHAOS_TTL:g})")
+    args = parser.parse_args(argv)
+    report = run_chaos(args.design, shards=args.shards,
+                       min_kills=args.min_kills, max_rounds=args.max_rounds,
+                       seed=args.seed, root=args.root, scale=args.scale,
+                       lease_ttl=args.lease_ttl)
+    print(report.summary_line())
+    print(f"[chaos: {report.elapsed:.1f}s, stores under {args.root}/]",
+          file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":   # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,227 @@
+"""Lease-based cell claiming: fold journal records into campaign state.
+
+The journal (:mod:`repro.design.journal`) is the history; this module is
+the state machine that reads it.  :func:`fold_records` replays records
+in file order into one :class:`CellState` per cell; the campaign then
+asks :func:`claimable` which cells a worker may take and
+:func:`claim_winner` who owns a contested one.
+
+The lease protocol, in full:
+
+* **Claim.**  A worker appends ``claim {cell, fingerprint, worker,
+  nonce, ttl}``, then re-reads the journal.  Appends interleave whole
+  records (``O_APPEND``), so file order is a total order: the *first*
+  live claim on a cell wins, and a worker that finds someone else's
+  claim ahead of its own appends a ``release`` and moves on.  No locks,
+  no coordinator — N ``repro-exp --design F --shard`` processes sharing
+  a filesystem drain one campaign safely.
+* **Heartbeat.**  Every record a worker appends refreshes its liveness;
+  a dedicated ``heartbeat`` record (appended every ``ttl/3`` by a
+  background thread) covers long-running batches.  A claim is **live**
+  while ``last-record-time(worker) + ttl > now``.
+* **Expiry + reclaim.**  A claim whose worker has gone silent past its
+  TTL is dead: the cell is claimable again.  If the presumed-dead worker
+  was merely slow and both finish, the cell has two ``done`` records —
+  resolved deterministically: records carrying the wrong fingerprint are
+  ignored outright, and among matching ones the first in file order
+  wins.  Both workers ran the *same* fingerprinted job, so the results
+  are bitwise-identical anyway (the chaos harness asserts exactly this);
+  the duplicate is counted, never an error.
+* **Retry budget.**  Each ``failed`` record costs the cell one attempt.
+  With ``max_retries`` set, a cell that fails ``max_retries + 1`` times
+  is journaled ``exhausted``: terminal, reported distinctly, never
+  claimed again.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+#: Cell lifecycle states (``claimed`` is presentational: a pending or
+#: failed cell with a live lease).
+PENDING = "pending"
+CLAIMED = "claimed"
+DONE = "done"
+FAILED = "failed"
+EXHAUSTED = "exhausted"
+
+#: Default lease time-to-live in seconds (heartbeats run at ttl/3).
+DEFAULT_LEASE_TTL = 30.0
+
+
+@dataclass
+class CellState:
+    """One cell's folded execution state."""
+
+    index: int
+    status: str = PENDING
+    attempts: int = 0
+    cycles: int | None = None
+    ipc: float | None = None
+    error: str | None = None
+    #: Live claim records in file order: {worker, nonce, t, ttl}.
+    claims: list[dict] = field(default_factory=list)
+    #: Extra ``done`` records observed after the first (dup completions).
+    duplicate_done: int = 0
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in (DONE, EXHAUSTED)
+
+    def display_status(self, beats: dict[str, float], now: float) -> str:
+        """Status with live leases shown as ``claimed``."""
+        if self.terminal or self.status == FAILED:
+            return self.status
+        return CLAIMED if any(_alive(c, beats, now)
+                              for c in self.claims) else PENDING
+
+
+@dataclass
+class CampaignState:
+    """Every cell's state plus worker liveness, as folded from records."""
+
+    cells: dict[int, CellState]
+    #: Worker id -> timestamp of its newest record (liveness).
+    beats: dict[str, float] = field(default_factory=dict)
+    duplicate_done: int = 0
+    #: Records that named an unknown cell or the wrong fingerprint.
+    ignored_records: int = 0
+
+    def counts(self, now: float | None = None) -> dict[str, int]:
+        now = time.time() if now is None else now
+        out = {PENDING: 0, CLAIMED: 0, DONE: 0, FAILED: 0, EXHAUSTED: 0}
+        for cell in self.cells.values():
+            out[cell.display_status(self.beats, now)] += 1
+        return out
+
+
+def _alive(claim: dict, beats: dict[str, float], now: float) -> bool:
+    worker = claim.get("worker")
+    seen = max(beats.get(worker, 0.0), float(claim.get("t", 0.0)))
+    return seen + float(claim.get("ttl", DEFAULT_LEASE_TTL)) > now
+
+
+def fold_records(records: list[dict], *, fingerprints: dict[int, str],
+                 base: dict[int, dict] | None = None) -> CampaignState:
+    """Replay journal records (after an optional snapshot base).
+
+    ``fingerprints`` is the meta file's cell-index -> job-fingerprint
+    map: the universe of cells, and the authority a ``done``/``failed``
+    record must agree with to count.  ``base`` is a snapshot's terminal
+    states (compaction); journal records fold on top idempotently — a
+    ``done`` for an already-done cell is a counted duplicate, so
+    replaying records the snapshot already covers changes nothing.
+    """
+    cells = {index: CellState(index=index) for index in fingerprints}
+    state = CampaignState(cells=cells)
+    for index, snap in (base or {}).items():
+        cell = cells.get(index)
+        if cell is None:
+            state.ignored_records += 1
+            continue
+        cell.status = snap.get("status", PENDING)
+        cell.attempts = int(snap.get("attempts", 0) or 0)
+        cell.cycles = snap.get("cycles")
+        cell.ipc = snap.get("ipc")
+        cell.error = snap.get("error")
+    for record in records:
+        worker = record.get("worker")
+        if isinstance(worker, str):
+            t = float(record.get("t", 0.0))
+            if t > state.beats.get(worker, 0.0):
+                state.beats[worker] = t
+        kind = record.get("type")
+        if kind == "heartbeat":
+            continue
+        index = record.get("cell")
+        cell = cells.get(index)
+        if cell is None:
+            if kind in ("claim", "release", "done", "failed", "exhausted"):
+                state.ignored_records += 1
+            continue
+        if kind == "claim":
+            if not cell.terminal:
+                cell.claims.append({"worker": worker,
+                                    "nonce": record.get("nonce"),
+                                    "t": record.get("t", 0.0),
+                                    "ttl": record.get("ttl",
+                                                      DEFAULT_LEASE_TTL)})
+        elif kind == "release":
+            nonce = record.get("nonce")
+            cell.claims = [c for c in cell.claims
+                           if not (c["worker"] == worker
+                                   and (nonce is None
+                                        or c["nonce"] == nonce))]
+        elif kind == "done":
+            if record.get("fingerprint") != fingerprints[index]:
+                state.ignored_records += 1
+                continue
+            if cell.status == DONE:
+                cell.duplicate_done += 1
+                state.duplicate_done += 1
+                continue
+            cell.status = DONE
+            cell.cycles = record.get("cycles")
+            cell.ipc = record.get("ipc")
+            cell.error = None
+            cell.claims.clear()
+        elif kind == "failed":
+            if record.get("fingerprint") not in (None, fingerprints[index]):
+                state.ignored_records += 1
+                continue
+            if cell.terminal:
+                continue
+            cell.status = FAILED
+            cell.attempts += 1
+            cell.error = record.get("error")
+            cell.claims = [c for c in cell.claims if c["worker"] != worker]
+        elif kind == "exhausted":
+            if not cell.terminal:
+                cell.status = EXHAUSTED
+                cell.claims.clear()
+    return state
+
+
+def claim_winner(cell: CellState, beats: dict[str, float],
+                 now: float) -> dict | None:
+    """The live claim that owns this cell: first in file order, or None."""
+    for claim in cell.claims:
+        if _alive(claim, beats, now):
+            return claim
+    return None
+
+
+def claimable(state: CampaignState, *, now: float, worker: str,
+              max_retries: int | None = None,
+              exclude: set[int] | None = None) -> list[int]:
+    """Cell indices ``worker`` may claim right now, in index order.
+
+    A cell is claimable when it still owes a result (not done, not
+    exhausted, retry budget left) and no *other* worker holds a live
+    lease on it — an expired lease does not block (that is the reclaim
+    path).  ``exclude`` drops cells this invocation already failed:
+    like the pre-journal campaign, failed cells retry on the next
+    resume, not in a loop within one run.
+    """
+    out = []
+    for index in sorted(state.cells):
+        cell = state.cells[index]
+        if cell.terminal or (exclude and index in exclude):
+            continue
+        if max_retries is not None and cell.attempts > max_retries:
+            continue
+        winner = claim_winner(cell, state.beats, now)
+        if winner is not None and winner["worker"] != worker:
+            continue
+        out.append(index)
+    return out
+
+
+def newly_exhausted(state: CampaignState,
+                    max_retries: int | None) -> list[int]:
+    """Failed cells whose retry budget just ran out (need a record)."""
+    if max_retries is None:
+        return []
+    return [index for index, cell in sorted(state.cells.items())
+            if cell.status == FAILED and cell.attempts > max_retries]

@@ -28,8 +28,18 @@ Usage::
                                   # (and on the next invocation)
     repro-exp e3 --sanitize       # check live-state invariants in-flight
     repro-exp --design sweep.toml # run a design file as a resumable
-                                  # campaign (.repro-campaigns/ manifest;
-                                  # re-invoking resumes where it stopped)
+                                  # campaign (.repro-campaigns/ store with
+                                  # a write-ahead journal; re-invoking
+                                  # resumes where it stopped)
+    repro-exp --design sweep.toml --shard &
+    repro-exp --design sweep.toml --shard
+                                  # two lease-based workers drain one
+                                  # campaign concurrently (any number of
+                                  # processes, one host or a shared fs)
+    repro-exp --design sweep.toml --max-retries 3
+                                  # stop retrying a failing cell after 3
+                                  # resumes: it is journaled 'exhausted'
+                                  # and reported distinctly
 
 Requesting several experiments plans them as one deduplicated batch: the
 designs behind the requested ids are compiled up front, cells with
@@ -53,8 +63,8 @@ import time
 from pathlib import Path
 from typing import Sequence
 
-from ..design import (DEFAULT_CAMPAIGN_ROOT, Campaign, CampaignError,
-                      DesignEnv, DesignError, load_design)
+from ..design import (DEFAULT_CAMPAIGN_ROOT, DEFAULT_LEASE_TTL, Campaign,
+                      CampaignError, DesignEnv, DesignError, load_design)
 from ..workloads.patterns import DEFAULT_SEED
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .checkpoints import (DEFAULT_CHECKPOINT_DIR, CheckpointPlan,
@@ -86,8 +96,27 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
                              "(see docs/DESIGNS.md)")
     parser.add_argument("--campaign-dir", default=DEFAULT_CAMPAIGN_ROOT,
                         metavar="DIR",
-                        help="campaign manifest root for --design "
+                        help="campaign store root for --design "
                              f"(default {DEFAULT_CAMPAIGN_ROOT}/)")
+    parser.add_argument("--shard", action="store_true",
+                        help="claim campaign cells in small lease-based "
+                             "chunks so several concurrent 'repro-exp "
+                             "--design FILE --shard' processes drain one "
+                             "campaign together (crashed workers' leases "
+                             "expire and are reclaimed)")
+    parser.add_argument("--worker-id", metavar="ID", default=None,
+                        help="worker id stamped on journal records "
+                             "(default: hostname-pid)")
+    parser.add_argument("--lease-ttl", type=float, default=None,
+                        metavar="SECONDS",
+                        help="campaign cell lease time-to-live; a worker "
+                             "silent this long loses its cells to other "
+                             "shards (default 30)")
+    parser.add_argument("--max-retries", type=int, default=None, metavar="N",
+                        help="per-cell cap on campaign retries: a cell "
+                             "failing on N+1 invocations is journaled "
+                             "'exhausted' and never claimed again "
+                             "(default: retry on every resume, forever)")
     parser.add_argument("--output", metavar="DIR",
                         help="also write each table as CSV into DIR")
     parser.add_argument("--scale", type=float, default=0.4,
@@ -250,10 +279,12 @@ def _run_design_campaign(args: argparse.Namespace, workers: int,
                          checkpoints: CheckpointPlan | None) -> int:
     """``repro-exp --design FILE``: run a design file as a campaign.
 
-    The campaign manifest (``<campaign-dir>/<name>-<digest12>/``) makes
-    the run resumable: re-invoking with the same file and environment
-    skips ``done`` cells entirely and replays interrupted cells from the
-    result cache.
+    The campaign store (``<campaign-dir>/<name>-<digest12>/`` — static
+    meta plus a write-ahead journal) makes the run resumable and
+    shardable: re-invoking with the same file and environment skips
+    ``done`` cells entirely, replays interrupted cells from the result
+    cache, and with ``--shard`` any number of concurrent invocations
+    drain the campaign together under lease-based claiming.
     """
     try:
         design, env_overrides = load_design(args.design)
@@ -277,15 +308,23 @@ def _run_design_campaign(args: argparse.Namespace, workers: int,
               file=sys.stderr)
         return 2
     counts = campaign.counts()
+    extras = "".join(f", {counts[key]} {key}"
+                     for key in ("claimed", "exhausted") if counts[key])
     print(f"[campaign {campaign.path.name}: {len(campaign.cells)} cell(s); "
           f"{counts['done']} done, {counts['pending']} pending, "
-          f"{counts['failed']} failed]", file=sys.stderr)
+          f"{counts['failed']} failed{extras}]", file=sys.stderr)
     try:
         report = campaign.run(workers=workers, cache=cache,
                               retries=args.retries, timeout=args.timeout,
                               fail_fast=args.fail_fast, faults=faults,
                               sanitize=args.sanitize,
-                              checkpoints=checkpoints)
+                              checkpoints=checkpoints,
+                              worker_id=args.worker_id,
+                              lease_ttl=(args.lease_ttl
+                                         if args.lease_ttl is not None
+                                         else DEFAULT_LEASE_TTL),
+                              max_retries=args.max_retries,
+                              shard=args.shard)
     except JobExecutionError as error:
         print(f"[campaign FAILED: {error}]", file=sys.stderr)
         return 1
@@ -301,10 +340,32 @@ def _run_design_campaign(args: argparse.Namespace, workers: int,
         out_dir = Path(args.output)
         out_dir.mkdir(parents=True, exist_ok=True)
         (out_dir / f"{campaign.name}.csv").write_text(table.to_csv() + "\n")
-    print(f"[campaign: {report.executed} dispatched, "
-          f"{report.resumed} already done, {report.failed} failed "
-          f"-> {campaign.path}/]", file=sys.stderr)
-    return 1 if report.failed else 0
+    if args.trace:
+        from ..telemetry.trace import merge_chrome_traces
+        doc = merge_chrome_traces([], engine_events=report.engine_events())
+        Path(args.trace).write_text(json.dumps(doc))
+        print(f"[trace: {len(report.engine_events())} campaign event(s) "
+              f"-> {args.trace}]", file=sys.stderr)
+    footer = (f"[campaign: {report.executed} dispatched, "
+              f"{report.resumed} already done, {report.failed} failed")
+    if report.exhausted:
+        footer += f", {report.exhausted} exhausted (past --max-retries)"
+    if report.lease_conflicts or report.leases_reclaimed:
+        footer += (f", leases: {report.lease_conflicts} lost, "
+                   f"{report.leases_reclaimed} reclaimed")
+    if report.duplicate_done:
+        footer += f", {report.duplicate_done} duplicate completion(s)"
+    if report.journal_append_errors:
+        footer += (f", {report.journal_append_errors} journal append "
+                   f"error(s) (snapshot fallback)")
+    if report.checkpoint_corrupt:
+        footer += (f", {report.checkpoint_corrupt} corrupt checkpoint(s) "
+                   f"quarantined")
+    if cache is not None and (cache.write_errors or cache.corrupt_entries):
+        footer += (f", cache: {cache.write_errors} write error(s), "
+                   f"{cache.corrupt_entries} corrupt quarantined")
+    print(footer + f" -> {campaign.path}/]", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -368,6 +429,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
     if args.timeout is not None and args.timeout < 0:
         print(f"--timeout must be >= 0, got {args.timeout}", file=sys.stderr)
+        return 2
+    if args.max_retries is not None and args.max_retries < 0:
+        print(f"--max-retries must be >= 0, got {args.max_retries}",
+              file=sys.stderr)
+        return 2
+    if args.lease_ttl is not None and args.lease_ttl <= 0:
+        print(f"--lease-ttl must be > 0, got {args.lease_ttl}",
+              file=sys.stderr)
+        return 2
+    if not args.design and (args.shard or args.worker_id
+                            or args.lease_ttl is not None
+                            or args.max_retries is not None):
+        print("--shard/--worker-id/--lease-ttl/--max-retries apply to "
+              "campaigns; pass --design FILE", file=sys.stderr)
         return 2
     try:
         faults = (FaultPlan.parse(args.faults) if args.faults

@@ -72,6 +72,12 @@ from .jobs import SimJob
 #: ``progress(done, total)`` is invoked after every completed job.
 ProgressFn = Callable[[int, int], None]
 
+#: ``on_outcome(outcome)`` fires the moment a job reaches a terminal
+#: state (ok/cached/failed/timeout/skipped), before the batch finishes —
+#: the campaign layer journals outcomes as they arrive, so a crash later
+#: in the batch loses nothing already completed.
+OutcomeFn = Callable[["JobOutcome"], None]
+
 #: Default number of *retries* per job (attempts = retries + 1) for
 #: transient failures; deterministic failures are never retried.
 DEFAULT_RETRIES = 2
@@ -286,11 +292,13 @@ class _BatchState:
                  cache: ResultCache | None, faults: FaultPlan | None,
                  progress: ProgressFn | None,
                  sanitize: bool | None = None,
-                 checkpoints: CheckpointPlan | None = None) -> None:
+                 checkpoints: CheckpointPlan | None = None,
+                 on_outcome: OutcomeFn | None = None) -> None:
         self.jobs = jobs
         self.cache = cache
         self.faults = faults
         self.progress = progress
+        self.on_outcome = on_outcome
         self.sanitize = sanitize
         self.checkpoints = checkpoints
         self.checkpoint_store = (checkpoints.store()
@@ -313,17 +321,22 @@ class _BatchState:
                             "t": time.monotonic() - self.started,
                             "payload": payload})
 
-    def _advance(self) -> None:
+    def _advance(self, index: int | None = None) -> None:
         self.done += 1
         if self.progress is not None:
             self.progress(self.done, len(self.jobs))
+        if index is not None and self.on_outcome is not None:
+            # Terminal-state hook: fires *after* the result is cached, so
+            # a listener that journals "done" can rely on the cache entry
+            # already existing.
+            self.on_outcome(self.outcomes[index])
 
     # ------------------------------------------------------------------ #
     def record_cached(self, index: int, result: RunResult) -> None:
         outcome = self.outcomes[index]
         outcome.status = "cached"
         outcome.result = result
-        self._advance()
+        self._advance(index)
 
     def record_ok(self, index: int, result: RunResult, attempts: int,
                   duration: float, meta: dict[str, Any] | None = None) -> None:
@@ -354,7 +367,7 @@ class _BatchState:
                 self.event("cache.corrupted", job=index)
         if attempts > 1:
             self.event("job.recovered", job=index, attempts=attempts)
-        self._advance()
+        self._advance(index)
 
     def record_failure(self, index: int, message: str, traceback_text: str | None,
                        attempts: int, duration: float) -> None:
@@ -365,7 +378,7 @@ class _BatchState:
         outcome.attempts = attempts
         outcome.duration = duration
         self.event("job.failed", job=index, attempts=attempts, error=message)
-        self._advance()
+        self._advance(index)
 
     def record_timeout(self, index: int, message: str, attempts: int,
                        duration: float,
@@ -380,13 +393,13 @@ class _BatchState:
                    progress=progress)
         self.note_checkpoint_corrupt(
             index, int((progress or {}).get("checkpoint_corrupt") or 0))
-        self._advance()
+        self._advance(index)
 
     def record_skipped(self, index: int) -> None:
         outcome = self.outcomes[index]
         outcome.status = "skipped"
         outcome.error = "skipped: fail-fast stopped the batch"
-        self._advance()
+        self._advance(index)
 
     def retry_delay(self, index: int, attempts: int, backoff: float,
                     reason: str) -> float:
@@ -429,7 +442,8 @@ def run_batch(jobs: Iterable[SimJob], *, workers: int = 1,
               backoff: float = DEFAULT_BACKOFF,
               grace: float | None = None,
               sanitize: bool | None = None,
-              checkpoints: CheckpointPlan | None = None) -> BatchReport:
+              checkpoints: CheckpointPlan | None = None,
+              on_outcome: OutcomeFn | None = None) -> BatchReport:
     """Execute jobs (parallel, cached, fault-isolated); return the report.
 
     Never raises for a job failure: each job's fate is a
@@ -449,6 +463,11 @@ def run_batch(jobs: Iterable[SimJob], *, workers: int = 1,
     resuming the newest stored snapshot, turning worker crashes and
     cooperative timeouts into at-most-one-interval losses (see the module
     docstring's resilience model).  Neither changes any result.
+
+    ``on_outcome`` is called with each :class:`JobOutcome` the moment it
+    reaches a terminal state (after any caching), so callers that keep
+    their own durable record — the campaign journal — never trail the
+    engine by more than one job.
     """
     jobs = list(jobs)
     if workers < 1:
@@ -459,7 +478,7 @@ def run_batch(jobs: Iterable[SimJob], *, workers: int = 1,
         raise ValueError(f"timeout must be >= 0, got {timeout}")
     fingerprints = [job.fingerprint() for job in jobs]
     state = _BatchState(jobs, fingerprints, cache, faults, progress,
-                        sanitize, checkpoints)
+                        sanitize, checkpoints, on_outcome)
     state.event("batch.start", jobs=len(jobs), workers=workers,
                 retries=retries, timeout=timeout,
                 sanitize=bool(sanitize),

@@ -30,9 +30,33 @@ Spec grammar (one or more comma/semicolon-separated entries)::
                     catch it at the next window boundary; without the
                     sanitizer the run silently completes wrong)
 
+Campaign-grade faults address the durable-campaign layer
+(:mod:`repro.design.campaign`) instead of a job; their index K is the
+worker's *journal append ordinal*, not a batch position::
+
+    kill-worker:K       the campaign process dies with os._exit right
+                        after its K-th journal append, once (a worker
+                        crash mid-batch: leases must expire and another
+                        worker — or a restart — must reclaim its cells)
+    torn-tail:K         the K-th appended journal record is chopped in
+                        half, once (a torn write: replay must drop the
+                        tail, never crash)
+    corrupt-journal:K   a byte inside the K-th appended record is
+                        scribbled, once (bit rot: replay must skip
+                        exactly that record)
+    stall-heartbeat:0   the worker's heartbeat thread never starts (a
+                        wedged worker: its leases expire at TTL and the
+                        cells are reclaimed by someone else)
+    fail-append:K       every journal append from ordinal K on raises
+                        OSError (disk full / read-only store: the
+                        campaign must warn once and degrade to
+                        snapshot-on-exit durability, not abort)
+
 "once" semantics survive process boundaries through marker files in a
 shared state directory (``O_CREAT | O_EXCL`` — exactly one process wins),
-so a killed-and-retried job really does succeed on its second attempt.
+so a killed-and-retried job really does succeed on its second attempt
+(and a killed-and-restarted campaign worker does not die again at the
+same append).
 
 Plans come from three places: tests construct them directly, the CLIs
 accept ``--faults SPEC``, and :meth:`FaultPlan.from_env` reads the
@@ -54,7 +78,13 @@ ENV_STATE = "REPRO_FAULTS_STATE"
 #: Exit status used by ``kill`` faults (visible in worker-crash logs).
 KILL_EXIT_CODE = 86
 
-_ACTIONS = ("fail", "flaky", "kill", "kill-at", "delay", "corrupt")
+_ACTIONS = ("fail", "flaky", "kill", "kill-at", "delay", "corrupt",
+            "kill-worker", "torn-tail", "corrupt-journal",
+            "stall-heartbeat", "fail-append")
+
+#: The campaign-journal faults fired after an append completes, in the
+#: order they are applied when several target the same ordinal.
+_JOURNAL_POST_APPEND = ("torn-tail", "corrupt-journal", "kill-worker")
 
 
 class FaultSpecError(ValueError):
@@ -222,6 +252,34 @@ class FaultPlan:
             return None
         fault = min(candidates, key=lambda f: f.arg)
         return RunSaboteur(plan=self, fault=fault, inline=inline)
+
+    # ------------------------------------------------------------------ #
+    # campaign-grade faults (journal/lease layer; K = append ordinal)
+    def journal_fail_append(self, ordinal: int) -> bool:
+        """Should journal append ``ordinal`` raise OSError?
+
+        ``fail-append:K`` is *persistent* — a full disk does not heal
+        between appends — so every ordinal at or past K fails.
+        """
+        return any(fault.action == "fail-append" and ordinal >= fault.index
+                   for fault in self.faults)
+
+    def stall_heartbeats(self) -> bool:
+        """True when the worker's heartbeat thread must not run."""
+        return any(fault.action == "stall-heartbeat"
+                   for fault in self.faults)
+
+    def journal_post_append(self, ordinal: int) -> list[str]:
+        """Post-append fault actions due at this ordinal, each once.
+
+        "Once" rides the shared marker files, so a restarted worker that
+        replays through the same ordinal does not tear, scribble or die
+        a second time.
+        """
+        return [action for action in _JOURNAL_POST_APPEND
+                for fault in self.faults
+                if fault.action == action and fault.index == ordinal
+                and self._fire_once(f"{action}-{ordinal}")]
 
 
 class RunSaboteur:

@@ -1,0 +1,327 @@
+"""Durable-campaign tests: lease protocol, retry budgets, compaction
+equivalence, append-failure degradation, and migration from the
+manifest era.
+
+The subprocess-level kill/restart drill lives in
+``tests/test_campaign_chaos.py``; everything here runs in-process (so no
+``kill-worker`` faults — those take the whole interpreter down).
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.design import (Campaign, CampaignError, Design, DesignEnv,
+                          Factor, Journal, fold_records, load_snapshot,
+                          replay_journal)
+from repro.design.campaign import _LEGACY_MANIFEST, _META
+from repro.design.journal import JOURNAL_NAME, SNAPSHOT_NAME
+from repro.design.leases import claim_winner, claimable
+from repro.harness.cache import ResultCache
+from repro.harness.faults import FaultPlan
+
+TINY = 0.02
+
+
+def _design(benches=("kmeans", "streaming")):
+    return Design("camp", factors=[
+        Factor.crossed("bench", benches),
+        Factor.crossed("policy", (("rr",),)),
+    ])
+
+
+def _fingerprints(campaign):
+    return {cell.index: cell.fingerprint for cell in campaign.cells}
+
+
+class TestLeaseProtocol:
+    def test_first_live_claim_in_file_order_wins(self, tmp_path):
+        env = DesignEnv(scale=TINY)
+        campaign = Campaign.open(_design(), env, root=tmp_path / "c")
+        journal = Journal(campaign.path / JOURNAL_NAME, worker="w1")
+        journal.append("claim", cell=0, fingerprint="x", nonce="a", ttl=60)
+        Journal(campaign.path / JOURNAL_NAME, worker="w2") \
+            .append("claim", cell=0, fingerprint="x", nonce="b", ttl=60)
+        state = campaign.refresh()
+        winner = claim_winner(state.cells[0], state.beats, time.time())
+        assert winner["worker"] == "w1" and winner["nonce"] == "a"
+        # w2 may not claim cell 0, but cell 1 is free.
+        assert claimable(state, now=time.time(), worker="w2") == [1]
+        assert claimable(state, now=time.time(), worker="w1") == [0, 1]
+
+    def test_expired_lease_is_reclaimed_and_run(self, tmp_path):
+        # A worker claimed a cell and died silently: once its TTL lapses
+        # the next run() must reclaim the cell and finish the campaign.
+        env = DesignEnv(scale=TINY)
+        cache = ResultCache(tmp_path / "cache")
+        campaign = Campaign.open(_design(), env, root=tmp_path / "c")
+        dead = Journal(campaign.path / JOURNAL_NAME, worker="dead")
+        dead.append("claim", cell=0,
+                    fingerprint=campaign.cells[0].fingerprint,
+                    nonce="dead#1", ttl=0.2)
+        state = campaign.refresh()
+        assert claimable(state, now=time.time(), worker="live") == [1]
+        time.sleep(0.25)
+        report = campaign.run(cache=cache, worker_id="live")
+        assert report.ok and report.executed == 2
+        assert report.leases_reclaimed == 1
+        assert any(e["kind"] == "lease.expired" for e in report.events)
+
+    def test_release_unblocks_a_cell_immediately(self, tmp_path):
+        env = DesignEnv(scale=TINY)
+        campaign = Campaign.open(_design(), env, root=tmp_path / "c")
+        other = Journal(campaign.path / JOURNAL_NAME, worker="other")
+        other.append("claim", cell=0, fingerprint="x", nonce="n1", ttl=60)
+        state = campaign.refresh()
+        assert claimable(state, now=time.time(), worker="me") == [1]
+        other.append("release", cell=0, nonce="n1")
+        state = campaign.refresh()
+        assert claimable(state, now=time.time(), worker="me") == [0, 1]
+
+    def test_double_completion_resolves_by_first_done_record(self, tmp_path):
+        # Two workers raced one cell (an expired-but-alive holder and its
+        # reclaimer both finished): the first done record wins, the
+        # second is a counted duplicate, never an error.
+        env = DesignEnv(scale=TINY)
+        campaign = Campaign.open(_design(), env, root=tmp_path / "c")
+        fp = campaign.cells[0].fingerprint
+        Journal(campaign.path / JOURNAL_NAME, worker="w1") \
+            .append("done", cell=0, fingerprint=fp, cycles=111, ipc=1.0)
+        Journal(campaign.path / JOURNAL_NAME, worker="w2") \
+            .append("done", cell=0, fingerprint=fp, cycles=111, ipc=1.0)
+        state = campaign.refresh()
+        assert state.cells[0].status == "done"
+        assert state.cells[0].cycles == 111
+        assert state.duplicate_done == 1
+
+    def test_done_with_wrong_fingerprint_is_ignored(self, tmp_path):
+        env = DesignEnv(scale=TINY)
+        campaign = Campaign.open(_design(), env, root=tmp_path / "c")
+        Journal(campaign.path / JOURNAL_NAME, worker="stale") \
+            .append("done", cell=0, fingerprint="from-another-design",
+                    cycles=9, ipc=9.9)
+        state = campaign.refresh()
+        assert state.cells[0].status == "pending"
+        assert state.ignored_records == 1
+
+
+class TestShardedRuns:
+    def test_two_workers_split_one_campaign_in_process(self, tmp_path):
+        # Interleave two shard-mode run() calls by hand: worker A claims
+        # chunk-by-chunk, so worker B always finds work until the
+        # campaign drains; every cell ends done exactly once.
+        env = DesignEnv(scale=TINY)
+        cache = ResultCache(tmp_path / "cache")
+        design = _design(("kmeans", "streaming", "compute"))
+        a = Campaign.open(design, env, root=tmp_path / "c")
+        ra = a.run(cache=cache, worker_id="A", shard=True, claim_chunk=1)
+        b = Campaign.open(design, env, root=tmp_path / "c")
+        rb = b.run(cache=cache, worker_id="B", shard=True, claim_chunk=1)
+        assert ra.ok and rb.ok
+        assert ra.executed == 3 and rb.executed == 0 and rb.resumed == 3
+        state = b.refresh()
+        assert state.duplicate_done == 0
+
+
+class TestRetryBudget:
+    def test_max_retries_exhausts_a_persistently_failing_cell(self,
+                                                              tmp_path):
+        env = DesignEnv(scale=TINY)
+        root = tmp_path / "c"
+        state_dir = str(tmp_path / "faults")
+        # fail:0 targets batch position 0 every run; with max_retries=1
+        # the cell earns: failed (attempt 1), failed (attempt 2),
+        # exhausted.
+        first = Campaign.open(_design(), env, root=root)
+        r1 = first.run(faults=FaultPlan.parse("fail:0",
+                                              state_dir=state_dir),
+                       retries=0, max_retries=1)
+        assert r1.failed == 1 and r1.exhausted == 0
+
+        second = Campaign.open(_design(), env, root=root)
+        r2 = second.run(faults=FaultPlan.parse("fail:0",
+                                               state_dir=state_dir),
+                        retries=0, max_retries=1)
+        assert r2.failed == 0 and r2.exhausted == 1
+        assert second.counts()["exhausted"] == 1
+        assert not r2.ok
+
+        # An exhausted cell is never claimed again: no faults this time,
+        # yet nothing is dispatched for it.
+        third = Campaign.open(_design(), env, root=root)
+        r3 = third.run(max_retries=1)
+        assert r3.executed == 0 and r3.exhausted == 1
+        kinds = [r["type"] for r in
+                 replay_journal(third.path / JOURNAL_NAME).records]
+        assert "exhausted" in kinds
+
+    def test_without_cap_failed_cells_retry_forever(self, tmp_path):
+        env = DesignEnv(scale=TINY)
+        root = tmp_path / "c"
+        state_dir = str(tmp_path / "faults")
+        for _ in range(3):
+            campaign = Campaign.open(_design(), env, root=root)
+            report = campaign.run(
+                faults=FaultPlan.parse("fail:0", state_dir=state_dir),
+                retries=0)
+            assert report.failed == 1 and report.exhausted == 0
+        assert campaign.counts()["failed"] == 1
+
+
+class TestCompaction:
+    def test_snapshot_plus_tail_equals_full_journal(self, tmp_path):
+        # The mid-campaign equivalence property: fold(snapshot + journal
+        # tail) must equal fold(full journal).
+        env = DesignEnv(scale=TINY)
+        cache = ResultCache(tmp_path / "cache")
+        design = _design(("kmeans", "streaming", "compute"))
+        campaign = Campaign.open(design, env, root=tmp_path / "c")
+        # Complete two cells, keep the full journal aside, compact, then
+        # append a post-compaction record.
+        fps = _fingerprints(campaign)
+        journal = Journal(campaign.path / JOURNAL_NAME, worker="w")
+        journal.append("done", cell=0, fingerprint=fps[0], cycles=10,
+                       ipc=1.0)
+        journal.append("failed", cell=1, fingerprint=fps[1], error="x")
+        full_records = list(replay_journal(campaign.path
+                                           / JOURNAL_NAME).records)
+        assert campaign.compact()
+        tail = Journal(campaign.path / JOURNAL_NAME, worker="w")
+        tail.append("done", cell=2, fingerprint=fps[2], cycles=30, ipc=3.0)
+        tail_record = replay_journal(campaign.path / JOURNAL_NAME).records
+        full_records.extend(tail_record)
+
+        via_snapshot = fold_records(
+            tail_record, fingerprints=fps,
+            base=load_snapshot(campaign.path, campaign.digest))
+        via_full = fold_records(full_records, fingerprints=fps)
+        for index in fps:
+            a, b = via_snapshot.cells[index], via_full.cells[index]
+            assert (a.status, a.attempts, a.cycles, a.ipc, a.error) \
+                == (b.status, b.attempts, b.cycles, b.ipc, b.error)
+
+    def test_compact_truncates_journal_and_resumes(self, tmp_path):
+        env = DesignEnv(scale=TINY)
+        cache = ResultCache(tmp_path / "cache")
+        campaign = Campaign.open(_design(), env, root=tmp_path / "c")
+        campaign.run(cache=cache)
+        assert len(replay_journal(campaign.path / JOURNAL_NAME).records) > 0
+        assert campaign.compact()
+        assert replay_journal(campaign.path / JOURNAL_NAME).records == []
+        assert (campaign.path / SNAPSHOT_NAME).exists()
+        resumed = Campaign.open(_design(), env, root=tmp_path / "c")
+        report = resumed.run(cache=cache)
+        assert report.executed == 0 and report.resumed == 2
+
+    def test_compact_refuses_under_a_live_lease(self, tmp_path):
+        env = DesignEnv(scale=TINY)
+        campaign = Campaign.open(_design(), env, root=tmp_path / "c")
+        Journal(campaign.path / JOURNAL_NAME, worker="other") \
+            .append("claim", cell=0,
+                    fingerprint=campaign.cells[0].fingerprint,
+                    nonce="n", ttl=60)
+        assert campaign.compact() is False
+        assert campaign.compact(force=True) is True
+
+    def test_auto_compaction_during_run(self, tmp_path):
+        env = DesignEnv(scale=TINY)
+        cache = ResultCache(tmp_path / "cache")
+        campaign = Campaign.open(_design(), env, root=tmp_path / "c")
+        report = campaign.run(cache=cache, compact_every=1)
+        assert report.ok
+        assert any(e["kind"] == "journal.compact" for e in report.events)
+        resumed = Campaign.open(_design(), env, root=tmp_path / "c")
+        assert resumed.counts()["done"] == 2
+
+
+class TestAppendFailureDegradation:
+    def test_campaign_completes_with_warning_and_snapshot_fallback(
+            self, tmp_path):
+        env = DesignEnv(scale=TINY)
+        cache = ResultCache(tmp_path / "cache")
+        campaign = Campaign.open(_design(), env, root=tmp_path / "c")
+        plan = FaultPlan.parse("fail-append:0",
+                               state_dir=str(tmp_path / "faults"))
+        with pytest.warns(RuntimeWarning, match="not appendable"):
+            report = campaign.run(cache=cache, faults=plan)
+        assert report.ok and report.executed == 2
+        assert report.journal_append_errors > 0
+        assert any(e["kind"] == "campaign.snapshot_fallback"
+                   for e in report.events)
+        # Nothing reached the journal, but the exit snapshot preserved
+        # the outcome: a fresh invocation resumes, not re-executes.
+        assert replay_journal(campaign.path / JOURNAL_NAME).records == []
+        resumed = Campaign.open(_design(), env, root=tmp_path / "c")
+        assert resumed.counts()["done"] == 2
+        report = resumed.run(cache=cache)
+        assert report.executed == 0 and report.resumed == 2
+
+
+class TestStoreHygiene:
+    def test_legacy_manifest_is_migrated(self, tmp_path):
+        env = DesignEnv(scale=TINY)
+        campaign = Campaign.open(_design(), env, root=tmp_path / "c")
+        # Rebuild the pre-journal store shape: one manifest.json, no
+        # meta/journal.
+        manifest = {
+            "format": 1, "name": campaign.name, "digest": campaign.digest,
+            "env": campaign.env.to_payload(), "written": 0.0,
+            "cells": [{**cell.to_record(),
+                       "status": "done" if cell.index == 0 else "failed",
+                       "cycles": 42 if cell.index == 0 else None,
+                       "ipc": 1.5 if cell.index == 0 else None,
+                       "error": None if cell.index == 0 else "boom"}
+                      for cell in campaign.cells],
+        }
+        for name in (_META, JOURNAL_NAME):
+            (campaign.path / name).unlink(missing_ok=True)
+        (campaign.path / _LEGACY_MANIFEST).write_text(json.dumps(manifest))
+
+        migrated = Campaign.open(_design(), env, root=tmp_path / "c")
+        assert migrated.counts()["done"] == 1
+        assert migrated.counts()["failed"] == 1
+        assert migrated.cells[0].cycles == 42
+        assert migrated.cells[1].attempts == 1
+        assert (campaign.path / _META).exists()
+        assert not (campaign.path / _LEGACY_MANIFEST).exists()
+        assert (campaign.path / (_LEGACY_MANIFEST + ".migrated")).exists()
+
+    def test_stray_tmp_files_are_swept_on_open(self, tmp_path):
+        env = DesignEnv(scale=TINY)
+        campaign = Campaign.open(_design(), env, root=tmp_path / "c")
+        stray = campaign.path / ".tmp-meta-abandoned"
+        stray.write_text("half a manifest")
+        reopened = Campaign.open(_design(), env, root=tmp_path / "c")
+        assert reopened.path == campaign.path
+        assert not stray.exists()
+
+    def test_corrupt_meta_is_quarantined_and_rebuilt(self, tmp_path):
+        env = DesignEnv(scale=TINY)
+        campaign = Campaign.open(_design(), env, root=tmp_path / "c")
+        (campaign.path / _META).write_text("{truncated")
+        reopened = Campaign.open(_design(), env, root=tmp_path / "c")
+        assert len(reopened.cells) == 2
+        assert (campaign.path / (_META + ".corrupt")).exists()
+        assert json.loads((campaign.path / _META).read_text())["format"] == 2
+
+    def test_corrupt_meta_load_quarantines_then_raises(self, tmp_path):
+        env = DesignEnv(scale=TINY)
+        campaign = Campaign.open(_design(), env, root=tmp_path / "c")
+        (campaign.path / _META).write_text('{"format": 99}')
+        with pytest.raises(CampaignError, match="quarantined"):
+            Campaign.load(campaign.path)
+        assert (campaign.path / (_META + ".corrupt")).exists()
+
+    def test_journal_damage_is_surfaced_as_an_event(self, tmp_path):
+        env = DesignEnv(scale=TINY)
+        cache = ResultCache(tmp_path / "cache")
+        campaign = Campaign.open(_design(), env, root=tmp_path / "c")
+        campaign.run(cache=cache)
+        with open(campaign.path / JOURNAL_NAME, "ab") as handle:
+            handle.write(b'{"type": "done", "torn...')
+        resumed = Campaign.open(_design(), env, root=tmp_path / "c")
+        report = resumed.run(cache=cache)
+        assert report.resumed == 2
+        assert any(e["kind"] == "journal.damage"
+                   and e["payload"]["torn_tail"] for e in report.events)

@@ -258,7 +258,8 @@ class TestCampaign:
         campaign = Campaign.open(_tiny_design(), env, root=tmp_path / "c")
         report = campaign.run(cache=cache)
         assert report.ok and report.executed == 2 and report.resumed == 0
-        assert campaign.counts() == {"pending": 0, "done": 2, "failed": 0}
+        assert campaign.counts() == {"pending": 0, "claimed": 0, "done": 2,
+                                     "failed": 0, "exhausted": 0}
 
         again = Campaign.open(_tiny_design(), env, root=tmp_path / "c")
         assert again.path == campaign.path
@@ -266,16 +267,17 @@ class TestCampaign:
         assert report.executed == 0 and report.resumed == 2
 
     def test_interrupted_campaign_replays_from_cache(self, tmp_path):
-        # Simulate an interrupt: the batch ran (results are in the result
-        # cache) but the manifest was never updated.  The next invocation
-        # re-dispatches, and the engine replays every cell from cache.
+        # Simulate a total journal loss: the batch ran (results are in
+        # the result cache) but nothing of the durable history survives.
+        # The next invocation re-dispatches, and the engine replays every
+        # cell from cache.
         env = DesignEnv(scale=TINY)
         cache = ResultCache(tmp_path / "cache")
         first = Campaign.open(_tiny_design(), env, root=tmp_path / "c")
         first.run(cache=cache)
         hits_before = cache.hits
 
-        (first.path / "manifest.json").unlink()
+        (first.path / "journal.jsonl").unlink()
         second = Campaign.open(_tiny_design(), env, root=tmp_path / "c")
         assert second.counts()["pending"] == 2
         report = second.run(cache=cache)
@@ -292,7 +294,8 @@ class TestCampaign:
         resumed = Campaign.open(_tiny_design(), env, root=tmp_path / "c")
         report = resumed.run()
         assert report.ok and report.executed == 1 and report.resumed == 1
-        assert resumed.counts() == {"pending": 0, "done": 2, "failed": 0}
+        assert resumed.counts() == {"pending": 0, "claimed": 0, "done": 2,
+                                    "failed": 0, "exhausted": 0}
 
     def test_changed_design_gets_fresh_manifest(self, tmp_path):
         env = DesignEnv(scale=TINY)

@@ -76,6 +76,36 @@ class TestFaultPlanParsing:
             plan.before_execute(1)
         plan.before_execute(1)   # flaky fires once, then passes
 
+    def test_parse_campaign_grade_actions(self, tmp_path):
+        plan = _plan("kill-worker:3,torn-tail:1;corrupt-journal:2,"
+                     "stall-heartbeat:0,fail-append:4", tmp_path)
+        assert [f.action for f in plan.faults] == [
+            "kill-worker", "torn-tail", "corrupt-journal",
+            "stall-heartbeat", "fail-append"]
+        assert plan.stall_heartbeats()
+
+    def test_campaign_actions_do_not_touch_job_paths(self, tmp_path):
+        # Journal-layer faults are addressed by append ordinal; the job
+        # paths (before_execute, cache corruption, saboteurs) must
+        # ignore them entirely.
+        plan = _plan("kill-worker:0,fail-append:0,torn-tail:0", tmp_path)
+        plan.before_execute(0)                      # no raise, no exit
+        assert plan.corrupt_cache(0) is False
+        assert plan.run_saboteur(0) is None
+
+    def test_fail_append_is_persistent_from_its_ordinal(self, tmp_path):
+        plan = _plan("fail-append:2", tmp_path)
+        assert [plan.journal_fail_append(i) for i in range(4)] \
+            == [False, False, True, True]
+        assert not _plan("flaky:0", tmp_path).journal_fail_append(5)
+
+    def test_journal_post_append_fires_once_per_ordinal(self, tmp_path):
+        plan = _plan("torn-tail:1,corrupt-journal:1", tmp_path)
+        assert plan.journal_post_append(0) == []
+        assert plan.journal_post_append(1) == ["torn-tail",
+                                               "corrupt-journal"]
+        assert plan.journal_post_append(1) == []   # marker files: once
+
 
 # --------------------------------------------------------------------------- #
 # fault isolation + retry (inline path)
