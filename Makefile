@@ -5,7 +5,8 @@ PYTEST  = PYTHONPATH=src $(PY) -m pytest
 
 .PHONY: test lint bench bench-smoke bench-engine bench-core \
 	bench-core-check fault-smoke resume-smoke design-smoke \
-	campaign-chaos-smoke clean-cache clean-state verify-smoke verify-full \
+	campaign-chaos-smoke service-smoke service-chaos-smoke \
+	clean-cache clean-state verify-smoke verify-full \
 	goldens table-goldens
 
 test:            ## tier-1 test suite
@@ -116,6 +117,60 @@ campaign-chaos-smoke: ## durable-campaign drill: kill/restart 2 shards until bit
 	rm -rf .repro-chaos; \
 	echo "campaign-chaos-smoke: ok (killed workers reclaimed;" \
 	     "results bitwise-identical to the unfaulted run)"
+
+SERVE  = PYTHONPATH=src $(PY) -m repro.service.daemon
+SUBMIT = PYTHONPATH=src $(PY) -m repro.service.client
+
+service-smoke:   ## service drill: daemon + 2 clients, SIGTERM mid-flight, restart, bitwise convergence
+	@rm -rf .repro-service-smoke; mkdir -p .repro-service-smoke; \
+	root="$$(pwd)/.repro-service-smoke"; \
+	fail() { echo "service-smoke: $$1 (state kept under" \
+	         ".repro-service-smoke/ — journal.jsonl + daemon.log)"; \
+	         sed -n '1,50p' "$$root/daemon.log" 2>/dev/null; exit 1; }; \
+	$(SERVE) --state-dir "$$root/state" --cache-dir "$$root/cache" \
+		--workers 2 >>"$$root/daemon.log" 2>&1 & pid=$$!; \
+	i=0; until [ -S "$$root/state/serve.sock" ]; do \
+		i=$$((i+1)); [ $$i -gt 150 ] && fail "daemon never bound"; \
+		sleep 0.1; done; \
+	$(SUBMIT) examples/lcs_threshold.toml --socket "$$root/state/serve.sock" \
+		--scale 0.02 --tenant alice >"$$root/alice1.out" 2>&1 & c1=$$!; \
+	$(SUBMIT) examples/lcs_threshold.toml --socket "$$root/state/serve.sock" \
+		--scale 0.02 --tenant bob >"$$root/bob1.out" 2>&1 & c2=$$!; \
+	sleep 1.2; kill -TERM $$pid; \
+	wait $$pid || fail "SIGTERM drain exited nonzero"; \
+	wait $$c1 2>/dev/null; wait $$c2 2>/dev/null; \
+	$(SERVE) --state-dir "$$root/state" --cache-dir "$$root/cache" \
+		--workers 2 >>"$$root/daemon.log" 2>&1 & pid=$$!; \
+	i=0; until [ -S "$$root/state/serve.sock" ]; do \
+		i=$$((i+1)); [ $$i -gt 150 ] && fail "restarted daemon never bound"; \
+		sleep 0.1; done; \
+	$(SUBMIT) examples/lcs_threshold.toml --socket "$$root/state/serve.sock" \
+		--scale 0.02 --tenant alice >"$$root/alice2.out" 2>&1 \
+		|| fail "alice resubmit after restart failed"; \
+	$(SUBMIT) examples/lcs_threshold.toml --socket "$$root/state/serve.sock" \
+		--scale 0.02 --tenant bob >"$$root/bob2.out" 2>&1 \
+		|| fail "bob resubmit after restart failed"; \
+	grep -c "cycles=" "$$root/alice2.out" | grep -qx 7 \
+		|| fail "alice did not converge to 7 done cells"; \
+	grep "cycles=" "$$root/alice2.out" >"$$root/alice2.rows"; \
+	grep "cycles=" "$$root/bob2.out" >"$$root/bob2.rows"; \
+	cmp -s "$$root/alice2.rows" "$$root/bob2.rows" \
+		|| fail "alice and bob results diverge"; \
+	$(SUBMIT) --socket "$$root/state/serve.sock" --drain >/dev/null 2>&1; \
+	wait $$pid || fail "final drain exited nonzero"; \
+	rm -rf .repro-service-smoke; \
+	echo "service-smoke: ok (SIGTERM mid-flight drained clean; restart" \
+	     "recovered the queue; both clients bitwise-converged)"
+
+service-chaos-smoke: ## service chaos drill: daemon SIGKILLs, worker wedge, socket drops, 2 clients
+	@rm -rf .repro-service-chaos; \
+	PYTHONPATH=src $(PY) -m repro.design.chaos examples/lcs_threshold.toml \
+		--service --scale 0.02 --seed 7 --root .repro-service-chaos \
+		|| { echo "service-chaos-smoke: drill failed; journal +" \
+		     "daemon.log kept under .repro-service-chaos/"; exit 1; }; \
+	rm -rf .repro-service-chaos; \
+	echo "service-chaos-smoke: ok (daemon killed/restarted; every job" \
+	     "exactly-once; poison quarantined; drain clean; bitwise-identical)"
 
 table-goldens:   ## regenerate goldens/tables/*.csv after intended changes
 	PYTHONPATH=src $(PY) -m repro.verify.tables --update

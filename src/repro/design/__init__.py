@@ -14,8 +14,8 @@ compiled fingerprints.  See docs/DESIGNS.md and docs/ROBUSTNESS.md.
 """
 
 from .campaign import (DEFAULT_CAMPAIGN_ROOT, DEFAULT_COMPACT_EVERY,
-                       Campaign, CampaignCell, CampaignError, CampaignReport,
-                       default_worker_id)
+                       TTL_JITTER_FRAC, Campaign, CampaignCell, CampaignError,
+                       CampaignReport, default_worker_id, worker_ttl_jitter)
 from .design import (RESERVED, Block, CompiledCell, Design, DesignError,
                      Factor, Override)
 from .env import DesignEnv, build_job
@@ -30,6 +30,7 @@ from .leases import (DEFAULT_LEASE_TTL, CampaignState, CellState,
 __all__ = [
     "DEFAULT_CAMPAIGN_ROOT", "DEFAULT_COMPACT_EVERY", "DEFAULT_LEASE_TTL",
     "ENV_KEYS", "JOURNAL_NAME", "NONE_SENTINEL", "RESERVED", "SNAPSHOT_NAME",
+    "TTL_JITTER_FRAC", "worker_ttl_jitter",
     "Block", "Campaign", "CampaignCell", "CampaignError", "CampaignReport",
     "CampaignState", "CellState", "CompiledCell", "Design", "DesignEnv",
     "DesignError", "Factor", "Journal", "JournalReplay", "Override",

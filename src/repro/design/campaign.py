@@ -36,6 +36,7 @@ the campaign restarts from the design, never crashes.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import socket
@@ -77,6 +78,14 @@ DEFAULT_COMPACT_EVERY = 512
 #: A compact.lock older than this is a crashed compactor: break it.
 _LOCK_STALE_SECONDS = 60.0
 
+#: Per-worker lease-TTL jitter span, as a fraction of the base TTL.
+#: Each worker's effective TTL is ``ttl * (1 + frac * jitter)`` with
+#: ``jitter`` deterministic in [0, 1) from the worker id — so N workers
+#: whose leases all expired in one crash do not stampede the reclaim in
+#: lockstep: their expiry (and heartbeat) clocks are spread over a
+#: quarter-TTL window instead of firing at the same instant.
+TTL_JITTER_FRAC = 0.25
+
 
 class CampaignError(RuntimeError):
     """A campaign store is unusable (corrupt, wrong format, no meta)."""
@@ -85,6 +94,17 @@ class CampaignError(RuntimeError):
 def default_worker_id() -> str:
     """Host + pid: unique among workers sharing a filesystem."""
     return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def worker_ttl_jitter(worker_id: str) -> float:
+    """A deterministic jitter fraction in ``[0, 1)`` for one worker id.
+
+    Hash-derived, not random: the same worker always computes the same
+    effective TTL, so lease arbitration stays reproducible while
+    *different* workers are still decorrelated.
+    """
+    digest = hashlib.sha256(worker_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") / 2**32
 
 
 @dataclass
@@ -162,7 +182,15 @@ class CampaignReport:
 
 
 class _Heartbeat(threading.Thread):
-    """Appends heartbeat records while a batch runs (lease keep-alive)."""
+    """Appends heartbeat records while the worker runs (lease keep-alive).
+
+    One thread per :meth:`Campaign.run` invocation, started before the
+    first claim and stopped — *joined*, never leaked — in a ``finally``
+    that covers claims and batches alike, so a worker that raises while
+    claiming (a corrupt store, an injected fault) or dies mid-cell does
+    not leave a zombie thread appending heartbeats for leases it no
+    longer defends.
+    """
 
     def __init__(self, journal: Journal, interval: float) -> None:
         super().__init__(name="campaign-heartbeat", daemon=True)
@@ -176,7 +204,8 @@ class _Heartbeat(threading.Thread):
 
     def stop(self) -> None:
         self._halt.set()
-        self.join(timeout=5.0)
+        if self.is_alive() or self.ident is not None:
+            self.join(timeout=5.0)
 
 
 @dataclass
@@ -414,80 +443,92 @@ class Campaign:
         stall = faults is not None and faults.stall_heartbeats()
         failed_this_run: set[int] = set()
 
-        while True:
-            if self._note_exhausted(journal, state, max_retries, event):
-                state = self.refresh()
-            now = time.time()
-            todo = claimable(state, now=now, worker=worker_id,
-                             max_retries=max_retries,
-                             exclude=failed_this_run)
-            if not todo:
-                break
-            if shard:
-                todo = todo[:max(claim_chunk or workers, 1)]
-            for index in todo:
-                if state.cells[index].claims:
-                    report.leases_reclaimed += 1
-                    event("lease.expired", cell=index,
-                          holder=state.cells[index].claims[0].get("worker"))
-            claimed = self._claim(journal, todo, worker_id, lease_ttl,
-                                  report, event)
-            if not claimed:
-                state = self.refresh()
-                continue
+        # Deterministic per-worker lease jitter: spread expiry/heartbeat
+        # clocks so N workers never stampede expired leases in lockstep.
+        lease_ttl = lease_ttl * (1.0 + TTL_JITTER_FRAC
+                                 * worker_ttl_jitter(worker_id))
 
-            jobs = [SimJob.from_payload(self.cells[index].job)
-                    for index in claimed]
-            heart = None
-            if not stall:
-                heart = _Heartbeat(journal,
-                                   interval=max(lease_ttl / 3.0, 0.2))
-                heart.start()
-            elif faults is not None:
-                event("heartbeat.stalled", worker=worker_id)
+        # One heartbeat thread for the whole invocation, covering claims
+        # as well as batches, torn down in the finally below no matter
+        # where the loop raises — a heartbeat must never outlive its run.
+        heart = None
+        if not stall:
+            heart = _Heartbeat(journal, interval=max(lease_ttl / 3.0, 0.2))
+            heart.start()
+        elif faults is not None:
+            event("heartbeat.stalled", worker=worker_id)
 
-            def on_outcome(outcome, _cells=claimed):
-                index = _cells[outcome.index]
-                cell = self.cells[index]
-                if outcome.result is not None:
-                    journal.append("done", cell=index,
-                                   fingerprint=cell.fingerprint,
-                                   cycles=outcome.result.cycles,
-                                   ipc=outcome.result.ipc)
-                    event("cell.done", cell=index, status=outcome.status)
-                elif outcome.status == "skipped":
-                    journal.append("release", cell=index)
-                    event("lease.released", cell=index)
-                else:
-                    error = outcome.error or outcome.status
-                    journal.append(
-                        "failed", cell=index, fingerprint=cell.fingerprint,
-                        error=(error.splitlines()[0][:200] if error
-                               else None))
-                    event("cell.failed", cell=index, status=outcome.status)
+        try:
+            while True:
+                if self._note_exhausted(journal, state, max_retries, event):
+                    state = self.refresh()
+                now = time.time()
+                todo = claimable(state, now=now, worker=worker_id,
+                                 max_retries=max_retries,
+                                 exclude=failed_this_run)
+                if not todo:
+                    break
+                if shard:
+                    todo = todo[:max(claim_chunk or workers, 1)]
+                for index in todo:
+                    if state.cells[index].claims:
+                        report.leases_reclaimed += 1
+                        event("lease.expired", cell=index,
+                              holder=state.cells[index].claims[0]
+                              .get("worker"))
+                claimed = self._claim(journal, todo, worker_id, lease_ttl,
+                                      report, event)
+                if not claimed:
+                    state = self.refresh()
+                    continue
 
-            offset = time.monotonic() - started
-            try:
+                jobs = [SimJob.from_payload(self.cells[index].job)
+                        for index in claimed]
+
+                def on_outcome(outcome, _cells=claimed):
+                    index = _cells[outcome.index]
+                    cell = self.cells[index]
+                    if outcome.result is not None:
+                        journal.append("done", cell=index,
+                                       fingerprint=cell.fingerprint,
+                                       cycles=outcome.result.cycles,
+                                       ipc=outcome.result.ipc)
+                        event("cell.done", cell=index, status=outcome.status)
+                    elif outcome.status == "skipped":
+                        journal.append("release", cell=index)
+                        event("lease.released", cell=index)
+                    else:
+                        error = outcome.error or outcome.status
+                        journal.append(
+                            "failed", cell=index,
+                            fingerprint=cell.fingerprint,
+                            error=(error.splitlines()[0][:200] if error
+                                   else None))
+                        event("cell.failed", cell=index,
+                              status=outcome.status)
+
+                offset = time.monotonic() - started
                 batch = run_batch(jobs, workers=workers, cache=cache,
                                   retries=retries, timeout=timeout,
                                   fail_fast=fail_fast, faults=faults,
                                   sanitize=sanitize, checkpoints=checkpoints,
                                   progress=progress, on_outcome=on_outcome)
-            finally:
-                if heart is not None:
-                    heart.stop()
-            report.batches.append(batch)
-            report.batch_offsets.append(offset)
-            report.executed += len(claimed)
-            for outcome in batch.outcomes:
-                if outcome.result is None and outcome.status != "skipped":
-                    failed_this_run.add(claimed[outcome.index])
-            state = self.refresh()
-            if self._journal_records >= compact_every:
-                self.compact(event=event)
+                report.batches.append(batch)
+                report.batch_offsets.append(offset)
+                report.executed += len(claimed)
+                for outcome in batch.outcomes:
+                    if outcome.result is None \
+                            and outcome.status != "skipped":
+                        failed_this_run.add(claimed[outcome.index])
                 state = self.refresh()
-            if fail_fast and failed_this_run:
-                break
+                if self._journal_records >= compact_every:
+                    self.compact(event=event)
+                    state = self.refresh()
+                if fail_fast and failed_this_run:
+                    break
+        finally:
+            if heart is not None:
+                heart.stop()
 
         if self._note_exhausted(journal, state, max_retries, event):
             pass

@@ -32,6 +32,7 @@ and a per-worker subprocess timeout.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import random
 import subprocess
@@ -43,9 +44,11 @@ from typing import Sequence
 
 from ..harness.cache import ResultCache
 from ..harness.faults import ENV_SPEC, ENV_STATE, KILL_EXIT_CODE
+from ..harness.jobs import SimJob
 from .campaign import Campaign
 from .env import DesignEnv
 from .files import load_design
+from .journal import replay_journal
 from .leases import DONE
 
 #: Where a chaos drill keeps its stores unless told otherwise.
@@ -243,11 +246,360 @@ def run_chaos(design_path: str | Path, *, shards: int = 2,
     return report
 
 
+# --------------------------------------------------------------------------- #
+# Service chaos: the same contract, one level up the stack
+# --------------------------------------------------------------------------- #
+
+#: Where the service drill keeps its state unless told otherwise.
+DEFAULT_SERVICE_CHAOS_ROOT = ".repro-service-chaos"
+
+#: Overall wall-clock bound on one service drill.
+SERVICE_DRILL_TIMEOUT = 300.0
+
+#: Seed offset that makes the poison job's fingerprint distinct from
+#: every real cell (same benchmark, an otherwise-unused seed).
+_POISON_SEED = 99991
+
+
+@dataclass
+class ServiceChaosReport:
+    """What one service drill did and whether ``repro-serve`` survived."""
+
+    incarnations: int = 0          # daemon processes started
+    daemon_kills: int = 0          # SIGKILLs delivered to the daemon
+    worker_kill_faults: int = 0    # injected in-worker kill points
+    converged: bool = False        # every design cell reached ``done``
+    identical: bool = False        # cache table == fault-free reference
+    exactly_once: bool = False     # one terminal record per accepted job
+    poison_quarantined: bool = False
+    drain_clean: bool = False      # final SIGTERM drain exited 0
+    shed_seen: bool = False        # admission.shed in the event journal
+    breaker_seen: bool = False     # breaker.open in the event journal
+    counts: dict[str, int] = field(default_factory=dict)
+    mismatches: list[str] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return (self.converged and self.identical and self.exactly_once
+                and self.poison_quarantined and self.drain_clean
+                and self.shed_seen and self.breaker_seen)
+
+    def summary_line(self) -> str:
+        verdict = "OK" if self.ok else "FAILED"
+        flags = [name for name, value in (
+            ("converged", self.converged), ("identical", self.identical),
+            ("exactly-once", self.exactly_once),
+            ("poison-quarantined", self.poison_quarantined),
+            ("drain-clean", self.drain_clean), ("shed", self.shed_seen),
+            ("breaker", self.breaker_seen)) if not value]
+        text = (f"service chaos {verdict}: {self.incarnations} daemon "
+                f"incarnation(s), {self.daemon_kills} daemon kill(s), "
+                f"{self.worker_kill_faults} worker kill fault(s), "
+                f"counts={self.counts}")
+        if flags:
+            text += f"; failed checks: {', '.join(flags)}"
+        if self.mismatches:
+            text += f"; first mismatch: {self.mismatches[0]}"
+        return text
+
+
+def run_service_chaos(design_path: str | Path, *, daemon_kills: int = 2,
+                      seed: int = 7,
+                      root: str | Path = DEFAULT_SERVICE_CHAOS_ROOT,
+                      scale: float = 0.02, workers: int = 2,
+                      queue_depth: int = 3, breaker_threshold: int = 2,
+                      hb_timeout: float = 1.5,
+                      kill_window: tuple[float, float] = (1.5, 3.5),
+                      ) -> ServiceChaosReport:
+    """SIGKILL/restart drill against a live ``repro-serve`` daemon.
+
+    The service analogue of :func:`run_chaos`: a fault-free in-process
+    run of the design is the reference; then a daemon is started with a
+    poison job wedging at dispatch ordinal 0, in-worker ``kill:K``
+    faults on seeded ordinals, a seeded daemon-side ``socket-drop``, a
+    tight queue bound (so concurrent clients *must* get shed), and two
+    concurrent client threads submitting the same design under
+    different tenants.  The daemon is SIGKILLed and restarted
+    ``daemon_kills`` times mid-flight, then SIGTERM-drained.  The drill
+    passes only if every accepted job reached exactly one terminal
+    state, every design cell's cached result is bitwise-identical to
+    the reference, the poison job was quarantined by the circuit
+    breaker (never stalling the real cells), sheds and the breaker
+    opening are visible in the durable event journal, and the final
+    drain exited 0.
+    """
+    import threading
+
+    from ..service.client import ServiceClient, ServiceError
+    from ..service.protocol import QUARANTINED, QUEUED, TERMINAL, job_id
+
+    started = time.monotonic()
+    deadline = started + SERVICE_DRILL_TIMEOUT
+    design_file = Path(design_path).resolve()
+    design, overrides = load_design(design_file)
+    env = _design_env(overrides, scale)
+    rng = random.Random(seed)
+    report = ServiceChaosReport()
+
+    workdir = Path(root)
+    state_dir = workdir / "state"
+    cache_dir = workdir / "cache"
+    faults_state = workdir / "faults-state"
+    sock = state_dir / "serve.sock"
+    log_path = workdir / "daemon.log"
+    for directory in (workdir, faults_state):
+        directory.mkdir(parents=True, exist_ok=True)
+
+    cells = design.compile(env)
+    digest = design.digest(env)
+
+    # Ground truth: the same jobs, in process, no service, no faults.
+    ref_lines = {}
+    for cell in cells:
+        result = cell.job.execute()
+        ref_lines[cell.label] = f"{cell.label},{result.cycles},{result.ipc!r}"
+
+    # The poison job: first submission (dispatch ordinal 0), a
+    # fingerprint no real cell shares, wedged on *every* attempt.
+    poison_job = SimJob.from_payload(
+        {**cells[0].job.to_payload(), "seed": _POISON_SEED})
+    poison_id = "poison:0"
+
+    # Fault plan, shared by every daemon incarnation (marker files in
+    # ``faults_state`` keep once-semantics across restarts): the wedge,
+    # one in-worker SIGKILL per seeded ordinal, one dropped socket frame.
+    kill_ordinals = rng.sample(range(1, len(cells) + 1),
+                               k=min(2, len(cells)))
+    report.worker_kill_faults = len(kill_ordinals)
+    spec = ",".join(["worker-wedge:0"]
+                    + [f"kill:{ordinal}" for ordinal in kill_ordinals]
+                    + [f"socket-drop:{rng.randint(3, 9)}"])
+
+    def start_daemon() -> subprocess.Popen:
+        report.incarnations += 1
+        trace = workdir / f"trace-{report.incarnations}.json"
+        command = [sys.executable, "-m", "repro.service.daemon",
+                   "--state-dir", str(state_dir),
+                   "--cache-dir", str(cache_dir),
+                   "--socket", str(sock),
+                   "--workers", str(workers),
+                   "--queue-depth", str(queue_depth),
+                   "--breaker-threshold", str(breaker_threshold),
+                   "--hb-timeout", str(hb_timeout),
+                   "--drain-grace", "30",
+                   "--trace", str(trace)]
+        env_vars = dict(os.environ)
+        src_dir = str(Path(__file__).resolve().parents[2])
+        env_vars["PYTHONPATH"] = (src_dir + os.pathsep
+                                  + env_vars.get("PYTHONPATH", ""))
+        env_vars[ENV_SPEC] = spec
+        env_vars[ENV_STATE] = str(faults_state)
+        with open(log_path, "ab") as log:
+            return subprocess.Popen(command, env=env_vars, stdout=log,
+                                    stderr=log)
+
+    def new_client(**kwargs) -> "ServiceClient":
+        from ..harness.engine import Backoff
+        return ServiceClient(sock, connect_attempts=25,
+                             backoff=Backoff(base=0.2, cap=1.0), **kwargs)
+
+    give_up = threading.Event()
+    client_results: dict[str, dict[str, dict]] = {}
+    client_errors: list[str] = []
+
+    def client_loop(tenant: str) -> None:
+        """Submit every cell and watch to terminal, riding out daemon
+        kills, sheds and dropped frames; idempotent ids do the rest."""
+        pending = {job_id(digest, cell.index): cell.job.to_payload()
+                   for cell in cells}
+        terminal: dict[str, dict] = {}
+        while pending and not give_up.is_set():
+            client = new_client()
+            try:
+                for cid, payload in list(pending.items()):
+                    response = client.submit(cid, payload, tenant=tenant,
+                                             shed_retries=50)
+                    state = response.get("state")
+                    if state in TERMINAL:
+                        terminal[cid] = response
+                        del pending[cid]
+                if pending:
+                    for cid, frame in client.watch(list(pending)).items():
+                        if frame.get("state") in TERMINAL:
+                            terminal[cid] = frame
+                            pending.pop(cid, None)
+            except (ServiceError, OSError, ValueError) as error:
+                client_errors.append(f"{tenant}: {error}")
+                time.sleep(0.3)
+            finally:
+                client.close()
+        client_results[tenant] = terminal
+
+    daemon = start_daemon()
+    threads: list[threading.Thread] = []
+    try:
+        # Poison goes in first so it owns dispatch ordinal 0 (the
+        # ordinal is journaled with the submit, so it survives every
+        # restart and the wedge fault keeps firing on re-dispatch).
+        poison_client = new_client()
+        try:
+            response = poison_client.submit(poison_id,
+                                            poison_job.to_payload(),
+                                            tenant="poison")
+            if response.get("state") not in (QUEUED, QUARANTINED):
+                report.mismatches.append(
+                    f"poison submit answered {response!r}")
+        finally:
+            poison_client.close()
+
+        threads = [threading.Thread(target=client_loop, args=(tenant,),
+                                    name=f"chaos-client-{tenant}",
+                                    daemon=True)
+                   for tenant in ("alice", "bob")]
+        for thread in threads:
+            thread.start()
+
+        for _ in range(daemon_kills):
+            time.sleep(rng.uniform(*kill_window))
+            daemon.kill()                       # SIGKILL: no goodbyes
+            daemon.wait()
+            report.daemon_kills += 1
+            time.sleep(0.3)
+            daemon = start_daemon()
+
+        for thread in threads:
+            thread.join(timeout=max(deadline - time.monotonic(), 1.0))
+        if any(thread.is_alive() for thread in threads):
+            give_up.set()
+            report.mismatches.append("client thread(s) still waiting at "
+                                     "the drill deadline")
+
+        # The poison job must reach quarantine without our help (the
+        # journal re-queues it across restarts); poll, bounded.
+        while time.monotonic() < deadline:
+            try:
+                status_client = new_client()
+                try:
+                    state = status_client.result(poison_id).get("state")
+                finally:
+                    status_client.close()
+            except (ServiceError, OSError, ValueError):
+                state = None
+            if state == QUARANTINED:
+                break
+            time.sleep(0.5)
+
+        # Graceful drain: SIGTERM, exit 0, snapshot written.
+        daemon.terminate()
+        try:
+            report.drain_clean = daemon.wait(timeout=60.0) == 0
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            daemon.wait()
+            report.mismatches.append("daemon ignored SIGTERM for 60s")
+    finally:
+        give_up.set()
+        if daemon.poll() is None:   # pragma: no cover - cleanup path
+            daemon.kill()
+            daemon.wait()
+
+    # ---------------- offline audit: the journal is the truth ---------- #
+    replay = replay_journal(state_dir / "journal.jsonl")
+    submits: dict[str, int] = {}
+    terminals: dict[str, list[str]] = {}
+    for record in replay.records:
+        kind, rid = record.get("type"), record.get("id")
+        if kind == "submit":
+            submits[rid] = int(record.get("ordinal") or 0)
+        elif kind in ("done", "failed", "quarantined"):
+            terminals.setdefault(rid, []).append(kind)
+
+    missing = [rid for rid in submits if rid not in terminals]
+    doubled = {rid: kinds for rid, kinds in terminals.items()
+               if len(kinds) > 1}
+    report.exactly_once = not missing and not doubled
+    if missing:
+        report.mismatches.append(f"accepted without terminal state: "
+                                 f"{sorted(missing)}")
+    if doubled:
+        report.mismatches.append(f"multiple terminal records: {doubled}")
+    report.poison_quarantined = terminals.get(poison_id) == ["quarantined"]
+    if submits.get(poison_id) != 0:
+        report.mismatches.append(
+            f"poison job got ordinal {submits.get(poison_id)!r}, not 0")
+        report.poison_quarantined = False
+
+    design_ids = {job_id(digest, cell.index): cell for cell in cells}
+    done_ids = {rid for rid, kinds in terminals.items()
+                if kinds and kinds[0] == "done"}
+    report.converged = set(design_ids) <= done_ids
+    report.counts = {"done": len(done_ids & set(design_ids)),
+                     "cells": len(design_ids),
+                     "accepted": len(submits)}
+    if not report.converged:
+        stuck = sorted(set(design_ids) - done_ids)
+        report.mismatches.append(f"design cells not done: {stuck}")
+
+    cache = ResultCache(cache_dir)
+    report.identical = True
+    for cid, cell in sorted(design_ids.items(),
+                            key=lambda item: item[1].index):
+        result = cache.get(cell.job.fingerprint())
+        if result is None:
+            report.identical = False
+            report.mismatches.append(f"no cached result for {cell.label}")
+            continue
+        got = f"{cell.label},{result.cycles},{result.ipc!r}"
+        if got != ref_lines[cell.label]:
+            report.identical = False
+            report.mismatches.append(f"expected {ref_lines[cell.label]!r}, "
+                                     f"got {got!r}")
+
+    kinds_seen = {record.get("kind")
+                  for record in replay_journal(
+                      state_dir / "events.jsonl").records
+                  if record.get("type") == "event"}
+    report.shed_seen = "admission.shed" in kinds_seen
+    report.breaker_seen = "breaker.open" in kinds_seen
+    if not report.shed_seen:
+        report.mismatches.append("no admission.shed event was journaled")
+    if not report.breaker_seen:
+        report.mismatches.append("breaker.open never appeared in events")
+
+    # The drained incarnation also wrote its trace lane; it must parse.
+    trace_file = workdir / f"trace-{report.incarnations}.json"
+    if report.drain_clean:
+        try:
+            json.loads(trace_file.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            report.drain_clean = False
+            report.mismatches.append(f"drained incarnation's trace is "
+                                     f"unusable: {error}")
+
+    report.elapsed = time.monotonic() - started
+    return report
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.design.chaos",
-        description="Kill/restart chaos drill for durable campaigns.")
+        description="Kill/restart chaos drills: durable campaigns "
+                    "(default) or the repro-serve daemon (--service).")
     parser.add_argument("design", help="design file to drill (TOML/JSON)")
+    parser.add_argument("--service", action="store_true",
+                        help="drill the scheduler daemon instead of the "
+                             "campaign store (daemon SIGKILLs, worker "
+                             "kills, a wedged poison job, socket drops, "
+                             "concurrent clients)")
+    parser.add_argument("--daemon-kills", type=int, default=2,
+                        help="[--service] SIGKILL/restart cycles "
+                             "(default 2)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="[--service] supervised pool size (default 2)")
+    parser.add_argument("--queue-depth", type=int, default=3,
+                        help="[--service] admission bound; small enough "
+                             "that the clients get shed (default 3)")
     parser.add_argument("--shards", type=int, default=2,
                         help="concurrent worker processes per round "
                              "(default 2)")
@@ -270,6 +622,18 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="worker lease TTL in seconds "
                              f"(default {DEFAULT_CHAOS_TTL:g})")
     args = parser.parse_args(argv)
+    if args.service:
+        service_report = run_service_chaos(
+            args.design, daemon_kills=args.daemon_kills, seed=args.seed,
+            root=args.root if args.root != DEFAULT_CHAOS_ROOT
+            else DEFAULT_SERVICE_CHAOS_ROOT,
+            scale=args.scale, workers=args.workers,
+            queue_depth=args.queue_depth)
+        print(service_report.summary_line())
+        print(f"[service chaos: {service_report.elapsed:.1f}s, state under "
+              f"{args.root if args.root != DEFAULT_CHAOS_ROOT else DEFAULT_SERVICE_CHAOS_ROOT}/]",
+              file=sys.stderr)
+        return 0 if service_report.ok else 1
     report = run_chaos(args.design, shards=args.shards,
                        min_kills=args.min_kills, max_rounds=args.max_rounds,
                        seed=args.seed, root=args.root, scale=args.scale,

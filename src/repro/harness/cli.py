@@ -70,6 +70,7 @@ from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .checkpoints import (DEFAULT_CHECKPOINT_DIR, CheckpointPlan,
                           CheckpointStore)
 from .engine import (DEFAULT_RETRIES, JobExecutionError, default_workers)
+from .exit_codes import (EXIT_EXHAUSTED, EXIT_OK, EXIT_PARTIAL)
 from .experiments import (EXPERIMENT_DESIGNS, EXPERIMENTS, ExperimentContext,
                           design_cell_counts, e12_benchmark_table,
                           e12_config_table, plan_experiments)
@@ -285,6 +286,12 @@ def _run_design_campaign(args: argparse.Namespace, workers: int,
     ``done`` cells entirely, replays interrupted cells from the result
     cache, and with ``--shard`` any number of concurrent invocations
     drain the campaign together under lease-based claiming.
+
+    Exit codes are the uniform service vocabulary
+    (:mod:`repro.harness.exit_codes`): 0 every cell done, 1 partial
+    (failed cells — a re-invocation retries them), 2 usage error,
+    3 at least one cell exhausted its retry budget (terminal; re-running
+    cannot finish the campaign).
     """
     try:
         design, env_overrides = load_design(args.design)
@@ -365,7 +372,12 @@ def _run_design_campaign(args: argparse.Namespace, workers: int,
         footer += (f", cache: {cache.write_errors} write error(s), "
                    f"{cache.corrupt_entries} corrupt quarantined")
     print(footer + f" -> {campaign.path}/]", file=sys.stderr)
-    return 0 if report.ok else 1
+    # Uniform exit codes (shared with repro-submit; see
+    # repro.harness.exit_codes): exhausted cells are terminal — re-running
+    # cannot finish the campaign — and outrank plain failures.
+    if report.exhausted:
+        return EXIT_EXHAUSTED
+    return EXIT_OK if report.ok else EXIT_PARTIAL
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -93,6 +93,23 @@ TRANSIENT_EXCEPTIONS = (OSError, EOFError, MemoryError)
 _WAIT_TICK = 0.1
 
 
+@dataclass(frozen=True)
+class Backoff:
+    """Exponential backoff schedule shared by every retry loop.
+
+    The engine's transient-failure retries, the service supervisor's
+    worker respawns and the service client's reconnects all pace
+    themselves with this one policy: ``delay(attempt)`` for attempt
+    ``n >= 1`` is ``base * 2**(n-1)``, capped at ``cap`` seconds.
+    """
+
+    base: float = DEFAULT_BACKOFF
+    cap: float = 30.0
+
+    def delay(self, attempt: int) -> float:
+        return min(self.base * (2 ** (max(attempt, 1) - 1)), self.cap)
+
+
 class JobExecutionError(RuntimeError):
     """A job failed inside a worker (or the inline path)."""
 
@@ -224,11 +241,18 @@ class BatchReport:
 # worker entry point
 # --------------------------------------------------------------------------- #
 
-def _execute_tagged(index: int, job: SimJob, faults: FaultPlan | None,
-                    wall_timeout: float | None, inline: bool = False,
-                    sanitize: bool | None = None,
-                    checkpoints: CheckpointPlan | None = None):
+def execute_tagged(index: int, job: SimJob, faults: FaultPlan | None,
+                   wall_timeout: float | None, inline: bool = False,
+                   sanitize: bool | None = None,
+                   checkpoints: CheckpointPlan | None = None):
     """Worker entry point: never raises, returns a tagged outcome.
+
+    This is the dispatch core every execution surface shares: the pool
+    workers below, the inline fallback, and the ``repro-serve`` service
+    worker (:mod:`repro.service.worker`) all run jobs through this one
+    function, so fault injection, timeout typing, checkpoint resume and
+    transient-vs-deterministic classification behave identically whether
+    a job came from a one-shot batch or the scheduler daemon.
 
     Tags: ``("ok", index, result, meta)``, ``("timeout", index, message,
     progress)`` or ``("err", index, message, traceback_text, transient)``.
@@ -279,6 +303,10 @@ def _execute_tagged(index: int, job: SimJob, faults: FaultPlan | None,
         import traceback
         return ("err", index, f"{type(error).__name__}: {error}",
                 traceback.format_exc(), False)
+
+
+#: Backwards-compatible alias (the pool pickles this by qualified name).
+_execute_tagged = execute_tagged
 
 
 # --------------------------------------------------------------------------- #
@@ -403,7 +431,7 @@ class _BatchState:
 
     def retry_delay(self, index: int, attempts: int, backoff: float,
                     reason: str) -> float:
-        delay = backoff * (2 ** (attempts - 1))
+        delay = Backoff(base=backoff, cap=float("inf")).delay(attempts)
         self.event("job.retry", job=index, attempt=attempts + 1,
                    delay=round(delay, 3), reason=reason)
         return delay
@@ -553,7 +581,7 @@ def _run_inline(state: _BatchState, pending: list[int], *, retries: int,
         started = time.monotonic()
         while True:
             attempts += 1
-            outcome = _execute_tagged(index, state.jobs[index], state.faults,
+            outcome = execute_tagged(index, state.jobs[index], state.faults,
                                       timeout, True, state.sanitize,
                                       state.checkpoints)
             duration = time.monotonic() - started
@@ -664,7 +692,7 @@ def _run_pool(state: _BatchState, pending: list[int], *, workers: int,
                 break
             attempts[index] += 1
             try:
-                future = pool.submit(_execute_tagged, index,
+                future = pool.submit(execute_tagged, index,
                                      state.jobs[index], state.faults,
                                      timeout, False, state.sanitize,
                                      state.checkpoints)

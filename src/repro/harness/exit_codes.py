@@ -1,0 +1,31 @@
+"""Uniform process exit codes for every repro CLI.
+
+One vocabulary across ``repro-exp --design``, ``repro-serve`` and
+``repro-submit``, so shell scripts and CI can branch on *why* a run
+ended without scraping output:
+
+* :data:`EXIT_OK` (0) — everything requested reached a successful
+  terminal state.
+* :data:`EXIT_PARTIAL` (1) — some work failed (retryable failures,
+  non-terminal cells); re-invoking may finish the job.
+* :data:`EXIT_USAGE` (2) — bad arguments; nothing was attempted
+  (argparse's own convention, kept deliberately).
+* :data:`EXIT_EXHAUSTED` (3) — at least one unit of work ran out of its
+  retry budget (or was quarantined by the service circuit breaker);
+  re-invoking with the same inputs will NOT finish the job.
+* :data:`EXIT_SHED` (4) — the service refused admission (queue full,
+  rate limit, draining); nothing was lost, retry later.
+
+Precedence when several apply: usage errors win (nothing ran), then
+shed (the request never entered the system), then exhausted (terminal),
+then partial.  Documented in docs/ROBUSTNESS.md and asserted by
+``tests/test_cli.py`` / ``tests/test_service_daemon.py``.
+"""
+
+from __future__ import annotations
+
+EXIT_OK = 0
+EXIT_PARTIAL = 1
+EXIT_USAGE = 2
+EXIT_EXHAUSTED = 3
+EXIT_SHED = 4

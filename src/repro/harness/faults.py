@@ -52,6 +52,26 @@ worker's *journal append ordinal*, not a batch position::
                         campaign must warn once and degrade to
                         snapshot-on-exit durability, not abort)
 
+Service-grade faults address the scheduler daemon (:mod:`repro.service`);
+their index K is a protocol or dispatch ordinal, not a batch position::
+
+    slow-client:K[:S]   the client stalls S seconds (default 1.0) halfway
+                        through writing its K-th protocol frame, once (a
+                        slow/hung client: the asyncio daemon must keep
+                        serving every other connection meanwhile)
+    socket-drop:K       the daemon drops a client connection right after
+                        its K-th received frame, once (a flaky network:
+                        the client must reconnect and resubmit — safe,
+                        because submissions are idempotent by job id)
+    worker-wedge:K      the service worker executing dispatch ordinal K
+                        goes silent (heartbeats stop, the job hangs) on
+                        EVERY attempt — a poison job: the supervisor's
+                        watchdog must kill + respawn the worker each time
+                        and the circuit breaker must quarantine the
+                        fingerprint instead of letting it stall the
+                        queue (inline workers degrade the wedge to a
+                        transient crash, mirroring ``kill``)
+
 "once" semantics survive process boundaries through marker files in a
 shared state directory (``O_CREAT | O_EXCL`` — exactly one process wins),
 so a killed-and-retried job really does succeed on its second attempt
@@ -80,7 +100,8 @@ KILL_EXIT_CODE = 86
 
 _ACTIONS = ("fail", "flaky", "kill", "kill-at", "delay", "corrupt",
             "kill-worker", "torn-tail", "corrupt-journal",
-            "stall-heartbeat", "fail-append")
+            "stall-heartbeat", "fail-append",
+            "slow-client", "socket-drop", "worker-wedge")
 
 #: The campaign-journal faults fired after an append completes, in the
 #: order they are applied when several target the same ordinal.
@@ -280,6 +301,39 @@ class FaultPlan:
                 for fault in self.faults
                 if fault.action == action and fault.index == ordinal
                 and self._fire_once(f"{action}-{ordinal}")]
+
+    # ------------------------------------------------------------------ #
+    # service-grade faults (scheduler daemon; K = protocol/dispatch ordinal)
+    def service_slow_client(self, ordinal: int) -> float | None:
+        """Seconds the client must stall mid-frame ``ordinal``, or None.
+
+        Fires once (shared markers), so a retried submission does not
+        stall again.
+        """
+        for fault in self.faults:
+            if fault.action == "slow-client" and fault.index == ordinal \
+                    and self._fire_once(f"slow-client-{ordinal}"):
+                return fault.arg if fault.arg is not None else 1.0
+        return None
+
+    def service_socket_drop(self, ordinal: int) -> bool:
+        """Should the daemon drop the connection after frame ``ordinal``?
+
+        Once per ordinal: a reconnected client replaying through the same
+        frame count is not dropped again.
+        """
+        return any(fault.action == "socket-drop" and fault.index == ordinal
+                   and self._fire_once(f"socket-drop-{ordinal}")
+                   for fault in self.faults)
+
+    def service_worker_wedge(self, ordinal: int) -> bool:
+        """Must the worker executing dispatch ordinal ``ordinal`` wedge?
+
+        Deliberately *not* once-only: a poison job wedges its worker on
+        every attempt, which is exactly what drives the circuit breaker.
+        """
+        return any(fault.action == "worker-wedge" and fault.index == ordinal
+                   for fault in self.faults)
 
 
 class RunSaboteur:

@@ -1,0 +1,39 @@
+"""Supervised simulation service (ROADMAP item 3).
+
+The one-shot batch engine promoted to an always-on scheduler daemon:
+``repro-serve`` (:mod:`repro.service.daemon`) owns a journal-backed
+persistent submission queue, admission control with load shedding
+(:mod:`repro.service.admission`), a heartbeat-supervised worker pool
+(:mod:`repro.service.supervisor` driving
+:mod:`repro.service.worker` subprocesses through the engine's shared
+dispatch core), a per-fingerprint circuit breaker for poison jobs, and
+graceful drain on SIGTERM.  ``repro-submit``
+(:mod:`repro.service.client`) compiles a design client-side and talks
+newline-delimited JSON (:mod:`repro.service.protocol`) over a unix
+socket or TCP.  See docs/ROBUSTNESS.md ("Service") for the supervision
+tree, the overload ladder and the crash matrix.
+"""
+
+from .admission import (DEFAULT_BREAKER_THRESHOLD, DEFAULT_BURST,
+                        DEFAULT_QUEUE_DEPTH, DEFAULT_RATE, CircuitBreaker,
+                        FairShareQueue, TokenBucket)
+from .client import ServiceClient, ServiceError
+from .daemon import (DEFAULT_DRAIN_GRACE, DEFAULT_STATE_DIR, SOCKET_NAME,
+                     JobRecord, JobTable, SchedulerDaemon)
+from .protocol import (DONE, FAILED, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+                       QUARANTINED, QUEUED, RUNNING, SHED, STATES, TERMINAL,
+                       ProtocolError, decode_frame, encode_frame,
+                       error_response, job_id)
+from .supervisor import DEFAULT_HB_TIMEOUT, Dispatch, Supervisor
+
+__all__ = [
+    "DEFAULT_BREAKER_THRESHOLD", "DEFAULT_BURST", "DEFAULT_DRAIN_GRACE",
+    "DEFAULT_HB_TIMEOUT", "DEFAULT_QUEUE_DEPTH", "DEFAULT_RATE",
+    "DEFAULT_STATE_DIR", "DONE", "FAILED", "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION", "QUARANTINED", "QUEUED", "RUNNING", "SHED",
+    "SOCKET_NAME", "STATES", "TERMINAL", "CircuitBreaker", "Dispatch",
+    "FairShareQueue", "JobRecord", "JobTable", "ProtocolError",
+    "SchedulerDaemon", "ServiceClient", "ServiceError", "Supervisor",
+    "TokenBucket", "decode_frame", "encode_frame", "error_response",
+    "job_id",
+]

@@ -1,0 +1,171 @@
+"""Admission control for the scheduler daemon.
+
+Three independent gates, applied in order at ``submit`` time (see the
+overload/degradation ladder in docs/ROBUSTNESS.md):
+
+1. :class:`CircuitBreaker` — a fingerprint that has repeatedly *killed
+   or wedged* workers is poison; further submissions are refused as
+   ``quarantined`` before they can take another worker down.
+2. :class:`TokenBucket` — per-tenant rate limit; a bursty tenant is
+   shed with a ``retry_after`` hint instead of starving everyone else.
+3. Bounded queue depth (enforced by :class:`FairShareQueue.push`) — the
+   daemon's memory and latency stay bounded under any load; overflow is
+   shed, never silently dropped.
+
+Dispatch order is per-tenant round-robin (:class:`FairShareQueue.pop`),
+so one tenant's thousand-cell design cannot head-of-line-block another
+tenant's three-cell smoke test.
+
+Everything here is synchronous, allocation-light and driven by an
+injected clock, so the unit tests (``tests/test_service_admission.py``)
+are deterministic without sleeping.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+#: Default steady-state submissions/second per tenant.
+DEFAULT_RATE = 50.0
+
+#: Default burst allowance per tenant (bucket capacity).
+DEFAULT_BURST = 100
+
+#: Default bound on total queued (admitted, undispatched) jobs.
+DEFAULT_QUEUE_DEPTH = 1024
+
+#: Worker crashes/wedges a single fingerprint may cause before its
+#: circuit opens and further attempts are quarantined.
+DEFAULT_BREAKER_THRESHOLD = 3
+
+
+@dataclass
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``take(now)`` spends one token if available; ``retry_after(now)``
+    says how long until the next token exists (the shed response's
+    hint).  Time is a caller-supplied monotonic float, never sampled
+    here.
+    """
+
+    rate: float = DEFAULT_RATE
+    burst: float = DEFAULT_BURST
+    tokens: float = field(default=-1.0)
+    updated: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.burst <= 0:
+            raise ValueError("token bucket needs rate > 0 and burst > 0")
+        if self.tokens < 0:
+            self.tokens = float(self.burst)
+
+    def _refill(self, now: float) -> None:
+        if now > self.updated:
+            self.tokens = min(self.burst,
+                              self.tokens + (now - self.updated) * self.rate)
+        self.updated = max(self.updated, now)
+
+    def take(self, now: float) -> bool:
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self, now: float) -> float:
+        """Seconds until one token will exist (0 when one already does)."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class FairShareQueue:
+    """Per-tenant FIFOs drained round-robin, with one global depth bound.
+
+    ``push`` returns False (shed) instead of growing past ``depth`` —
+    the caller turns that into a load-shedding response.  ``pop``
+    rotates tenants so every tenant with queued work gets one job out
+    before any tenant gets a second.  FIFO order *within* a tenant is
+    preserved (a design's cells dispatch in submission order when the
+    tenant is alone).
+    """
+
+    def __init__(self, depth: int = DEFAULT_QUEUE_DEPTH) -> None:
+        if depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._queues: "OrderedDict[Hashable, deque]" = OrderedDict()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def tenants(self) -> list:
+        return [tenant for tenant, queue in self._queues.items() if queue]
+
+    def push(self, tenant: Hashable, item: Any, *,
+             force: bool = False) -> bool:
+        """Enqueue for ``tenant``; False when the global bound is hit.
+
+        ``force=True`` bypasses the bound: the depth gate sheds *new*
+        admissions, but a job that was already accepted (journaled) must
+        never be droppable — crash re-queues and restart recovery push
+        with force, transiently overshooting ``depth``.
+        """
+        if self._size >= self.depth and not force:
+            return False
+        self._queues.setdefault(tenant, deque()).append(item)
+        self._size += 1
+        return True
+
+    def pop(self) -> Any | None:
+        """The next item, round-robin across tenants; None when empty."""
+        while self._queues:
+            tenant, queue = next(iter(self._queues.items()))
+            # Rotate the tenant to the back whether or not it had work,
+            # so service order is independent of empty-queue history.
+            self._queues.move_to_end(tenant)
+            if queue:
+                self._size -= 1
+                item = queue.popleft()
+                if not queue:
+                    del self._queues[tenant]
+                return item
+            del self._queues[tenant]
+        return None
+
+
+class CircuitBreaker:
+    """Per-fingerprint crash counting with a quarantine threshold.
+
+    A *crash* is a worker death or wedge attributable to the job (not a
+    clean deterministic failure — those are the job's own business and
+    never open a circuit).  Counts are rebuilt from the daemon's journal
+    on restart (``crash`` records), so a poison job cannot launder its
+    history by killing the daemon too.
+    """
+
+    def __init__(self, threshold: int = DEFAULT_BREAKER_THRESHOLD) -> None:
+        if threshold < 1:
+            raise ValueError(f"breaker threshold must be >= 1, "
+                             f"got {threshold}")
+        self.threshold = threshold
+        self.crashes: dict[str, int] = {}
+
+    def record_crash(self, fingerprint: str) -> bool:
+        """Count one crash; True exactly when this crash opens the
+        circuit (count reaches the threshold)."""
+        count = self.crashes.get(fingerprint, 0) + 1
+        self.crashes[fingerprint] = count
+        return count == self.threshold
+
+    def is_open(self, fingerprint: str) -> bool:
+        return self.crashes.get(fingerprint, 0) >= self.threshold
+
+    def open_count(self) -> int:
+        return sum(1 for count in self.crashes.values()
+                   if count >= self.threshold)

@@ -1,0 +1,784 @@
+"""The always-on scheduler daemon behind ``repro-serve``.
+
+An asyncio server speaking the NDJSON protocol
+(:mod:`repro.service.protocol`) over a unix socket (default) or TCP.
+The daemon owns:
+
+* a **durable submission queue** — every accepted job is a ``submit``
+  record in a write-ahead journal (:mod:`repro.design.journal`) before
+  the client hears "queued"; terminal states (``done`` / ``failed`` /
+  ``quarantined``) and worker crashes (``crash``) are journaled the
+  same way, so a SIGKILL at any byte loses nothing: the next
+  incarnation re-folds the journal and re-queues whatever lacks a
+  terminal record (re-dispatch hits the result cache, so recovery is
+  idempotent *and* cheap);
+* **admission control** (:mod:`repro.service.admission`) — circuit
+  breaker, per-tenant token buckets, bounded fair-share queue; refusals
+  are explicit shed responses, never silent drops;
+* a **supervised worker pool** (:mod:`repro.service.supervisor`) —
+  heartbeat-watchdogged subprocess workers, respawned with backoff;
+  worker deaths and wedges are journaled crashes that feed the breaker,
+  so a poison job is quarantined after ``breaker_threshold`` kills
+  instead of stalling the queue;
+* **graceful drain** — SIGTERM (or a ``drain`` request) stops
+  admission, lets in-flight jobs finish (bounded by ``drain_grace``),
+  folds the journal into a snapshot and exits 0.  Queued jobs stay
+  journaled for the next incarnation.
+
+Observability: every scheduling event (shed, breaker open, respawn,
+drain...) is appended to a durable ``events.jsonl`` in the state
+directory *and* kept in the engine's ``{"kind", "t", "payload"}`` trace
+shape; ``--trace FILE`` writes the whole incarnation as a Chrome trace
+lane on exit, merging straight into the existing telemetry tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import sys
+import time
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..design.journal import Journal, load_snapshot, replay_journal, \
+    write_snapshot
+from ..harness.cache import ResultCache
+from ..harness.engine import DEFAULT_RETRIES, Backoff
+from ..harness.exit_codes import EXIT_OK, EXIT_PARTIAL
+from ..harness.faults import FaultPlan, FaultSpecError
+from ..harness.jobs import JobError, SimJob
+from .admission import (DEFAULT_BREAKER_THRESHOLD, DEFAULT_BURST,
+                        DEFAULT_QUEUE_DEPTH, DEFAULT_RATE, CircuitBreaker,
+                        FairShareQueue, TokenBucket)
+from .protocol import (DONE, FAILED, PROTOCOL_VERSION, QUARANTINED, QUEUED,
+                       RUNNING, SHED, TERMINAL, ProtocolError, decode_frame,
+                       encode_frame, error_response)
+from .supervisor import DEFAULT_HB_TIMEOUT, Dispatch, Supervisor
+
+#: Default service state directory (journal, events, snapshot, socket).
+DEFAULT_STATE_DIR = ".repro-serve"
+
+#: Socket file name inside the state directory.
+SOCKET_NAME = "serve.sock"
+
+#: Journal and event-stream file names inside the state directory.
+QUEUE_JOURNAL = "journal.jsonl"
+EVENTS_JOURNAL = "events.jsonl"
+
+#: The queue snapshot's digest key (there is no design digest to bind;
+#: this guards against pointing --state-dir at a campaign store).
+QUEUE_DIGEST = "repro-service-queue"
+
+#: Default seconds a drain waits for in-flight jobs before exiting.
+DEFAULT_DRAIN_GRACE = 30.0
+
+
+class JobRecord:
+    """One accepted job's folded state (journal + in-memory overlay)."""
+
+    __slots__ = ("id", "tenant", "fingerprint", "ordinal", "job", "state",
+                 "crashes", "retries", "error", "cycles", "ipc", "running")
+
+    def __init__(self, id: str, tenant: str, fingerprint: str, ordinal: int,
+                 job: dict[str, Any]) -> None:
+        self.id = id
+        self.tenant = tenant
+        self.fingerprint = fingerprint
+        self.ordinal = ordinal
+        self.job = job
+        self.state = QUEUED
+        self.crashes = 0     # journaled worker deaths/wedges (durable)
+        self.retries = 0     # in-band transient retries (this incarnation)
+        self.error: str | None = None
+        self.cycles: int | None = None
+        self.ipc: float | None = None
+        self.running = False   # in-flight right now (never journaled)
+
+    def public_state(self) -> str:
+        if self.state == QUEUED and self.running:
+            return RUNNING
+        return self.state
+
+    def to_snapshot(self) -> dict[str, Any]:
+        return {"id": self.id, "tenant": self.tenant,
+                "fingerprint": self.fingerprint, "job": self.job,
+                "status": self.state, "crashes": self.crashes,
+                "error": self.error, "cycles": self.cycles, "ipc": self.ipc}
+
+    @classmethod
+    def from_snapshot(cls, ordinal: int, data: dict[str, Any]) -> "JobRecord":
+        record = cls(data["id"], data.get("tenant", "-"),
+                     data["fingerprint"], ordinal, data.get("job") or {})
+        record.state = data.get("status", QUEUED)
+        record.crashes = int(data.get("crashes") or 0)
+        record.error = data.get("error")
+        record.cycles = data.get("cycles")
+        record.ipc = data.get("ipc")
+        return record
+
+
+class JobTable:
+    """The durable queue state: fold(snapshot) + fold(journal).
+
+    The same recovery shape as a campaign store, with jobs instead of
+    cells: ``submit`` introduces a job; ``done`` / ``failed`` /
+    ``quarantined`` are idempotent terminal folds; ``crash`` counts
+    attribution for the circuit breaker.  Unknown record types are
+    ignored (forward compatibility), corrupt records and torn tails are
+    dropped by journal replay exactly as campaigns drop them.
+    """
+
+    def __init__(self, state_dir: Path, worker_id: str,
+                 faults: FaultPlan | None = None) -> None:
+        self.state_dir = state_dir
+        self.jobs: dict[str, JobRecord] = {}
+        self.order: list[str] = []          # submission (= ordinal) order
+        self.next_ordinal = 0
+        self.replay_corrupt = 0
+        self.replay_torn = False
+        self.journal = Journal(state_dir / QUEUE_JOURNAL, worker=worker_id,
+                               faults=faults)
+
+    # -- folding ------------------------------------------------------- #
+    def load(self) -> None:
+        for ordinal, data in sorted(
+                load_snapshot(self.state_dir, QUEUE_DIGEST).items()):
+            record = JobRecord.from_snapshot(ordinal, data)
+            self.jobs[record.id] = record
+            self.order.append(record.id)
+            self.next_ordinal = max(self.next_ordinal, ordinal + 1)
+        replay = replay_journal(self.state_dir / QUEUE_JOURNAL)
+        self.replay_corrupt = replay.corrupt_records
+        self.replay_torn = replay.torn_tail
+        for record in replay.records:
+            self.fold(record)
+
+    def fold(self, record: dict[str, Any]) -> None:
+        kind = record.get("type")
+        job_id = record.get("id")
+        if kind == "submit":
+            if job_id in self.jobs:
+                return   # replayed duplicate (idempotent)
+            ordinal = int(record.get("ordinal") or 0)
+            job = JobRecord(job_id, record.get("tenant", "-"),
+                            record.get("fingerprint", ""), ordinal,
+                            record.get("job") or {})
+            self.jobs[job_id] = job
+            self.order.append(job_id)
+            self.next_ordinal = max(self.next_ordinal, ordinal + 1)
+            return
+        job = self.jobs.get(job_id)
+        if job is None:
+            return   # terminal for a submit we never saw (foreign/corrupt)
+        if kind == "crash":
+            job.crashes += 1
+        elif kind in ("done", "failed", "quarantined") \
+                and job.state not in TERMINAL:
+            job.state = {"done": DONE, "failed": FAILED,
+                         "quarantined": QUARANTINED}[kind]
+            job.error = record.get("error")
+            job.cycles = record.get("cycles")
+            job.ipc = record.get("ipc")
+
+    # -- appends (journal + fold in one step) -------------------------- #
+    def append(self, kind: str, **payload: Any) -> None:
+        record, _ = self.journal.append(kind, **payload)
+        self.fold(record)
+
+    def pending(self) -> list[JobRecord]:
+        """Accepted jobs without a terminal state, in submission order."""
+        return [self.jobs[job_id] for job_id in self.order
+                if self.jobs[job_id].state not in TERMINAL]
+
+    def counts(self) -> dict[str, int]:
+        out = {QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0, QUARANTINED: 0}
+        for job in self.jobs.values():
+            out[job.public_state()] += 1
+        return out
+
+    def snapshot(self) -> bool:
+        return write_snapshot(
+            self.state_dir, QUEUE_DIGEST,
+            {self.jobs[job_id].ordinal: self.jobs[job_id].to_snapshot()
+             for job_id in self.order})
+
+
+class SchedulerDaemon:
+    """The asyncio server tying queue, admission and pool together."""
+
+    def __init__(self, *, state_dir: str | Path = DEFAULT_STATE_DIR,
+                 socket_path: str | Path | None = None,
+                 host: str | None = None, port: int | None = None,
+                 cache_dir: str | Path | None = None,
+                 workers: int = 2,
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH,
+                 rate: float = DEFAULT_RATE, burst: float = DEFAULT_BURST,
+                 breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+                 retries: int = DEFAULT_RETRIES,
+                 timeout: float | None = None,
+                 hb_timeout: float = DEFAULT_HB_TIMEOUT,
+                 drain_grace: float = DEFAULT_DRAIN_GRACE,
+                 trace: str | Path | None = None,
+                 faults: FaultPlan | None = None,
+                 log=None) -> None:
+        self.state_dir = Path(state_dir)
+        self.socket_path = (Path(socket_path) if socket_path is not None
+                            else self.state_dir / SOCKET_NAME)
+        self.host = host
+        self.port = port
+        self.cache = ResultCache(cache_dir) if cache_dir else ResultCache()
+        self.workers = workers
+        self.retries = retries
+        self.timeout = timeout
+        self.drain_grace = drain_grace
+        self.trace_path = Path(trace) if trace else None
+        self.faults = faults
+        self.log = log if log is not None else sys.stderr
+
+        self.worker_id = f"serve-{int(time.time())}"
+        self.table = JobTable(self.state_dir, self.worker_id)
+        self.queue = FairShareQueue(depth=queue_depth)
+        self.buckets: dict[str, TokenBucket] = {}
+        self.rate, self.burst = rate, burst
+        self.breaker = CircuitBreaker(threshold=breaker_threshold)
+        self.supervisor = Supervisor(workers, cache_dir=cache_dir,
+                                     hb_timeout=hb_timeout,
+                                     backoff=Backoff(),
+                                     faults=faults, on_event=self.event)
+
+        self.started = time.monotonic()
+        self.draining = False
+        self.shed_count = 0
+        self.frames_received = 0
+        self.dispatched = 0
+        self.events: list[dict[str, Any]] = []
+        self._events_journal = Journal(self.state_dir / EVENTS_JOURNAL,
+                                       worker=self.worker_id)
+        self._kick = asyncio.Event()
+        self._drained = asyncio.Event()
+        self._watchers: list[tuple[set[str], asyncio.Queue]] = []
+        self._inflight = 0
+        self._server: asyncio.AbstractServer | None = None
+
+    # ------------------------------------------------------------------ #
+    # logging / events
+    # ------------------------------------------------------------------ #
+    def _log(self, message: str) -> None:
+        print(f"[repro-serve {time.strftime('%H:%M:%S')}] {message}",
+              file=self.log, flush=True)
+
+    def event(self, kind: str, **payload: Any) -> None:
+        """One scheduling event: trace lane + durable events journal."""
+        self.events.append({"kind": kind,
+                            "t": time.monotonic() - self.started,
+                            "payload": payload})
+        self._events_journal.append("event", kind=kind, **payload)
+
+    # ------------------------------------------------------------------ #
+    # startup / recovery
+    # ------------------------------------------------------------------ #
+    def recover(self) -> int:
+        """Fold snapshot + journal; re-queue every non-terminal job."""
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.table.load()
+        if self.table.replay_corrupt or self.table.replay_torn:
+            self.event("journal.damage", corrupt=self.table.replay_corrupt,
+                       torn_tail=self.table.replay_torn)
+        for job in self.jobs_by_fingerprint_crashes():
+            # Rebuild breaker state from journaled crash attribution so
+            # a poison job cannot reset its count by killing the daemon.
+            for _ in range(job.crashes):
+                self.breaker.record_crash(job.fingerprint)
+        requeued = 0
+        for job in self.table.pending():
+            if self.breaker.is_open(job.fingerprint):
+                self.table.append("quarantined", id=job.id,
+                                  fingerprint=job.fingerprint,
+                                  error="circuit breaker open "
+                                        "(recovered poison job)")
+                self.event("breaker.quarantine", id=job.id,
+                           fingerprint=job.fingerprint[:12])
+                continue
+            self.queue.push(job.tenant, job.id, force=True)
+            requeued += 1
+        return requeued
+
+    def jobs_by_fingerprint_crashes(self) -> list[JobRecord]:
+        return [job for job in self.table.jobs.values() if job.crashes]
+
+    # ------------------------------------------------------------------ #
+    # the server
+    # ------------------------------------------------------------------ #
+    async def serve(self) -> int:
+        requeued = self.recover()
+        self._log(f"recovered {len(self.table.jobs)} job(s), "
+                  f"re-queued {requeued}")
+        self.event("daemon.start", jobs=len(self.table.jobs),
+                   requeued=requeued, workers=self.workers)
+        # Signal handlers first: a SIGTERM is a drain request from the
+        # moment the socket exists, never a default-action kill.
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda s=sig: asyncio.ensure_future(
+                        self.drain(f"signal {s.name}")))
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+
+        # Bind before the pool warms up: clients may connect and queue
+        # while worker subprocesses are still booting.
+        if self.host is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port)
+            where = f"{self.host}:{self.port}"
+        else:
+            try:
+                self.socket_path.unlink()
+            except OSError:
+                pass
+            self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=str(self.socket_path))
+            where = str(self.socket_path)
+        self._log(f"listening on {where} "
+                  f"({self.workers} worker(s), pid {os.getpid()})")
+        await self.supervisor.start()
+
+        dispatchers = [asyncio.ensure_future(self._dispatch_loop())
+                       for _ in range(self.workers)]
+        await self._drained.wait()
+        for task in dispatchers:
+            task.cancel()
+        await asyncio.gather(*dispatchers, return_exceptions=True)
+        self._server.close()
+        await self._server.wait_closed()
+        await self.supervisor.close()
+        ok = self.table.snapshot()
+        self.event("daemon.stop", snapshot=ok,
+                   pending=len(self.table.pending()))
+        if self.trace_path is not None:
+            self._write_trace()
+        self._log(f"drained: snapshot={'ok' if ok else 'FAILED'}, "
+                  f"{len(self.table.pending())} job(s) left for the next "
+                  f"incarnation")
+        return EXIT_OK
+
+    def _write_trace(self) -> None:
+        from ..telemetry.trace import merge_chrome_traces
+        doc = merge_chrome_traces([], engine_events=self.events)
+        try:
+            self.trace_path.parent.mkdir(parents=True, exist_ok=True)
+            self.trace_path.write_text(json.dumps(doc), encoding="utf-8")
+        except OSError as error:   # pragma: no cover - best effort
+            self._log(f"trace write failed: {error}")
+
+    async def drain(self, reason: str) -> None:
+        """Stop admitting, let in-flight work finish, snapshot, stop."""
+        if self.draining:
+            return
+        self.draining = True
+        self._log(f"draining ({reason}); refusing new submissions")
+        self.event("daemon.drain", reason=reason,
+                   queued=len(self.queue), inflight=self._inflight)
+        deadline = time.monotonic() + self.drain_grace
+        while self._inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
+        self._drained.set()
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    async def _dispatch_loop(self) -> None:
+        while True:
+            if self.draining:
+                return
+            job_id = self.queue.pop()
+            if job_id is None:
+                self._kick.clear()
+                try:
+                    await asyncio.wait_for(self._kick.wait(), timeout=0.25)
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            job = self.table.jobs[job_id]
+            if job.state in TERMINAL:
+                continue
+            self._inflight += 1
+            job.running = True
+            try:
+                await self._dispatch_one(job)
+            finally:
+                job.running = False
+                self._inflight -= 1
+
+    async def _dispatch_one(self, job: JobRecord) -> None:
+        # Dedup against the cache at the last moment too: a previous
+        # incarnation's worker may have finished this fingerprint after
+        # the submit was journaled but before any terminal record.
+        cached = await asyncio.get_running_loop().run_in_executor(
+            None, self.cache.get, job.fingerprint)
+        if cached is not None:
+            self._terminal(job, DONE, cycles=cached.cycles, ipc=cached.ipc,
+                           cached=True)
+            return
+        self.dispatched += 1
+        dispatch = await self.supervisor.run_job({
+            "id": job.id, "ordinal": job.ordinal, "job": job.job,
+            "timeout": self.timeout})
+        self._settle(job, dispatch)
+
+    def _settle(self, job: JobRecord, dispatch: Dispatch) -> None:
+        if dispatch.tag == "ok":
+            self._terminal(job, DONE, cycles=dispatch.cycles,
+                           ipc=dispatch.ipc, cached=dispatch.cached)
+            return
+        if dispatch.crashed:
+            self.table.append("crash", id=job.id,
+                              fingerprint=job.fingerprint,
+                              error=dispatch.error,
+                              wedged=dispatch.wedged)
+            opened = self.breaker.record_crash(job.fingerprint)
+            self.event("worker.crash", id=job.id, wedged=dispatch.wedged,
+                       crashes=job.crashes)
+            if opened:
+                self.event("breaker.open", fingerprint=job.fingerprint[:12],
+                           crashes=self.breaker.crashes[job.fingerprint])
+            if self.breaker.is_open(job.fingerprint):
+                self._terminal(job, QUARANTINED,
+                               error=f"circuit breaker open after "
+                                     f"{job.crashes} worker crash(es): "
+                                     f"{dispatch.error}")
+            else:
+                self._requeue(job, dispatch.error)
+            return
+        if dispatch.tag == "err" and dispatch.transient \
+                and job.retries < self.retries:
+            job.retries += 1
+            self._requeue(job, dispatch.error)
+            return
+        self._terminal(job, FAILED,
+                       error=dispatch.error or dispatch.tag)
+
+    def _requeue(self, job: JobRecord, reason: str | None) -> None:
+        self.event("job.requeue", id=job.id, reason=(reason or "")[:120])
+        # Forced: this job already passed admission; the depth bound
+        # sheds new work, it never drops accepted work.
+        self.queue.push(job.tenant, job.id, force=True)
+        self._kick.set()
+
+    def _terminal(self, job: JobRecord, state: str, *,
+                  cycles: int | None = None, ipc: float | None = None,
+                  error: str | None = None, cached: bool = False) -> None:
+        kind = {DONE: "done", FAILED: "failed",
+                QUARANTINED: "quarantined"}[state]
+        payload: dict[str, Any] = {"id": job.id,
+                                   "fingerprint": job.fingerprint}
+        if state == DONE:
+            payload.update(cycles=cycles, ipc=ipc, cached=cached)
+        else:
+            payload["error"] = (error or "")[:500] or None
+        self.table.append(kind, **payload)
+        self.event(f"job.{kind}", id=job.id, cached=cached)
+        frame = {"event": "terminal", "id": job.id, "state": state,
+                 "cycles": job.cycles, "ipc": job.ipc, "error": job.error}
+        for ids, queue in self._watchers:
+            if job.id in ids:
+                queue.put_nowait(frame)
+
+    # ------------------------------------------------------------------ #
+    # connections
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except (OSError, ConnectionError):
+                    break
+                if not raw:
+                    break
+                ordinal = self.frames_received
+                self.frames_received += 1
+                if self.faults is not None \
+                        and self.faults.service_socket_drop(ordinal):
+                    self.event("socket.drop", frame=ordinal)
+                    break
+                try:
+                    frame = decode_frame(raw)
+                except ProtocolError as error:
+                    writer.write(encode_frame(error_response(None,
+                                                             str(error))))
+                    await writer.drain()
+                    continue
+                op = frame.get("op")
+                if op == "watch":
+                    await self._op_watch(frame, writer)
+                    continue
+                response = self._respond(op, frame)
+                writer.write(encode_frame(response))
+                try:
+                    await writer.drain()
+                except (OSError, ConnectionError):
+                    break
+                if op == "drain":
+                    asyncio.ensure_future(self.drain("drain request"))
+        except asyncio.CancelledError:
+            # Server shutdown mid-request: end the connection quietly
+            # (clients reconnect; jobs are journaled either way).
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:   # noqa: BLE001 - already torn down
+                pass
+
+    def _respond(self, op: str | None,
+                 frame: dict[str, Any]) -> dict[str, Any]:
+        if op == "submit":
+            return self._op_submit(frame)
+        if op == "status":
+            return self._op_status()
+        if op == "result":
+            return self._op_result(frame)
+        if op == "drain":
+            return {"ok": True, "op": "drain", "draining": True}
+        return error_response(op, f"unknown op {op!r}")
+
+    # -- submit -------------------------------------------------------- #
+    def _op_submit(self, frame: dict[str, Any]) -> dict[str, Any]:
+        job_id = frame.get("id")
+        tenant = str(frame.get("tenant") or "-")
+        if not isinstance(job_id, str) or not job_id:
+            return error_response("submit", "submit needs a string id")
+        known = self.table.jobs.get(job_id)
+        if known is not None:
+            # Idempotent resubmission (reconnect, concurrent client):
+            # answer with the job's current state, enqueue nothing.
+            return {"ok": True, "op": "submit", "id": job_id,
+                    "state": known.public_state(), "duplicate": True,
+                    "cycles": known.cycles, "ipc": known.ipc,
+                    "error": known.error}
+        try:
+            job = SimJob.from_payload(frame.get("job") or {})
+        except (JobError, KeyError, TypeError, ValueError) as error:
+            return error_response("submit",
+                                  f"bad job payload: {error}")
+        fingerprint = job.fingerprint()
+        if self.breaker.is_open(fingerprint):
+            # Refused before admission: this fingerprint kills workers.
+            self.event("breaker.refuse", id=job_id,
+                       fingerprint=fingerprint[:12])
+            return {"ok": True, "op": "submit", "id": job_id,
+                    "state": QUARANTINED, "accepted": False,
+                    "reason": "circuit breaker open for this fingerprint"}
+        if self.draining:
+            return self._shed(job_id, "draining", retry_after=None)
+        bucket = self.buckets.setdefault(
+            tenant, TokenBucket(rate=self.rate, burst=self.burst))
+        now = time.monotonic()
+        if not bucket.take(now):
+            return self._shed(job_id, "rate-limit",
+                              retry_after=bucket.retry_after(now),
+                              tenant=tenant)
+        cached = self.cache.get(fingerprint)
+        if cached is not None:
+            # Free repeat query: accept + complete in one breath.
+            ordinal = self.table.next_ordinal
+            self.table.append("submit", id=job_id, tenant=tenant,
+                              fingerprint=fingerprint, ordinal=ordinal,
+                              job=frame.get("job"))
+            record = self.table.jobs[job_id]
+            self._terminal(record, DONE, cycles=cached.cycles,
+                           ipc=cached.ipc, cached=True)
+            return {"ok": True, "op": "submit", "id": job_id,
+                    "state": DONE, "cached": True,
+                    "cycles": cached.cycles, "ipc": cached.ipc}
+        if len(self.queue) >= self.queue.depth:
+            return self._shed(job_id, "queue-full",
+                              retry_after=1.0, depth=self.queue.depth)
+        ordinal = self.table.next_ordinal
+        self.table.append("submit", id=job_id, tenant=tenant,
+                          fingerprint=fingerprint, ordinal=ordinal,
+                          job=frame.get("job"))
+        self.queue.push(tenant, job_id)
+        self._kick.set()
+        return {"ok": True, "op": "submit", "id": job_id, "state": QUEUED,
+                "ordinal": ordinal}
+
+    def _shed(self, job_id: str, reason: str,
+              retry_after: float | None, **extra: Any) -> dict[str, Any]:
+        self.shed_count += 1
+        self.event("admission.shed", id=job_id, reason=reason, **extra)
+        response = {"ok": True, "op": "submit", "id": job_id,
+                    "state": SHED, "accepted": False, "reason": reason}
+        if retry_after is not None:
+            response["retry_after"] = round(retry_after, 3)
+        return response
+
+    # -- status / result / watch -------------------------------------- #
+    def _op_status(self) -> dict[str, Any]:
+        return {
+            "ok": True, "op": "status", "version": PROTOCOL_VERSION,
+            "healthy": True, "draining": self.draining,
+            "uptime": round(time.monotonic() - self.started, 3),
+            "pid": os.getpid(),
+            "jobs": self.table.counts(), "queued": len(self.queue),
+            "inflight": self._inflight, "dispatched": self.dispatched,
+            "workers": self.workers,
+            "respawns": self.supervisor.respawns,
+            "wedges": self.supervisor.wedges,
+            "breaker_open": self.breaker.open_count(),
+            "shed": self.shed_count,
+            "journal_appends": self.table.journal.appends,
+            "journal_append_errors": self.table.journal.append_errors,
+        }
+
+    def _op_result(self, frame: dict[str, Any]) -> dict[str, Any]:
+        job = self.table.jobs.get(frame.get("id") or "")
+        if job is None:
+            return error_response("result",
+                                  f"unknown job id {frame.get('id')!r}")
+        response = {"ok": True, "op": "result", "id": job.id,
+                    "state": job.public_state(), "cycles": job.cycles,
+                    "ipc": job.ipc, "error": job.error}
+        if job.state == DONE:
+            result = self.cache.get(job.fingerprint)
+            if result is not None:
+                response["result"] = result.to_dict()
+        return response
+
+    async def _op_watch(self, frame: dict[str, Any],
+                        writer: asyncio.StreamWriter) -> None:
+        """Stream terminal events for the requested ids, then done."""
+        ids = frame.get("ids")
+        if not isinstance(ids, list) or not all(isinstance(i, str)
+                                                for i in ids):
+            writer.write(encode_frame(error_response(
+                "watch", "watch needs a list of string ids")))
+            await writer.drain()
+            return
+        waiting = set(ids)
+        queue: asyncio.Queue = asyncio.Queue()
+        for job_id in list(waiting):
+            job = self.table.jobs.get(job_id)
+            if job is None:
+                writer.write(encode_frame(
+                    {"event": "terminal", "id": job_id, "state": FAILED,
+                     "error": "unknown job id", "cycles": None,
+                     "ipc": None}))
+                waiting.discard(job_id)
+            elif job.state in TERMINAL:
+                writer.write(encode_frame(
+                    {"event": "terminal", "id": job_id, "state": job.state,
+                     "cycles": job.cycles, "ipc": job.ipc,
+                     "error": job.error}))
+                waiting.discard(job_id)
+        watcher = (waiting, queue)
+        self._watchers.append(watcher)
+        try:
+            await writer.drain()
+            while waiting:
+                frame_out = await queue.get()
+                waiting.discard(frame_out["id"])
+                writer.write(encode_frame(frame_out))
+                await writer.drain()
+            writer.write(encode_frame({"ok": True, "op": "watch",
+                                       "done": True}))
+            await writer.drain()
+        except (OSError, ConnectionError):
+            pass
+        finally:
+            self._watchers.remove(watcher)
+
+
+# --------------------------------------------------------------------------- #
+# CLI entry point: repro-serve
+# --------------------------------------------------------------------------- #
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Always-on simulation scheduler daemon (NDJSON over "
+                    "a unix socket or TCP; see docs/ROBUSTNESS.md).")
+    parser.add_argument("--state-dir", default=DEFAULT_STATE_DIR,
+                        help="durable queue state: journal, events, "
+                             f"snapshot, socket (default {DEFAULT_STATE_DIR})")
+    parser.add_argument("--socket", default=None, metavar="PATH",
+                        help="unix socket path (default "
+                             f"STATE_DIR/{SOCKET_NAME})")
+    parser.add_argument("--host", default=None,
+                        help="serve TCP on this host instead of the socket")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (with --host)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory (default .repro-cache)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="supervised worker processes (default 2)")
+    parser.add_argument("--queue-depth", type=int,
+                        default=DEFAULT_QUEUE_DEPTH,
+                        help="admitted-job bound before load shedding "
+                             f"(default {DEFAULT_QUEUE_DEPTH})")
+    parser.add_argument("--rate", type=float, default=DEFAULT_RATE,
+                        help="per-tenant submissions/second "
+                             f"(default {DEFAULT_RATE:g})")
+    parser.add_argument("--burst", type=float, default=DEFAULT_BURST,
+                        help=f"per-tenant burst (default {DEFAULT_BURST:g})")
+    parser.add_argument("--breaker-threshold", type=int,
+                        default=DEFAULT_BREAKER_THRESHOLD,
+                        help="worker crashes before a fingerprint is "
+                             "quarantined "
+                             f"(default {DEFAULT_BREAKER_THRESHOLD})")
+    parser.add_argument("--retries", type=int, default=DEFAULT_RETRIES,
+                        help="in-band transient retries per job "
+                             f"(default {DEFAULT_RETRIES})")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-job wall-clock deadline in seconds")
+    parser.add_argument("--hb-timeout", type=float,
+                        default=DEFAULT_HB_TIMEOUT,
+                        help="watchdog: seconds of worker silence before "
+                             f"a kill+respawn (default {DEFAULT_HB_TIMEOUT:g})")
+    parser.add_argument("--drain-grace", type=float,
+                        default=DEFAULT_DRAIN_GRACE,
+                        help="seconds a drain waits for in-flight jobs "
+                             f"(default {DEFAULT_DRAIN_GRACE:g})")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write the incarnation's scheduling events "
+                             "as a Chrome trace on exit")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="service fault injection spec (tests/CI)")
+    args = parser.parse_args(argv)
+    if args.host is not None and not args.port:
+        parser.error("--host needs --port")
+    faults = None
+    try:
+        if args.faults:
+            faults = FaultPlan.parse(args.faults)
+        else:
+            faults = FaultPlan.from_env()
+    except FaultSpecError as error:
+        parser.error(str(error))
+    daemon = SchedulerDaemon(
+        state_dir=args.state_dir, socket_path=args.socket,
+        host=args.host, port=args.port or None,
+        cache_dir=args.cache_dir, workers=args.workers,
+        queue_depth=args.queue_depth, rate=args.rate, burst=args.burst,
+        breaker_threshold=args.breaker_threshold, retries=args.retries,
+        timeout=args.timeout, hb_timeout=args.hb_timeout,
+        drain_grace=args.drain_grace, trace=args.trace, faults=faults)
+    try:
+        return asyncio.run(daemon.serve())
+    except KeyboardInterrupt:   # pragma: no cover - signal path preferred
+        return EXIT_OK
+    except OSError as error:
+        print(f"repro-serve: {error}", file=sys.stderr)
+        return EXIT_PARTIAL
+
+
+if __name__ == "__main__":   # pragma: no cover - subprocess entry
+    raise SystemExit(main())

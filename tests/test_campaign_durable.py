@@ -325,3 +325,81 @@ class TestStoreHygiene:
         assert report.resumed == 2
         assert any(e["kind"] == "journal.damage"
                    and e["payload"]["torn_tail"] for e in report.events)
+
+
+class TestHeartbeatLifecycle:
+    def test_ttl_jitter_is_deterministic_and_bounded(self):
+        from repro.design import TTL_JITTER_FRAC, worker_ttl_jitter
+        values = [worker_ttl_jitter(f"worker-{i}") for i in range(16)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert len(set(values)) > 1                 # actually spreads
+        assert worker_ttl_jitter("w") == worker_ttl_jitter("w")
+        assert 0.0 < TTL_JITTER_FRAC < 1.0
+
+    def test_claimed_ttl_carries_the_worker_jitter(self, tmp_path):
+        # N workers given the same --lease-ttl must not expire and
+        # reclaim in lockstep; the journaled claim ttl shows the spread.
+        from repro.design import TTL_JITTER_FRAC, worker_ttl_jitter
+        env = DesignEnv(scale=TINY)
+        cache = ResultCache(tmp_path / "cache")
+        campaign = Campaign.open(_design(), env, root=tmp_path / "c")
+        campaign.run(cache=cache, worker_id="jittered", lease_ttl=30.0)
+        claims = [r for r in
+                  replay_journal(campaign.path / JOURNAL_NAME).records
+                  if r["type"] == "claim"]
+        expected = 30.0 * (1.0 + TTL_JITTER_FRAC
+                           * worker_ttl_jitter("jittered"))
+        assert claims and all(c["ttl"] == pytest.approx(expected)
+                              for c in claims)
+        assert all(c["ttl"] > 30.0 for c in claims)
+
+    def test_heartbeat_thread_joined_after_clean_run(self, tmp_path):
+        import threading
+        env = DesignEnv(scale=TINY)
+        cache = ResultCache(tmp_path / "cache")
+        campaign = Campaign.open(_design(), env, root=tmp_path / "c")
+        assert campaign.run(cache=cache).ok
+        assert not [t for t in threading.enumerate()
+                    if t.name == "campaign-heartbeat"]
+
+    def test_heartbeat_thread_joined_when_cells_fail(self, tmp_path):
+        # The worker "dies mid-cell" (every cell fails): the finally
+        # must still join the heartbeat — no zombie thread keeps
+        # defending leases the worker no longer holds.
+        import threading
+        env = DesignEnv(scale=TINY)
+        campaign = Campaign.open(_design(), env, root=tmp_path / "c")
+        plan = FaultPlan.parse("fail:0,fail:1",
+                               state_dir=str(tmp_path / "faults"))
+        report = campaign.run(faults=plan, retries=0)
+        assert report.failed == 2
+        assert not [t for t in threading.enumerate()
+                    if t.name == "campaign-heartbeat"]
+
+
+class TestAppendFailureMidCampaign:
+    def test_degraded_append_mid_campaign_snapshots_on_exit(self,
+                                                            tmp_path):
+        # fail-append:3 lets the first three appends land (claim, done,
+        # claim) and then the "disk fills": the campaign must still
+        # complete, warn once, and leave a snapshot whose fold equals
+        # the full outcome — the journaled prefix plus the snapshot.
+        env = DesignEnv(scale=TINY)
+        cache = ResultCache(tmp_path / "cache")
+        campaign = Campaign.open(_design(), env, root=tmp_path / "c")
+        plan = FaultPlan.parse("fail-append:3",
+                               state_dir=str(tmp_path / "faults"))
+        with pytest.warns(RuntimeWarning, match="not appendable"):
+            report = campaign.run(cache=cache, faults=plan)
+        assert report.ok and report.executed == 2
+        assert report.journal_append_errors > 0
+        assert any(e["kind"] == "campaign.snapshot_fallback"
+                   for e in report.events)
+        # Unlike the append-dead-from-birth case, a prefix DID persist;
+        # recovery folds snapshot + partial journal, not either alone.
+        persisted = replay_journal(campaign.path / JOURNAL_NAME).records
+        assert 0 < len(persisted) <= 3
+        resumed = Campaign.open(_design(), env, root=tmp_path / "c")
+        assert resumed.counts()["done"] == 2
+        report = resumed.run(cache=cache)
+        assert report.executed == 0 and report.resumed == 2

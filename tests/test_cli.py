@@ -127,3 +127,57 @@ def test_worker_kill_recovered_by_retry(capsys):
     captured = capsys.readouterr()
     assert "E5" in captured.out
     assert "recovered by retry" in captured.err
+
+
+def test_design_campaign_clean_run_exits_zero(tmp_path, monkeypatch,
+                                              capsys):
+    monkeypatch.chdir(tmp_path)
+    design = tmp_path / "sweep.toml"
+    design.write_text('[design]\nname = "cli-exit"\n\n'
+                      '[[design.factor]]\nname = "bench"\n'
+                      'levels = ["kmeans"]\n')
+    assert main(["--design", str(design), "--scale", "0.02",
+                 "--no-cache"]) == 0
+    assert "1 dispatched" in capsys.readouterr().err
+
+
+def test_design_campaign_exit_codes_partial_then_exhausted(
+        tmp_path, monkeypatch, capsys):
+    # The documented ladder: 0 all-done, 1 partial, 3 retry budget
+    # exhausted.  fail:0 fires on every incarnation, so the first run
+    # fails the cell (exit 1) and the second refuses to claim it again
+    # (exit 3 with the exhausted footer).
+    monkeypatch.chdir(tmp_path)
+    design = tmp_path / "sweep.toml"
+    design.write_text('[design]\nname = "cli-exhaust"\n\n'
+                      '[[design.factor]]\nname = "bench"\n'
+                      'levels = ["kmeans", "streaming"]\n')
+    args = ["--design", str(design), "--scale", "0.02", "--no-cache",
+            "--faults", "fail:0", "--retries", "0", "--max-retries", "1"]
+    assert main(args) == 1
+    capsys.readouterr()
+    assert main(args) == 3
+    assert "exhausted (past --max-retries)" in capsys.readouterr().err
+
+
+def test_design_campaign_usage_error_exits_two(tmp_path, monkeypatch,
+                                               capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["--design", str(tmp_path / "missing.toml")]) == 2
+    assert "cannot read design file" in capsys.readouterr().err
+    assert main(["--shard"]) == 2     # campaign flag without --design
+
+
+def test_design_campaign_degraded_journal_footer(tmp_path, monkeypatch,
+                                                 capsys, recwarn):
+    # Journal appends failing mid-campaign must still exit 0 and say
+    # so in the footer (the snapshot carried the state).
+    monkeypatch.chdir(tmp_path)
+    design = tmp_path / "sweep.toml"
+    design.write_text('[design]\nname = "cli-degraded"\n\n'
+                      '[[design.factor]]\nname = "bench"\n'
+                      'levels = ["kmeans"]\n')
+    assert main(["--design", str(design), "--scale", "0.02",
+                 "--no-cache", "--faults", "fail-append:0"]) == 0
+    assert ("journal append error(s) (snapshot fallback)"
+            in capsys.readouterr().err)

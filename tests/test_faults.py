@@ -262,3 +262,47 @@ class TestCacheCorruption:
         again = run_batch(jobs, cache=cache)
         assert again.outcomes[0].status == "ok"
         assert again.results() == first.results()
+
+
+# --------------------------------------------------------------------------- #
+# service-grade faults (daemon / client / worker injection points)
+# --------------------------------------------------------------------------- #
+
+class TestServiceFaults:
+    def test_service_actions_parse(self, tmp_path):
+        plan = _plan("slow-client:2:0.5,socket-drop:4,worker-wedge:0",
+                     tmp_path)
+        assert [f.action for f in plan.faults] == [
+            "slow-client", "socket-drop", "worker-wedge"]
+        assert plan.faults[0].arg == 0.5
+
+    def test_slow_client_fires_once_with_default_stall(self, tmp_path):
+        plan = _plan("slow-client:3", tmp_path)
+        assert plan.service_slow_client(0) is None
+        assert plan.service_slow_client(3) == 1.0
+        # A retried submission replaying the same frame ordinal is not
+        # stalled again (shared marker files).
+        assert plan.service_slow_client(3) is None
+
+    def test_socket_drop_fires_once_per_ordinal(self, tmp_path):
+        plan = _plan("socket-drop:1,socket-drop:5", tmp_path)
+        assert not plan.service_socket_drop(0)
+        assert plan.service_socket_drop(1)
+        assert not plan.service_socket_drop(1)
+        assert plan.service_socket_drop(5)
+
+    def test_once_state_is_shared_across_plan_instances(self, tmp_path):
+        # Two processes parsing the same spec against the same state dir
+        # (daemon incarnations across a restart) share fired-once state.
+        first = _plan("socket-drop:2", tmp_path)
+        second = _plan("socket-drop:2", tmp_path)
+        assert first.service_socket_drop(2)
+        assert not second.service_socket_drop(2)
+
+    def test_worker_wedge_is_deliberately_not_once(self, tmp_path):
+        # A poison job must wedge its worker on *every* attempt — that
+        # repetition is what drives the circuit breaker to open.
+        plan = _plan("worker-wedge:0", tmp_path)
+        assert plan.service_worker_wedge(0)
+        assert plan.service_worker_wedge(0)
+        assert not plan.service_worker_wedge(1)

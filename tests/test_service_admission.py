@@ -1,0 +1,125 @@
+"""Deterministic unit tests for the service admission layer.
+
+Token buckets run on an injected clock, the fair-share queue and the
+circuit breaker are plain data structures — nothing here sleeps, forks
+or opens a socket.  The end-to-end behaviour (shed responses on the
+wire, quarantine after real worker kills) lives in
+``tests/test_service_daemon.py`` and the service chaos drill.
+"""
+
+import pytest
+
+from repro.service.admission import (CircuitBreaker, FairShareQueue,
+                                     TokenBucket)
+
+
+class TestTokenBucket:
+    def test_burst_then_rate_limited(self):
+        bucket = TokenBucket(rate=2.0, burst=3)
+        now = 100.0
+        assert [bucket.take(now) for _ in range(4)] == [True, True, True,
+                                                        False]
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=1)
+        assert bucket.take(10.0)
+        assert not bucket.take(10.0)
+        assert not bucket.take(10.25)      # only half a token back
+        assert bucket.take(10.5)           # one full token at 2/s
+
+    def test_never_exceeds_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2)
+        bucket.take(0.0)
+        # A long idle period still refills to the cap, not beyond.
+        assert [bucket.take(1000.0) for _ in range(3)] == [True, True,
+                                                           False]
+
+    def test_retry_after_names_the_next_token(self):
+        bucket = TokenBucket(rate=4.0, burst=1)
+        assert bucket.take(0.0)
+        assert bucket.retry_after(0.0) == pytest.approx(0.25)
+        assert bucket.retry_after(0.25) == 0.0
+
+    def test_clock_never_runs_backwards(self):
+        bucket = TokenBucket(rate=1.0, burst=1)
+        assert bucket.take(50.0)
+        # An earlier timestamp must not mint tokens or corrupt state.
+        assert not bucket.take(10.0)
+        assert not bucket.take(50.5)
+        assert bucket.take(51.0)
+
+    @pytest.mark.parametrize("rate,burst", [(0, 1), (-1.0, 1), (1.0, 0)])
+    def test_bad_parameters_rejected(self, rate, burst):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=rate, burst=burst)
+
+
+class TestFairShareQueue:
+    def test_fifo_for_a_single_tenant(self):
+        queue = FairShareQueue(depth=8)
+        for item in ("a", "b", "c"):
+            assert queue.push("t", item)
+        assert [queue.pop() for _ in range(4)] == ["a", "b", "c", None]
+
+    def test_round_robin_across_tenants(self):
+        queue = FairShareQueue(depth=8)
+        for item in ("a1", "a2", "a3"):
+            queue.push("alice", item)
+        queue.push("bob", "b1")
+        # Bob's single job gets out before Alice's second: no
+        # head-of-line blocking by the bigger tenant.
+        assert [queue.pop() for _ in range(4)] == ["a1", "b1", "a2", "a3"]
+
+    def test_depth_bound_sheds_pushes(self):
+        queue = FairShareQueue(depth=2)
+        assert queue.push("a", 1)
+        assert queue.push("b", 2)
+        assert not queue.push("a", 3)
+        assert len(queue) == 2
+
+    def test_force_push_bypasses_the_bound(self):
+        # Requeues and restart recovery must never drop accepted work,
+        # even when the admission gate is already refusing new jobs.
+        queue = FairShareQueue(depth=1)
+        assert queue.push("a", 1)
+        assert not queue.push("a", 2)
+        assert queue.push("a", 2, force=True)
+        assert len(queue) == 2
+        assert [queue.pop(), queue.pop()] == [1, 2]
+
+    def test_pop_skips_drained_tenants(self):
+        queue = FairShareQueue(depth=8)
+        queue.push("a", 1)
+        assert queue.pop() == 1
+        assert queue.pop() is None
+        queue.push("b", 2)
+        assert queue.pop() == 2
+        assert queue.tenants() == []
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError):
+            FairShareQueue(depth=0)
+
+
+class TestCircuitBreaker:
+    def test_opens_exactly_at_threshold(self):
+        breaker = CircuitBreaker(threshold=3)
+        assert not breaker.record_crash("fp")
+        assert not breaker.record_crash("fp")
+        assert not breaker.is_open("fp")
+        assert breaker.record_crash("fp")      # True exactly once
+        assert breaker.is_open("fp")
+        assert not breaker.record_crash("fp")  # already open
+        assert breaker.open_count() == 1
+
+    def test_fingerprints_are_independent(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_crash("a")
+        assert breaker.record_crash("a")
+        assert breaker.is_open("a")
+        assert not breaker.is_open("b")
+        assert breaker.open_count() == 1
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)

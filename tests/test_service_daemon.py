@@ -1,0 +1,292 @@
+"""End-to-end tests for the scheduler daemon over a real unix socket.
+
+Each test boots a real :class:`SchedulerDaemon` (asyncio, in a thread)
+with real worker subprocesses and drives it with the synchronous
+:class:`ServiceClient` — the exact production wiring minus the console
+scripts.  The heavier multi-incarnation story (SIGKILLs, restarts,
+concurrent clients, bitwise convergence) lives in the service chaos
+drill (``tests/test_service_chaos.py``).
+"""
+
+import asyncio
+import io
+import threading
+import time
+
+import pytest
+
+from repro.design.journal import replay_journal
+from repro.harness.exit_codes import (EXIT_EXHAUSTED, EXIT_OK, EXIT_PARTIAL,
+                                      EXIT_SHED)
+from repro.harness.jobs import SimJob
+from repro.service.client import ServiceClient, _exit_code
+from repro.service.daemon import (QUEUE_JOURNAL, JobTable, SchedulerDaemon)
+from repro.service.protocol import (DONE, FAILED, QUARANTINED, QUEUED,
+                                    SHED, TERMINAL)
+from repro.sim.config import GPUConfig
+
+SMALL = GPUConfig.small()
+
+
+def _job(seed=1):
+    return SimJob(names=("kmeans",), scale=0.02, seed=seed, config=SMALL)
+
+
+def _start(tmp_path, **kwargs):
+    """A live daemon on a tmp unix socket, plus its eventual exit code."""
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("drain_grace", 10.0)
+    daemon = SchedulerDaemon(state_dir=tmp_path / "state",
+                             cache_dir=tmp_path / "cache",
+                             log=io.StringIO(), **kwargs)
+    outcome = {}
+
+    def runner():
+        outcome["exit"] = asyncio.run(daemon.serve())
+
+    thread = threading.Thread(target=runner, daemon=True,
+                              name="test-repro-serve")
+    thread.start()
+    deadline = time.monotonic() + 15.0
+    while not daemon.socket_path.exists():
+        assert time.monotonic() < deadline, "daemon never bound its socket"
+        time.sleep(0.02)
+    return daemon, thread, outcome
+
+
+def _stop(daemon, thread, outcome):
+    with ServiceClient(daemon.socket_path) as client:
+        client.drain()
+    thread.join(timeout=30.0)
+    assert not thread.is_alive(), "daemon did not drain"
+    return outcome["exit"]
+
+
+class TestDaemonLifecycle:
+    def test_submit_watch_dedup_result_status_drain(self, tmp_path):
+        daemon, thread, outcome = _start(tmp_path)
+        try:
+            with ServiceClient(daemon.socket_path) as client:
+                response = client.submit("t:0", _job().to_payload(),
+                                         tenant="alice")
+                assert response["state"] == QUEUED
+
+                frames = client.watch(["t:0"])
+                assert frames["t:0"]["state"] == DONE
+                cycles = frames["t:0"]["cycles"]
+                assert cycles > 0
+
+                # Same id again: idempotent duplicate, answered from the
+                # job table, nothing re-enqueued.
+                again = client.submit("t:0", _job().to_payload())
+                assert again["duplicate"] and again["state"] == DONE
+                assert again["cycles"] == cycles
+
+                # New id, same fingerprint: the cache answers instantly
+                # and the submit response is already terminal.
+                fast = client.submit("t:1", _job().to_payload())
+                assert fast["state"] == DONE and fast["cached"]
+                assert fast["cycles"] == cycles
+
+                result = client.result("t:0")
+                assert result["state"] == DONE
+                assert result["result"]["cycles"] == cycles
+
+                status = client.status()
+                assert status["healthy"] and not status["draining"]
+                assert status["jobs"][DONE] == 2
+                assert status["journal_append_errors"] == 0
+
+                bad = client.request({"op": "explode"})
+                assert not bad["ok"] and "unknown op" in bad["error"]
+
+                missing = client.result("nobody")
+                assert not missing["ok"]
+        finally:
+            assert _stop(daemon, thread, outcome) == EXIT_OK
+        # The journal tells the whole story: one submit per id, exactly
+        # one terminal record each, and the drain left a snapshot.
+        records = replay_journal(tmp_path / "state" / QUEUE_JOURNAL).records
+        kinds = [(r["type"], r["id"]) for r in records
+                 if r["type"] in ("submit", "done")]
+        assert kinds.count(("submit", "t:0")) == 1
+        assert kinds.count(("done", "t:0")) == 1
+        assert kinds.count(("done", "t:1")) == 1
+        assert (tmp_path / "state" / "snapshot.json").exists()
+
+    def test_rate_limit_sheds_with_retry_after(self, tmp_path):
+        daemon, thread, outcome = _start(tmp_path, rate=0.001, burst=1)
+        try:
+            with ServiceClient(daemon.socket_path) as client:
+                first = client.submit("r:0", _job(seed=11).to_payload(),
+                                      tenant="hog", shed_retries=0)
+                assert first["state"] == QUEUED
+                second = client.submit("r:1", _job(seed=12).to_payload(),
+                                       tenant="hog", shed_retries=0)
+                assert second["state"] == SHED
+                assert second["reason"] == "rate-limit"
+                assert second["retry_after"] > 0
+                # Another tenant's bucket is untouched: fair share.
+                other = client.submit("r:2", _job(seed=13).to_payload(),
+                                      tenant="polite", shed_retries=0)
+                assert other["state"] == QUEUED
+                client.watch(["r:0", "r:2"])
+        finally:
+            assert _stop(daemon, thread, outcome) == EXIT_OK
+        events = replay_journal(
+            tmp_path / "state" / "events.jsonl").records
+        assert any(e.get("kind") == "admission.shed"
+                   and e.get("reason") == "rate-limit" for e in events)
+
+    def test_draining_daemon_sheds_submissions(self, tmp_path):
+        daemon, thread, outcome = _start(tmp_path)
+        try:
+            with ServiceClient(daemon.socket_path) as client:
+                client.drain()
+                time.sleep(0.2)
+                response = client.submit("d:0", _job(seed=21).to_payload(),
+                                         shed_retries=0)
+                assert response["state"] == SHED
+                assert response["reason"] == "draining"
+        finally:
+            thread.join(timeout=30.0)
+            assert outcome["exit"] == EXIT_OK
+
+    def test_socket_drop_fault_is_survived_by_reconnect(self, tmp_path):
+        from repro.harness.faults import FaultPlan
+        plan = FaultPlan.parse("socket-drop:1",
+                               state_dir=str(tmp_path / "faults"))
+        daemon, thread, outcome = _start(tmp_path, faults=plan)
+        try:
+            with ServiceClient(daemon.socket_path) as client:
+                assert client.status()["healthy"]        # frame 0
+                assert client.status()["healthy"]        # frame 1: dropped
+                assert client.reconnects >= 1
+        finally:
+            assert _stop(daemon, thread, outcome) == EXIT_OK
+
+    def test_wedged_worker_is_killed_and_job_quarantined(self, tmp_path,
+                                                         monkeypatch):
+        # The poison-job story, minus the restarts: the only submission
+        # gets dispatch ordinal 0, the worker-wedge fault silences the
+        # worker, the watchdog kills it, and with threshold 1 the
+        # breaker quarantines the fingerprint immediately.
+        monkeypatch.setenv("REPRO_FAULTS", "worker-wedge:0")
+        monkeypatch.setenv("REPRO_FAULTS_STATE", str(tmp_path / "faults"))
+        daemon, thread, outcome = _start(tmp_path, breaker_threshold=1,
+                                         hb_timeout=1.0)
+        try:
+            with ServiceClient(daemon.socket_path) as client:
+                response = client.submit("p:0", _job(seed=31).to_payload())
+                assert response["state"] == QUEUED
+                frames = client.watch(["p:0"])
+                assert frames["p:0"]["state"] == QUARANTINED
+                assert "circuit breaker" in frames["p:0"]["error"]
+                # Re-submitting the poison fingerprint is refused at the
+                # door now — no worker ever sees it again.
+                refused = client.submit("p:1", _job(seed=31).to_payload())
+                assert refused["state"] == QUARANTINED
+                assert not refused["accepted"]
+                status = client.status()
+                assert status["wedges"] >= 1
+                assert status["breaker_open"] == 1
+        finally:
+            assert _stop(daemon, thread, outcome) == EXIT_OK
+        events = replay_journal(
+            tmp_path / "state" / "events.jsonl").records
+        kinds = {e.get("kind") for e in events}
+        assert "breaker.open" in kinds and "worker.respawn" in kinds
+
+
+class TestRecovery:
+    def test_pending_jobs_requeue_and_finish_after_restart(self, tmp_path):
+        # Forge incarnation 1 by hand: a journaled submit with no
+        # terminal record (the daemon was SIGKILLed mid-job).
+        state = tmp_path / "state"
+        state.mkdir(parents=True)
+        job = _job(seed=41)
+        table = JobTable(state, "forged")
+        table.append("submit", id="z:0", tenant="t",
+                     fingerprint=job.fingerprint(), ordinal=0,
+                     job=job.to_payload())
+        daemon, thread, outcome = _start(tmp_path)
+        try:
+            with ServiceClient(daemon.socket_path) as client:
+                frames = client.watch(["z:0"])
+                assert frames["z:0"]["state"] == DONE
+        finally:
+            assert _stop(daemon, thread, outcome) == EXIT_OK
+
+    def test_recovered_poison_with_open_breaker_is_quarantined(self,
+                                                               tmp_path):
+        # Crash records are the breaker's memory: enough of them in the
+        # journal and the next incarnation quarantines the job at
+        # recovery, before any worker is risked.
+        state = tmp_path / "state"
+        state.mkdir(parents=True)
+        job = _job(seed=42)
+        table = JobTable(state, "forged")
+        table.append("submit", id="z:1", tenant="t",
+                     fingerprint=job.fingerprint(), ordinal=0,
+                     job=job.to_payload())
+        for _ in range(3):
+            table.append("crash", id="z:1", fingerprint=job.fingerprint(),
+                         error="killed worker", wedged=True)
+        daemon = SchedulerDaemon(state_dir=state,
+                                 cache_dir=tmp_path / "cache",
+                                 log=io.StringIO())
+        assert daemon.recover() == 0
+        record = daemon.table.jobs["z:1"]
+        assert record.state == QUARANTINED
+        assert record.crashes == 3
+        assert daemon.breaker.is_open(job.fingerprint())
+
+
+class TestJobTable:
+    def test_fold_is_idempotent_and_first_terminal_wins(self, tmp_path):
+        table = JobTable(tmp_path, "w")
+        table.fold({"type": "submit", "id": "a", "tenant": "t",
+                    "fingerprint": "fp", "ordinal": 0, "job": {}})
+        table.fold({"type": "submit", "id": "a", "tenant": "t",
+                    "fingerprint": "fp", "ordinal": 0, "job": {}})
+        assert len(table.order) == 1
+        table.fold({"type": "done", "id": "a", "cycles": 10, "ipc": 1.0})
+        table.fold({"type": "failed", "id": "a", "error": "late"})
+        job = table.jobs["a"]
+        assert job.state == DONE and job.cycles == 10
+        # Terminal records for unknown ids are ignored, not crashes.
+        table.fold({"type": "done", "id": "ghost"})
+        assert "ghost" not in table.jobs
+
+    def test_snapshot_round_trips_through_load(self, tmp_path):
+        table = JobTable(tmp_path, "w")
+        table.append("submit", id="a", tenant="t", fingerprint="fp",
+                     ordinal=0, job={"scale": 1})
+        table.append("done", id="a", fingerprint="fp", cycles=5, ipc=2.0)
+        table.append("submit", id="b", tenant="t", fingerprint="fq",
+                     ordinal=1, job={"scale": 2})
+        assert table.snapshot()
+        # A fresh table folds snapshot + journal to the same state even
+        # after the journal is truncated (the snapshot is sufficient).
+        (tmp_path / QUEUE_JOURNAL).write_bytes(b"")
+        reloaded = JobTable(tmp_path, "w2")
+        reloaded.load()
+        assert reloaded.jobs["a"].state == DONE
+        assert reloaded.jobs["b"].state == QUEUED
+        assert [j.id for j in reloaded.pending()] == ["b"]
+        assert reloaded.next_ordinal == 2
+
+
+class TestExitCodes:
+    @pytest.mark.parametrize("states,expected", [
+        ({"a": DONE, "b": DONE}, EXIT_OK),
+        ({"a": DONE, "b": FAILED}, EXIT_PARTIAL),
+        ({"a": FAILED, "b": QUARANTINED}, EXIT_EXHAUSTED),
+        ({"a": SHED, "b": QUARANTINED}, EXIT_SHED),
+        ({"a": DONE, "b": QUEUED}, EXIT_PARTIAL),
+    ])
+    def test_precedence(self, states, expected):
+        assert _exit_code(states) == expected
+
+    def test_terminal_states_are_the_protocol_ones(self):
+        assert set(TERMINAL) == {DONE, FAILED, QUARANTINED}

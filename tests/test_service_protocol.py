@@ -1,0 +1,57 @@
+"""Unit tests for the NDJSON service wire protocol."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import (MAX_FRAME_BYTES, ProtocolError,
+                                    decode_frame, encode_frame,
+                                    error_response, job_id)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        frame = {"op": "submit", "id": "ab:0", "job": {"scale": 0.5}}
+        line = encode_frame(frame)
+        assert line.endswith(b"\n")
+        assert decode_frame(line) == frame
+
+    def test_encoding_is_canonical(self):
+        # Key order must not matter on the wire (frames are hashable
+        # test fixtures and diffable log lines).
+        a = encode_frame({"b": 1, "a": 2})
+        b = encode_frame({"a": 2, "b": 1})
+        assert a == b
+        assert b"\n" not in a[:-1]
+
+    def test_unparseable_frame_raises(self):
+        with pytest.raises(ProtocolError, match="unparseable"):
+            decode_frame(b"{torn off mid-")
+
+    def test_non_object_frame_raises(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_frame(b"[1, 2, 3]\n")
+
+    def test_oversized_frame_rejected_without_parsing(self):
+        line = b'{"op": "' + b"x" * MAX_FRAME_BYTES + b'"}\n'
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_frame(line)
+
+    def test_error_response_shape(self):
+        response = error_response("submit", "bad job payload")
+        assert response == {"ok": False, "op": "submit",
+                            "error": "bad job payload"}
+        assert error_response(None, "x")["op"] == "?"
+        # Error responses must themselves be encodable frames.
+        assert json.loads(encode_frame(response))["ok"] is False
+
+
+class TestJobIds:
+    def test_digest_prefix_and_index(self):
+        assert job_id("abcdef0123456789", 4) == "abcdef012345:4"
+
+    def test_distinct_designs_never_collide(self):
+        assert job_id("a" * 64, 0) != job_id("b" * 64, 0)
+
+    def test_stable_for_idempotent_resubmission(self):
+        assert job_id("d" * 64, 7) == job_id("d" * 64, 7)
