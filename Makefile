@@ -6,8 +6,8 @@ PYTEST  = PYTHONPATH=src $(PY) -m pytest
 .PHONY: test lint bench bench-smoke bench-engine bench-core \
 	bench-core-check fault-smoke resume-smoke design-smoke \
 	campaign-chaos-smoke service-smoke service-chaos-smoke \
-	clean-cache clean-state verify-smoke verify-full \
-	goldens table-goldens
+	cluster-chaos-smoke clean-cache clean-state verify-smoke \
+	verify-full goldens table-goldens
 
 test:            ## tier-1 test suite
 	$(PYTEST) -q
@@ -171,6 +171,17 @@ service-chaos-smoke: ## service chaos drill: daemon SIGKILLs, worker wedge, sock
 	rm -rf .repro-service-chaos; \
 	echo "service-chaos-smoke: ok (daemon killed/restarted; every job" \
 	     "exactly-once; poison quarantined; drain clean; bitwise-identical)"
+
+cluster-chaos-smoke: ## federation drill: 3 daemons, partition + SIGKILL, lease handoff, all-journal audit
+	@rm -rf .repro-cluster-chaos; \
+	PYTHONPATH=src $(PY) -m repro.design.chaos examples/lcs_threshold.toml \
+		--cluster --scale 0.02 --seed 7 --root .repro-cluster-chaos \
+		|| { echo "cluster-chaos-smoke: drill failed; per-daemon" \
+		     "journals + logs kept under .repro-cluster-chaos/"; exit 1; }; \
+	rm -rf .repro-cluster-chaos; \
+	echo "cluster-chaos-smoke: ok (partitioned victim SIGKILLed; jobs" \
+	     "reclaimed by survivors; effectively-once; quarantine synced" \
+	     "fleet-wide; bitwise-identical)"
 
 table-goldens:   ## regenerate goldens/tables/*.csv after intended changes
 	PYTHONPATH=src $(PY) -m repro.verify.tables --update

@@ -48,7 +48,6 @@ from ..harness.jobs import SimJob
 from .campaign import Campaign
 from .env import DesignEnv
 from .files import load_design
-from .journal import replay_journal
 from .leases import DONE
 
 #: Where a chaos drill keeps its stores unless told otherwise.
@@ -331,7 +330,9 @@ def run_service_chaos(design_path: str | Path, *, daemon_kills: int = 2,
     """
     import threading
 
+    from ..service.audit import audit_state_dirs
     from ..service.client import ServiceClient, ServiceError
+    from ..service.protocol import DONE as DONE_STATE
     from ..service.protocol import QUARANTINED, QUEUED, TERMINAL, job_id
 
     started = time.monotonic()
@@ -505,38 +506,35 @@ def run_service_chaos(design_path: str | Path, *, daemon_kills: int = 2,
             daemon.wait()
 
     # ---------------- offline audit: the journal is the truth ---------- #
-    replay = replay_journal(state_dir / "journal.jsonl")
-    submits: dict[str, int] = {}
-    terminals: dict[str, list[str]] = {}
-    for record in replay.records:
-        kind, rid = record.get("type"), record.get("id")
-        if kind == "submit":
-            submits[rid] = int(record.get("ordinal") or 0)
-        elif kind in ("done", "failed", "quarantined"):
-            terminals.setdefault(rid, []).append(kind)
-
-    missing = [rid for rid in submits if rid not in terminals]
-    doubled = {rid: kinds for rid, kinds in terminals.items()
-               if len(kinds) > 1}
-    report.exactly_once = not missing and not doubled
-    if missing:
+    audit = audit_state_dirs([state_dir])
+    report.exactly_once = audit.strict_exactly_once
+    if audit.missing:
         report.mismatches.append(f"accepted without terminal state: "
-                                 f"{sorted(missing)}")
+                                 f"{audit.missing}")
+    doubled = {rid: sorted(audit.states_of(rid))
+               for rid in audit.jobs
+               if audit.jobs[rid].duplicates}
     if doubled:
         report.mismatches.append(f"multiple terminal records: {doubled}")
-    report.poison_quarantined = terminals.get(poison_id) == ["quarantined"]
-    if submits.get(poison_id) != 0:
+    poison = audit.jobs.get(poison_id)
+    report.poison_quarantined = (poison is not None
+                                 and poison.states == {"quarantined"}
+                                 and len(poison.executed) == 1)
+    poison_ordinal = (int(poison.ordinals[0] or 0)
+                      if poison is not None and poison.ordinals else None)
+    if poison_ordinal != 0:
         report.mismatches.append(
-            f"poison job got ordinal {submits.get(poison_id)!r}, not 0")
+            f"poison job got ordinal {poison_ordinal!r}, not 0")
         report.poison_quarantined = False
 
     design_ids = {job_id(digest, cell.index): cell for cell in cells}
-    done_ids = {rid for rid, kinds in terminals.items()
-                if kinds and kinds[0] == "done"}
+    done_ids = {rid for rid in audit.jobs
+                if DONE_STATE in audit.states_of(rid)}
     report.converged = set(design_ids) <= done_ids
     report.counts = {"done": len(done_ids & set(design_ids)),
                      "cells": len(design_ids),
-                     "accepted": len(submits)}
+                     "accepted": sum(1 for job in audit.jobs.values()
+                                     if job.accepted_in)}
     if not report.converged:
         stuck = sorted(set(design_ids) - done_ids)
         report.mismatches.append(f"design cells not done: {stuck}")
@@ -556,10 +554,7 @@ def run_service_chaos(design_path: str | Path, *, daemon_kills: int = 2,
             report.mismatches.append(f"expected {ref_lines[cell.label]!r}, "
                                      f"got {got!r}")
 
-    kinds_seen = {record.get("kind")
-                  for record in replay_journal(
-                      state_dir / "events.jsonl").records
-                  if record.get("type") == "event"}
+    kinds_seen = audit.event_kinds()
     report.shed_seen = "admission.shed" in kinds_seen
     report.breaker_seen = "breaker.open" in kinds_seen
     if not report.shed_seen:
@@ -581,6 +576,406 @@ def run_service_chaos(design_path: str | Path, *, daemon_kills: int = 2,
     return report
 
 
+# --------------------------------------------------------------------------- #
+# Cluster chaos: SIGKILL a federated daemon mid-partition
+# --------------------------------------------------------------------------- #
+
+#: Where the cluster drill keeps its state unless told otherwise.
+DEFAULT_CLUSTER_CHAOS_ROOT = ".repro-cluster-chaos"
+
+#: Overall wall-clock bound on one cluster drill.
+CLUSTER_DRILL_TIMEOUT = 300.0
+
+
+@dataclass
+class ClusterChaosReport:
+    """What one federation drill did and whether the fleet survived."""
+
+    daemons: int = 0               # fleet size
+    victim: int = -1               # SIGKILLed daemon's node index
+    daemon_kills: int = 0
+    expected_reclaim: bool = False  # rendezvous says node 0 must adopt
+    converged: bool = False        # every design cell done fleet-wide
+    identical: bool = False        # cache table == fault-free reference
+    effectively_once: bool = False  # audit: nothing lost, nothing split
+    reclaim_seen: bool = False     # adopted_from / cluster.reclaim found
+    poison_quarantined: bool = False
+    quarantine_propagated: bool = False   # breaker.sync beyond node 0
+    partition_seen: bool = False   # peer.dead + cluster.degraded events
+    drain_clean: bool = False      # surviving daemons SIGTERM-exited 0
+    duplicates: int = 0            # agreeing duplicate executions (ok)
+    adopted: int = 0
+    counts: dict[str, int] = field(default_factory=dict)
+    mismatches: list[str] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return (self.converged and self.identical
+                and self.effectively_once and self.poison_quarantined
+                and self.quarantine_propagated and self.partition_seen
+                and self.drain_clean
+                and (self.reclaim_seen or not self.expected_reclaim))
+
+    def summary_line(self) -> str:
+        verdict = "OK" if self.ok else "FAILED"
+        flags = [name for name, value in (
+            ("converged", self.converged), ("identical", self.identical),
+            ("effectively-once", self.effectively_once),
+            ("reclaim", self.reclaim_seen or not self.expected_reclaim),
+            ("poison-quarantined", self.poison_quarantined),
+            ("quarantine-propagated", self.quarantine_propagated),
+            ("partition", self.partition_seen),
+            ("drain-clean", self.drain_clean)) if not value]
+        text = (f"cluster chaos {verdict}: {self.daemons} daemon(s), "
+                f"victim node {self.victim}, {self.adopted} adopted "
+                f"job(s), {self.duplicates} duplicate execution(s), "
+                f"counts={self.counts}")
+        if flags:
+            text += f"; failed checks: {', '.join(flags)}"
+        if self.mismatches:
+            text += f"; first mismatch: {self.mismatches[0]}"
+        return text
+
+
+def run_cluster_chaos(design_path: str | Path, *, seed: int = 7,
+                      root: str | Path = DEFAULT_CLUSTER_CHAOS_ROOT,
+                      scale: float = 0.02, workers: int = 2,
+                      breaker_threshold: int = 2,
+                      gossip_interval: float = 0.25, peer_ttl: float = 1.0,
+                      partition_rounds: int = 12,
+                      kill_after: float = 2.0) -> ClusterChaosReport:
+    """SIGKILL + partition drill against a three-daemon federation.
+
+    The fleet: three ``repro-serve`` daemons peered over unix sockets,
+    sharing one result cache, each with its own state dir and journal.
+    The storm: a seeded ``partition:0-V|M:R`` fault splits the victim's
+    side from the minority from boot, node 0 carries the wedged poison
+    job (pinned, dispatch ordinal 0), the victim's first jobs are
+    slowed by ``delay`` faults so they are genuinely in flight when it
+    is SIGKILLed mid-partition — and never restarted.  Two client
+    threads submit the same design across the full ``--peers`` list
+    throughout, riding sheds (the quorum-less minority *must* refuse)
+    and the total-outage window between the kill and the heal.
+
+    The victim is chosen so rendezvous hashing makes node 0 the
+    post-mortem owner of at least one of its jobs when possible
+    (``expected_reclaim``): after the partition heals, node 0 and the
+    minority re-form a majority, declare the victim dead, and node 0
+    must adopt and re-execute those jobs from its replicated
+    ``cluster-job`` records.  The offline audit
+    (:func:`repro.service.audit.audit_state_dirs`) then folds all three
+    journals: nothing lost, nothing conflicting (agreeing duplicates
+    from client takeover are counted, not failed), every design cell
+    bitwise-identical to a fault-free in-process run, the poison
+    quarantined on node 0 and synced to the minority's breaker, and the
+    survivors' SIGTERM drains clean.
+    """
+    import threading
+
+    from ..service.audit import audit_state_dirs
+    from ..service.client import ServiceClient, ServiceError
+    from ..service.cluster import rendezvous_owner
+    from ..service.protocol import DONE as DONE_STATE
+    from ..service.protocol import QUARANTINED, TERMINAL, job_id
+
+    started = time.monotonic()
+    deadline = started + CLUSTER_DRILL_TIMEOUT
+    design_file = Path(design_path).resolve()
+    design, overrides = load_design(design_file)
+    env = _design_env(overrides, scale)
+    rng = random.Random(seed)
+    report = ClusterChaosReport(daemons=3)
+
+    workdir = Path(root)
+    cache_dir = workdir / "cache"
+    workdir.mkdir(parents=True, exist_ok=True)
+    state_dirs = [workdir / f"state-{node}" for node in range(3)]
+    sockets = [state_dirs[node] / "serve.sock" for node in range(3)]
+    addrs = [str(sock) for sock in sockets]
+
+    cells = design.compile(env)
+    digest = design.digest(env)
+    fingerprints = [cell.job.fingerprint() for cell in cells]
+
+    # Ground truth: the same jobs, in process, no fleet, no faults.
+    ref_lines = {}
+    for cell in cells:
+        result = cell.job.execute()
+        ref_lines[cell.label] = f"{cell.label},{result.cycles},{result.ipc!r}"
+
+    poison_job = SimJob.from_payload(
+        {**cells[0].job.to_payload(), "seed": _POISON_SEED})
+    poison_id = "poison:0"
+
+    # Pick the victim from {1, 2} so that, where the fingerprints allow
+    # it, at least one job the partition routes to the victim (owner by
+    # rendezvous over the {0, victim} pair) re-hashes to node 0 over the
+    # post-mortem survivor pair {0, minority} — the deterministic
+    # reclaim this drill exists to prove.
+    def reclaimable(victim: int) -> int:
+        minority = 3 - victim
+        return sum(
+            1 for fp in fingerprints
+            if rendezvous_owner(fp, [addrs[0], addrs[victim]])
+            == addrs[victim]
+            and rendezvous_owner(fp, [addrs[0], addrs[minority]])
+            == addrs[0])
+
+    report.victim = max((1, 2), key=reclaimable)
+    victim, minority = report.victim, 3 - report.victim
+    report.expected_reclaim = reclaimable(victim) > 0
+    partition = (f"partition:0-{victim}|{minority}:{partition_rounds}")
+    # The victim's first few dispatches sleep long enough to still be
+    # in flight at the SIGKILL (the heartbeat thread keeps beating, so
+    # this is slowness, not a wedge).
+    slow = ",".join(f"delay:{ordinal}:6" for ordinal in range(3))
+    specs = {0: f"worker-wedge:0,{partition}",
+             victim: f"{slow},{partition}",
+             minority: partition}
+
+    def start_daemon(node: int) -> subprocess.Popen:
+        state_dirs[node].mkdir(parents=True, exist_ok=True)
+        command = [sys.executable, "-m", "repro.service.daemon",
+                   "--state-dir", str(state_dirs[node]),
+                   "--cache-dir", str(cache_dir),
+                   "--socket", addrs[node],
+                   "--cluster", ",".join(addrs),
+                   "--advertise", addrs[node],
+                   "--gossip-interval", str(gossip_interval),
+                   "--peer-ttl", str(peer_ttl),
+                   "--workers", str(workers),
+                   "--breaker-threshold", str(breaker_threshold),
+                   "--hb-timeout", "1.0",
+                   "--drain-grace", "30"]
+        env_vars = dict(os.environ)
+        src_dir = str(Path(__file__).resolve().parents[2])
+        env_vars["PYTHONPATH"] = (src_dir + os.pathsep
+                                  + env_vars.get("PYTHONPATH", ""))
+        env_vars[ENV_SPEC] = specs[node]
+        env_vars[ENV_STATE] = str(workdir / f"faults-state-{node}")
+        log = open(workdir / f"daemon-{node}.log", "ab")
+        try:
+            return subprocess.Popen(command, env=env_vars, stdout=log,
+                                    stderr=log)
+        finally:
+            log.close()
+
+    give_up = threading.Event()
+    client_errors: list[str] = []
+    terminal_states: dict[str, dict] = {}
+    terminal_lock = threading.Lock()
+
+    def client_loop(tenant: str) -> None:
+        """Poll-submit every cell across the peer list until terminal.
+
+        Submission is the probe *and* the takeover trigger: idempotent
+        ids make re-submission safe everywhere, and re-submitting a
+        dead daemon's job to a survivor is exactly the client-side
+        failover the fleet promises to absorb.
+        """
+        pending = {job_id(digest, cell.index): cell.job.to_payload()
+                   for cell in cells}
+        client = ServiceClient(peers=addrs, timeout=10.0,
+                               connect_attempts=25,
+                               jitter_key=f"cluster-chaos-{tenant}")
+        try:
+            while pending and not give_up.is_set():
+                progressed = False
+                for cid, payload in list(pending.items()):
+                    try:
+                        response = client.submit(cid, payload,
+                                                 tenant=tenant,
+                                                 shed_retries=3)
+                    except (ServiceError, OSError, ValueError) as error:
+                        client_errors.append(f"{tenant}: {error}")
+                        time.sleep(0.3)
+                        continue
+                    if response.get("state") in TERMINAL:
+                        with terminal_lock:
+                            terminal_states[cid] = response
+                        del pending[cid]
+                        progressed = True
+                if pending and not progressed:
+                    time.sleep(0.5)
+        finally:
+            client.close()
+
+    daemons: dict[int, subprocess.Popen] = {}
+    threads: list[threading.Thread] = []
+    try:
+        for node in range(3):
+            daemons[node] = start_daemon(node)
+
+        # Poison first: pinned to node 0 so it takes dispatch ordinal 0
+        # there (where worker-wedge:0 lives) and is never routed away.
+        poison_client = ServiceClient(sockets[0], connect_attempts=25)
+        try:
+            response = poison_client.submit(
+                poison_id, poison_job.to_payload(), tenant="poison",
+                pin=True)
+            if not response.get("ok"):
+                report.mismatches.append(
+                    f"poison submit answered {response!r}")
+        finally:
+            poison_client.close()
+
+        # Routing only spreads once gossip has met the majority-side
+        # peer (an unmet peer is not in the rendezvous set), and the
+        # whole drill rests on the victim owning jobs when it dies —
+        # so hold the clients until node 0 reports the victim UP.
+        victim_met = False
+        while time.monotonic() < started + 15.0:
+            try:
+                status_client = ServiceClient(sockets[0],
+                                              connect_attempts=5)
+                try:
+                    view = status_client.status().get("cluster") or {}
+                finally:
+                    status_client.close()
+            except (ServiceError, OSError, ValueError):
+                view = {}
+            victim_met = any(peer.get("addr") == addrs[victim]
+                             and peer.get("state") == "up"
+                             for peer in view.get("peers") or [])
+            if victim_met:
+                break
+            time.sleep(0.1)
+        if not victim_met:
+            report.mismatches.append("node 0 never saw the victim UP — "
+                                     "gossip is not running")
+
+        threads = [threading.Thread(target=client_loop, args=(tenant,),
+                                    name=f"cluster-client-{tenant}",
+                                    daemon=True)
+                   for tenant in ("alice", "bob")]
+        for thread in threads:
+            thread.start()
+
+        # Mid-partition murder: the victim dies with slowed jobs in
+        # flight and never comes back — handoff or bust.
+        time.sleep(kill_after + rng.uniform(0.0, 0.5))
+        daemons[victim].kill()
+        daemons[victim].wait()
+        report.daemon_kills += 1
+
+        for thread in threads:
+            thread.join(timeout=max(deadline - time.monotonic(), 1.0))
+        if any(thread.is_alive() for thread in threads):
+            give_up.set()
+            report.mismatches.append("client thread(s) still waiting at "
+                                     "the drill deadline")
+
+        # The poison must quarantine on node 0 without help; poll.
+        while time.monotonic() < deadline:
+            try:
+                status_client = ServiceClient(sockets[0],
+                                              connect_attempts=5)
+                try:
+                    state = status_client.result(poison_id).get("state")
+                finally:
+                    status_client.close()
+            except (ServiceError, OSError, ValueError):
+                state = None
+            if state == QUARANTINED:
+                break
+            time.sleep(0.5)
+
+        # Give gossip a moment to sync the quarantine to the minority,
+        # then drain the survivors gracefully.
+        time.sleep(4 * gossip_interval)
+        report.drain_clean = True
+        for node in (0, minority):
+            daemons[node].terminate()
+        for node in (0, minority):
+            try:
+                if daemons[node].wait(timeout=60.0) != 0:
+                    report.drain_clean = False
+                    report.mismatches.append(
+                        f"daemon {node} drained with exit "
+                        f"{daemons[node].returncode}")
+            except subprocess.TimeoutExpired:
+                daemons[node].kill()
+                daemons[node].wait()
+                report.drain_clean = False
+                report.mismatches.append(
+                    f"daemon {node} ignored SIGTERM for 60s")
+    finally:
+        give_up.set()
+        for proc in daemons.values():
+            if proc.poll() is None:   # pragma: no cover - cleanup path
+                proc.kill()
+                proc.wait()
+
+    # -------- offline audit: every journal, one fleet-wide verdict ----- #
+    audit = audit_state_dirs(state_dirs)
+    report.effectively_once = audit.effectively_once
+    report.duplicates = audit.duplicates
+    report.adopted = len(audit.adopted)
+    if audit.missing:
+        report.mismatches.append(f"jobs lost fleet-wide: {audit.missing}")
+    if audit.conflicting:
+        report.mismatches.append(
+            f"conflicting terminals: {audit.conflicting}")
+    report.mismatches.extend(audit.problems)
+
+    design_ids = {job_id(digest, cell.index): cell for cell in cells}
+    done_ids = {rid for rid in design_ids
+                if DONE_STATE in audit.states_of(rid)}
+    report.converged = set(design_ids) <= done_ids
+    report.counts = {"done": len(done_ids), "cells": len(design_ids),
+                     "jobs": len(audit.jobs), "adopted": report.adopted}
+    if not report.converged:
+        report.mismatches.append(
+            f"design cells not done fleet-wide: "
+            f"{sorted(set(design_ids) - done_ids)}")
+
+    cache = ResultCache(cache_dir)
+    report.identical = True
+    for cid, cell in sorted(design_ids.items(),
+                            key=lambda item: item[1].index):
+        result = cache.get(cell.job.fingerprint())
+        if result is None:
+            report.identical = False
+            report.mismatches.append(f"no cached result for {cell.label}")
+            continue
+        got = f"{cell.label},{result.cycles},{result.ipc!r}"
+        if got != ref_lines[cell.label]:
+            report.identical = False
+            report.mismatches.append(f"expected {ref_lines[cell.label]!r}, "
+                                     f"got {got!r}")
+
+    poison = audit.jobs.get(poison_id)
+    report.poison_quarantined = (
+        poison is not None and poison.states == {QUARANTINED}
+        and audit.executed_dirs(poison_id) == [state_dirs[0].name])
+    if poison is not None and poison.ordinals[:1] != [0]:
+        report.mismatches.append(
+            f"poison job got ordinal {poison.ordinals!r}, not 0")
+        report.poison_quarantined = False
+
+    report.reclaim_seen = bool(audit.adopted) \
+        or "cluster.reclaim" in audit.event_kinds()
+    if report.expected_reclaim and not report.reclaim_seen:
+        report.mismatches.append("no job was adopted from the dead "
+                                 "victim despite rendezvous demanding it")
+    other_kinds: set[str] = set()
+    for name, kinds in audit.events.items():
+        if name != state_dirs[0].name:
+            other_kinds |= kinds
+    report.quarantine_propagated = "breaker.sync" in other_kinds
+    report.partition_seen = ("peer.dead" in audit.event_kinds()
+                             and "cluster.degraded" in audit.event_kinds())
+    if not report.quarantine_propagated:
+        report.mismatches.append("breaker.sync never reached a survivor")
+    if not report.partition_seen:
+        report.mismatches.append("no peer.dead/cluster.degraded events — "
+                                 "the partition never bit")
+
+    report.elapsed = time.monotonic() - started
+    return report
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.design.chaos",
@@ -592,6 +987,20 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "campaign store (daemon SIGKILLs, worker "
                              "kills, a wedged poison job, socket drops, "
                              "concurrent clients)")
+    parser.add_argument("--cluster", action="store_true",
+                        help="drill a three-daemon federation: a seeded "
+                             "partition, a SIGKILLed (never restarted) "
+                             "victim, lease-based job handoff, a pinned "
+                             "poison job, offline all-journal audit")
+    parser.add_argument("--partition-rounds", type=int, default=12,
+                        help="[--cluster] gossip rounds before the "
+                             "injected partition heals (default 12)")
+    parser.add_argument("--gossip-interval", type=float, default=0.25,
+                        help="[--cluster] fleet gossip interval in "
+                             "seconds (default 0.25)")
+    parser.add_argument("--peer-ttl", type=float, default=1.0,
+                        help="[--cluster] peer suspicion TTL in seconds "
+                             "(default 1.0)")
     parser.add_argument("--daemon-kills", type=int, default=2,
                         help="[--service] SIGKILL/restart cycles "
                              "(default 2)")
@@ -622,6 +1031,20 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="worker lease TTL in seconds "
                              f"(default {DEFAULT_CHAOS_TTL:g})")
     args = parser.parse_args(argv)
+    if args.cluster:
+        cluster_report = run_cluster_chaos(
+            args.design, seed=args.seed,
+            root=args.root if args.root != DEFAULT_CHAOS_ROOT
+            else DEFAULT_CLUSTER_CHAOS_ROOT,
+            scale=args.scale, workers=args.workers,
+            gossip_interval=args.gossip_interval, peer_ttl=args.peer_ttl,
+            partition_rounds=args.partition_rounds)
+        print(cluster_report.summary_line())
+        root = (args.root if args.root != DEFAULT_CHAOS_ROOT
+                else DEFAULT_CLUSTER_CHAOS_ROOT)
+        print(f"[cluster chaos: {cluster_report.elapsed:.1f}s, state "
+              f"under {root}/]", file=sys.stderr)
+        return 0 if cluster_report.ok else 1
     if args.service:
         service_report = run_service_chaos(
             args.design, daemon_kills=args.daemon_kills, seed=args.seed,

@@ -102,6 +102,18 @@ def _alive(claim: dict, beats: dict[str, float], now: float) -> bool:
     return seen + float(claim.get("ttl", DEFAULT_LEASE_TTL)) > now
 
 
+def lease_alive(claim: dict, beats: dict[str, float], now: float) -> bool:
+    """Is this lease live — newest heartbeat (or claim time) within TTL?
+
+    The one liveness rule shared by every lease in the system: campaign
+    cell claims here, and the cluster's job-ownership leases
+    (:mod:`repro.service.cluster`), which hold ``{"worker": node, "t":
+    claim_time, "ttl": seconds}`` claims against node-level gossip
+    heartbeats.
+    """
+    return _alive(claim, beats, now)
+
+
 def fold_records(records: list[dict], *, fingerprints: dict[int, str],
                  base: dict[int, dict] | None = None) -> CampaignState:
     """Replay journal records (after an optional snapshot base).

@@ -72,6 +72,21 @@ their index K is a protocol or dispatch ordinal, not a batch position::
                         queue (inline workers degrade the wedge to a
                         transient crash, mirroring ``kill``)
 
+Cluster-grade faults address the federation layer
+(:mod:`repro.service.cluster`); they are keyed by *node index* (a
+daemon's position in its ``--cluster`` member list), not a job::
+
+    partition:A|B:CYCLES    a network partition: nodes in group A cannot
+                            exchange gossip or forwarded frames with
+                            nodes in group B (checked symmetrically by
+                            sender and receiver) until the local daemon
+                            has completed CYCLES gossip rounds, then the
+                            partition heals.  Groups are dash-separated
+                            node indices, e.g. ``partition:0-1|2:8``
+                            splits a three-node fleet 2/1 for 8 rounds.
+                            Not once-only: the partition is a *window*,
+                            active from boot until it heals.
+
 "once" semantics survive process boundaries through marker files in a
 shared state directory (``O_CREAT | O_EXCL`` — exactly one process wins),
 so a killed-and-retried job really does succeed on its second attempt
@@ -101,7 +116,8 @@ KILL_EXIT_CODE = 86
 _ACTIONS = ("fail", "flaky", "kill", "kill-at", "delay", "corrupt",
             "kill-worker", "torn-tail", "corrupt-journal",
             "stall-heartbeat", "fail-append",
-            "slow-client", "socket-drop", "worker-wedge")
+            "slow-client", "socket-drop", "worker-wedge",
+            "partition")
 
 #: The campaign-journal faults fired after an append completes, in the
 #: order they are applied when several target the same ordinal.
@@ -122,11 +138,17 @@ class InjectedTransientFault(OSError):
 
 @dataclass(frozen=True)
 class Fault:
-    """One scheduled fault: what to do, to which job, with what argument."""
+    """One scheduled fault: what to do, to which job, with what argument.
+
+    ``partition`` faults are not job-addressed; they carry their group
+    spec (``"0-1|2"``) in :attr:`text` and the heal round in :attr:`arg`
+    (:attr:`index` is unused and pinned to 0).
+    """
 
     action: str
     index: int
     arg: float | None = None
+    text: str | None = None
 
     def __post_init__(self) -> None:
         if self.action not in _ACTIONS:
@@ -143,6 +165,39 @@ class Fault:
         if self.action == "corrupt" and self.arg is not None and self.arg < 0:
             raise FaultSpecError("in-flight corrupt faults need a "
                                  "non-negative cycle: corrupt:K:CYCLE")
+        if self.action == "partition":
+            if self.arg is None or self.arg < 1:
+                raise FaultSpecError("partition faults need a heal round "
+                                     ">= 1: partition:A|B:CYCLES")
+            _parse_partition_groups(self.text or "")
+
+    def partition_groups(self) -> tuple[frozenset, frozenset]:
+        """The two node-index groups of a ``partition`` fault."""
+        if self.action != "partition":
+            raise FaultSpecError(f"{self.action!r} fault has no groups")
+        return _parse_partition_groups(self.text or "")
+
+
+def _parse_partition_groups(spec: str) -> tuple[frozenset, frozenset]:
+    """``"0-1|2"`` -> ``(frozenset({0, 1}), frozenset({2}))``; validates."""
+    sides = spec.split("|")
+    if len(sides) != 2:
+        raise FaultSpecError(f"partition groups must be GROUP|GROUP with "
+                             f"dash-separated node indices, got {spec!r}")
+    groups = []
+    for side in sides:
+        try:
+            members = frozenset(int(n) for n in side.split("-") if n != "")
+        except ValueError:
+            raise FaultSpecError(
+                f"bad node index in partition group {side!r}") from None
+        if not members:
+            raise FaultSpecError(f"empty partition group in {spec!r}")
+        groups.append(members)
+    if groups[0] & groups[1]:
+        raise FaultSpecError(f"partition groups overlap in {spec!r}: "
+                             f"{sorted(groups[0] & groups[1])}")
+    return groups[0], groups[1]
 
 
 class FaultPlan:
@@ -180,6 +235,22 @@ class FaultPlan:
                     f"bad fault entry {entry!r}; expected ACTION:INDEX or "
                     f"ACTION:INDEX:ARG")
             action = parts[0]
+            if action == "partition":
+                # partition:GROUPS:CYCLES — GROUPS ("0-1|2") is not an
+                # integer index, so it rides the text field instead.
+                if len(parts) != 3:
+                    raise FaultSpecError(
+                        f"bad fault entry {entry!r}; expected "
+                        f"partition:A|B:CYCLES")
+                try:
+                    cycles = float(parts[2])
+                except ValueError:
+                    raise FaultSpecError(
+                        f"bad partition heal round in {entry!r}: "
+                        f"{parts[2]!r}") from None
+                faults.append(Fault(action=action, index=0, arg=cycles,
+                                    text=parts[1]))
+                continue
             try:
                 index = int(parts[1])
             except ValueError:
@@ -334,6 +405,34 @@ class FaultPlan:
         """
         return any(fault.action == "worker-wedge" and fault.index == ordinal
                    for fault in self.faults)
+
+    # ------------------------------------------------------------------ #
+    # cluster-grade faults (federation layer; keyed by node index)
+    def partition_spec(self) -> tuple[frozenset, frozenset, int] | None:
+        """``(group_a, group_b, heal_round)`` of the partition, or None."""
+        for fault in self.faults:
+            if fault.action == "partition":
+                group_a, group_b = fault.partition_groups()
+                return group_a, group_b, int(fault.arg or 0)
+        return None
+
+    def partition_blocks(self, node_a: int, node_b: int,
+                         rounds: int) -> bool:
+        """Is traffic between nodes ``node_a`` and ``node_b`` blocked?
+
+        ``rounds`` is the asking daemon's completed gossip-round count;
+        the partition is a window, active until that counter reaches the
+        heal round.  Symmetric, and never blocks a node from itself.
+        Nodes outside both groups are unaffected.
+        """
+        spec = self.partition_spec()
+        if spec is None or node_a == node_b:
+            return False
+        group_a, group_b, heal = spec
+        if rounds >= heal:
+            return False
+        return ((node_a in group_a and node_b in group_b)
+                or (node_a in group_b and node_b in group_a))
 
 
 class RunSaboteur:

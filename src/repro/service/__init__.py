@@ -6,18 +6,32 @@ persistent submission queue, admission control with load shedding
 (:mod:`repro.service.admission`), a heartbeat-supervised worker pool
 (:mod:`repro.service.supervisor` driving
 :mod:`repro.service.worker` subprocesses through the engine's shared
-dispatch core), a per-fingerprint circuit breaker for poison jobs, and
-graceful drain on SIGTERM.  ``repro-submit``
-(:mod:`repro.service.client`) compiles a design client-side and talks
-newline-delimited JSON (:mod:`repro.service.protocol`) over a unix
-socket or TCP.  See docs/ROBUSTNESS.md ("Service") for the supervision
-tree, the overload ladder and the crash matrix.
+dispatch core), a per-fingerprint circuit breaker (with half-open
+probing) for poison jobs, and graceful drain on SIGTERM.
+``repro-submit`` (:mod:`repro.service.client`) compiles a design
+client-side and talks newline-delimited JSON
+(:mod:`repro.service.protocol`) over a unix socket or TCP, failing over
+across a ``--peers`` list.
+
+Daemons federate (:mod:`repro.service.cluster`): gossip-based
+membership with lease-rule failure detection, replicated job ownership
+with rendezvous-hashed handoff from dead peers, quorum-gated admission
+(the split-brain stance), and fleet-wide quarantine sync.
+``repro-audit`` (:mod:`repro.service.audit`) folds every daemon's
+journal into one offline exactly-once verdict.  See docs/ROBUSTNESS.md
+("Service", "Clustered service") for the supervision tree, the overload
+ladder, the membership protocol and the crash matrix.
 """
 
-from .admission import (DEFAULT_BREAKER_THRESHOLD, DEFAULT_BURST,
-                        DEFAULT_QUEUE_DEPTH, DEFAULT_RATE, CircuitBreaker,
-                        FairShareQueue, TokenBucket)
+from .admission import (ADMIT_OK, ADMIT_PROBE, ADMIT_REFUSE,
+                        DEFAULT_BREAKER_COOLDOWN, DEFAULT_BREAKER_THRESHOLD,
+                        DEFAULT_BURST, DEFAULT_QUEUE_DEPTH, DEFAULT_RATE,
+                        CircuitBreaker, FairShareQueue, TokenBucket)
+from .audit import AuditReport, JobAudit, audit_state_dirs
 from .client import ServiceClient, ServiceError
+from .cluster import (DEFAULT_GOSSIP_INTERVAL, DEFAULT_PEER_TTL, PEER_DEAD,
+                      PEER_SUSPECT, PEER_UNKNOWN, PEER_UP, ClusterManager,
+                      PeerState, parse_address, rendezvous_owner)
 from .daemon import (DEFAULT_DRAIN_GRACE, DEFAULT_STATE_DIR, SOCKET_NAME,
                      JobRecord, JobTable, SchedulerDaemon)
 from .protocol import (DONE, FAILED, MAX_FRAME_BYTES, PROTOCOL_VERSION,
@@ -27,13 +41,16 @@ from .protocol import (DONE, FAILED, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 from .supervisor import DEFAULT_HB_TIMEOUT, Dispatch, Supervisor
 
 __all__ = [
+    "ADMIT_OK", "ADMIT_PROBE", "ADMIT_REFUSE", "DEFAULT_BREAKER_COOLDOWN",
     "DEFAULT_BREAKER_THRESHOLD", "DEFAULT_BURST", "DEFAULT_DRAIN_GRACE",
-    "DEFAULT_HB_TIMEOUT", "DEFAULT_QUEUE_DEPTH", "DEFAULT_RATE",
-    "DEFAULT_STATE_DIR", "DONE", "FAILED", "MAX_FRAME_BYTES",
-    "PROTOCOL_VERSION", "QUARANTINED", "QUEUED", "RUNNING", "SHED",
-    "SOCKET_NAME", "STATES", "TERMINAL", "CircuitBreaker", "Dispatch",
-    "FairShareQueue", "JobRecord", "JobTable", "ProtocolError",
+    "DEFAULT_GOSSIP_INTERVAL", "DEFAULT_HB_TIMEOUT", "DEFAULT_PEER_TTL",
+    "DEFAULT_QUEUE_DEPTH", "DEFAULT_RATE", "DEFAULT_STATE_DIR", "DONE",
+    "FAILED", "MAX_FRAME_BYTES", "PEER_DEAD", "PEER_SUSPECT",
+    "PEER_UNKNOWN", "PEER_UP", "PROTOCOL_VERSION", "QUARANTINED", "QUEUED",
+    "RUNNING", "SHED", "SOCKET_NAME", "STATES", "TERMINAL", "AuditReport",
+    "CircuitBreaker", "ClusterManager", "Dispatch", "FairShareQueue",
+    "JobAudit", "JobRecord", "JobTable", "PeerState", "ProtocolError",
     "SchedulerDaemon", "ServiceClient", "ServiceError", "Supervisor",
-    "TokenBucket", "decode_frame", "encode_frame", "error_response",
-    "job_id",
+    "TokenBucket", "audit_state_dirs", "decode_frame", "encode_frame",
+    "error_response", "job_id", "parse_address", "rendezvous_owner",
 ]

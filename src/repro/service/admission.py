@@ -5,7 +5,9 @@ overload/degradation ladder in docs/ROBUSTNESS.md):
 
 1. :class:`CircuitBreaker` — a fingerprint that has repeatedly *killed
    or wedged* workers is poison; further submissions are refused as
-   ``quarantined`` before they can take another worker down.
+   ``quarantined`` before they can take another worker down.  After a
+   configurable cooldown the circuit goes *half-open* and admits one
+   probe, so a transiently-poisoned fingerprint can recover.
 2. :class:`TokenBucket` — per-tenant rate limit; a bursty tenant is
    shed with a ``retry_after`` hint instead of starving everyone else.
 3. Bounded queue depth (enforced by :class:`FairShareQueue.push`) — the
@@ -23,6 +25,7 @@ are deterministic without sleeping.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any, Hashable
@@ -39,6 +42,15 @@ DEFAULT_QUEUE_DEPTH = 1024
 #: Worker crashes/wedges a single fingerprint may cause before its
 #: circuit opens and further attempts are quarantined.
 DEFAULT_BREAKER_THRESHOLD = 3
+
+#: Seconds an open circuit stays fully closed to traffic before one
+#: half-open probe is allowed through (None = quarantine is permanent).
+DEFAULT_BREAKER_COOLDOWN = 300.0
+
+#: :meth:`CircuitBreaker.admit` verdicts.
+ADMIT_OK = "ok"            # circuit closed: run normally
+ADMIT_PROBE = "probe"      # circuit half-open: this one attempt probes it
+ADMIT_REFUSE = "refuse"    # circuit open: quarantine the submission
 
 
 @dataclass
@@ -147,24 +159,100 @@ class CircuitBreaker:
     never open a circuit).  Counts are rebuilt from the daemon's journal
     on restart (``crash`` records), so a poison job cannot launder its
     history by killing the daemon too.
+
+    Circuits are not permanently open: after ``cooldown`` seconds a
+    single *half-open probe* is admitted (:meth:`admit` returns
+    :data:`ADMIT_PROBE` once).  A successful probe closes the circuit
+    (:meth:`record_success`); a crash during the probe re-opens it and
+    restarts the cooldown.  ``cooldown=None`` restores the old
+    permanent-quarantine behaviour.  Time is a caller-supplied monotonic
+    float (falling back to ``time.monotonic()``), so tests drive the
+    state machine without sleeping.
     """
 
-    def __init__(self, threshold: int = DEFAULT_BREAKER_THRESHOLD) -> None:
+    def __init__(self, threshold: int = DEFAULT_BREAKER_THRESHOLD,
+                 cooldown: float | None = DEFAULT_BREAKER_COOLDOWN) -> None:
         if threshold < 1:
             raise ValueError(f"breaker threshold must be >= 1, "
                              f"got {threshold}")
+        if cooldown is not None and cooldown <= 0:
+            raise ValueError(f"breaker cooldown must be > 0 or None, "
+                             f"got {cooldown}")
         self.threshold = threshold
+        self.cooldown = cooldown
         self.crashes: dict[str, int] = {}
+        self.opened: dict[str, float] = {}
+        self.probing: set[str] = set()
 
-    def record_crash(self, fingerprint: str) -> bool:
-        """Count one crash; True exactly when this crash opens the
-        circuit (count reaches the threshold)."""
+    @staticmethod
+    def _now(now: float | None) -> float:
+        return time.monotonic() if now is None else now
+
+    def record_crash(self, fingerprint: str,
+                     now: float | None = None) -> bool:
+        """Count one crash; True exactly when this crash (re-)opens the
+        circuit — on reaching the threshold, or on a failed half-open
+        probe.  (Re-)opening restarts the cooldown clock."""
         count = self.crashes.get(fingerprint, 0) + 1
         self.crashes[fingerprint] = count
-        return count == self.threshold
+        if count < self.threshold:
+            return False
+        failed_probe = fingerprint in self.probing
+        self.probing.discard(fingerprint)
+        newly_open = count == self.threshold or failed_probe
+        self.opened[fingerprint] = self._now(now)
+        return newly_open
+
+    def record_success(self, fingerprint: str) -> bool:
+        """A job with this fingerprint completed; True exactly when that
+        was a half-open probe and the circuit closes because of it."""
+        if fingerprint not in self.probing:
+            return False
+        self.probing.discard(fingerprint)
+        self.crashes.pop(fingerprint, None)
+        self.opened.pop(fingerprint, None)
+        return True
+
+    def force_open(self, fingerprint: str, crashes: int = 0,
+                   now: float | None = None) -> bool:
+        """Open the circuit without local evidence (a peer's quarantine
+        propagated by gossip); True when it was not already open."""
+        if self.is_open(fingerprint):
+            self.crashes[fingerprint] = max(self.crashes[fingerprint],
+                                            crashes, self.threshold)
+            return False
+        self.crashes[fingerprint] = max(crashes, self.threshold)
+        self.opened[fingerprint] = self._now(now)
+        self.probing.discard(fingerprint)
+        return True
+
+    def admit(self, fingerprint: str, now: float | None = None) -> str:
+        """Admission verdict for one submission of this fingerprint.
+
+        :data:`ADMIT_OK` while the circuit is closed; :data:`ADMIT_PROBE`
+        exactly once per cooldown expiry (the probe attempt);
+        :data:`ADMIT_REFUSE` otherwise.
+        """
+        if self.crashes.get(fingerprint, 0) < self.threshold:
+            return ADMIT_OK
+        if self.cooldown is None or fingerprint in self.probing:
+            return ADMIT_REFUSE
+        opened = self.opened.get(fingerprint)
+        if opened is None:
+            return ADMIT_REFUSE
+        if self._now(now) - opened >= self.cooldown:
+            self.probing.add(fingerprint)
+            return ADMIT_PROBE
+        return ADMIT_REFUSE
 
     def is_open(self, fingerprint: str) -> bool:
+        """Open *or* half-open — the count is at or past the threshold."""
         return self.crashes.get(fingerprint, 0) >= self.threshold
+
+    def open_fingerprints(self) -> list[str]:
+        """Fingerprints whose circuit is open or half-open, sorted."""
+        return sorted(fp for fp, count in self.crashes.items()
+                      if count >= self.threshold)
 
     def open_count(self) -> int:
         return sum(1 for count in self.crashes.values()

@@ -17,17 +17,30 @@ jobs and exactly one execution each.  It then watches for terminal
 states, prints the familiar label/cycles/ipc table and exits with the
 uniform codes (:mod:`repro.harness.exit_codes`): 0 all done, 1 partial
 (failed or still pending), 2 usage, 3 exhausted/quarantined, 4 shed.
+
+Against a federated fleet (``--peers A,B,C``) the client holds the full
+address list and rotates through it: a connection failure or drop moves
+on to the next peer instead of hammering the dead one, and the backoff
+sleep only happens after a full fruitless rotation.  Job ids being
+idempotency keys makes this failover transparent — whichever daemon
+answers either owns the job, forwards it, or reports the known state.
+Reconnect backoff carries a deterministic per-client jitter
+(:func:`repro.design.campaign.worker_ttl_jitter` over a host+pid key,
+mirroring the campaign lease-TTL jitter) so a fleet of clients stampeding
+after a daemon restart decorrelates without losing reproducibility.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import socket
 import sys
 import time
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
+from ..design.campaign import worker_ttl_jitter
 from ..design.env import DesignEnv
 from ..design.files import load_design
 from ..harness.engine import Backoff
@@ -44,57 +57,114 @@ DEFAULT_CONNECT_ATTEMPTS = 6
 #: Shed-retry attempts per submission before reporting the job shed.
 DEFAULT_SHED_RETRIES = 20
 
+#: Maximum fraction added to each backoff delay by per-client jitter
+#: (same knob value as the campaign lease-TTL jitter).
+BACKOFF_JITTER_FRAC = 0.25
+
 
 class ServiceError(RuntimeError):
     """The daemon is unreachable or answered with a protocol error."""
 
 
+def default_jitter_key() -> str:
+    """Host + pid: decorrelates concurrent clients deterministically."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
 class ServiceClient:
-    """Synchronous NDJSON client over a unix socket or TCP."""
+    """Synchronous NDJSON client over a unix socket or TCP.
+
+    ``peers`` (a list of ``host:port`` or unix-socket-path addresses)
+    turns the client into a fleet client: every connection attempt
+    targets the current peer, and any failure rotates to the next one
+    before the jittered backoff sleep.
+    """
 
     def __init__(self, socket_path: str | Path | None = None, *,
                  host: str | None = None, port: int | None = None,
+                 peers: Sequence[str] | None = None,
                  timeout: float = 120.0,
                  connect_attempts: int = DEFAULT_CONNECT_ATTEMPTS,
                  backoff: Backoff | None = None,
+                 jitter_key: str | None = None,
                  faults: FaultPlan | None = None) -> None:
-        if host is None and socket_path is None:
+        self.peers = [str(p) for p in peers] if peers else []
+        if not self.peers and host is None and socket_path is None:
             socket_path = Path(DEFAULT_STATE_DIR) / SOCKET_NAME
         self.socket_path = Path(socket_path) if socket_path else None
         self.host, self.port = host, port
         self.timeout = timeout
         self.connect_attempts = connect_attempts
         self.backoff = backoff or Backoff(base=0.25, cap=5.0)
+        # Deterministic per-client jitter factor in [1, 1 + FRAC): the
+        # same client always backs off identically (reproducible runs),
+        # different clients spread out instead of stampeding in lockstep.
+        self.jitter = 1.0 + BACKOFF_JITTER_FRAC * worker_ttl_jitter(
+            jitter_key if jitter_key is not None else default_jitter_key())
         self.faults = faults
         self.frames_sent = 0
         self.reconnects = 0
+        self.failovers = 0
+        self._peer_index = 0
         self._sock: socket.socket | None = None
         self._file = None
 
     # -- connection ---------------------------------------------------- #
+    def _delay(self, attempt: int) -> float:
+        """Backoff delay with the client's deterministic jitter applied."""
+        return self.backoff.delay(attempt) * self.jitter
+
+    def _target(self) -> tuple[str | None, int | None, str | None]:
+        """Current (host, port, socket_path) to dial."""
+        if self.peers:
+            address = self.peers[self._peer_index % len(self.peers)]
+            if "/" not in address and address.count(":") == 1:
+                node, _, port = address.partition(":")
+                if port.isdigit():
+                    return node, int(port), None
+            return None, None, address
+        return self.host, self.port, (str(self.socket_path)
+                                      if self.socket_path else None)
+
+    def _rotate(self) -> None:
+        """Next peer, if there is more than one to rotate to."""
+        if len(self.peers) > 1:
+            self._peer_index = (self._peer_index + 1) % len(self.peers)
+            self.failovers += 1
+
     def connect(self) -> None:
         if self._sock is not None:
             return
         last: Exception | None = None
+        rotation = max(len(self.peers), 1)
         for attempt in range(1, self.connect_attempts + 1):
-            try:
-                if self.host is not None:
-                    sock = socket.create_connection(
-                        (self.host, self.port), timeout=self.timeout)
-                else:
-                    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-                    sock.settimeout(self.timeout)
-                    sock.connect(str(self.socket_path))
-            except OSError as error:
-                last = error
-                if attempt < self.connect_attempts:
-                    time.sleep(self.backoff.delay(attempt))
-                continue
-            self._sock = sock
-            self._file = sock.makefile("rb")
-            return
-        where = (f"{self.host}:{self.port}" if self.host
-                 else str(self.socket_path))
+            for _ in range(rotation):
+                host, port, path = self._target()
+                try:
+                    if host is not None:
+                        sock = socket.create_connection(
+                            (host, port), timeout=self.timeout)
+                    else:
+                        sock = socket.socket(socket.AF_UNIX,
+                                             socket.SOCK_STREAM)
+                        sock.settimeout(self.timeout)
+                        sock.connect(str(path))
+                except OSError as error:
+                    last = error
+                    self._rotate()
+                    continue
+                self._sock = sock
+                self._file = sock.makefile("rb")
+                return
+            # Every peer refused this round: sleep, then rotate again.
+            if attempt < self.connect_attempts:
+                time.sleep(self._delay(attempt))
+        if self.peers:
+            where = ",".join(self.peers)
+        elif self.host:
+            where = f"{self.host}:{self.port}"
+        else:
+            where = str(self.socket_path)
         raise ServiceError(f"cannot reach repro-serve at {where} after "
                            f"{self.connect_attempts} attempt(s): {last}")
 
@@ -110,6 +180,8 @@ class ServiceClient:
     def _drop(self) -> None:
         self.close()
         self.reconnects += 1
+        # A dropped daemon may be restarting or dead; try its peer next.
+        self._rotate()
 
     def __enter__(self) -> "ServiceClient":
         self.connect()
@@ -153,7 +225,7 @@ class ServiceClient:
                 self._drop()
                 if attempt >= self.connect_attempts:
                     raise
-                time.sleep(self.backoff.delay(attempt))
+                time.sleep(self._delay(attempt))
         raise ServiceError("unreachable")   # pragma: no cover
 
     # -- operations ---------------------------------------------------- #
@@ -167,22 +239,33 @@ class ServiceClient:
         return self.request({"op": "result", "id": id})
 
     def submit(self, id: str, job_payload: dict[str, Any], *,
-               tenant: str = "-",
+               tenant: str = "-", pin: bool = False,
                shed_retries: int = DEFAULT_SHED_RETRIES) -> dict[str, Any]:
         """Submit one job, riding out shed responses with backoff.
 
         Returns the final submit response; its ``state`` is ``shed``
-        only after ``shed_retries`` polite retries all bounced.
+        only after ``shed_retries`` polite retries all bounced.  With
+        multiple peers a shed (overloaded or quorum-less daemon) also
+        rotates: the retry lands on the next peer, which may accept.
+        ``pin`` asks the contacted daemon to own the job itself instead
+        of routing it to its rendezvous owner.
         """
         frame = {"op": "submit", "id": id, "tenant": tenant,
                  "job": job_payload}
+        if pin:
+            frame["pin"] = True
         response = self.request(frame)
         attempt = 0
         while response.get("state") == SHED and attempt < shed_retries:
             attempt += 1
+            if not pin and len(self.peers) > 1:
+                # Not a drop — the daemon is alive but refusing — so
+                # rotate without counting a reconnect.
+                self.close()
+                self._rotate()
             hint = response.get("retry_after")
             time.sleep(min(float(hint) if hint is not None
-                           else self.backoff.delay(attempt), 5.0))
+                           else self._delay(attempt), 5.0))
             response = self.request(frame)
         return response
 
@@ -214,7 +297,7 @@ class ServiceClient:
                 attempt += 1
                 if attempt >= self.connect_attempts:
                     raise
-                time.sleep(self.backoff.delay(attempt))
+                time.sleep(self._delay(attempt))
             remaining = [i for i in ids if i not in terminal]
         return terminal
 
@@ -260,6 +343,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--host", default=None,
                         help="daemon TCP host (with --port)")
     parser.add_argument("--port", type=int, default=0, help="daemon TCP port")
+    parser.add_argument("--peers", default=None, metavar="ADDRS",
+                        help="comma-separated fleet addresses "
+                             "(host:port or unix socket paths); the "
+                             "client fails over across them")
+    parser.add_argument("--pin", action="store_true",
+                        help="pin jobs to the contacted daemon instead "
+                             "of rendezvous routing")
     parser.add_argument("--tenant", default=None,
                         help="fair-share tenant name (default: user name)")
     parser.add_argument("--scale", type=float, default=1.0,
@@ -285,16 +375,44 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error(str(error))
     if args.host is not None and not args.port:
         parser.error("--host needs --port")
+    peers = ([p.strip() for p in args.peers.split(",") if p.strip()]
+             if args.peers else None)
+    if args.peers and not peers:
+        parser.error("--peers needs at least one address")
     client = ServiceClient(args.socket, host=args.host,
-                           port=args.port or None, faults=faults)
+                           port=args.port or None, peers=peers,
+                           faults=faults)
 
     try:
         if args.status:
             status = client.status()
             for key in ("healthy", "draining", "uptime", "pid", "workers",
-                        "queued", "inflight", "jobs", "breaker_open",
-                        "shed", "respawns", "wedges"):
+                        "queued", "inflight", "queue_depth", "jobs",
+                        "breaker_open", "shed", "respawns", "wedges"):
                 print(f"{key}: {status.get(key)}")
+            breaker = status.get("breaker") or {}
+            if breaker.get("open") or breaker.get("half_open"):
+                print(f"breaker_detail: open={breaker.get('open')} "
+                      f"half_open={breaker.get('half_open')} "
+                      f"cooldown={breaker.get('cooldown')}")
+            for worker in status.get("workers_detail") or []:
+                print(f"worker[{worker.get('slot')}]: "
+                      f"pid={worker.get('pid')} "
+                      f"alive={worker.get('alive')} "
+                      f"inline={worker.get('inline')} "
+                      f"jobs={worker.get('jobs')}")
+            cluster = status.get("cluster")
+            if cluster:
+                print(f"cluster: {cluster.get('advertise')} "
+                      f"[{cluster.get('index')}/{cluster.get('size')}] "
+                      f"quorum={cluster.get('quorum')} "
+                      f"degraded={cluster.get('degraded')} "
+                      f"rounds={cluster.get('rounds')} "
+                      f"remote_jobs={cluster.get('remote_jobs')}")
+                for peer in cluster.get("peers") or []:
+                    print(f"peer[{peer.get('index')}]: "
+                          f"{peer.get('addr')} state={peer.get('state')} "
+                          f"misses={peer.get('misses')}")
             return EXIT_OK
         if args.drain:
             client.drain()
@@ -321,7 +439,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             ids.append(cid)
             labels[cid] = cell.label
             response = client.submit(cid, cell.job.to_payload(),
-                                     tenant=tenant)
+                                     tenant=tenant, pin=args.pin)
             if not response.get("ok"):
                 raise ServiceError(response.get("error", "submit refused"))
             states[cid] = response.get("state", SHED)

@@ -23,7 +23,12 @@ The daemon owns:
 * **graceful drain** — SIGTERM (or a ``drain`` request) stops
   admission, lets in-flight jobs finish (bounded by ``drain_grace``),
   folds the journal into a snapshot and exits 0.  Queued jobs stay
-  journaled for the next incarnation.
+  journaled for the next incarnation;
+* optionally a **cluster membership** (:mod:`repro.service.cluster`,
+  ``--cluster``/``--advertise``) — gossip heartbeats to every peer,
+  lease-based handoff of a dead peer's jobs, rendezvous-hash submit
+  routing, and a no-quorum stance that stops acceptance and settlement
+  on the minority side of a partition.
 
 Observability: every scheduling event (shed, breaker open, respawn,
 drain...) is appended to a durable ``events.jsonl`` in the state
@@ -51,12 +56,16 @@ from ..harness.engine import DEFAULT_RETRIES, Backoff
 from ..harness.exit_codes import EXIT_OK, EXIT_PARTIAL
 from ..harness.faults import FaultPlan, FaultSpecError
 from ..harness.jobs import JobError, SimJob
-from .admission import (DEFAULT_BREAKER_THRESHOLD, DEFAULT_BURST,
+from .admission import (ADMIT_PROBE, ADMIT_REFUSE, DEFAULT_BREAKER_COOLDOWN,
+                        DEFAULT_BREAKER_THRESHOLD, DEFAULT_BURST,
                         DEFAULT_QUEUE_DEPTH, DEFAULT_RATE, CircuitBreaker,
                         FairShareQueue, TokenBucket)
-from .protocol import (DONE, FAILED, PROTOCOL_VERSION, QUARANTINED, QUEUED,
-                       RUNNING, SHED, TERMINAL, ProtocolError, decode_frame,
-                       encode_frame, error_response)
+from .cluster import (DEFAULT_GOSSIP_INTERVAL, DEFAULT_PEER_TTL, PEER_DEAD,
+                      ClusterManager)
+from .protocol import (DONE, FAILED, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+                       QUARANTINED, QUEUED, RUNNING, SHED, TERMINAL,
+                       ProtocolError, decode_frame, encode_frame,
+                       error_response)
 from .supervisor import DEFAULT_HB_TIMEOUT, Dispatch, Supervisor
 
 #: Default service state directory (journal, events, snapshot, socket).
@@ -140,6 +149,9 @@ class JobTable:
         self.next_ordinal = 0
         self.replay_corrupt = 0
         self.replay_torn = False
+        #: Replayed cluster-replication records (for ClusterManager
+        #: recovery); empty on a non-clustered daemon's journal.
+        self.cluster_records: list[dict[str, Any]] = []
         self.journal = Journal(state_dir / QUEUE_JOURNAL, worker=worker_id,
                                faults=faults)
 
@@ -156,6 +168,8 @@ class JobTable:
         self.replay_torn = replay.torn_tail
         for record in replay.records:
             self.fold(record)
+            if record.get("type") in ("cluster-job", "cluster-terminal"):
+                self.cluster_records.append(record)
 
     def fold(self, record: dict[str, Any]) -> None:
         kind = record.get("type")
@@ -180,6 +194,15 @@ class JobTable:
                 and job.state not in TERMINAL:
             job.state = {"done": DONE, "failed": FAILED,
                          "quarantined": QUARANTINED}[kind]
+            job.error = record.get("error")
+            job.cycles = record.get("cycles")
+            job.ipc = record.get("ipc")
+        elif kind == "peer-terminal" and job.state not in TERMINAL \
+                and record.get("state") in TERMINAL:
+            # A cluster peer executed this job for us (handoff/rejoin):
+            # terminal for scheduling, but distinct in the journal so
+            # the offline audit never counts it as a local execution.
+            job.state = record["state"]
             job.error = record.get("error")
             job.cycles = record.get("cycles")
             job.ipc = record.get("ipc")
@@ -218,11 +241,16 @@ class SchedulerDaemon:
                  queue_depth: int = DEFAULT_QUEUE_DEPTH,
                  rate: float = DEFAULT_RATE, burst: float = DEFAULT_BURST,
                  breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+                 breaker_cooldown: float | None = DEFAULT_BREAKER_COOLDOWN,
                  retries: int = DEFAULT_RETRIES,
                  timeout: float | None = None,
                  hb_timeout: float = DEFAULT_HB_TIMEOUT,
                  drain_grace: float = DEFAULT_DRAIN_GRACE,
                  trace: str | Path | None = None,
+                 cluster_members: Sequence[str] | None = None,
+                 advertise: str | None = None,
+                 gossip_interval: float = DEFAULT_GOSSIP_INTERVAL,
+                 peer_ttl: float = DEFAULT_PEER_TTL,
                  faults: FaultPlan | None = None,
                  log=None) -> None:
         self.state_dir = Path(state_dir)
@@ -244,7 +272,9 @@ class SchedulerDaemon:
         self.queue = FairShareQueue(depth=queue_depth)
         self.buckets: dict[str, TokenBucket] = {}
         self.rate, self.burst = rate, burst
-        self.breaker = CircuitBreaker(threshold=breaker_threshold)
+        self.breaker = CircuitBreaker(threshold=breaker_threshold,
+                                      cooldown=breaker_cooldown)
+        self._probes: dict[str, str] = {}   # fingerprint -> probe job id
         self.supervisor = Supervisor(workers, cache_dir=cache_dir,
                                      hb_timeout=hb_timeout,
                                      backoff=Backoff(),
@@ -263,6 +293,17 @@ class SchedulerDaemon:
         self._watchers: list[tuple[set[str], asyncio.Queue]] = []
         self._inflight = 0
         self._server: asyncio.AbstractServer | None = None
+
+        self.cluster: ClusterManager | None = None
+        if cluster_members:
+            if advertise is None:
+                raise ValueError("clustered daemons need an advertise "
+                                 "address (their own entry in the member "
+                                 "list)")
+            self.cluster = ClusterManager(
+                self, list(cluster_members), advertise,
+                gossip_interval=gossip_interval, peer_ttl=peer_ttl,
+                faults=faults)
 
     # ------------------------------------------------------------------ #
     # logging / events
@@ -295,7 +336,8 @@ class SchedulerDaemon:
                 self.breaker.record_crash(job.fingerprint)
         requeued = 0
         for job in self.table.pending():
-            if self.breaker.is_open(job.fingerprint):
+            verdict = self.breaker.admit(job.fingerprint)
+            if verdict == ADMIT_REFUSE:
                 self.table.append("quarantined", id=job.id,
                                   fingerprint=job.fingerprint,
                                   error="circuit breaker open "
@@ -303,8 +345,16 @@ class SchedulerDaemon:
                 self.event("breaker.quarantine", id=job.id,
                            fingerprint=job.fingerprint[:12])
                 continue
+            if verdict == ADMIT_PROBE:
+                self._probes[job.fingerprint] = job.id
+                self.event("breaker.half_open",
+                           fingerprint=job.fingerprint[:12], id=job.id)
             self.queue.push(job.tenant, job.id, force=True)
             requeued += 1
+        if self.cluster is not None:
+            restored = self.cluster.recover(self.table.cluster_records)
+            if restored:
+                self.event("cluster.recover", remote_jobs=restored)
         return requeued
 
     def jobs_by_fingerprint_crashes(self) -> list[JobRecord]:
@@ -331,10 +381,13 @@ class SchedulerDaemon:
                 pass
 
         # Bind before the pool warms up: clients may connect and queue
-        # while worker subprocesses are still booting.
+        # while worker subprocesses are still booting.  The stream limit
+        # sits just past the protocol frame bound so an oversized line
+        # is a typed refusal, never an unhandled LimitOverrunError.
         if self.host is not None:
             self._server = await asyncio.start_server(
-                self._handle_connection, host=self.host, port=self.port)
+                self._handle_connection, host=self.host, port=self.port,
+                limit=MAX_FRAME_BYTES + 1024)
             where = f"{self.host}:{self.port}"
         else:
             try:
@@ -343,15 +396,25 @@ class SchedulerDaemon:
                 pass
             self.socket_path.parent.mkdir(parents=True, exist_ok=True)
             self._server = await asyncio.start_unix_server(
-                self._handle_connection, path=str(self.socket_path))
+                self._handle_connection, path=str(self.socket_path),
+                limit=MAX_FRAME_BYTES + 1024)
             where = str(self.socket_path)
         self._log(f"listening on {where} "
                   f"({self.workers} worker(s), pid {os.getpid()})")
         await self.supervisor.start()
 
+        gossip = None
+        if self.cluster is not None:
+            gossip = asyncio.ensure_future(self.cluster.run())
+            self._log(f"clustered: node {self.cluster.index} of "
+                      f"{len(self.cluster.members)} "
+                      f"(advertise {self.cluster.advertise})")
         dispatchers = [asyncio.ensure_future(self._dispatch_loop())
                        for _ in range(self.workers)]
         await self._drained.wait()
+        if gossip is not None:
+            gossip.cancel()
+            await asyncio.gather(gossip, return_exceptions=True)
         for task in dispatchers:
             task.cancel()
         await asyncio.gather(*dispatchers, return_exceptions=True)
@@ -397,6 +460,12 @@ class SchedulerDaemon:
         while True:
             if self.draining:
                 return
+            if self.cluster is not None and not self.cluster.has_quorum():
+                # Split-brain stance: a partition minority neither
+                # dispatches nor settles — the majority side may be
+                # reclaiming these very jobs right now.
+                await asyncio.sleep(0.1)
+                continue
             job_id = self.queue.pop()
             if job_id is None:
                 self._kick.clear()
@@ -407,6 +476,14 @@ class SchedulerDaemon:
                 continue
             job = self.table.jobs[job_id]
             if job.state in TERMINAL:
+                continue
+            if self.breaker.is_open(job.fingerprint) \
+                    and self._probes.get(job.fingerprint) != job.id:
+                # Opened after this job was queued (a crash streak, or a
+                # peer's quarantine arriving by gossip).
+                self._terminal(job, QUARANTINED,
+                               error="circuit breaker open "
+                                     "(fingerprint quarantined)")
                 continue
             self._inflight += 1
             job.running = True
@@ -433,6 +510,15 @@ class SchedulerDaemon:
         self._settle(job, dispatch)
 
     def _settle(self, job: JobRecord, dispatch: Dispatch) -> None:
+        if self.cluster is not None and not self.cluster.has_quorum() \
+                and job.state not in TERMINAL:
+            # Quorum was lost while this job was in flight: journaling a
+            # terminal now could conflict with a majority-side reclaim.
+            # Re-queue; on rejoin the dispatch re-runs (a cache hit, or
+            # folds the peer's terminal first).
+            self.event("cluster.defer", id=job.id, tag=dispatch.tag)
+            self.queue.push(job.tenant, job.id, force=True)
+            return
         if dispatch.tag == "ok":
             self._terminal(job, DONE, cycles=dispatch.cycles,
                            ipc=dispatch.ipc, cached=dispatch.cached)
@@ -443,6 +529,7 @@ class SchedulerDaemon:
                               error=dispatch.error,
                               wedged=dispatch.wedged)
             opened = self.breaker.record_crash(job.fingerprint)
+            self._probes.pop(job.fingerprint, None)
             self.event("worker.crash", id=job.id, wedged=dispatch.wedged,
                        crashes=job.crashes)
             if opened:
@@ -484,11 +571,48 @@ class SchedulerDaemon:
             payload["error"] = (error or "")[:500] or None
         self.table.append(kind, **payload)
         self.event(f"job.{kind}", id=job.id, cached=cached)
-        frame = {"event": "terminal", "id": job.id, "state": state,
-                 "cycles": job.cycles, "ipc": job.ipc, "error": job.error}
+        if state == DONE and self.breaker.record_success(job.fingerprint):
+            self._probes.pop(job.fingerprint, None)
+            self.event("breaker.close", fingerprint=job.fingerprint[:12],
+                       id=job.id)
+        self.notify_watchers(job.id, state, cycles=job.cycles, ipc=job.ipc,
+                             error=job.error)
+
+    def notify_watchers(self, job_id: str, state: str, *,
+                        cycles: int | None = None, ipc: float | None = None,
+                        error: str | None = None) -> None:
+        """Push one terminal frame to every watcher waiting on this id.
+
+        Called for local terminals and — on a clustered daemon — for
+        remote terminals learned by gossip, so a client may watch ids on
+        any fleet member.
+        """
+        frame = {"event": "terminal", "id": job_id, "state": state,
+                 "cycles": cycles, "ipc": ipc, "error": error}
         for ids, queue in self._watchers:
-            if job.id in ids:
+            if job_id in ids:
                 queue.put_nowait(frame)
+
+    def adopt_job(self, remote: dict[str, Any], source: str) -> None:
+        """Take over a dead peer's journaled-but-unfinished job.
+
+        Called by the cluster manager once this node wins the rendezvous
+        election for an expired lease: journal a fresh ``submit`` (with
+        ``adopted_from`` attribution for the offline audit) and
+        force-push it — adopted work was already admitted once, it is
+        never shed.  Re-execution is bitwise-safe: the result cache is
+        keyed by job fingerprint.
+        """
+        tenant = remote.get("tenant", "-")
+        ordinal = self.table.next_ordinal
+        self.table.append("submit", id=remote["id"], tenant=tenant,
+                          fingerprint=remote.get("fingerprint", ""),
+                          ordinal=ordinal, job=remote.get("job"),
+                          adopted_from=source)
+        self.queue.push(tenant, remote["id"], force=True)
+        self.event("cluster.reclaim", id=remote["id"], source=source,
+                   ordinal=ordinal)
+        self._kick.set()
 
     # ------------------------------------------------------------------ #
     # connections
@@ -500,6 +624,18 @@ class SchedulerDaemon:
                 try:
                     raw = await reader.readline()
                 except (OSError, ConnectionError):
+                    break
+                except ValueError:
+                    # The line blew past the stream limit (an oversized
+                    # frame): answer a typed refusal and close — the
+                    # remaining bytes of that line cannot be resynced.
+                    try:
+                        writer.write(encode_frame(error_response(
+                            None, f"frame exceeds {MAX_FRAME_BYTES} "
+                                  f"bytes")))
+                        await writer.drain()
+                    except (OSError, ConnectionError):
+                        pass
                     break
                 if not raw:
                     break
@@ -520,7 +656,10 @@ class SchedulerDaemon:
                 if op == "watch":
                     await self._op_watch(frame, writer)
                     continue
-                response = self._respond(op, frame)
+                if op == "submit":
+                    response = await self._submit_entry(frame)
+                else:
+                    response = self._respond(op, frame)
                 writer.write(encode_frame(response))
                 try:
                     await writer.drain()
@@ -546,11 +685,63 @@ class SchedulerDaemon:
             return self._op_status()
         if op == "result":
             return self._op_result(frame)
+        if op == "gossip":
+            if self.cluster is None:
+                return error_response("gossip",
+                                      "this daemon is not clustered")
+            return self.cluster.handle_gossip(frame)
         if op == "drain":
             return {"ok": True, "op": "drain", "draining": True}
         return error_response(op, f"unknown op {op!r}")
 
     # -- submit -------------------------------------------------------- #
+    async def _submit_entry(self, frame: dict[str, Any]) -> dict[str, Any]:
+        """Cluster-aware front door for ``submit``: route, then accept.
+
+        Non-clustered daemons fall straight through to the synchronous
+        admission ladder.  Clustered ones first consult the replicated
+        job table (a peer may already own or have finished this id),
+        then forward the frame to its rendezvous owner — unless the
+        frame is pinned, already forwarded once, or quorum is lost.
+        """
+        if self.cluster is None:
+            return self._op_submit(frame)
+        if self.cluster.blocked_inbound(frame):
+            return error_response("submit", "unreachable (partitioned)")
+        job_id = frame.get("id")
+        if isinstance(job_id, str) and job_id \
+                and job_id not in self.table.jobs:
+            remote = self.cluster.remote_lookup(job_id)
+            if remote is not None:
+                if remote.get("state") in TERMINAL:
+                    return {"ok": True, "op": "submit", "id": job_id,
+                            "state": remote["state"], "duplicate": True,
+                            "remote": remote["owner"],
+                            "cycles": remote["cycles"],
+                            "ipc": remote["ipc"], "error": remote["error"]}
+                owner = self.cluster.peers.get(remote["owner"])
+                if owner is not None and owner.state != PEER_DEAD:
+                    # The owner is up (or merely suspect — slowness must
+                    # not fork ownership): idempotent duplicate, answer
+                    # without re-accepting.  Only a DEAD owner falls
+                    # through — resubmission is then the client-side
+                    # takeover path, racing the lease reclaim at worst
+                    # into an agreeing duplicate the audit tolerates.
+                    return {"ok": True, "op": "submit", "id": job_id,
+                            "state": QUEUED, "duplicate": True,
+                            "remote": remote["owner"]}
+            if self.cluster.has_quorum() and not self.draining:
+                try:
+                    job = SimJob.from_payload(frame.get("job") or {})
+                except (JobError, KeyError, TypeError, ValueError):
+                    pass   # the local ladder produces the typed error
+                else:
+                    routed = await self.cluster.route_submit(
+                        frame, job.fingerprint())
+                    if routed is not None:
+                        return routed
+        return self._op_submit(frame)
+
     def _op_submit(self, frame: dict[str, Any]) -> dict[str, Any]:
         job_id = frame.get("id")
         tenant = str(frame.get("tenant") or "-")
@@ -570,19 +761,29 @@ class SchedulerDaemon:
             return error_response("submit",
                                   f"bad job payload: {error}")
         fingerprint = job.fingerprint()
-        if self.breaker.is_open(fingerprint):
+        verdict = self.breaker.admit(fingerprint)
+        if verdict == ADMIT_REFUSE:
             # Refused before admission: this fingerprint kills workers.
             self.event("breaker.refuse", id=job_id,
                        fingerprint=fingerprint[:12])
             return {"ok": True, "op": "submit", "id": job_id,
                     "state": QUARANTINED, "accepted": False,
                     "reason": "circuit breaker open for this fingerprint"}
+        probe = verdict == ADMIT_PROBE
         if self.draining:
+            self._unprobe(fingerprint, probe)
             return self._shed(job_id, "draining", retry_after=None)
+        if self.cluster is not None and not self.cluster.has_quorum():
+            # Split-brain stance: a daemon that cannot see a majority
+            # of its fleet accepts nothing (and journals no terminals).
+            self._unprobe(fingerprint, probe)
+            return self._shed(job_id, "no-quorum",
+                              retry_after=2 * self.cluster.gossip_interval)
         bucket = self.buckets.setdefault(
             tenant, TokenBucket(rate=self.rate, burst=self.burst))
         now = time.monotonic()
         if not bucket.take(now):
+            self._unprobe(fingerprint, probe)
             return self._shed(job_id, "rate-limit",
                               retry_after=bucket.retry_after(now),
                               tenant=tenant)
@@ -593,6 +794,7 @@ class SchedulerDaemon:
             self.table.append("submit", id=job_id, tenant=tenant,
                               fingerprint=fingerprint, ordinal=ordinal,
                               job=frame.get("job"))
+            self._mark_probe(fingerprint, job_id, probe)
             record = self.table.jobs[job_id]
             self._terminal(record, DONE, cycles=cached.cycles,
                            ipc=cached.ipc, cached=True)
@@ -600,16 +802,31 @@ class SchedulerDaemon:
                     "state": DONE, "cached": True,
                     "cycles": cached.cycles, "ipc": cached.ipc}
         if len(self.queue) >= self.queue.depth:
+            self._unprobe(fingerprint, probe)
             return self._shed(job_id, "queue-full",
                               retry_after=1.0, depth=self.queue.depth)
         ordinal = self.table.next_ordinal
         self.table.append("submit", id=job_id, tenant=tenant,
                           fingerprint=fingerprint, ordinal=ordinal,
                           job=frame.get("job"))
+        self._mark_probe(fingerprint, job_id, probe)
         self.queue.push(tenant, job_id)
         self._kick.set()
         return {"ok": True, "op": "submit", "id": job_id, "state": QUEUED,
                 "ordinal": ordinal}
+
+    def _unprobe(self, fingerprint: str, probe: bool) -> None:
+        """A granted half-open probe whose submission was shed anyway:
+        give the slot back so the next submission can probe instead."""
+        if probe:
+            self.breaker.probing.discard(fingerprint)
+
+    def _mark_probe(self, fingerprint: str, job_id: str,
+                    probe: bool) -> None:
+        if probe:
+            self._probes[fingerprint] = job_id
+            self.event("breaker.half_open", fingerprint=fingerprint[:12],
+                       id=job_id)
 
     def _shed(self, job_id: str, reason: str,
               retry_after: float | None, **extra: Any) -> dict[str, Any]:
@@ -623,25 +840,48 @@ class SchedulerDaemon:
 
     # -- status / result / watch -------------------------------------- #
     def _op_status(self) -> dict[str, Any]:
+        healthy = not self.draining and (self.cluster is None
+                                         or self.cluster.has_quorum())
         return {
             "ok": True, "op": "status", "version": PROTOCOL_VERSION,
-            "healthy": True, "draining": self.draining,
+            "healthy": healthy, "draining": self.draining,
             "uptime": round(time.monotonic() - self.started, 3),
             "pid": os.getpid(),
             "jobs": self.table.counts(), "queued": len(self.queue),
+            "queue_depth": self.queue.depth,
             "inflight": self._inflight, "dispatched": self.dispatched,
             "workers": self.workers,
+            "workers_detail": self.supervisor.health(),
             "respawns": self.supervisor.respawns,
             "wedges": self.supervisor.wedges,
             "breaker_open": self.breaker.open_count(),
+            "breaker": {
+                "threshold": self.breaker.threshold,
+                "cooldown": self.breaker.cooldown,
+                "open": [fp[:12]
+                         for fp in self.breaker.open_fingerprints()],
+                "half_open": [fp[:12]
+                              for fp in sorted(self.breaker.probing)],
+            },
             "shed": self.shed_count,
             "journal_appends": self.table.journal.appends,
             "journal_append_errors": self.table.journal.append_errors,
+            "cluster": (self.cluster.view()
+                        if self.cluster is not None else None),
         }
 
     def _op_result(self, frame: dict[str, Any]) -> dict[str, Any]:
         job = self.table.jobs.get(frame.get("id") or "")
         if job is None:
+            if self.cluster is not None:
+                remote = self.cluster.remote_lookup(frame.get("id") or "")
+                if remote is not None:
+                    return {"ok": True, "op": "result", "id": remote["id"],
+                            "state": remote.get("state") or QUEUED,
+                            "cycles": remote["cycles"],
+                            "ipc": remote["ipc"],
+                            "error": remote["error"],
+                            "remote": remote["owner"]}
             return error_response("result",
                                   f"unknown job id {frame.get('id')!r}")
         response = {"ok": True, "op": "result", "id": job.id,
@@ -668,6 +908,22 @@ class SchedulerDaemon:
         for job_id in list(waiting):
             job = self.table.jobs.get(job_id)
             if job is None:
+                if self.cluster is not None:
+                    # Clustered: the id may live on (or arrive at) a
+                    # peer.  Answer a known remote terminal now; keep
+                    # waiting otherwise — gossip folds remote terminals
+                    # through notify_watchers.
+                    remote = self.cluster.remote_lookup(job_id)
+                    if remote is not None \
+                            and remote.get("state") in TERMINAL:
+                        writer.write(encode_frame(
+                            {"event": "terminal", "id": job_id,
+                             "state": remote["state"],
+                             "cycles": remote["cycles"],
+                             "ipc": remote["ipc"],
+                             "error": remote["error"]}))
+                        waiting.discard(job_id)
+                    continue
                 writer.write(encode_frame(
                     {"event": "terminal", "id": job_id, "state": FAILED,
                      "error": "unknown job id", "cycles": None,
@@ -734,6 +990,25 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="worker crashes before a fingerprint is "
                              "quarantined "
                              f"(default {DEFAULT_BREAKER_THRESHOLD})")
+    parser.add_argument("--breaker-cooldown", type=float,
+                        default=DEFAULT_BREAKER_COOLDOWN,
+                        help="seconds before an open circuit admits one "
+                             "half-open probe; 0 = quarantine forever "
+                             f"(default {DEFAULT_BREAKER_COOLDOWN:g})")
+    parser.add_argument("--cluster", default=None, metavar="ADDRS",
+                        help="comma-separated addresses of the whole "
+                             "fleet (unix socket paths or host:port), "
+                             "the same ordered list on every member")
+    parser.add_argument("--advertise", default=None, metavar="ADDR",
+                        help="this daemon's own address within --cluster")
+    parser.add_argument("--gossip-interval", type=float,
+                        default=DEFAULT_GOSSIP_INTERVAL,
+                        help="seconds between peer heartbeat rounds "
+                             f"(default {DEFAULT_GOSSIP_INTERVAL:g})")
+    parser.add_argument("--peer-ttl", type=float, default=DEFAULT_PEER_TTL,
+                        help="peer silence beyond this is suspicion, "
+                             "beyond twice this is death "
+                             f"(default {DEFAULT_PEER_TTL:g})")
     parser.add_argument("--retries", type=int, default=DEFAULT_RETRIES,
                         help="in-band transient retries per job "
                              f"(default {DEFAULT_RETRIES})")
@@ -755,6 +1030,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.host is not None and not args.port:
         parser.error("--host needs --port")
+    members = None
+    if args.cluster:
+        members = [addr.strip() for addr in args.cluster.split(",")
+                   if addr.strip()]
+        if args.advertise is None:
+            parser.error("--cluster needs --advertise")
+        if args.advertise not in members:
+            parser.error(f"--advertise {args.advertise!r} is not in "
+                         f"--cluster")
     faults = None
     try:
         if args.faults:
@@ -768,9 +1052,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         host=args.host, port=args.port or None,
         cache_dir=args.cache_dir, workers=args.workers,
         queue_depth=args.queue_depth, rate=args.rate, burst=args.burst,
-        breaker_threshold=args.breaker_threshold, retries=args.retries,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown or None,
+        retries=args.retries,
         timeout=args.timeout, hb_timeout=args.hb_timeout,
-        drain_grace=args.drain_grace, trace=args.trace, faults=faults)
+        drain_grace=args.drain_grace, trace=args.trace,
+        cluster_members=members, advertise=args.advertise,
+        gossip_interval=args.gossip_interval, peer_ttl=args.peer_ttl,
+        faults=faults)
     try:
         return asyncio.run(daemon.serve())
     except KeyboardInterrupt:   # pragma: no cover - signal path preferred

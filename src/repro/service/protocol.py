@@ -14,6 +14,18 @@ Requests carry an ``op`` and op-specific fields::
     {"op": "result", "id": "..."}          # terminal state + result
     {"op": "watch", "ids": ["...", ...]}   # stream terminal events
     {"op": "drain"}                        # administrative SIGTERM
+    {"op": "gossip", "addr": ..., "index": ..., ...}   # peer heartbeat
+
+In a federated fleet (:mod:`repro.service.cluster`) a ``submit`` may
+additionally carry ``"route": {"via": ADDR, "index": N}`` — set by a
+daemon forwarding the frame to the fingerprint's rendezvous owner, and
+never set twice (one forwarding hop at most) — or ``"pin": true`` from a
+client that wants *this* daemon to own the job regardless of routing.
+``gossip`` frames are daemon-to-daemon heartbeats carrying the sender's
+membership view, its non-terminal job announcements (the cluster
+leases), its terminal states, and its open circuit-breaker fingerprints;
+the response mirrors the same payload back so one exchange synchronises
+both directions.
 
 Responses echo ``op`` and carry ``ok`` plus op-specific fields; a
 ``submit`` response's ``state`` is one of the :data:`STATES` below (or
@@ -34,15 +46,16 @@ from __future__ import annotations
 import json
 from typing import Any
 
-#: Protocol version, echoed in ``status`` responses.
-PROTOCOL_VERSION = 1
+#: Protocol version, echoed in ``status`` responses.  Version 2 added
+#: the ``gossip`` op and the ``route``/``pin`` submit fields.
+PROTOCOL_VERSION = 2
 
 #: Maximum accepted frame size in bytes (a malformed or malicious
 #: client cannot balloon daemon memory with one endless line).
 MAX_FRAME_BYTES = 1 << 20
 
 #: Request operations the daemon understands.
-OPS = ("submit", "status", "result", "watch", "drain")
+OPS = ("submit", "status", "result", "watch", "drain", "gossip")
 
 #: Job lifecycle states (journal-backed; see ``repro.service.daemon``).
 QUEUED = "queued"

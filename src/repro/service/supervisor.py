@@ -130,6 +130,19 @@ class Supervisor:
             self._workers.append(worker)
             self._idle.put_nowait(worker)
 
+    def health(self) -> list[dict[str, Any]]:
+        """Per-slot worker health for ``status`` responses: pid (None
+        for the inline fallback), liveness and jobs served."""
+        out = []
+        for worker in self._workers:
+            alive = worker.proc is not None \
+                and worker.proc.returncode is None
+            out.append({"slot": worker.slot, "pid": worker.pid,
+                        "inline": worker.inline,
+                        "alive": alive or worker.inline,
+                        "jobs": worker.jobs})
+        return out
+
     async def close(self) -> None:
         self._closed = True
         for worker in self._workers:

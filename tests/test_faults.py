@@ -306,3 +306,57 @@ class TestServiceFaults:
         assert plan.service_worker_wedge(0)
         assert plan.service_worker_wedge(0)
         assert not plan.service_worker_wedge(1)
+
+
+# --------------------------------------------------------------------------- #
+# cluster-grade faults (the federation layer's injected partition)
+# --------------------------------------------------------------------------- #
+
+class TestPartitionFaults:
+    def test_partition_spec_parses(self, tmp_path):
+        plan = _plan("partition:0-1|2:8", tmp_path)
+        fault = plan.faults[0]
+        assert fault.action == "partition"
+        assert fault.partition_groups() == (frozenset({0, 1}),
+                                            frozenset({2}))
+        assert plan.partition_spec() == (frozenset({0, 1}),
+                                         frozenset({2}), 8)
+
+    @pytest.mark.parametrize("spec", [
+        "partition:0|1",          # no heal round
+        "partition:0|1:0",        # heal round must be >= 1
+        "partition:0|1:soon",     # non-numeric heal round
+        "partition:0-1:4",        # only one group
+        "partition:0|1|2:4",      # three groups
+        "partition:0-1|1:4",      # overlapping groups
+        "partition:|1:4",         # empty group
+        "partition:a-b|2:4",      # non-numeric node index
+    ])
+    def test_bad_partition_specs_rejected(self, spec, tmp_path):
+        with pytest.raises(FaultSpecError):
+            _plan(spec, tmp_path)
+
+    def test_partition_blocks_is_symmetric_and_scoped(self, tmp_path):
+        plan = _plan("partition:0-1|2:8", tmp_path)
+        # Cross-group traffic is blocked in both directions...
+        assert plan.partition_blocks(0, 2, rounds=0)
+        assert plan.partition_blocks(2, 0, rounds=0)
+        assert plan.partition_blocks(1, 2, rounds=3)
+        # ...same-group and same-node traffic never is...
+        assert not plan.partition_blocks(0, 1, rounds=0)
+        assert not plan.partition_blocks(2, 2, rounds=0)
+        # ...and nodes outside both groups are unaffected.
+        assert not plan.partition_blocks(0, 3, rounds=0)
+
+    def test_partition_heals_at_the_named_round(self, tmp_path):
+        # The partition is a window over the asking daemon's own gossip
+        # round counter, not a once-only marker: it stays up through
+        # round heal-1 and is gone from round heal on.
+        plan = _plan("partition:0|1:8", tmp_path)
+        assert plan.partition_blocks(0, 1, rounds=7)
+        assert not plan.partition_blocks(0, 1, rounds=8)
+        assert not plan.partition_blocks(0, 1, rounds=100)
+
+    def test_no_partition_means_no_blocking(self, tmp_path):
+        assert _plan("flaky:0", tmp_path).partition_spec() is None
+        assert not _plan("flaky:0", tmp_path).partition_blocks(0, 1, 0)

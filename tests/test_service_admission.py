@@ -9,7 +9,9 @@ wire, quarantine after real worker kills) lives in
 
 import pytest
 
-from repro.service.admission import (CircuitBreaker, FairShareQueue,
+from repro.service.admission import (ADMIT_OK, ADMIT_PROBE, ADMIT_REFUSE,
+                                     DEFAULT_BREAKER_COOLDOWN,
+                                     CircuitBreaker, FairShareQueue,
                                      TokenBucket)
 
 
@@ -123,3 +125,78 @@ class TestCircuitBreaker:
     def test_bad_threshold_rejected(self):
         with pytest.raises(ValueError):
             CircuitBreaker(threshold=0)
+
+    def test_default_cooldown_is_the_documented_knob(self):
+        assert CircuitBreaker(threshold=3).cooldown \
+            == DEFAULT_BREAKER_COOLDOWN
+
+    @pytest.mark.parametrize("cooldown", [0, -1.0])
+    def test_bad_cooldown_rejected(self, cooldown):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=1, cooldown=cooldown)
+
+
+class TestCircuitBreakerHalfOpen:
+    """The half-open state machine, driven on an injected clock."""
+
+    def _open(self, cooldown=10.0):
+        breaker = CircuitBreaker(threshold=2, cooldown=cooldown)
+        assert breaker.admit("fp", now=0.0) == ADMIT_OK
+        breaker.record_crash("fp", now=0.0)
+        assert breaker.record_crash("fp", now=0.0)   # opens at threshold
+        return breaker
+
+    def test_cooldown_expiry_admits_exactly_one_probe(self):
+        breaker = self._open(cooldown=10.0)
+        assert breaker.admit("fp", now=5.0) == ADMIT_REFUSE
+        assert breaker.admit("fp", now=10.0) == ADMIT_PROBE
+        # While the probe is in flight everything else stays refused —
+        # one canary, not a thundering herd of poison.
+        assert breaker.admit("fp", now=11.0) == ADMIT_REFUSE
+        assert breaker.admit("fp", now=300.0) == ADMIT_REFUSE
+
+    def test_successful_probe_closes_the_circuit(self):
+        breaker = self._open(cooldown=10.0)
+        assert breaker.admit("fp", now=10.0) == ADMIT_PROBE
+        assert breaker.record_success("fp")          # True: probe closed it
+        assert not breaker.is_open("fp")
+        assert breaker.admit("fp", now=10.5) == ADMIT_OK
+        assert breaker.open_count() == 0
+        # The crash history is forgiven with the close: re-opening
+        # takes a full threshold's worth of fresh crashes.
+        assert not breaker.record_crash("fp", now=11.0)
+
+    def test_failed_probe_reopens_and_restarts_the_cooldown(self):
+        breaker = self._open(cooldown=10.0)
+        assert breaker.admit("fp", now=10.0) == ADMIT_PROBE
+        assert breaker.record_crash("fp", now=12.0)  # True: re-opened
+        assert breaker.admit("fp", now=21.0) == ADMIT_REFUSE  # 12+10 > 21
+        assert breaker.admit("fp", now=22.0) == ADMIT_PROBE
+
+    def test_none_cooldown_restores_permanent_quarantine(self):
+        breaker = self._open(cooldown=None)
+        assert breaker.admit("fp", now=1e9) == ADMIT_REFUSE
+        assert breaker.is_open("fp")
+
+    def test_success_on_a_closed_circuit_is_a_noop(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=10.0)
+        assert not breaker.record_success("fp")
+
+    def test_force_open_is_idempotent_and_respects_the_cooldown(self):
+        # The gossip-sync path: a peer's quarantine opens the local
+        # circuit with no local crash evidence.
+        breaker = CircuitBreaker(threshold=3, cooldown=10.0)
+        assert breaker.force_open("fp", crashes=7, now=0.0)
+        assert not breaker.force_open("fp", crashes=2, now=1.0)
+        assert breaker.is_open("fp")
+        assert breaker.crashes["fp"] == 7            # the floor never drops
+        assert breaker.admit("fp", now=5.0) == ADMIT_REFUSE
+        assert breaker.admit("fp", now=10.0) == ADMIT_PROBE
+
+    def test_force_open_cancels_an_inflight_probe(self):
+        breaker = self._open(cooldown=10.0)
+        assert breaker.admit("fp", now=10.0) == ADMIT_PROBE
+        breaker.record_success("fp")                 # closed...
+        assert breaker.force_open("fp", now=20.0)    # ...reopened by gossip
+        assert breaker.admit("fp", now=25.0) == ADMIT_REFUSE
+        assert breaker.admit("fp", now=30.0) == ADMIT_PROBE

@@ -1,0 +1,664 @@
+"""Tests for the federation layer: membership, routing, handoff, audit.
+
+The :class:`ClusterManager` unit tests drive membership and reclaim on
+a stub daemon with a hand-held clock — no sockets, no sleeping — so the
+lease arithmetic (suspect past TTL, dead past twice TTL, reclaim only
+with quorum and a won rendezvous election) is checked exactly.  The
+offline audit is tested against hand-forged journals.  One integration
+test boots a real three-daemon fleet over unix sockets and routes a
+design through it; the violent end of the story (partitions, SIGKILL,
+lease handoff under fire) lives in the cluster chaos drill
+(``make cluster-chaos-smoke``).
+"""
+
+import asyncio
+import io
+import socket
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.design.campaign import TTL_JITTER_FRAC
+from repro.design.journal import Journal
+from repro.harness.engine import Backoff
+from repro.harness.exit_codes import EXIT_OK
+from repro.harness.faults import FaultPlan
+from repro.harness.jobs import SimJob
+from repro.service.admission import CircuitBreaker
+from repro.service.audit import audit_state_dirs
+from repro.service.client import ServiceClient
+from repro.service.cluster import (PEER_DEAD, PEER_SUSPECT, PEER_UNKNOWN,
+                                   PEER_UP, ClusterManager, parse_address,
+                                   rendezvous_owner)
+from repro.service.daemon import SchedulerDaemon
+from repro.service.protocol import DONE, TERMINAL, encode_frame
+from repro.sim.config import GPUConfig
+
+A, B, C = "a.sock", "b.sock", "c.sock"
+
+
+# --------------------------------------------------------------------------- #
+# addresses and rendezvous hashing
+# --------------------------------------------------------------------------- #
+
+class TestParseAddress:
+    def test_host_port_is_tcp(self):
+        assert parse_address("gpu-01:7070") == ("tcp", ("gpu-01", 7070))
+
+    @pytest.mark.parametrize("address", [
+        "/var/run/repro/serve.sock",   # a path is always a path
+        "serve.sock",                  # no colon
+        "host:notaport",               # non-numeric port
+        "h:1:2",                       # two colons: not host:port
+    ])
+    def test_everything_else_is_a_unix_path(self, address):
+        assert parse_address(address) == ("unix", address)
+
+
+class TestRendezvous:
+    def test_deterministic_and_order_independent(self):
+        nodes = [A, B, C]
+        owner = rendezvous_owner("fp-1", nodes)
+        assert owner in nodes
+        assert rendezvous_owner("fp-1", nodes) == owner
+        assert rendezvous_owner("fp-1", [C, A, B]) == owner
+
+    def test_every_node_owns_something(self):
+        nodes = [A, B, C]
+        owners = {rendezvous_owner(f"fp-{i}", nodes) for i in range(64)}
+        assert owners == set(nodes)
+
+    def test_minimal_disruption_on_node_death(self):
+        # HRW's defining property, and the one handoff depends on: when
+        # C dies, only C's jobs move; every A- or B-owned fingerprint
+        # keeps its owner.
+        fps = [f"fp-{i}" for i in range(128)]
+        before = {fp: rendezvous_owner(fp, [A, B, C]) for fp in fps}
+        after = {fp: rendezvous_owner(fp, [A, B]) for fp in fps}
+        for fp in fps:
+            if before[fp] != C:
+                assert after[fp] == before[fp]
+            else:
+                assert after[fp] in (A, B)
+
+    def test_empty_node_set_rejected(self):
+        with pytest.raises(ValueError):
+            rendezvous_owner("fp", [])
+
+
+# --------------------------------------------------------------------------- #
+# membership + reclaim, on a stub daemon with a hand-held clock
+# --------------------------------------------------------------------------- #
+
+class _StubTable:
+    def __init__(self):
+        self.jobs = {}
+        self.order = []
+        self.records = []
+
+    def append(self, kind, **fields):
+        self.records.append({"type": kind, **fields})
+
+
+class _StubDaemon:
+    def __init__(self, threshold=2):
+        self.table = _StubTable()
+        self.breaker = CircuitBreaker(threshold=threshold, cooldown=None)
+        self.events = []
+        self.adopted = []
+        self.notified = []
+
+    def event(self, kind, **payload):
+        self.events.append((kind, payload))
+
+    def kinds(self):
+        return [kind for kind, _ in self.events]
+
+    def notify_watchers(self, job_id, state, **details):
+        self.notified.append((job_id, state))
+
+    def adopt_job(self, remote, source):
+        self.adopted.append((remote["id"], source))
+        # Mirror the real daemon: adoption puts the id in the local
+        # table, which is what makes _reclaim idempotent across rounds.
+        self.table.jobs[remote["id"]] = SimpleNamespace(state="queued")
+
+
+def _manager(stub=None, *, peer_ttl=1.0, faults=None):
+    stub = stub or _StubDaemon()
+    manager = ClusterManager(stub, [A, B, C], A, peer_ttl=peer_ttl,
+                             faults=faults)
+    manager.started = 0.0   # pin the boot instant: tests own the clock
+    return stub, manager
+
+
+def _fp_owned_by(node, nodes):
+    """A fingerprint whose rendezvous owner among ``nodes`` is ``node``."""
+    for i in range(256):
+        fp = f"probe-{i}"
+        if rendezvous_owner(fp, nodes) == node:
+            return fp
+    raise AssertionError("no fingerprint hashed to the wanted node")
+
+
+class TestClusterMembership:
+    def test_advertise_must_be_a_member(self):
+        with pytest.raises(ValueError, match="not in"):
+            ClusterManager(_StubDaemon(), [B, C], A)
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ClusterManager(_StubDaemon(), [A, B, B], A)
+
+    def test_peer_ttls_are_jittered_per_pair(self):
+        _, manager = _manager(peer_ttl=2.0)
+        ttls = [peer.ttl for peer in manager.peers.values()]
+        for ttl in ttls:
+            assert 2.0 <= ttl < 2.0 * (1.0 + TTL_JITTER_FRAC)
+        # Distinct (observer, peer) pairs get distinct deadlines — no
+        # stampede of simultaneous death declarations.
+        assert ttls[0] != ttls[1]
+
+    def test_boot_is_optimistic(self):
+        _, manager = _manager()
+        assert all(peer.state == PEER_UNKNOWN
+                   for peer in manager.peers.values())
+        assert manager.has_quorum()            # booting != partitioned
+        assert manager.live_addresses() == [A]  # but routing stays local
+
+    def test_up_suspect_dead_ladder(self):
+        stub, manager = _manager(peer_ttl=1.0)
+        manager._contact(B, 10.0)
+        assert manager.peers[B].state == PEER_UP
+        assert "peer.up" in stub.kinds()
+
+        # 1.3s of silence: past any jittered TTL (< 1.25) but short of
+        # the 2x death point for B.  C was never heard from at all, and
+        # its silence is measured from boot — long dead.
+        manager._membership_check(11.3)
+        assert manager.peers[B].state == PEER_SUSPECT
+        assert manager.peers[C].state == PEER_DEAD
+        assert "peer.suspect" in stub.kinds()
+        assert "peer.dead" in stub.kinds()
+
+    def test_quorum_loss_and_recovery_are_events(self):
+        stub, manager = _manager(peer_ttl=1.0)
+        manager._contact(B, 10.0)
+        manager._membership_check(11.3)   # B suspect, C dead: live = 1/3
+        assert not manager.has_quorum()
+        assert manager.degraded
+        assert "cluster.degraded" in stub.kinds()
+
+        manager._contact(B, 11.4)         # B answers again: live = 2/3
+        assert manager.peers[B].state == PEER_UP
+        assert not manager.degraded
+        assert "cluster.active" in stub.kinds()
+
+    def test_a_seen_peer_eventually_dies_too(self):
+        _, manager = _manager(peer_ttl=1.0)
+        manager._contact(B, 10.0)
+        manager._membership_check(14.0)   # 4s > 2 x any jittered TTL
+        assert manager.peers[B].state == PEER_DEAD
+        assert B in manager._dead_owners
+
+    def test_suspect_peers_do_not_count_toward_quorum(self):
+        _, manager = _manager(peer_ttl=1.0)
+        manager._contact(B, 10.0)
+        manager._contact(C, 10.0)
+        manager._membership_check(11.3)   # both merely suspect
+        assert manager.peers[B].state == PEER_SUSPECT
+        assert manager.peers[C].state == PEER_SUSPECT
+        assert not manager.has_quorum()
+
+
+class TestJobReplicationAndReclaim:
+    def _announce(self, manager, job_id, owner, fp, now=1.0):
+        manager._fold_job({"id": job_id, "owner": owner, "tenant": "t",
+                           "fingerprint": fp, "job": {"seed": 1}}, now)
+
+    def test_announced_jobs_are_journaled_replicas(self):
+        stub, manager = _manager()
+        self._announce(manager, "j1", C, "fp-x")
+        assert "j1" in manager.remote_jobs
+        record = stub.table.records[-1]
+        assert record["type"] == "cluster-job"
+        assert record["owner"] == C
+        # Idempotent: re-announcement next round journals nothing new.
+        self._announce(manager, "j1", C, "fp-x", now=2.0)
+        assert len(stub.table.records) == 1
+
+    def test_own_and_self_announcements_ignored(self):
+        stub, manager = _manager()
+        stub.table.jobs["mine"] = SimpleNamespace(state="queued")
+        self._announce(manager, "mine", C, "fp")   # already local
+        self._announce(manager, "j2", A, "fp")     # echo of ourselves
+        assert not manager.remote_jobs and not stub.table.records
+
+    def test_reclaim_needs_death_expiry_quorum_and_the_election(self):
+        stub, manager = _manager(peer_ttl=1.0)
+        manager._contact(B, 1.0)
+        manager._contact(C, 1.0)
+        fp = _fp_owned_by(A, [A, B])   # after C dies, this hashes to us
+        self._announce(manager, "j1", C, fp, now=1.0)
+
+        # C alive: nothing to do, even though the job lease would be
+        # stale by now — liveness is the owner's node-level gossip.
+        manager._contact(B, 5.5)
+        manager._contact(C, 5.5)
+        manager._membership_check(5.6)
+        manager._reclaim(5.6)
+        assert stub.adopted == []
+
+        # Now only B keeps answering; C falls silent and dies.
+        manager._contact(B, 8.2)
+        manager._membership_check(8.3)   # C last heard 5.5; 2.8s > 2xTTL
+        assert manager.peers[C].state == PEER_DEAD
+        manager._reclaim(8.3)            # lease (t=1.0, ttl=2.0) expired
+        assert stub.adopted == [("j1", C)]
+        # Adoption is once: the id is local now, rounds re-examine no-op.
+        manager._reclaim(9.0)
+        assert len(stub.adopted) == 1
+
+    def test_no_reclaim_without_quorum(self):
+        stub, manager = _manager(peer_ttl=1.0)
+        manager._contact(C, 1.0)
+        fp = _fp_owned_by(A, [A])
+        self._announce(manager, "j1", C, fp, now=1.0)
+        manager._membership_check(9.0)   # B never seen, C silent: both dead
+        assert not manager.has_quorum()
+        manager._reclaim(9.0)            # we may be the partitioned one
+        assert stub.adopted == []
+
+    def test_lost_election_defers_to_the_winner(self):
+        stub, manager = _manager(peer_ttl=1.0)
+        manager._contact(B, 1.0)
+        manager._contact(C, 1.0)
+        fp = _fp_owned_by(B, [A, B])     # B's job once C is gone
+        self._announce(manager, "j1", C, fp, now=1.0)
+        manager._contact(B, 8.2)
+        manager._membership_check(8.3)
+        manager._reclaim(8.3)
+        assert stub.adopted == []        # B adopts it, not us
+
+    def test_terminal_jobs_are_never_reclaimed(self):
+        stub, manager = _manager(peer_ttl=1.0)
+        manager._contact(B, 1.0)
+        manager._contact(C, 1.0)
+        fp = _fp_owned_by(A, [A, B])
+        self._announce(manager, "j1", C, fp, now=1.0)
+        manager._fold_terminal({"id": "j1", "state": DONE, "owner": C,
+                                "cycles": 10, "ipc": 1.0})
+        manager._contact(B, 8.2)
+        manager._membership_check(8.3)
+        manager._reclaim(8.3)
+        assert stub.adopted == []
+
+    def test_peer_terminal_folds_replicas_and_own_jobs(self):
+        stub, manager = _manager()
+        # Terminal for a job we never even saw announced: a replica
+        # entry appears, journaled, and watchers are notified.
+        manager._fold_terminal({"id": "far", "state": DONE, "owner": C,
+                                "cycles": 7, "ipc": 0.5})
+        assert manager.remote_jobs["far"]["state"] == DONE
+        assert stub.table.records[-1]["type"] == "cluster-terminal"
+        assert ("far", DONE) in stub.notified
+        # Refolds are idempotent.
+        manager._fold_terminal({"id": "far", "state": DONE, "owner": C})
+        assert len(stub.table.records) == 1
+
+        # A job *we* hold, finished elsewhere: journaled as
+        # peer-terminal (knowledge, not execution) — never re-run here.
+        stub.table.jobs["own"] = SimpleNamespace(state="running")
+        manager._fold_terminal({"id": "own", "state": DONE, "owner": B,
+                                "cycles": 3, "ipc": 0.2})
+        assert stub.table.records[-1]["type"] == "peer-terminal"
+        assert "cluster.peer_terminal" in stub.kinds()
+
+    def test_quarantine_gossip_opens_the_local_breaker(self):
+        stub, manager = _manager()
+        payload = {"quarantine": [{"fingerprint": "poison", "crashes": 7}]}
+        manager._fold_payload(payload, 1.0)
+        assert stub.breaker.is_open("poison")
+        assert stub.kinds().count("breaker.sync") == 1
+        manager._fold_payload(payload, 2.0)   # already open: no re-event
+        assert stub.kinds().count("breaker.sync") == 1
+
+
+class TestInboundGossip:
+    def test_unknown_peers_are_refused(self):
+        _, manager = _manager()
+        response = manager.handle_gossip({"op": "gossip",
+                                          "addr": "stranger.sock"})
+        assert not response["ok"] and "unknown peer" in response["error"]
+
+    def test_partition_fault_blocks_then_heals(self, tmp_path):
+        plan = FaultPlan.parse("partition:0|1:5",
+                               state_dir=str(tmp_path / "faults"))
+        _, manager = _manager(faults=plan)
+        frame = {"op": "gossip", "addr": B, "index": 1}
+        blocked = manager.handle_gossip(frame)
+        assert not blocked["ok"] and "partition" in blocked["error"]
+        assert manager.peers[B].state == PEER_UNKNOWN   # never contacted
+
+        manager.rounds = 5                              # heal point reached
+        healed = manager.handle_gossip(frame)
+        assert healed["ok"] and healed["addr"] == A
+        assert manager.peers[B].state == PEER_UP
+        assert {"members", "jobs", "terminals",
+                "quarantine"} <= set(healed)
+
+    def test_payload_separates_live_jobs_from_terminals(self):
+        stub, manager = _manager()
+        stub.table.jobs = {
+            "q1": SimpleNamespace(id="q1", state="queued", tenant="t",
+                                  fingerprint="fq", job={"s": 1},
+                                  cycles=None, ipc=None, error=None),
+            "d1": SimpleNamespace(id="d1", state=DONE, tenant="t",
+                                  fingerprint="fd", job={"s": 2},
+                                  cycles=9, ipc=1.5, error=None),
+        }
+        stub.table.order = ["q1", "d1"]
+        stub.breaker.record_crash("bad-fp")
+        stub.breaker.record_crash("bad-fp")
+        payload = manager._payload()
+        assert [j["id"] for j in payload["jobs"]] == ["q1"]
+        assert [t["id"] for t in payload["terminals"]] == ["d1"]
+        assert payload["terminals"][0]["state"] == DONE
+        assert payload["quarantine"] == [{"fingerprint": "bad-fp",
+                                          "crashes": 2}]
+        assert payload["members"][0] == {"addr": A, "state": PEER_UP}
+
+    def test_view_reports_the_membership_table(self):
+        _, manager = _manager()
+        view = manager.view()
+        assert view["advertise"] == A and view["size"] == 3
+        assert view["quorum"] and not view["degraded"]
+        assert {peer["addr"] for peer in view["peers"]} == {B, C}
+
+
+# --------------------------------------------------------------------------- #
+# client failover
+# --------------------------------------------------------------------------- #
+
+def _fake_daemon(path, response):
+    """A unix-socket stub answering every request line with ``response``."""
+    server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    server.bind(str(path))
+    server.listen(4)
+    server.settimeout(0.2)
+    stop = threading.Event()
+
+    def serve():
+        while not stop.is_set():
+            try:
+                conn, _ = server.accept()
+            except socket.timeout:
+                continue
+            with conn:
+                fh = conn.makefile("rb")
+                while fh.readline():
+                    conn.sendall(encode_frame(response))
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return stop, thread, server
+
+
+class TestClientFailover:
+    def test_jitter_is_deterministic_per_key(self, tmp_path):
+        one = ServiceClient(tmp_path / "x.sock", jitter_key="alice")
+        two = ServiceClient(tmp_path / "x.sock", jitter_key="alice")
+        other = ServiceClient(tmp_path / "x.sock", jitter_key="bob")
+        assert one.jitter == two.jitter
+        assert one.jitter != other.jitter
+        for client in (one, two, other):
+            assert 1.0 <= client.jitter < 1.0 + 0.25
+        # The jitter scales every backoff delay, identically per client.
+        assert one._delay(2) == Backoff(base=0.25, cap=5.0).delay(2) \
+            * one.jitter
+
+    def test_target_parsing_and_rotation(self):
+        client = ServiceClient(peers=["h:7070", "b.sock", "c.sock"],
+                               jitter_key="k")
+        assert client._target() == ("h", 7070, None)
+        client._rotate()
+        assert client._target() == (None, None, "b.sock")
+        assert client.failovers == 1
+        client._rotate()
+        client._rotate()                       # wraps around
+        assert client._target() == ("h", 7070, None)
+
+    def test_single_target_never_rotates(self):
+        client = ServiceClient(peers=["only.sock"], jitter_key="k")
+        client._rotate()
+        assert client.failovers == 0 and client._peer_index == 0
+
+    def test_connect_fails_over_to_a_live_peer(self, tmp_path):
+        live = tmp_path / "live.sock"
+        stop, thread, server = _fake_daemon(
+            live, {"ok": True, "op": "status", "fake": True})
+        try:
+            client = ServiceClient(
+                peers=[str(tmp_path / "dead.sock"), str(live)],
+                connect_attempts=3, jitter_key="k")
+            response = client.request({"op": "status"})
+            assert response["fake"]
+            assert client.failovers >= 1       # the dead peer was skipped
+            client.close()
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+            server.close()
+
+
+# --------------------------------------------------------------------------- #
+# the offline audit
+# --------------------------------------------------------------------------- #
+
+def _forge(tmp_path, name, records, events=()):
+    """A daemon state dir containing exactly ``records`` (checksummed)."""
+    directory = tmp_path / name
+    directory.mkdir()
+    journal = Journal(directory / "journal.jsonl", worker=name)
+    for kind, fields in records:
+        journal.append(kind, **fields)
+    if events:
+        log = Journal(directory / "events.jsonl", worker=name)
+        for kind in events:
+            log.append("event", kind=kind)
+    return directory
+
+
+class TestOfflineAudit:
+    def test_clean_single_daemon_is_strict_exactly_once(self, tmp_path):
+        d = _forge(tmp_path, "s0", [
+            ("submit", {"id": "a", "ordinal": 0}),
+            ("done", {"id": "a", "state": DONE, "cycles": 10, "ipc": 1.0}),
+        ], events=("boot",))
+        report = audit_state_dirs([d])
+        assert report.strict_exactly_once and report.effectively_once
+        assert report.executed_dirs("a") == ["s0"]
+        assert report.event_kinds() == {"boot"}
+        assert "OK" in report.summary_line(strict=True)
+
+    def test_accepted_but_never_executed_is_missing(self, tmp_path):
+        d = _forge(tmp_path, "s0", [
+            ("submit", {"id": "a"}),
+            ("done", {"id": "a", "state": DONE, "cycles": 1, "ipc": 1.0}),
+            ("submit", {"id": "lost"}),
+        ])
+        report = audit_state_dirs([d])
+        assert report.missing == ["lost"]
+        assert not report.effectively_once
+        assert "FAILED" in report.summary_line()
+
+    def test_agreeing_duplicate_passes_effectively_once_only(self, tmp_path):
+        # The takeover-races-reclaim shape: two daemons each accepted
+        # and executed the job, bitwise-identically (shared fingerprint
+        # cache).  The cluster bar tolerates it, the strict bar counts.
+        rows = [("submit", {"id": "a"}),
+                ("done", {"id": "a", "state": DONE, "cycles": 5,
+                          "ipc": 2.0})]
+        d0 = _forge(tmp_path, "s0", rows)
+        d1 = _forge(tmp_path, "s1", rows)
+        report = audit_state_dirs([d0, d1])
+        assert report.effectively_once
+        assert not report.strict_exactly_once
+        assert report.duplicates == 1
+        assert report.executed_dirs("a") == ["s0", "s1"]
+
+    def test_disagreeing_states_conflict(self, tmp_path):
+        d0 = _forge(tmp_path, "s0", [
+            ("submit", {"id": "a"}),
+            ("done", {"id": "a", "state": DONE, "cycles": 5, "ipc": 2.0})])
+        d1 = _forge(tmp_path, "s1", [
+            ("failed", {"id": "a", "state": "failed", "error": "boom"})])
+        report = audit_state_dirs([d0, d1])
+        assert report.conflicting == ["a"]
+        assert not report.effectively_once
+
+    def test_same_state_different_numbers_is_a_determinism_breach(
+            self, tmp_path):
+        d0 = _forge(tmp_path, "s0", [
+            ("submit", {"id": "a"}),
+            ("done", {"id": "a", "state": DONE, "cycles": 5, "ipc": 2.0})])
+        d1 = _forge(tmp_path, "s1", [
+            ("done", {"id": "a", "state": DONE, "cycles": 6, "ipc": 2.0})])
+        assert audit_state_dirs([d0, d1]).conflicting == ["a"]
+
+    def test_replicas_prove_knowledge_not_execution(self, tmp_path):
+        # The gossiped copies of a job must never make it look
+        # double-executed — that distinction is the audit's whole point.
+        d0 = _forge(tmp_path, "s0", [
+            ("submit", {"id": "a"}),
+            ("done", {"id": "a", "state": DONE, "cycles": 5, "ipc": 2.0})])
+        d1 = _forge(tmp_path, "s1", [
+            ("cluster-job", {"id": "a", "owner": "s0"}),
+            ("cluster-terminal", {"id": "a", "state": DONE, "owner": "s0",
+                                  "cycles": 5, "ipc": 2.0})])
+        report = audit_state_dirs([d0, d1])
+        assert report.strict_exactly_once
+        assert report.duplicates == 0
+        assert report.executed_dirs("a") == ["s0"]
+        assert report.jobs["a"].replicated == [
+            ("s1", "cluster-terminal", DONE)]
+
+    def test_adoption_provenance_is_surfaced(self, tmp_path):
+        d0 = _forge(tmp_path, "s0", [
+            ("cluster-job", {"id": "a", "owner": "dead.sock"}),
+            ("submit", {"id": "a", "adopted_from": "dead.sock",
+                        "ordinal": 3}),
+            ("done", {"id": "a", "state": DONE, "cycles": 5, "ipc": 2.0})])
+        report = audit_state_dirs([d0])
+        assert report.adopted == ["a"]
+        assert report.jobs["a"].adopted_from == ["dead.sock"]
+        assert report.effectively_once
+
+    def test_crashes_counted_and_missing_journal_is_a_problem(
+            self, tmp_path):
+        d0 = _forge(tmp_path, "s0", [
+            ("submit", {"id": "a"}),
+            ("crash", {"id": "a", "fingerprint": "fp"}),
+            ("done", {"id": "a", "state": DONE, "cycles": 5, "ipc": 2.0})])
+        empty = tmp_path / "s1"
+        empty.mkdir()
+        report = audit_state_dirs([d0, empty])
+        assert report.crashes == 1
+        assert report.problems == ["s1: no journal.jsonl"]
+        assert not report.effectively_once   # problems fail the bar
+
+    def test_non_terminal_state_on_a_terminal_record_is_a_problem(
+            self, tmp_path):
+        d0 = _forge(tmp_path, "s0", [
+            ("submit", {"id": "a"}),
+            ("done", {"id": "a", "state": "running"})])
+        report = audit_state_dirs([d0])
+        assert report.problems and "non-terminal" in report.problems[0]
+
+
+# --------------------------------------------------------------------------- #
+# a real three-daemon fleet over unix sockets
+# --------------------------------------------------------------------------- #
+
+class TestLiveFleet:
+    def test_route_execute_replicate_audit(self, tmp_path):
+        members = [str(tmp_path / f"s{i}" / "serve.sock") for i in range(3)]
+        daemons, threads, outcomes = [], [], []
+        for i in range(3):
+            daemon = SchedulerDaemon(
+                state_dir=tmp_path / f"s{i}", cache_dir=tmp_path / "cache",
+                workers=1, drain_grace=15.0, log=io.StringIO(),
+                cluster_members=members, advertise=members[i],
+                gossip_interval=0.2, peer_ttl=1.0)
+            outcome = {}
+
+            def runner(d=daemon, o=outcome):
+                o["exit"] = asyncio.run(d.serve())
+
+            thread = threading.Thread(target=runner, daemon=True,
+                                      name=f"fleet-{i}")
+            thread.start()
+            daemons.append(daemon)
+            threads.append(thread)
+            outcomes.append(outcome)
+        try:
+            deadline = time.monotonic() + 15.0
+            while not all(d.socket_path.exists() for d in daemons):
+                assert time.monotonic() < deadline, "fleet never bound"
+                time.sleep(0.02)
+
+            client = ServiceClient(peers=members, timeout=30.0,
+                                   jitter_key="fleet-test")
+            ids = []
+            for seed in (1, 2, 3):
+                job = SimJob(names=("kmeans",), scale=0.02, seed=seed,
+                             config=GPUConfig.small())
+                jid = f"fleet:{seed}"
+                response = client.submit(jid, job.to_payload(), tenant="t")
+                assert response["ok"], response
+                ids.append(jid)
+
+            # Every job reaches a terminal state *as seen from one
+            # front door*: locally, via the forward response, or via
+            # the gossiped replica of a peer's terminal record.
+            states = {}
+            deadline = time.monotonic() + 60.0
+            while len(states) < len(ids):
+                assert time.monotonic() < deadline, \
+                    f"fleet never converged: {states}"
+                for jid in ids:
+                    if jid in states:
+                        continue
+                    result = client.result(jid)
+                    if result.get("ok") and result.get("state") in TERMINAL:
+                        states[jid] = result["state"]
+                time.sleep(0.2)
+            assert set(states.values()) == {DONE}
+
+            # Give gossip a beat, then check the front door's view.
+            time.sleep(0.6)
+            status = client.status()
+            cluster = status["cluster"]
+            assert cluster["size"] == 3 and cluster["quorum"]
+            assert all(peer["state"] == PEER_UP
+                       for peer in cluster["peers"])
+            client.close()
+        finally:
+            for member, thread in zip(members, threads):
+                try:
+                    with ServiceClient(member, timeout=10.0) as closer:
+                        closer.drain()
+                except Exception:
+                    pass
+            for thread in threads:
+                thread.join(timeout=30.0)
+        assert all(not t.is_alive() for t in threads), "fleet did not drain"
+        assert [o.get("exit") for o in outcomes] == [EXIT_OK] * 3
+
+        # The offline story must agree: three journals, every job
+        # executed exactly once fleet-wide, replicas on the others.
+        report = audit_state_dirs([tmp_path / f"s{i}" for i in range(3)])
+        assert report.strict_exactly_once, report.summary_line(strict=True)
+        assert len(report.jobs) >= 3
